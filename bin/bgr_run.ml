@@ -1,0 +1,303 @@
+(* Command-line driver for the global router reproduction.
+
+     bgr_run tables              reproduce Tables 1-3
+     bgr_run route C1P1          route one case and report
+     bgr_run density C1P1        Fig.-4 density charts
+     bgr_run ablation a1|a3      design-choice ablations
+     bgr_run stats C1            circuit statistics *)
+
+open Cmdliner
+
+let case_conv =
+  let parse s =
+    let s = String.uppercase_ascii s in
+    let make circuit placement = Ok (Suite.make_case ~circuit ~placement) in
+    match s with
+    | "C1P1" -> make "C1" Placement.P1
+    | "C1P2" -> make "C1" Placement.P2
+    | "C2P1" -> make "C2" Placement.P1
+    | "C2P2" -> make "C2" Placement.P2
+    | "C3P1" -> make "C3" Placement.P1
+    | "C3P2" -> make "C3" Placement.P2
+    | "MINI" -> Ok (Suite.mini ())
+    | _ -> Error (`Msg (Printf.sprintf "unknown case %s (C1P1..C3P2, MINI)" s))
+  in
+  let print ppf (case : Suite.case) = Format.fprintf ppf "%s" case.Suite.case_name in
+  Arg.conv (parse, print)
+
+let case_arg =
+  Arg.(required & pos 0 (some case_conv) None & info [] ~docv:"CASE" ~doc:"Benchmark case, e.g. C1P1.")
+
+let no_constraints =
+  Arg.(value & flag & info [ "no-constraints"; "u" ] ~doc:"Route without timing constraints (area only).")
+
+let trace_flag = Arg.(value & flag & info [ "trace" ] ~doc:"Print the router's phase trace.")
+
+let report_measurement name (m : Flow.measurement) =
+  let t = Table.create ~title:(Printf.sprintf "Routing result: %s" name) ~columns:[ "metric"; "value" ] in
+  let add k v = Table.add_row t [ k; v ] in
+  add "critical-path delay (ps)" (Table.f1 m.Flow.m_delay_ps);
+  add "lower bound (ps)" (Table.f1 m.Flow.m_lower_bound_ps);
+  add "gap over bound"
+    (Table.pct (Lower_bound.gap_percent ~delay_ps:m.Flow.m_delay_ps ~bound_ps:m.Flow.m_lower_bound_ps));
+  add "worst margin (ps)" (Table.f1 m.Flow.m_margin_ps);
+  add "violated constraints" (Table.fint m.Flow.m_violations);
+  add "chip area (mm2)" (Table.f3 m.Flow.m_area_mm2);
+  add "total wiring (mm)" (Table.f1 m.Flow.m_length_mm);
+  add "chip width (pitches)" (Table.fint m.Flow.m_chip_width);
+  add "feed-cell insertion rounds" (Table.fint m.Flow.m_insert_rounds);
+  add "edge deletions" (Table.fint m.Flow.m_deletions);
+  add "recognized differential pairs" (Table.fint m.Flow.m_recognized_pairs);
+  add "channel doglegs" (Table.fint m.Flow.m_channel_doglegs);
+  add "channel constraint breaks" (Table.fint m.Flow.m_channel_violations);
+  add "CPU (s)" (Table.f2 m.Flow.m_cpu_s);
+  Table.print t
+
+let tables_cmd =
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.") in
+  let run csv =
+    let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
+    let cases = Suite.all () in
+    emit (Experiments.table1 cases);
+    let runs = Experiments.run_suite ~cases () in
+    let w, wo = Experiments.table2 runs in
+    emit w;
+    emit wo;
+    emit (Experiments.table3 runs)
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Reproduce Tables 1-3 on the synthetic suite.")
+    Term.(const run $ csv)
+
+let route_cmd =
+  let run case unconstrained with_trace =
+    let options =
+      if with_trace then { Router.default_options with Router.trace = Some print_endline }
+      else Router.default_options
+    in
+    let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
+    report_measurement
+      (case.Suite.case_name ^ if unconstrained then " (unconstrained)" else " (constrained)")
+      outcome.Flow.o_measurement
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Route one case end to end and report all metrics.")
+    Term.(const run $ case_arg $ no_constraints $ trace_flag)
+
+let density_cmd =
+  let run case =
+    let outcome = Flow.run case.Suite.input in
+    let channel = Experiments.fig4_worst_channel outcome in
+    print_string (Experiments.fig4 outcome ~channel)
+  in
+  Cmd.v (Cmd.info "density" ~doc:"Print the Fig.-4 density chart of the most congested channel.")
+    Term.(const run $ case_arg)
+
+let ablation_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("a1", `A1);
+                  ("a3", `A3);
+                  ("a4", `A4);
+                  ("a5", `A5);
+                  ("a6", `A6);
+                  ("a7", `A7);
+                  ("a8", `A8) ]))
+          None
+      & info [] ~docv:"WHICH")
+  in
+  let run which =
+    let case = Suite.make_case ~circuit:"C1" ~placement:Placement.P1 in
+    match which with
+    | `A1 -> Table.print (Experiments.ablation_a1 case)
+    | `A3 -> Table.print (Experiments.ablation_a3 case)
+    | `A4 -> Table.print (Experiments.ablation_a4 case)
+    | `A5 -> Table.print (Experiments.ablation_a5 case)
+    | `A6 -> Table.print (Experiments.ablation_a6 case)
+    | `A7 -> Table.print (Experiments.ablation_a7 ())
+    | `A8 -> Table.print (Experiments.ablation_a8 case)
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Run a design-choice ablation (a1: ordering, a3: CL estimator, a4: delay model, a5: \
+          routing scheme, a6: channel router, a7: clock pitch vs skew, a8: pin-side bias).")
+    Term.(const run $ which)
+
+let export_cmd =
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output bundle path.")
+  in
+  let run case path =
+    let input = case.Suite.input in
+    let fp = Flow.floorplan_of_input input in
+    Design_io.write ~floorplan:fp ~constraints:input.Flow.constraints input.Flow.netlist ~path;
+    Printf.printf "wrote %s (netlist + placement + constraints)\n" path
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a benchmark case as a single-file design bundle.")
+    Term.(const run $ case_arg $ path_arg)
+
+let route_file_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Design bundle path.")
+  in
+  let run path unconstrained =
+    let bundle = Design_io.read path in
+    let input = Design_io.to_flow_input bundle in
+    let outcome = Flow.run ~timing_driven:(not unconstrained) input in
+    report_measurement (Filename.basename path) outcome.Flow.o_measurement
+  in
+  Cmd.v
+    (Cmd.info "route-file" ~doc:"Route a design bundle written by export (or by hand).")
+    Term.(const run $ path_arg $ no_constraints)
+
+let stats_cmd =
+  let run case =
+    let netlist = case.Suite.input.Flow.netlist in
+    let s = Netlist.stats netlist in
+    let t = Table.create ~title:("Circuit statistics: " ^ case.Suite.case_name) ~columns:[ "metric"; "value" ] in
+    Table.add_row t [ "cells (non-feed)"; Table.fint s.Netlist.n_cells ];
+    Table.add_row t [ "nets"; Table.fint s.Netlist.n_nets_total ];
+    Table.add_row t [ "ports"; Table.fint (Netlist.n_ports netlist) ];
+    Table.add_row t [ "constraints"; Table.fint (List.length case.Suite.input.Flow.constraints) ];
+    Table.add_row t [ "differential pairs"; Table.fint s.Netlist.n_diff_pairs ];
+    Table.add_row t [ "multi-pitch nets"; Table.fint s.Netlist.n_multi_pitch ];
+    Table.add_row t [ "max fanout"; Table.fint s.Netlist.max_fanout ];
+    Table.add_row t [ "avg fanout"; Table.f2 s.Netlist.avg_fanout ];
+    Table.print t
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print netlist statistics of a case.") Term.(const run $ case_arg)
+
+let timing_cmd =
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "paths"; "k" ] ~doc:"Worst endpoints to list per constraint.")
+  in
+  let run case k =
+    let outcome = Flow.run case.Suite.input in
+    match outcome.Flow.o_sta with
+    | None -> print_endline "no constraints: nothing to report"
+    | Some sta ->
+      let dg = Sta.delay_graph sta in
+      let node_name v = Format.asprintf "%a" (Delay_graph.pp_node dg) (Delay_graph.node dg v) in
+      for ci = 0 to Sta.n_constraints sta - 1 do
+        let pc = Sta.constraint_ sta ci in
+        Printf.printf "constraint %s: limit %.1f ps, delay %.1f ps, margin %.1f ps\n"
+          pc.Path_constraint.cname pc.Path_constraint.limit_ps (Sta.critical_delay sta ci)
+          (Sta.margin sta ci);
+        List.iteri
+          (fun i (r : Sta.endpoint_report) ->
+            if i < k then begin
+              Printf.printf "  %-28s slack %8.1f ps  (delay %.1f)\n" (node_name r.Sta.ep_vertex)
+                r.Sta.ep_slack_ps r.Sta.ep_delay_ps;
+              Printf.printf "    path:";
+              List.iter (fun v -> Printf.printf " %s" (node_name v)) r.Sta.ep_path;
+              print_newline ()
+            end)
+          (Sta.endpoint_reports sta ci)
+      done;
+      print_newline ();
+      print_string (Slack_profile.render (Slack_profile.of_sta sta))
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc:"STA-style timing report of a routed case (worst endpoints and paths).")
+    Term.(const run $ case_arg $ k_arg)
+
+let view_cmd =
+  let run case =
+    let outcome = Flow.run case.Suite.input in
+    let fp = outcome.Flow.o_floorplan in
+    let m = outcome.Flow.o_measurement in
+    Printf.printf "%s floorplan (north up; letters = cells, '+' = feed slots,
+digits = width-flagged feeds):
+
+"
+      case.Suite.case_name;
+    print_string (Layout_view.floorplan ~channel_tracks:m.Flow.m_tracks fp);
+    let worst = Experiments.fig4_worst_channel outcome in
+    Printf.printf "
+most congested channel (%d), routed tracks top-down:
+
+" worst;
+    print_string
+      (Layout_view.channel_tracks outcome.Flow.o_channels.(worst) ~width:(Floorplan.width fp));
+    print_newline ();
+    print_string (Route_stats.render (Route_stats.of_router outcome.Flow.o_router))
+  in
+  Cmd.v (Cmd.info "view" ~doc:"Render the routed layout and route-quality statistics.")
+    Term.(const run $ case_arg)
+
+let verify_cmd =
+  let run case unconstrained =
+    let outcome = Flow.run ~timing_driven:(not unconstrained) case.Suite.input in
+    let report = Verify.routed outcome.Flow.o_router in
+    Format.printf "%a" Verify.pp report;
+    if not (Verify.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Route a case and audit the result with the independent verifier.")
+    Term.(const run $ case_arg $ no_constraints)
+
+let generate_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output bundle path.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let comb = Arg.(value & opt int 160 & info [ "gates" ] ~doc:"Combinational gate count.") in
+  let ffs = Arg.(value & opt int 24 & info [ "ffs" ] ~doc:"Flip-flop count.") in
+  let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Cell rows.") in
+  let pairs = Arg.(value & opt int 3 & info [ "pairs" ] ~doc:"Differential pairs.") in
+  let constraints = Arg.(value & opt int 6 & info [ "constraints" ] ~doc:"Path constraints.") in
+  let embed = Arg.(value & flag & info [ "embed-library" ] ~doc:"Embed the cell library.") in
+  let run path seed comb ffs rows pairs n_constraints embed =
+    let params =
+      { Circuit_gen.default_params with
+        Circuit_gen.seed = Int64.of_int seed;
+        n_comb = comb;
+        n_ff = ffs;
+        n_diff_pairs = pairs;
+        n_constraints }
+    in
+    let netlist, raw = Circuit_gen.generate params in
+    let placed = Placement.place ~netlist ~n_rows:rows Placement.P1 in
+    let input = Placement.to_flow_input ~netlist ~dims:Dims.default ~constraints:raw placed in
+    let constraints = Calibrate.against_reference_route ~input ~headroom:0.18 in
+    let fp = Flow.floorplan_of_input input in
+    Design_io.write ~embed_library:embed ~floorplan:fp ~constraints netlist ~path;
+    let stats = Netlist.stats netlist in
+    Printf.printf "wrote %s: %d cells, %d nets, %d constraints\n" path stats.Netlist.n_cells
+      stats.Netlist.n_nets_total (List.length constraints)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a synthetic circuit, place it, calibrate constraints, write a bundle.")
+    Term.(const run $ path_arg $ seed $ comb $ ffs $ rows $ pairs $ constraints $ embed)
+
+let signoff_cmd =
+  let run case unconstrained =
+    let outcome = Flow.run ~timing_driven:(not unconstrained) case.Suite.input in
+    Signoff.print outcome
+  in
+  Cmd.v
+    (Cmd.info "signoff" ~doc:"Full sign-off report: metrics, verification, quality, slacks.")
+    Term.(const run $ case_arg $ no_constraints)
+
+let main =
+  let doc = "Timing- and area-driven global router for bipolar standard-cell LSIs (DAC'94 reproduction)" in
+  Cmd.group (Cmd.info "bgr_run" ~doc)
+    [ tables_cmd;
+      route_cmd;
+      density_cmd;
+      ablation_cmd;
+      stats_cmd;
+      export_cmd;
+      route_file_cmd;
+      view_cmd;
+      timing_cmd;
+      generate_cmd;
+      verify_cmd;
+      signoff_cmd ]
+
+let () = exit (Cmd.eval main)

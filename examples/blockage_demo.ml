@@ -1,0 +1,50 @@
+(* Routing blockages: a pre-routed obstruction in a channel forces the
+   router to take the other side of the cell row.
+
+     dune exec examples/blockage_demo.exe *)
+
+let build ~blockages =
+  let b = Netlist.builder ~library:Cell_lib.ecl_default in
+  let p = Netlist.add_port b ~name:"IN" ~side:Netlist.South ~column_hint:1 () in
+  let q = Netlist.add_port b ~name:"OUT" ~side:Netlist.North ~column_hint:12 () in
+  let d = Netlist.add_instance b ~name:"drv" ~cell:"BUF2" in
+  let s = Netlist.add_instance b ~name:"snk" ~cell:"INV1" in
+  let pin inst term = Netlist.Pin { Netlist.inst; term } in
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port p) ~sinks:[ pin d "A" ] () in
+  let demo = Netlist.add_net b ~name:"demo" ~driver:(pin d "Z") ~sinks:[ pin s "A" ] () in
+  let _ = Netlist.add_net b ~name:"n1" ~driver:(pin s "Z") ~sinks:[ Netlist.Port q ] () in
+  let netlist = Netlist.freeze b in
+  let cells =
+    [ { Floorplan.inst = d; row = 0; x = 0 }; { Floorplan.inst = s; row = 0; x = 10 } ]
+  in
+  let fp =
+    Floorplan.make ~netlist ~dims:Dims.default ~n_rows:1 ~width:14 ~cells ~slots:[] ~blockages ()
+  in
+  let assignment, failures = Feedthrough.assign fp ~order:(List.init 3 Fun.id) in
+  assert (failures = []);
+  (fp, assignment, demo)
+
+let route_and_show ~blockages label =
+  let fp, assignment, demo = build ~blockages in
+  Printf.printf "%s\n%s" label (Layout_view.floorplan fp);
+  let router = Router.create fp assignment None in
+  Router.initial_route router;
+  let rg = Router.routing_graph router demo in
+  List.iter
+    (fun eid ->
+      match Routing_graph.edge_kind rg eid with
+      | Routing_graph.Trunk { channel; span } ->
+        Printf.printf "  demo net trunk: channel %d, columns %d..%d\n" channel (Interval.lo span)
+          (Interval.hi span)
+      | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> ())
+    (Router.tree_edges router demo);
+  print_newline ()
+
+let () =
+  route_and_show ~blockages:[] "No blockage: the net picks either channel.";
+  route_and_show
+    ~blockages:[ (1, 3, 8) ]
+    "Channel 1 blocked over columns 3..8 ('X'): the net must use channel 0.";
+  route_and_show
+    ~blockages:[ (0, 3, 8) ]
+    "Channel 0 blocked instead: the net flips to channel 1."

@@ -1,0 +1,72 @@
+(* The capacitance delay model of Eq. 1 (the paper's Fig. 1), worked by
+   hand and checked against the library's delay graph.
+
+     T_pd = T0(ti,to) + (sum F_in over fanout) * Tf(to) + CL(n) * Td(to)
+
+   dune exec examples/delay_model.exe *)
+
+let () =
+  let library = Cell_lib.ecl_default in
+  let b = Netlist.builder ~library in
+  let a = Netlist.add_port b ~name:"A" ~side:Netlist.South () in
+  let y = Netlist.add_port b ~name:"Y" ~side:Netlist.North () in
+  let inv = Netlist.add_instance b ~name:"i" ~cell:"INV1" in
+  let or3 = Netlist.add_instance b ~name:"o" ~cell:"OR3" in
+  let pin inst term = Netlist.Pin { Netlist.inst; term } in
+  (* net n1 drives three loads: all inputs of the OR3. *)
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port a) ~sinks:[ pin inv "A" ] () in
+  let n1 =
+    Netlist.add_net b ~name:"n1" ~driver:(pin inv "Z")
+      ~sinks:[ pin or3 "A"; pin or3 "B"; pin or3 "C" ]
+      ()
+  in
+  let _ = Netlist.add_net b ~name:"n2" ~driver:(pin or3 "Z") ~sinks:[ Netlist.Port y ] () in
+  let netlist = Netlist.freeze b in
+
+  let inv_cell = Cell_lib.find library "INV1" in
+  let or3_cell = Cell_lib.find library "OR3" in
+  let z = Cell.terminal inv_cell "Z" in
+  let fanin name = (Cell.terminal or3_cell name).Cell.fanin_ff in
+  let t0 =
+    match Cell.arcs_to or3_cell ~output:"Z" with
+    | arc :: _ -> arc.Cell.intrinsic_ps
+    | [] -> assert false
+  in
+  let cl = 42.0 (* fF, pretend wiring capacitance of n1 *) in
+  Printf.printf "Eq. 1 by hand for the stage through OR3 input A:\n";
+  Printf.printf "  T0(A,Z)            = %.1f ps\n" t0;
+  let fanin_sum = fanin "A" +. fanin "B" +. fanin "C" in
+  Printf.printf "  sum F_in           = %.1f fF (inputs A,B,C of OR3)\n" fanin_sum;
+  Printf.printf "  Tf(Z of INV1)      = %.1f ps/fF\n" z.Cell.tf_ps_per_ff;
+  Printf.printf "  Td(Z of INV1)      = %.1f ps/fF,  CL(n1) = %.1f fF\n" z.Cell.td_ps_per_ff cl;
+  let by_hand = t0 +. (fanin_sum *. z.Cell.tf_ps_per_ff) +. (cl *. z.Cell.td_ps_per_ff) in
+  Printf.printf "  T_pd               = %.1f ps\n\n" by_hand;
+
+  (* The same number out of the delay graph. *)
+  let dg = Delay_graph.build netlist in
+  Delay_graph.set_net_cap dg ~net:n1 ~cap_ff:cl;
+  let dag = Delay_graph.dag dg in
+  let weights =
+    List.map (fun e -> Dag.weight dag e) (Delay_graph.edges_of_net dg n1)
+  in
+  Printf.printf "delay-graph edge weights for net n1 (one per OR3 arc):\n";
+  List.iter (Printf.printf "  %.1f ps\n") weights;
+  let matches = List.exists (fun w -> abs_float (w -. by_hand) < 1e-9) weights in
+  Printf.printf "hand computation %s the A->Z edge.\n" (if matches then "matches" else "DOES NOT match");
+
+  (* Critical path through the whole two-stage circuit. *)
+  let nodes v = Delay_graph.node dg v in
+  let pc =
+    Path_constraint.make ~name:"A->Y"
+      ~sources:(List.map nodes (Delay_graph.natural_sources dg))
+      ~sinks:(List.map nodes (Delay_graph.natural_sinks dg))
+      ~limit_ps:1000.0
+  in
+  let sta = Sta.create dg [ pc ] in
+  Printf.printf "\nfull-path critical delay (CL(n1)=%.0f fF, others 0): %.1f ps, margin %.1f ps\n" cl
+    (Sta.critical_delay sta 0) (Sta.margin sta 0);
+  Printf.printf "critical path:";
+  List.iter
+    (fun v -> Format.printf " %a" (Delay_graph.pp_node dg) (Delay_graph.node dg v))
+    (Sta.critical_path sta 0);
+  print_newline ()

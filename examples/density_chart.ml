@@ -1,0 +1,35 @@
+(* Fig. 4: the d_M / d_m channel density charts and the eight density
+   parameters, shown while the edge-deletion router is working.
+
+     dune exec examples/density_chart.exe *)
+
+let () =
+  let case = Suite.mini () in
+  let input = case.Suite.input in
+  let fp0 = Flow.floorplan_of_input input in
+  let dg = Delay_graph.build input.Flow.netlist in
+  let order = Sta.static_net_order dg input.Flow.constraints in
+  let fp, assignment, _ = Feed_insert.assign_with_insertion fp0 ~order in
+  let sta = Sta.create dg input.Flow.constraints in
+  let router = Router.create fp assignment (Some sta) in
+  let dens = Router.density router in
+  let channel =
+    let best = ref 0 and best_v = ref (-1) in
+    for c = 0 to Density.n_channels dens - 1 do
+      if Density.cM dens ~channel:c > !best_v then begin
+        best_v := Density.cM dens ~channel:c;
+        best := c
+      end
+    done;
+    !best
+  in
+  Printf.printf "Redundant candidate graphs (before any deletion):\n";
+  print_string (Experiments.fig4_of_density dens ~channel);
+  Printf.printf "\n  d_M counts every live trunk, d_m only bridges; C_m is a floor the\n";
+  Printf.printf "  router must never raise carelessly, C_M the ceiling it wants down.\n\n";
+  Router.run router;
+  Printf.printf "After routing (trees only, so every trunk is a bridge):\n";
+  print_string (Experiments.fig4_of_density dens ~channel);
+  Printf.printf "\nper-channel track estimates:";
+  Array.iter (Printf.printf " %d") (Density.tracks_estimate dens);
+  print_newline ()

@@ -1,0 +1,34 @@
+(* Design-file round trip: write a complete routing job (netlist +
+   placement + constraints) as one text bundle, read it back, route it.
+
+     dune exec examples/design_files.exe *)
+
+let () =
+  let case = Suite.mini () in
+  let input = case.Suite.input in
+  let fp = Flow.floorplan_of_input input in
+  let path = Filename.temp_file "bgr_demo" ".bgr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Design_io.write ~floorplan:fp ~constraints:input.Flow.constraints input.Flow.netlist ~path;
+      Printf.printf "wrote %s\n\nfirst lines of the bundle:\n" path;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          for _ = 1 to 12 do
+            match input_line ic with
+            | line -> print_endline ("  " ^ line)
+            | exception End_of_file -> ()
+          done);
+      let bundle = Design_io.read path in
+      Printf.printf "\nread back: %d instances, %d nets, %d constraints, placement %s\n"
+        (Netlist.n_instances bundle.Design_io.d_netlist)
+        (Netlist.n_nets bundle.Design_io.d_netlist)
+        (List.length bundle.Design_io.d_constraints)
+        (match bundle.Design_io.d_floorplan with Some _ -> "present" | None -> "absent");
+      let outcome = Flow.run (Design_io.to_flow_input bundle) in
+      let m = outcome.Flow.o_measurement in
+      Printf.printf "routed from the bundle: delay %.1f ps, area %.3f mm2, %d violations\n"
+        m.Flow.m_delay_ps m.Flow.m_area_mm2 m.Flow.m_violations)

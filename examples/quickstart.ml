@@ -1,0 +1,69 @@
+(* Quickstart: build a small circuit through the public API, place it,
+   route it with and without timing constraints, and compare.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A netlist: two OR gates between an input port, a flip-flop and
+     an output port, using the built-in ECL library. *)
+  let library = Cell_lib.ecl_default in
+  let b = Netlist.builder ~library in
+  let in_a = Netlist.add_port b ~name:"A" ~side:Netlist.South () in
+  let in_b = Netlist.add_port b ~name:"B" ~side:Netlist.South () in
+  let clk = Netlist.add_port b ~name:"CLK" ~side:Netlist.South () in
+  let out_y = Netlist.add_port b ~name:"Y" ~side:Netlist.North () in
+  let g1 = Netlist.add_instance b ~name:"g1" ~cell:"OR2" in
+  let g2 = Netlist.add_instance b ~name:"g2" ~cell:"OR2" in
+  let ff = Netlist.add_instance b ~name:"ff" ~cell:"DFF" in
+  let pin inst term = Netlist.Pin { Netlist.inst; term } in
+  let _ = Netlist.add_net b ~name:"na" ~driver:(Netlist.Port in_a) ~sinks:[ pin g1 "A" ] () in
+  let _ = Netlist.add_net b ~name:"nb" ~driver:(Netlist.Port in_b) ~sinks:[ pin g1 "B" ] () in
+  let _ = Netlist.add_net b ~name:"n1" ~driver:(pin g1 "Z") ~sinks:[ pin g2 "A"; pin g2 "B" ] () in
+  let _ = Netlist.add_net b ~name:"n2" ~driver:(pin g2 "Z") ~sinks:[ pin ff "D" ] () in
+  let _ = Netlist.add_net b ~name:"nq" ~driver:(pin ff "Q") ~sinks:[ Netlist.Port out_y ] () in
+  let _ = Netlist.add_net b ~name:"nc" ~driver:(Netlist.Port clk) ~sinks:[ pin ff "CK" ] () in
+  let netlist = Netlist.freeze b in
+  Printf.printf "netlist: %d instances, %d nets, %d ports\n" (Netlist.n_instances netlist)
+    (Netlist.n_nets netlist) (Netlist.n_ports netlist);
+
+  (* 2. A path constraint: input ports to the flip-flop data input. *)
+  let dg = Delay_graph.build netlist in
+  let node v = Delay_graph.node dg v in
+  let constraints =
+    [ Path_constraint.make ~name:"in->ff"
+        ~sources:(List.map node (Delay_graph.natural_sources dg))
+        ~sinks:[ Delay_graph.Seq_in { Netlist.inst = ff; term = "D" } ]
+        ~limit_ps:700.0 ]
+  in
+
+  (* 3. A two-row placement with feed slots in the gaps. *)
+  let placed = Placement.place ~netlist ~n_rows:2 Placement.P1 in
+  let input = Placement.to_flow_input ~netlist ~dims:Dims.default ~constraints placed in
+
+  (* 4. Route end-to-end (feedthrough assignment, global routing,
+     channel routing, measurement) and compare both modes. *)
+  let show tag (m : Flow.measurement) =
+    Printf.printf "%-14s delay %6.1f ps  margin %7.1f ps  area %.4f mm2  wiring %.2f mm\n" tag
+      m.Flow.m_delay_ps m.Flow.m_margin_ps m.Flow.m_area_mm2 m.Flow.m_length_mm
+  in
+  let con = Flow.run ~timing_driven:true input in
+  show "constrained" con.Flow.o_measurement;
+  let unc = Flow.run ~timing_driven:false input in
+  show "unconstrained" unc.Flow.o_measurement;
+
+  (* 5. Inspect one routed net. *)
+  let router = con.Flow.o_router in
+  let net1 = 2 (* n1: g1.Z -> g2.A/B *) in
+  Printf.printf "\nnet n1 tree (%0.1f um of wire):\n" (Router.net_length_um router net1);
+  let rg = Router.routing_graph router net1 in
+  List.iter
+    (fun eid ->
+      match Routing_graph.edge_kind rg eid with
+      | Routing_graph.Trunk { channel; span } ->
+        Printf.printf "  trunk in channel %d columns %d..%d\n" channel (Interval.lo span)
+          (Interval.hi span)
+      | Routing_graph.Branch { row; x } -> Printf.printf "  feedthrough through row %d at x=%d\n" row x
+      | Routing_graph.Correspondence p ->
+        Printf.printf "  pin connection at channel %d x=%d\n" p.Routing_graph.channel
+          p.Routing_graph.x)
+    (Router.tree_edges router net1)

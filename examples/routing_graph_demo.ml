@@ -1,0 +1,48 @@
+(* The routing graph G_r(n) of Fig. 3: a net spanning two cell rows,
+   with terminal-position choices, an assigned feedthrough, trunks and
+   branches — printed before and after edge-deletion routing.
+
+     dune exec examples/routing_graph_demo.exe *)
+
+let () =
+  let library = Cell_lib.ecl_default in
+  let b = Netlist.builder ~library in
+  let drv = Netlist.add_instance b ~name:"drv" ~cell:"BUF2" in
+  let s1 = Netlist.add_instance b ~name:"s1" ~cell:"INV1" in
+  let s2 = Netlist.add_instance b ~name:"s2" ~cell:"INV1" in
+  let sink_drv = Netlist.add_instance b ~name:"sd" ~cell:"OR2" in
+  let pin inst term = Netlist.Pin { Netlist.inst; term } in
+  let a = Netlist.add_port b ~name:"A" ~side:Netlist.South () in
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port a) ~sinks:[ pin drv "A" ] () in
+  (* The demo net: driver in row 0, sinks in rows 0 and 1. *)
+  let net =
+    Netlist.add_net b ~name:"demo" ~driver:(pin drv "Z") ~sinks:[ pin s1 "A"; pin s2 "A" ] ()
+  in
+  let _ = Netlist.add_net b ~name:"n1" ~driver:(pin s1 "Z") ~sinks:[ pin sink_drv "A" ] () in
+  let _ = Netlist.add_net b ~name:"n2" ~driver:(pin s2 "Z") ~sinks:[ pin sink_drv "B" ] () in
+  let netlist = Netlist.freeze b in
+  (* Manual floorplan: drv and s1 in row 0, s2 and sd in row 1, feed
+     slots between the cells. *)
+  let cells =
+    [ { Floorplan.inst = drv; row = 0; x = 0 };
+      { Floorplan.inst = s1; row = 0; x = 8 };
+      { Floorplan.inst = s2; row = 1; x = 1 };
+      { Floorplan.inst = sink_drv; row = 1; x = 8 } ]
+  in
+  let slots = [ (0, 4, 0); (0, 5, 0); (1, 5, 0); (1, 6, 0) ] in
+  let fp =
+    Floorplan.make ~netlist ~dims:Dims.default ~n_rows:2 ~width:12 ~cells ~slots ()
+  in
+  let order = List.init (Netlist.n_nets netlist) Fun.id in
+  let assignment, failures = Feedthrough.assign fp ~order in
+  assert (failures = []);
+  let rg = Routing_graph.build fp assignment ~net in
+  Format.printf "Candidate routing graph (cf. Fig. 3):@.%a@." (Routing_graph.pp fp) rg;
+
+  (* Route just this floorplan and show the surviving tree. *)
+  let router = Router.create fp assignment None in
+  Router.initial_route router;
+  assert (Router.is_routed router);
+  let rg = Router.routing_graph router net in
+  Format.printf "After edge deletion (the interconnection tree):@.%a@." (Routing_graph.pp fp) rg;
+  Printf.printf "tree wire length: %.1f um\n" (Router.net_length_um router net)

@@ -1,0 +1,41 @@
+(* STA-style timing reporting after routing: per-endpoint worst paths,
+   vertex slacks, and the slack distribution.
+
+     dune exec examples/timing_report.exe *)
+
+let () =
+  let case = Suite.mini () in
+  let outcome = Flow.run case.Suite.input in
+  match outcome.Flow.o_sta with
+  | None -> print_endline "no constraints"
+  | Some sta ->
+    let dg = Sta.delay_graph sta in
+    let name v = Format.asprintf "%a" (Delay_graph.pp_node dg) (Delay_graph.node dg v) in
+    (* The single worst endpoint across all constraints. *)
+    let worst_ci, _ = Option.get (Sta.worst sta) in
+    let pc = Sta.constraint_ sta worst_ci in
+    Printf.printf "tightest constraint: %s (limit %.1f ps, margin %.1f ps)\n"
+      pc.Path_constraint.cname pc.Path_constraint.limit_ps (Sta.margin sta worst_ci);
+    (match Sta.endpoint_reports sta worst_ci with
+    | r :: _ ->
+      Printf.printf "worst endpoint %s: delay %.1f ps, slack %.1f ps\n" (name r.Sta.ep_vertex)
+        r.Sta.ep_delay_ps r.Sta.ep_slack_ps;
+      Printf.printf "  stage-by-stage arrival along its path:\n";
+      let arrival = Sta.arrival sta worst_ci in
+      List.iter
+        (fun v -> Printf.printf "    %-24s %8.1f ps\n" (name v) arrival.(v))
+        r.Sta.ep_path
+    | [] -> ());
+    (* Slack uniformity along the critical path (a classic STA
+       invariant: every vertex on it carries the worst slack). *)
+    let slack = Sta.vertex_slack sta worst_ci in
+    let spread =
+      List.fold_left
+        (fun (lo, hi) v -> (min lo slack.(v), max hi slack.(v)))
+        (infinity, neg_infinity)
+        (Sta.critical_path sta worst_ci)
+    in
+    Printf.printf "critical-path slack spread: %.3f ps (uniform = healthy)\n"
+      (snd spread -. fst spread);
+    print_newline ();
+    print_string (Slack_profile.render (Slack_profile.of_sta sta))

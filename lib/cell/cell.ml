@@ -1,0 +1,116 @@
+type kind = Combinational | Flipflop | Feed_through
+type direction = Input | Output
+
+type access = Top_only | Bottom_only | Both_sides
+
+type terminal = {
+  t_name : string;
+  dir : direction;
+  fanin_ff : float;
+  tf_ps_per_ff : float;
+  td_ps_per_ff : float;
+  offset : int;
+  access : access;
+}
+
+type arc = { from_input : string; to_output : string; intrinsic_ps : float }
+
+type t = {
+  name : string;
+  kind : kind;
+  width : int;
+  terminals : terminal array;
+  arcs : arc list;
+  sequential_inputs : string list;
+}
+
+exception Malformed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let validate t =
+  if t.width <= 0 then fail "%s: width must be positive" t.name;
+  let seen = Hashtbl.create 8 in
+  let check_terminal term =
+    if Hashtbl.mem seen term.t_name then fail "%s: duplicate terminal %s" t.name term.t_name;
+    Hashtbl.add seen term.t_name term;
+    if term.offset < 0 || term.offset >= t.width then
+      fail "%s.%s: offset %d outside [0,%d)" t.name term.t_name term.offset t.width;
+    match term.dir with
+    | Input ->
+      if term.fanin_ff <= 0.0 then fail "%s.%s: input needs fanin_ff > 0" t.name term.t_name
+    | Output ->
+      if term.tf_ps_per_ff < 0.0 || term.td_ps_per_ff < 0.0 then
+        fail "%s.%s: output delay factors must be >= 0" t.name term.t_name
+  in
+  Array.iter check_terminal t.terminals;
+  let dir_of name =
+    match Hashtbl.find_opt seen name with
+    | Some term -> term.dir
+    | None -> fail "%s: arc references unknown terminal %s" t.name name
+  in
+  let check_arc a =
+    if dir_of a.from_input <> Input then fail "%s: arc source %s is not an input" t.name a.from_input;
+    if dir_of a.to_output <> Output then fail "%s: arc target %s is not an output" t.name a.to_output;
+    if a.intrinsic_ps < 0.0 then fail "%s: negative intrinsic delay on %s->%s" t.name a.from_input a.to_output
+  in
+  List.iter check_arc t.arcs;
+  let check_seq name =
+    if dir_of name <> Input then fail "%s: sequential input %s is not an input" t.name name
+  in
+  List.iter check_seq t.sequential_inputs;
+  match t.kind with
+  | Feed_through ->
+    if Array.length t.terminals > 0 then fail "%s: feed cells carry no terminals" t.name
+  | Combinational ->
+    if t.sequential_inputs <> [] then fail "%s: combinational cell with sequential inputs" t.name
+  | Flipflop ->
+    if t.sequential_inputs = [] then fail "%s: flip-flop must declare sequential inputs" t.name
+
+let make ~name ~kind ~width ~terminals ~arcs ?(sequential_inputs = []) () =
+  let t = { name; kind; width; terminals = Array.of_list terminals; arcs; sequential_inputs } in
+  validate t;
+  t
+
+let input_t ~name ~fanin_ff ~offset =
+  { t_name = name;
+    dir = Input;
+    fanin_ff;
+    tf_ps_per_ff = 0.0;
+    td_ps_per_ff = 0.0;
+    offset;
+    access = Both_sides }
+
+let output_t ~name ~tf ~td ~offset =
+  { t_name = name;
+    dir = Output;
+    fanin_ff = 0.0;
+    tf_ps_per_ff = tf;
+    td_ps_per_ff = td;
+    offset;
+    access = Both_sides }
+
+let terminal t name =
+  let found = ref None in
+  Array.iter (fun term -> if term.t_name = name then found := Some term) t.terminals;
+  match !found with Some term -> term | None -> raise Not_found
+
+let has_terminal t name =
+  match terminal t name with _ -> true | exception Not_found -> false
+
+let by_dir dir t =
+  Array.to_list t.terminals |> List.filter (fun term -> term.dir = dir)
+
+let inputs t = by_dir Input t
+let outputs t = by_dir Output t
+let arcs_to t ~output = List.filter (fun a -> a.to_output = output) t.arcs
+let is_sequential_input t name = List.mem name t.sequential_inputs
+
+let pp ppf t =
+  let kind_name =
+    match t.kind with
+    | Combinational -> "comb"
+    | Flipflop -> "ff"
+    | Feed_through -> "feed"
+  in
+  Format.fprintf ppf "%s(%s,w=%d,%d terms)" t.name kind_name t.width (Array.length t.terminals)

@@ -1,0 +1,93 @@
+(** Standard-cell master definitions with the capacitance delay model of
+    Eq. 1:
+
+    {v T_pd = T0(ti,to) + (sum over fanout F_in(t)) * Tf(to) + CL(n) * Td(to) v}
+
+    [T0] is the per-arc intrinsic delay, [F_in(t)] the input capacitance
+    of a fan-out terminal, [Tf(to)] the fan-in delay factor of the
+    driving output, [Td(to)] its unit (wiring) capacitance delay, and
+    [CL(n)] the wiring capacitance of the driven net.
+
+    Bipolar standard cells "normally have no space for feedthrough nets"
+    (Sec. 4.3), so ordinary masters expose no feedthrough; only
+    [Feed_through] masters provide vertical crossing slots. *)
+
+type kind =
+  | Combinational
+  | Flipflop  (** timing paths end at D-type inputs and start at outputs *)
+  | Feed_through  (** feed cell: no logic, provides feedthrough columns *)
+
+type direction = Input | Output
+
+type access =
+  | Top_only
+  | Bottom_only
+  | Both_sides
+      (** which channel(s) adjacent to the cell row can reach the
+          terminal; [Both_sides] yields the two candidate "terminal
+          positions" of Fig. 3 *)
+
+type terminal = {
+  t_name : string;
+  dir : direction;
+  fanin_ff : float;  (** input capacitance [F_in], fF; 0.0 for outputs *)
+  tf_ps_per_ff : float;  (** output fan-in delay factor [Tf], ps/fF; 0.0 for inputs *)
+  td_ps_per_ff : float;  (** output wiring-capacitance delay [Td], ps/fF; 0.0 for inputs *)
+  offset : int;  (** terminal column, in pitches from the cell origin *)
+  access : access;
+}
+
+type arc = {
+  from_input : string;
+  to_output : string;
+  intrinsic_ps : float;  (** [T0(ti,to)] *)
+}
+
+type t = private {
+  name : string;
+  kind : kind;
+  width : int;  (** pitches *)
+  terminals : terminal array;
+  arcs : arc list;
+  sequential_inputs : string list;
+      (** inputs at which combinational paths terminate (FF data/clock
+          pins); empty for combinational masters *)
+}
+
+exception Malformed of string
+
+val make :
+  name:string ->
+  kind:kind ->
+  width:int ->
+  terminals:terminal list ->
+  arcs:arc list ->
+  ?sequential_inputs:string list ->
+  unit ->
+  t
+(** Validates: positive width, terminal offsets within [0, width),
+    unique terminal names, arcs referring to existing input/output
+    terminals, [fanin_ff > 0] on inputs, [tf/td >= 0] on outputs, feed
+    cells terminal-free.  @raise Malformed *)
+
+val input_t : name:string -> fanin_ff:float -> offset:int -> terminal
+(** Input terminal accessible from both channels. *)
+
+val output_t : name:string -> tf:float -> td:float -> offset:int -> terminal
+(** Output terminal accessible from both channels. *)
+
+val terminal : t -> string -> terminal
+(** @raise Not_found *)
+
+val has_terminal : t -> string -> bool
+
+val inputs : t -> terminal list
+
+val outputs : t -> terminal list
+
+val arcs_to : t -> output:string -> arc list
+(** All intrinsic arcs ending at the given output. *)
+
+val is_sequential_input : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+type t = { name : string; by_name : (string, Cell.t) Hashtbl.t; ordered : Cell.t list }
+
+let make ~name ~cells =
+  let by_name = Hashtbl.create 16 in
+  let add (c : Cell.t) =
+    if Hashtbl.mem by_name c.Cell.name then
+      raise (Cell.Malformed (Printf.sprintf "library %s: duplicate cell %s" name c.Cell.name));
+    Hashtbl.add by_name c.Cell.name c
+  in
+  List.iter add cells;
+  { name; by_name; ordered = cells }
+
+let name t = t.name
+let find t cell_name = match Hashtbl.find_opt t.by_name cell_name with
+  | Some c -> c
+  | None -> raise Not_found
+
+let find_opt t cell_name = Hashtbl.find_opt t.by_name cell_name
+let cells t = t.ordered
+
+let feed_cell t =
+  match List.find_opt (fun (c : Cell.t) -> c.Cell.kind = Cell.Feed_through) t.ordered with
+  | Some c -> c
+  | None -> raise Not_found
+
+(* ECL-style masters.  Offsets spread terminals across the cell width;
+   inputs sit left of the output so short local nets stay short. *)
+let ecl_default =
+  let inv =
+    Cell.make ~name:"INV1" ~kind:Cell.Combinational ~width:2
+      ~terminals:
+        [ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:0;
+          Cell.output_t ~name:"Z" ~tf:6.0 ~td:0.9 ~offset:1 ]
+      ~arcs:[ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 55.0 } ]
+      ()
+  in
+  let buf =
+    Cell.make ~name:"BUF2" ~kind:Cell.Combinational ~width:2
+      ~terminals:
+        [ Cell.input_t ~name:"A" ~fanin_ff:1.2 ~offset:0;
+          Cell.output_t ~name:"Z" ~tf:4.0 ~td:0.6 ~offset:1 ]
+      ~arcs:[ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 70.0 } ]
+      ()
+  in
+  let or_gate n width intrinsic =
+    let letters = [| "A"; "B"; "C"; "D"; "E" |] in
+    let inputs =
+      List.init n (fun i -> Cell.input_t ~name:letters.(i) ~fanin_ff:1.0 ~offset:i)
+    in
+    let output = Cell.output_t ~name:"Z" ~tf:7.0 ~td:1.0 ~offset:(width - 1) in
+    let arcs =
+      List.init n (fun i ->
+          { Cell.from_input = letters.(i);
+            to_output = "Z";
+            intrinsic_ps = intrinsic +. (4.0 *. float_of_int i) })
+    in
+    Cell.make ~name:(Printf.sprintf "OR%d" n) ~kind:Cell.Combinational ~width
+      ~terminals:(inputs @ [ output ]) ~arcs ()
+  in
+  let sel2 =
+    Cell.make ~name:"SEL2" ~kind:Cell.Combinational ~width:4
+      ~terminals:
+        [ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:0;
+          Cell.input_t ~name:"B" ~fanin_ff:1.0 ~offset:1;
+          Cell.input_t ~name:"S" ~fanin_ff:1.3 ~offset:2;
+          Cell.output_t ~name:"Z" ~tf:8.0 ~td:1.1 ~offset:3 ]
+      ~arcs:
+        [ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 95.0 };
+          { Cell.from_input = "B"; to_output = "Z"; intrinsic_ps = 95.0 };
+          { Cell.from_input = "S"; to_output = "Z"; intrinsic_ps = 120.0 } ]
+      ()
+  in
+  let xor2 =
+    Cell.make ~name:"XOR2" ~kind:Cell.Combinational ~width:4
+      ~terminals:
+        [ Cell.input_t ~name:"A" ~fanin_ff:1.4 ~offset:0;
+          Cell.input_t ~name:"B" ~fanin_ff:1.4 ~offset:1;
+          Cell.output_t ~name:"Z" ~tf:9.0 ~td:1.2 ~offset:3 ]
+      ~arcs:
+        [ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 110.0 };
+          { Cell.from_input = "B"; to_output = "Z"; intrinsic_ps = 110.0 } ]
+      ()
+  in
+  let dff =
+    Cell.make ~name:"DFF" ~kind:Cell.Flipflop ~width:6
+      ~terminals:
+        [ Cell.input_t ~name:"D" ~fanin_ff:1.1 ~offset:0;
+          Cell.input_t ~name:"CK" ~fanin_ff:1.6 ~offset:2;
+          Cell.output_t ~name:"Q" ~tf:6.0 ~td:0.9 ~offset:5 ]
+      ~arcs:[ { Cell.from_input = "CK"; to_output = "Q"; intrinsic_ps = 140.0 } ]
+      ~sequential_inputs:[ "D"; "CK" ] ()
+  in
+  let diff_drv =
+    (* Complementary-output driver for differential pairs (Sec. 4.1). *)
+    Cell.make ~name:"DDRV" ~kind:Cell.Combinational ~width:4
+      ~terminals:
+        [ Cell.input_t ~name:"A" ~fanin_ff:1.2 ~offset:0;
+          Cell.output_t ~name:"Z" ~tf:4.5 ~td:0.7 ~offset:2;
+          Cell.output_t ~name:"ZN" ~tf:4.5 ~td:0.7 ~offset:3 ]
+      ~arcs:
+        [ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 80.0 };
+          { Cell.from_input = "A"; to_output = "ZN"; intrinsic_ps = 80.0 } ]
+      ()
+  in
+  let clk_buf =
+    Cell.make ~name:"CLKBUF" ~kind:Cell.Combinational ~width:6
+      ~terminals:
+        [ Cell.input_t ~name:"A" ~fanin_ff:2.0 ~offset:0;
+          Cell.output_t ~name:"Z" ~tf:1.5 ~td:0.3 ~offset:5 ]
+      ~arcs:[ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 90.0 } ]
+      ()
+  in
+  let feed = Cell.make ~name:"FEED" ~kind:Cell.Feed_through ~width:1 ~terminals:[] ~arcs:[] () in
+  make ~name:"ecl_default"
+    ~cells:
+      [ inv;
+        buf;
+        or_gate 2 3 75.0;
+        or_gate 3 4 85.0;
+        or_gate 4 5 95.0;
+        or_gate 5 6 105.0;
+        sel2;
+        xor2;
+        dff;
+        diff_drv;
+        clk_buf;
+        feed ]

@@ -1,0 +1,33 @@
+(** Named collections of cell masters and the built-in ECL library.
+
+    The paper used "realistic delay parameters ... for C1" obtained from
+    its designers; those values are proprietary, so [ecl_default]
+    carries an ECL-plausible parameter set (intrinsic delays of tens to
+    ~150 ps, fan-in factors of a few ps/fF, wire-delay factors sized so
+    that a few millimetres of wire contributes a significant fraction of
+    a gate delay — the regime in which timing-driven routing matters).
+    See DESIGN.md Sec. 2. *)
+
+type t
+
+val make : name:string -> cells:Cell.t list -> t
+(** @raise Cell.Malformed on duplicate cell names. *)
+
+val name : t -> string
+
+val find : t -> string -> Cell.t
+(** @raise Not_found *)
+
+val find_opt : t -> string -> Cell.t option
+
+val cells : t -> Cell.t list
+
+val feed_cell : t -> Cell.t
+(** The (unique) [Feed_through] master.  @raise Not_found when the
+    library has none. *)
+
+val ecl_default : t
+(** Built-in ECL-style library: inverting/buffering drivers, OR/NOR
+    gates of 2..5 inputs, a 2:1 selector, an XOR, a D-type master-slave
+    flip-flop, a differential driver with complementary outputs, a
+    high-drive clock buffer, and the 1-pitch feed cell. *)

@@ -1,0 +1,379 @@
+type pin = { pin_x : int; pin_from_top : bool }
+
+type seg = {
+  seg_net : int;
+  seg_lo : int;
+  seg_hi : int;
+  seg_pins : pin list;
+  seg_width : int;
+}
+
+type piece = {
+  pc_net : int;
+  pc_lo : int;
+  pc_hi : int;
+  pc_track : int;
+  pc_width : int;
+}
+
+type result = {
+  tracks : int;
+  pieces : piece list;
+  doglegs : int;
+  violations : int;
+  net_vertical_tracks : (int * float) list;
+}
+
+(* Working piece: a (possibly dogleg-split) horizontal fragment. *)
+type work = {
+  w_id : int;
+  w_net : int;
+  w_lo : int;
+  w_hi : int;
+  w_pins : pin list;
+  w_width : int;
+  mutable w_track : int;  (* -1 while unplaced *)
+}
+
+type junction = { j_left : int; j_right : int }  (* work ids of a dogleg pair *)
+
+type state = {
+  mutable works : work list;  (* all pieces, placed or not *)
+  mutable next_id : int;
+  mutable junctions : junction list;
+  mutable ignored : (int * int) list;  (* force-broken VCG edges (above, below ids) *)
+  mutable violations : int;
+  occupancy : (int, (int * int) list) Hashtbl.t;  (* track -> closed intervals *)
+}
+
+let overlap (a_lo, a_hi) (b_lo, b_hi) = a_lo <= b_hi && b_lo <= a_hi
+
+let track_free st ~track ~lo ~hi =
+  let taken = Option.value (Hashtbl.find_opt st.occupancy track) ~default:[] in
+  not (List.exists (overlap (lo, hi)) taken)
+
+let reserve st ~track ~lo ~hi =
+  let taken = Option.value (Hashtbl.find_opt st.occupancy track) ~default:[] in
+  Hashtbl.replace st.occupancy track ((lo, hi) :: taken)
+
+(* Vertical constraint edges among unplaced pieces: at each column, the
+   piece pinned from the top must lie above the piece pinned from the
+   bottom.  Conflicting same-side claims at one column are counted as
+   violations once, at routing end via [check]. *)
+let vcg_edges st =
+  let tops = Hashtbl.create 64 and bottoms = Hashtbl.create 64 in
+  let note w =
+    let on_pin p =
+      let table = if p.pin_from_top then tops else bottoms in
+      if not (Hashtbl.mem table p.pin_x) then Hashtbl.add table p.pin_x w
+    in
+    List.iter on_pin w.w_pins
+  in
+  List.iter note st.works;
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun x (above : work) ->
+      match Hashtbl.find_opt bottoms x with
+      | Some below when below.w_net <> above.w_net ->
+        if not (List.mem (above.w_id, below.w_id) st.ignored) then
+          edges := (above, below) :: !edges
+      | Some _ | None -> ())
+    tops;
+  !edges
+
+let unplaced st = List.filter (fun w -> w.w_track < 0) st.works
+
+(* Pieces whose every VCG predecessor is already placed wholly above
+   the given track. *)
+let eligible st ~track =
+  let edges = vcg_edges st in
+  let blocked w =
+    List.exists
+      (fun (above, below) ->
+        below.w_id = w.w_id && (above.w_track < 0 || above.w_track + above.w_width > track))
+      edges
+  in
+  List.filter (fun w -> not (blocked w)) (unplaced st)
+
+let place_on_track st ~track =
+  let candidates = List.sort (fun a b -> compare (a.w_lo, a.w_id) (b.w_lo, b.w_id)) (eligible st ~track) in
+  let placed_any = ref false in
+  let try_place w =
+    let free = ref true in
+    for k = 0 to w.w_width - 1 do
+      if not (track_free st ~track:(track + k) ~lo:w.w_lo ~hi:w.w_hi) then free := false
+    done;
+    if !free then begin
+      for k = 0 to w.w_width - 1 do
+        reserve st ~track:(track + k) ~lo:w.w_lo ~hi:w.w_hi
+      done;
+      w.w_track <- track;
+      placed_any := true
+    end
+  in
+  List.iter try_place candidates;
+  !placed_any
+
+(* Find one VCG cycle among unplaced pieces (DFS); [] when acyclic. *)
+let find_cycle st =
+  let edges = vcg_edges st in
+  let succ w = List.filter_map (fun (a, b) -> if a.w_id = w.w_id && b.w_track < 0 then Some b else None) edges in
+  let state = Hashtbl.create 16 in
+  (* 0 = visiting, 1 = done *)
+  let exception Found of work list in
+  let rec dfs path w =
+    match Hashtbl.find_opt state w.w_id with
+    | Some 1 -> ()
+    | Some _ ->
+      (* back edge: extract the cycle from the path *)
+      let rec cut acc = function
+        | [] -> acc
+        | x :: rest -> if x.w_id = w.w_id then x :: acc else cut (x :: acc) rest
+      in
+      raise (Found (cut [] path))
+    | None ->
+      Hashtbl.add state w.w_id 0;
+      List.iter (dfs (w :: path)) (succ w);
+      Hashtbl.replace state w.w_id 1
+  in
+  match List.iter (fun w -> if not (Hashtbl.mem state w.w_id) then dfs [] w) (unplaced st) with
+  | () -> []
+  | exception Found cycle -> cycle
+
+(* Columns of a piece that participate in unresolved VCG constraints. *)
+let constraint_columns st w =
+  let edges = vcg_edges st in
+  let involves x =
+    List.exists
+      (fun (a, b) ->
+        (a.w_id = w.w_id || b.w_id = w.w_id)
+        && List.exists (fun p -> p.pin_x = x) (if a.w_id = w.w_id then a.w_pins else b.w_pins))
+      edges
+  in
+  List.filter_map (fun p -> if involves p.pin_x then Some p.pin_x else None) w.w_pins
+  |> List.sort_uniq Int.compare
+
+let split_piece st w ~at =
+  st.works <- List.filter (fun x -> x.w_id <> w.w_id) st.works;
+  let left_pins = List.filter (fun p -> p.pin_x <= at) w.w_pins in
+  let right_pins = List.filter (fun p -> p.pin_x > at) w.w_pins in
+  let left =
+    { w_id = st.next_id; w_net = w.w_net; w_lo = w.w_lo; w_hi = at; w_pins = left_pins;
+      w_width = w.w_width; w_track = -1 }
+  in
+  let right =
+    { w_id = st.next_id + 1; w_net = w.w_net; w_lo = at; w_hi = w.w_hi; w_pins = right_pins;
+      w_width = w.w_width; w_track = -1 }
+  in
+  st.next_id <- st.next_id + 2;
+  st.works <- left :: right :: st.works;
+  st.junctions <- { j_left = left.w_id; j_right = right.w_id } :: st.junctions
+
+(* Break a VCG cycle: dogleg-split the widest splittable piece in the
+   cycle between two of its constraint columns; if none is splittable,
+   force-ignore one edge of the cycle. *)
+let break_cycle st cycle =
+  let splittable =
+    List.filter_map
+      (fun w ->
+        match constraint_columns st w with
+        | c1 :: (_ :: _ as rest) ->
+          let c2 = List.nth rest (List.length rest - 1) in
+          if c2 > c1 then Some (w, c1) else None
+        | [] | [ _ ] -> None)
+      cycle
+  in
+  match List.sort (fun (a, _) (b, _) -> compare (b.w_hi - b.w_lo) (a.w_hi - a.w_lo)) splittable with
+  | (w, c1) :: _ -> split_piece st w ~at:c1
+  | [] -> begin
+    match cycle with
+    | a :: _ ->
+      let edges = vcg_edges st in
+      (match List.find_opt (fun (x, _) -> x.w_id = a.w_id) edges with
+      | Some (x, y) ->
+        st.ignored <- (x.w_id, y.w_id) :: st.ignored;
+        st.violations <- st.violations + 1
+      | None -> st.violations <- st.violations + 1)
+    | [] -> ()
+  end
+
+(* Fraction of a segment's pins entering from the top, in [-1, 1]:
+   +1 all-top, -1 all-bottom, 0 balanced or pin-free. *)
+let top_bias s =
+  let top = List.length (List.filter (fun p -> p.pin_from_top) s.seg_pins) in
+  let bottom = List.length s.seg_pins - top in
+  if top + bottom = 0 then 0.0
+  else float_of_int (top - bottom) /. float_of_int (top + bottom)
+
+(* Post-pass for ~pin_bias: permute whole tracks (which preserves
+   non-overlap by construction and the track count trivially) into a
+   VCG-respecting order that floats top-heavy nets up and sinks
+   bottom-heavy ones, shortening the pin jogs.  Skipped when any piece
+   is wider than one track (groups would need to stay contiguous). *)
+let permute_tracks st ~bias_of =
+  let works = st.works in
+  if List.exists (fun w -> w.w_width > 1) works then ()
+  else begin
+    let n_tracks = List.fold_left (fun acc w -> max acc (w.w_track + 1)) 0 works in
+    if n_tracks > 1 then begin
+      (* Track-level precedence from the placed pieces' VCG edges. *)
+      let edges = vcg_edges st in
+      let succs = Array.make n_tracks [] in
+      let indeg = Array.make n_tracks 0 in
+      List.iter
+        (fun (above, below) ->
+          if above.w_track >= 0 && below.w_track >= 0 && above.w_track <> below.w_track then begin
+            succs.(above.w_track) <- below.w_track :: succs.(above.w_track);
+            indeg.(below.w_track) <- indeg.(below.w_track) + 1
+          end)
+        edges;
+      (* Average pin bias per track (+1 = wants the top). *)
+      let score = Array.make n_tracks 0.0 and members = Array.make n_tracks 0 in
+      List.iter
+        (fun w ->
+          if w.w_track >= 0 then begin
+            score.(w.w_track) <-
+              score.(w.w_track) +. Option.value (Hashtbl.find_opt bias_of w.w_net) ~default:0.0;
+            members.(w.w_track) <- members.(w.w_track) + 1
+          end)
+        works;
+      for i = 0 to n_tracks - 1 do
+        if members.(i) > 0 then score.(i) <- score.(i) /. float_of_int members.(i)
+      done;
+      (* Kahn order, always taking the most top-hungry available track. *)
+      let remaining = Array.copy indeg in
+      let placed = Array.make n_tracks (-1) in
+      let emitted = ref 0 in
+      (try
+         while !emitted < n_tracks do
+           let best = ref (-1) in
+           for i = 0 to n_tracks - 1 do
+             if remaining.(i) = 0 && placed.(i) = -1 then
+               if !best = -1 || score.(i) > score.(!best) then best := i
+           done;
+           if !best = -1 then raise Exit (* cycle from a force-broken edge: keep identity *);
+           placed.(!best) <- !emitted;
+           incr emitted;
+           List.iter (fun j -> remaining.(j) <- remaining.(j) - 1) succs.(!best)
+         done;
+         List.iter (fun w -> if w.w_track >= 0 then w.w_track <- placed.(w.w_track)) works
+       with Exit -> ())
+    end
+  end
+
+let route ?(pin_bias = false) segs =
+  let st =
+    { works = [];
+      next_id = 0;
+      junctions = [];
+      ignored = [];
+      violations = 0;
+      occupancy = Hashtbl.create 32 }
+  in
+  List.iter
+    (fun s ->
+      if s.seg_width < 1 || s.seg_hi < s.seg_lo then invalid_arg "Channel_router.route: bad segment";
+      st.works <-
+        { w_id = st.next_id; w_net = s.seg_net; w_lo = s.seg_lo; w_hi = s.seg_hi;
+          w_pins = s.seg_pins; w_width = s.seg_width; w_track = -1 }
+        :: st.works;
+      st.next_id <- st.next_id + 1)
+    segs;
+  let budget = ref ((3 * List.length segs * 4) + 64) in
+  let track = ref 0 in
+  while unplaced st <> [] && !budget > 0 do
+    decr budget;
+    let placed = place_on_track st ~track:!track in
+    if placed then incr track
+    else begin
+      match find_cycle st with
+      | [] ->
+        (* Progress is possible on a later track (predecessors placed at
+           or below the current one). *)
+        incr track
+      | cycle -> break_cycle st cycle
+    end
+  done;
+  if unplaced st <> [] then failwith "Channel_router.route: did not converge";
+  if pin_bias then begin
+    let bias_of = Hashtbl.create 16 in
+    List.iter (fun s -> Hashtbl.replace bias_of s.seg_net (top_bias s)) segs;
+    permute_tracks st ~bias_of
+  end;
+  let tracks =
+    List.fold_left (fun acc w -> max acc (w.w_track + w.w_width)) 0 st.works
+  in
+  let pieces =
+    List.rev_map
+      (fun w ->
+        { pc_net = w.w_net; pc_lo = w.w_lo; pc_hi = w.w_hi; pc_track = w.w_track;
+          pc_width = w.w_width })
+      st.works
+  in
+  (* Vertical wiring per net, in track units. *)
+  let verticals = Hashtbl.create 16 in
+  let add net v =
+    Hashtbl.replace verticals net (v +. Option.value (Hashtbl.find_opt verticals net) ~default:0.0)
+  in
+  let on_work w =
+    let on_pin p =
+      let depth =
+        if p.pin_from_top then float_of_int w.w_track +. 0.5
+        else float_of_int (tracks - w.w_track - w.w_width) +. 0.5
+      in
+      add w.w_net depth
+    in
+    List.iter on_pin w.w_pins
+  in
+  List.iter on_work st.works;
+  let by_id = Hashtbl.create 32 in
+  List.iter (fun w -> Hashtbl.replace by_id w.w_id w) st.works;
+  List.iter
+    (fun j ->
+      match (Hashtbl.find_opt by_id j.j_left, Hashtbl.find_opt by_id j.j_right) with
+      | Some l, Some r -> add l.w_net (float_of_int (abs (l.w_track - r.w_track)))
+      | _, _ -> ())
+    st.junctions;
+  { tracks;
+    pieces;
+    doglegs = List.length st.junctions;
+    violations = st.violations;
+    net_vertical_tracks = Hashtbl.fold (fun net v acc -> (net, v) :: acc) verticals [] }
+
+let vertical_um ~track_um r =
+  List.fold_left (fun acc (_, v) -> acc +. (v *. track_um)) 0.0 r.net_vertical_tracks
+
+let net_vertical_um ~track_um r = List.map (fun (net, v) -> (net, v *. track_um)) r.net_vertical_tracks
+
+let check segs r =
+  let problems = ref [] and warnings = ref [] in
+  let say acc fmt = Format.kasprintf (fun s -> acc := s :: !acc) fmt in
+  (* Coverage: each segment's span must be covered by its net's pieces. *)
+  let on_seg s =
+    let mine = List.filter (fun p -> p.pc_net = s.seg_net) r.pieces in
+    let covered x = List.exists (fun p -> p.pc_lo <= x && x <= p.pc_hi) mine in
+    let rec scan x = if x > s.seg_hi then () else if covered x then scan (x + 1) else
+        say problems "net %d: column %d uncovered" s.seg_net x
+    in
+    scan s.seg_lo
+  in
+  List.iter on_seg segs;
+  (* No two pieces of different nets may overlap on a track. *)
+  let expanded =
+    List.concat_map
+      (fun p -> List.init p.pc_width (fun k -> (p.pc_track + k, p)))
+      r.pieces
+  in
+  let rec pairs = function
+    | [] -> ()
+    | (tr1, p1) :: rest ->
+      List.iter
+        (fun (tr2, p2) ->
+          if tr1 = tr2 && p1.pc_net <> p2.pc_net && overlap (p1.pc_lo, p1.pc_hi) (p2.pc_lo, p2.pc_hi)
+          then say problems "track %d: nets %d and %d overlap" tr1 p1.pc_net p2.pc_net)
+        rest;
+      pairs rest
+  in
+  pairs expanded;
+  if r.violations > 0 then say warnings "%d vertical constraints force-broken" r.violations;
+  if !problems = [] then Ok !warnings else Error !problems

@@ -1,0 +1,268 @@
+let overhang_columns = 16
+
+type track = {
+  id : int;
+  mutable owner : int;  (* net id, -1 when free *)
+  mutable since : int;  (* column where the current ownership began *)
+  mutable free_from : int;  (* first column a new owner may claim *)
+  locked : bool;  (* multi-pitch reservation: never collapsed/released *)
+}
+
+type endpoint = Top_edge | Bottom_edge | On of int  (* track id *)
+
+type vertical = { v_net : int; v_a : endpoint; v_b : endpoint }
+
+type state = {
+  mutable tracks : track list;  (* top to bottom *)
+  mutable next_id : int;
+  mutable pieces : (int * int * int * int) list;  (* net, track id, x0, x1 *)
+  mutable events : (int * endpoint * endpoint) list;  (* vertical runs, for length accounting *)
+  mutable doglegs : int;
+  mutable violations : int;
+  preoccupied : (int, vertical list) Hashtbl.t;  (* column -> wide-net verticals *)
+}
+
+let new_track st ~at_top ~owner ~since ~locked =
+  let t = { id = st.next_id; owner; since; free_from = since; locked } in
+  st.next_id <- st.next_id + 1;
+  st.tracks <- (if at_top then t :: st.tracks else st.tracks @ [ t ]);
+  t
+
+let index_of st id =
+  let rec go i = function
+    | [] -> invalid_arg "Greedy_router: unknown track id"
+    | t :: rest -> if t.id = id then i else go (i + 1) rest
+  in
+  go 0 st.tracks
+
+(* Expand a vertical to an (inclusive) index range in the current
+   order; edges sit just outside the track indices. *)
+let range st (a, b) =
+  let pos = function
+    | Top_edge -> -1
+    | Bottom_edge -> List.length st.tracks
+    | On id -> index_of st id
+  in
+  let pa = pos a and pb = pos b in
+  (min pa pb, max pa pb)
+
+let overlaps (a_lo, a_hi) (b_lo, b_hi) = a_lo <= b_hi && b_lo <= a_hi
+
+(* Verticals of the same net may merge; only foreign overlaps conflict. *)
+let conflicts st column_verticals ~net span =
+  List.exists
+    (fun v -> v.v_net <> net && overlaps span (range st (v.v_a, v.v_b)))
+    column_verticals
+
+let add_vertical st column_verticals ~net a b =
+  st.events <- (net, a, b) :: st.events;
+  { v_net = net; v_a = a; v_b = b } :: column_verticals
+
+let release st t ~x =
+  st.pieces <- (t.owner, t.id, t.since, x) :: st.pieces;
+  t.owner <- -1;
+  t.free_from <- x + 1
+
+(* Rule 1: bring a pin onto its net's nearest reachable track, claiming
+   a free one when the net holds none; widen the channel when the
+   column's verticals block every candidate. *)
+let connect_pin st column_verticals ~net ~from_top ~x =
+  let edge = if from_top then Top_edge else Bottom_edge in
+  let ordered = if from_top then st.tracks else List.rev st.tracks in
+  let rec scan = function
+    | [] -> None
+    | t :: rest ->
+      let span = range st (edge, On t.id) in
+      if conflicts st column_verticals ~net span then None (* deeper is a superset: give up *)
+      else if t.owner = net && not t.locked then Some t
+      else if t.owner = -1 && t.free_from <= x then begin
+        t.owner <- net;
+        t.since <- x;
+        Some t
+      end
+      else scan rest
+  in
+  match scan ordered with
+  | Some t -> add_vertical st column_verticals ~net edge (On t.id)
+  | None ->
+    let t = new_track st ~at_top:from_top ~owner:net ~since:x ~locked:false in
+    add_vertical st column_verticals ~net edge (On t.id)
+
+(* Rule 2: join a split net's two closest tracks when the vertical
+   between them is free, releasing one track. *)
+let try_collapse st column_verticals ~net ~x =
+  let owned =
+    List.filteri (fun _ t -> t.owner = net && not t.locked) st.tracks
+  in
+  match owned with
+  | a :: b :: _ ->
+    let span = range st (On a.id, On b.id) in
+    if conflicts st column_verticals ~net span then column_verticals
+    else begin
+      st.doglegs <- st.doglegs + 1;
+      let cv = add_vertical st column_verticals ~net (On a.id) (On b.id) in
+      release st b ~x;
+      cv
+    end
+  | [ _ ] | [] -> column_verticals
+
+let route segs =
+  let st =
+    { tracks = [];
+      next_id = 0;
+      pieces = [];
+      events = [];
+      doglegs = 0;
+      violations = 0;
+      preoccupied = Hashtbl.create 16 }
+  in
+  let wide, thin = List.partition (fun s -> s.Channel_router.seg_width > 1) segs in
+  (* Multi-pitch reservations: a contiguous group of locked tracks over
+     the whole span, pins dropping to the group edge. *)
+  List.iter
+    (fun (s : Channel_router.seg) ->
+      let group =
+        List.init s.Channel_router.seg_width (fun _ ->
+            new_track st ~at_top:false ~owner:s.Channel_router.seg_net
+              ~since:s.Channel_router.seg_lo ~locked:true)
+      in
+      List.iter
+        (fun (p : Channel_router.pin) ->
+          let target = if p.Channel_router.pin_from_top then List.hd group else List.nth group (List.length group - 1) in
+          let edge = if p.Channel_router.pin_from_top then Top_edge else Bottom_edge in
+          st.events <- (s.Channel_router.seg_net, edge, On target.id) :: st.events;
+          let v = { v_net = s.Channel_router.seg_net; v_a = edge; v_b = On target.id } in
+          Hashtbl.replace st.preoccupied p.Channel_router.pin_x
+            (v :: Option.value (Hashtbl.find_opt st.preoccupied p.Channel_router.pin_x) ~default:[]))
+        s.Channel_router.seg_pins;
+      List.iter
+        (fun t ->
+          st.pieces <-
+            (s.Channel_router.seg_net, t.id, s.Channel_router.seg_lo, s.Channel_router.seg_hi)
+            :: st.pieces)
+        group)
+    wide;
+  (* Column scan bounds, per-column pin table, and per-net span
+     bounds: a net must own a track over its whole [lo, hi] span (the
+     trunk exists there even between pins). *)
+  let pins_at = Hashtbl.create 64 in
+  let starts_at = Hashtbl.create 16 in
+  let span_end = Hashtbl.create 16 in
+  let lo = ref max_int and hi = ref min_int in
+  List.iter
+    (fun (s : Channel_router.seg) ->
+      lo := min !lo s.Channel_router.seg_lo;
+      hi := max !hi s.Channel_router.seg_hi;
+      Hashtbl.replace starts_at s.Channel_router.seg_lo
+        (s.Channel_router.seg_net
+        :: Option.value (Hashtbl.find_opt starts_at s.Channel_router.seg_lo) ~default:[]);
+      Hashtbl.replace span_end s.Channel_router.seg_net s.Channel_router.seg_hi;
+      List.iter
+        (fun (p : Channel_router.pin) ->
+          Hashtbl.replace pins_at p.Channel_router.pin_x
+            ((s.Channel_router.seg_net, p.Channel_router.pin_from_top)
+            :: Option.value (Hashtbl.find_opt pins_at p.Channel_router.pin_x) ~default:[]))
+        s.Channel_router.seg_pins)
+    thin;
+  let active_nets () =
+    List.filter_map (fun t -> if t.owner >= 0 && not t.locked then Some t.owner else None) st.tracks
+    |> List.sort_uniq Int.compare
+  in
+  let process_column x ~with_pins =
+    let column_verticals = ref (Option.value (Hashtbl.find_opt st.preoccupied x) ~default:[]) in
+    if with_pins then begin
+      (* Spans opening here claim a track even before their first pin:
+         the trunk physically starts at the span edge. *)
+      List.iter
+        (fun net ->
+          let owns = List.exists (fun t -> t.owner = net && not t.locked) st.tracks in
+          if not owns then begin
+            match List.find_opt (fun t -> t.owner = -1 && t.free_from <= x) st.tracks with
+            | Some t ->
+              t.owner <- net;
+              t.since <- x
+            | None -> ignore (new_track st ~at_top:true ~owner:net ~since:x ~locked:false)
+          end)
+        (Option.value (Hashtbl.find_opt starts_at x) ~default:[]);
+      let pins =
+        Option.value (Hashtbl.find_opt pins_at x) ~default:[]
+        |> List.sort (fun (_, t1) (_, t2) -> Bool.compare t2 t1 (* top pins first *))
+      in
+      List.iter
+        (fun (net, from_top) ->
+          column_verticals := connect_pin st !column_verticals ~net ~from_top ~x)
+        pins
+    end;
+    (* Collapse every split net once, then release finished nets. *)
+    List.iter
+      (fun net -> column_verticals := try_collapse st !column_verticals ~net ~x)
+      (active_nets ());
+    List.iter
+      (fun t ->
+        if t.owner >= 0 && not t.locked then begin
+          let last = Option.value (Hashtbl.find_opt span_end t.owner) ~default:min_int in
+          let still_split =
+            List.length (List.filter (fun u -> u.owner = t.owner && not u.locked) st.tracks) > 1
+          in
+          if x >= last && not still_split then release st t ~x
+        end)
+      st.tracks
+  in
+  if !lo <= !hi then begin
+    for x = !lo to !hi do
+      process_column x ~with_pins:true
+    done;
+    (* Overhang: chase nets still split past the pin range. *)
+    let x = ref !hi in
+    while active_nets () <> [] && !x < !hi + overhang_columns do
+      incr x;
+      process_column !x ~with_pins:false
+    done;
+    (* Force-join whatever remains. *)
+    List.iter
+      (fun net ->
+        st.violations <- st.violations + 1;
+        let owned = List.filter (fun t -> t.owner = net && not t.locked) st.tracks in
+        (match owned with
+        | first :: rest ->
+          List.iter
+            (fun t ->
+              st.events <- (net, On first.id, On t.id) :: st.events;
+              release st t ~x:!x)
+            rest;
+          release st first ~x:!x
+        | [] -> ()))
+      (active_nets ())
+  end;
+  (* Assemble the shared result type: final track indices, pieces,
+     vertical lengths. *)
+  let order = Array.of_list st.tracks in
+  let n_tracks = Array.length order in
+  let final_index = Hashtbl.create 16 in
+  Array.iteri (fun i t -> Hashtbl.replace final_index t.id i) order;
+  let pieces =
+    List.rev_map
+      (fun (net, tid, x0, x1) ->
+        { Channel_router.pc_net = net;
+          pc_lo = x0;
+          pc_hi = x1;
+          pc_track = Hashtbl.find final_index tid;
+          pc_width = 1 })
+      st.pieces
+  in
+  let pos = function
+    | Top_edge -> -0.5
+    | Bottom_edge -> float_of_int n_tracks -. 0.5
+    | On id -> float_of_int (Hashtbl.find final_index id)
+  in
+  let verticals = Hashtbl.create 16 in
+  List.iter
+    (fun (net, a, b) ->
+      let len = abs_float (pos a -. pos b) in
+      Hashtbl.replace verticals net (len +. Option.value (Hashtbl.find_opt verticals net) ~default:0.0))
+    st.events;
+  { Channel_router.tracks = n_tracks;
+    pieces;
+    doglegs = st.doglegs;
+    violations = st.violations;
+    net_vertical_tracks = Hashtbl.fold (fun net v acc -> (net, v) :: acc) verticals [] }

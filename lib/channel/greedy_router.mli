@@ -1,0 +1,24 @@
+(** A greedy channel router in the Rivest-Fiduccia style — the second
+    detailed-routing substrate, for cross-checking the left-edge router
+    and for the channel-height comparison bench.
+
+    The channel is scanned column by column.  At each column the router
+    (1) brings every pin onto the nearest reachable track of its net —
+    an empty track is claimed when the net has none — using vertical
+    segments that may cross foreign {e tracks} but never overlap other
+    {e verticals} of the same column; (2) collapses nets split over
+    several tracks whenever the joining vertical is free, releasing a
+    track; (3) releases nets past their last pin.  When a pin cannot
+    reach any track the channel is widened by a fresh track at the
+    pin's side.  Split nets that outlive the pin range are chased for a
+    bounded overhang to the right; a forced join past that bound counts
+    as a violation.
+
+    Results reuse {!Channel_router.result}, so {!Channel_router.check}
+    audits both routers identically.  Doglegs count the track-to-track
+    joins. *)
+
+val route : Channel_router.seg list -> Channel_router.result
+
+val overhang_columns : int
+(** How far past the last pin column split nets are chased (16). *)

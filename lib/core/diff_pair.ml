@@ -1,0 +1,57 @@
+let column_tolerance = 4
+
+(* Edge signature for matching incident edge lists: kind tag, channel,
+   then column for deterministic ordering inside each graph. *)
+let signature rg (e : Ugraph.edge) =
+  match Routing_graph.edge_kind rg e.Ugraph.id with
+  | Routing_graph.Trunk { channel; span } -> (0, channel, Interval.lo span)
+  | Routing_graph.Branch { row; x } -> (1, row, x)
+  | Routing_graph.Correspondence p -> (2, p.Routing_graph.channel, p.Routing_graph.x)
+
+let compatible rg_a rg_b (ea : Ugraph.edge) (eb : Ugraph.edge) =
+  let ka, ca, xa = signature rg_a ea in
+  let kb, cb, xb = signature rg_b eb in
+  ka = kb && ca = cb && abs (xa - xb) <= column_tolerance
+
+let recognize (a : Routing_graph.t) (b : Routing_graph.t) =
+  let ga = a.Routing_graph.graph and gb = b.Routing_graph.graph in
+  let exception Mismatch in
+  let vmap = Array.make (Ugraph.n_vertices ga) (-1) in
+  let vmap_rev = Array.make (Ugraph.n_vertices gb) (-1) in
+  let emap = Array.make (Ugraph.n_edges_total ga) (-1) in
+  let queue = Queue.create () in
+  let pair_vertices va vb =
+    if vmap.(va) = -1 && vmap_rev.(vb) = -1 then begin
+      vmap.(va) <- vb;
+      vmap_rev.(vb) <- va;
+      Queue.add (va, vb) queue
+    end
+    else if vmap.(va) <> vb then raise Mismatch
+  in
+  let incident g rg v =
+    let edges = Ugraph.fold_incident g v (fun acc e -> e :: acc) [] in
+    List.sort (fun e1 e2 -> compare (signature rg e1) (signature rg e2)) edges
+  in
+  match
+    pair_vertices a.Routing_graph.driver b.Routing_graph.driver;
+    while not (Queue.is_empty queue) do
+      let va, vb = Queue.take queue in
+      let ea = incident ga a va and eb = incident gb b vb in
+      if List.length ea <> List.length eb then raise Mismatch;
+      List.iter2
+        (fun (e1 : Ugraph.edge) (e2 : Ugraph.edge) ->
+          if not (compatible a b e1 e2) then raise Mismatch;
+          if emap.(e1.Ugraph.id) = -1 then begin
+            emap.(e1.Ugraph.id) <- e2.Ugraph.id;
+            pair_vertices (Ugraph.other_endpoint e1 va) (Ugraph.other_endpoint e2 vb)
+          end
+          else if emap.(e1.Ugraph.id) <> e2.Ugraph.id then raise Mismatch)
+        ea eb
+    done;
+    (* Every live edge of both graphs must be covered. *)
+    Ugraph.iter_edges ga (fun e -> if emap.(e.Ugraph.id) = -1 then raise Mismatch);
+    let covered = Array.fold_left (fun acc e2 -> if e2 >= 0 then acc + 1 else acc) 0 emap in
+    if covered <> Ugraph.n_edges_live gb then raise Mismatch
+  with
+  | () -> Some emap
+  | exception Mismatch -> None

@@ -1,0 +1,41 @@
+(** Elmore RC delays through a routed wiring tree — the "extension to
+    the RC delay model" the paper allows (Sec. 2.1, citing
+    Prasitjutrakul & Kubitz for RC-aware tentative trees).
+
+    Each tree edge is a distributed RC segment: resistance
+    [res_ohm_per_um * geo_um / pitch] (wider wires are proportionally
+    less resistive), capacitance [cap_per_um * pitch * geo_um].  Sink
+    terminals load the tree with their [F_in]; the driver's [Td] factor
+    plays the source-resistance role (it is exactly the ps/fF the
+    lumped model charges the total capacitance with, so both models
+    coincide as wire resistance goes to zero).
+
+    Bipolar wires are wide and short, so these delays exceed the lumped
+    [CL * Td] by only a few percent — which is why the paper could
+    adopt the capacitance model, and what ablation A4 verifies. *)
+
+type result = {
+  delay_ps : (Netlist.endpoint * float) list;  (** per sink terminal *)
+  total_cap_ff : float;  (** tree + sink load capacitance *)
+  worst_ps : float;  (** max over sinks; 0 for a sink-free tree *)
+}
+
+val driver_td : Netlist.t -> Routing_graph.t -> float
+(** The net driver's [Td] factor (ps/fF), used as the source
+    resistance. *)
+
+val analyze :
+  ?width_scale:float ->
+  dims:Dims.t ->
+  netlist:Netlist.t ->
+  rg:Routing_graph.t ->
+  tree:int list ->
+  unit ->
+  result
+(** Elmore delays from the net's driver through the given tree edges.
+    Edges must form a connected subgraph containing all terminals (the
+    router's tentative tree always does).  [width_scale] (default 1.0)
+    is an electrical what-if: the wire behaves as if [scale] times
+    wider — capacitance scaled up, resistance scaled down — without
+    touching the tree, isolating the Sec. 4.2 width-vs-skew trade.
+    @raise Invalid_argument when the tree does not reach every sink. *)

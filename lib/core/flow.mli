@@ -1,0 +1,69 @@
+(** End-to-end flow: floorplan -> feedthrough assignment (with feed-cell
+    insertion) -> global routing -> channel routing -> measurement —
+    the whole of Fig. 2 plus the Table 2 metrology.
+
+    [timing_driven = false] reproduces the paper's "without
+    constraints" baseline: net ordering falls back to net ids, the
+    router sees no STA, and the constraints are used only to {e
+    measure} the resulting delays. *)
+
+type input = {
+  netlist : Netlist.t;
+  dims : Dims.t;
+  n_rows : int;
+  width : int;
+  cells : Floorplan.placed list;
+  slots : (int * int * int) list;  (** initial (designer) feed slots *)
+  blockages : (int * int * int) list;  (** (channel, x_lo, x_hi) closed ranges *)
+  constraints : Path_constraint.t list;
+}
+
+type measurement = {
+  m_delay_ps : float;  (** worst critical-path delay after channel routing; [nan] with no constraints *)
+  m_area_mm2 : float;
+  m_length_mm : float;  (** total wiring (horizontal + vertical) *)
+  m_cpu_s : float;  (** assignment + routing + channel routing CPU time *)
+  m_violations : int;  (** constraints still violated at the end *)
+  m_margin_ps : float;  (** worst final margin; [infinity] with no constraints *)
+  m_lower_bound_ps : float;  (** HPWL delay lower bound; [nan] with no constraints *)
+  m_chip_width : int;  (** pitches, after feed-cell insertion *)
+  m_tracks : int array;  (** channel heights *)
+  m_insert_rounds : int;
+  m_deletions : int;
+  m_recognized_pairs : int;
+  m_channel_doglegs : int;
+  m_channel_violations : int;
+}
+
+type outcome = {
+  o_router : Router.t;
+  o_floorplan : Floorplan.t;
+  o_sta : Sta.t option;
+  o_channels : Channel_router.result array;
+  o_measurement : measurement;
+}
+
+type algorithm =
+  | Concurrent_edge_deletion  (** the paper's scheme (Fig. 2) *)
+  | Sequential_net_at_a_time
+      (** baseline: congestion-priced Dijkstra per net in static-slack
+          order, no improvement phases — the router class the paper's
+          related work routes with *)
+
+type channel_algorithm =
+  | Left_edge  (** constrained left-edge with doglegs (default) *)
+  | Left_edge_biased  (** left-edge with pin-side track bias (extension) *)
+  | Greedy  (** Rivest-Fiduccia-style column scan *)
+
+val run :
+  ?options:Router.options ->
+  ?timing_driven:bool ->
+  ?algorithm:algorithm ->
+  ?channel_algorithm:channel_algorithm ->
+  input ->
+  outcome
+(** [timing_driven] defaults to [true], [algorithm] to
+    [Concurrent_edge_deletion], [channel_algorithm] to [Left_edge]. *)
+
+val floorplan_of_input : input -> Floorplan.t
+(** The pre-insertion floorplan (for inspection and examples). *)

@@ -1,0 +1,40 @@
+let hpwl_cap ?channel_tracks fp net_id =
+  let dims = Floorplan.dims fp in
+  let net = Netlist.net (Floorplan.netlist fp) net_id in
+  let bbox = Floorplan.net_bbox fp net_id in
+  let v_um =
+    match channel_tracks with
+    | None -> Dims.v_um dims ~rows:(Rect.height bbox)
+    | Some channel_tracks ->
+      (* Physical vertical extent between the outermost channels the
+         net touches, routed channel heights included. *)
+      Floorplan.channel_mid_y_um fp ~channel_tracks bbox.Rect.y_hi
+      -. Floorplan.channel_mid_y_um fp ~channel_tracks bbox.Rect.y_lo
+  in
+  let um = Dims.h_um dims (Rect.width bbox) +. v_um in
+  um *. Dims.cap_per_um_at dims ~width:(float_of_int net.Netlist.pitch)
+
+let with_hpwl_caps ?channel_tracks sta fp f =
+  let dg = Sta.delay_graph sta in
+  let n_nets = Netlist.n_nets (Floorplan.netlist fp) in
+  (* Save raw weights, not capacitances: some nets may carry per-sink
+     Elmore delays whose lumped capacitance is undefined. *)
+  let saved = Delay_graph.snapshot_weights dg in
+  for net = 0 to n_nets - 1 do
+    Delay_graph.set_net_cap dg ~net ~cap_ff:(hpwl_cap ?channel_tracks fp net)
+  done;
+  Sta.refresh sta;
+  let result = f () in
+  Delay_graph.restore_weights dg saved;
+  Sta.refresh sta;
+  result
+
+let critical_delay ?channel_tracks sta fp =
+  with_hpwl_caps ?channel_tracks sta fp (fun () -> Sta.worst_path_delay sta)
+
+let per_constraint ?channel_tracks sta fp =
+  with_hpwl_caps ?channel_tracks sta fp (fun () ->
+      Array.init (Sta.n_constraints sta) (fun ci -> Sta.critical_delay sta ci))
+
+let gap_percent ~delay_ps ~bound_ps =
+  if bound_ps <= 0.0 then nan else (delay_ps -. bound_ps) /. bound_ps *. 100.0

@@ -1,0 +1,23 @@
+(** Critical-path-delay lower bounds (Table 3).
+
+    "The lower bounds could be obtained by assuming the wire length for
+    each net to be half the perimeter of the rectangle containing the
+    net terminals." — every net's capacitance is set to its
+    half-perimeter estimate, the worst critical delay is read off, and
+    the previous capacitances are restored. *)
+
+val hpwl_cap : ?channel_tracks:int array -> Floorplan.t -> int -> float
+(** Half-perimeter wiring-capacitance estimate of a net (fF).  When
+    [channel_tracks] is given, the terminal rectangle is measured in
+    physical coordinates — vertical spans include the routed channel
+    heights, as they do in the paper's post-layout terminal rectangles.
+    Without it, vertical spans count cell rows only. *)
+
+val critical_delay : ?channel_tracks:int array -> Sta.t -> Floorplan.t -> float
+(** Worst critical-path delay over all constraints with HPWL wiring. *)
+
+val per_constraint : ?channel_tracks:int array -> Sta.t -> Floorplan.t -> float array
+(** HPWL-wiring critical delay of each constraint. *)
+
+val gap_percent : delay_ps:float -> bound_ps:float -> float
+(** [(delay - bound) / bound * 100] — the "Difference (%)" column. *)

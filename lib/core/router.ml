@@ -1,0 +1,834 @@
+type cl_estimator = Tentative_tree | Star_bbox
+type delay_model = Lumped_c | Elmore_rc
+
+type options = {
+  cl_estimator : cl_estimator;
+  delay_model : delay_model;
+  area_first_ordering : bool;
+  max_recover_passes : int;
+  max_delay_passes : int;
+  max_area_passes : int;
+  trace : (string -> unit) option;
+}
+
+let default_options =
+  { cl_estimator = Tentative_tree;
+    delay_model = Lumped_c;
+    area_first_ordering = false;
+    max_recover_passes = 4;
+    max_delay_passes = 3;
+    max_area_passes = 3;
+    trace = None }
+
+type phase_report = { reroutes : int; passes : int }
+
+(* Per-edge lazily refreshed heuristic values.  Each group carries the
+   revision(s) it was computed at. *)
+type eval = {
+  mutable ev_cl_rev : int;
+  mutable ev_cl_without : float;
+  mutable ev_key_sta_rev : int;
+  mutable ev_key_net_rev : int;
+  mutable ev_cd : int;
+  mutable ev_gl : float;
+  mutable ev_ld : float;
+  mutable ev_dens_rev : int;
+  mutable ev_d_max : int;
+  mutable ev_nd_max : int;
+  mutable ev_d_min : int;
+  mutable ev_nd_min : int;
+}
+
+let fresh_eval () =
+  { ev_cl_rev = -1;
+    ev_cl_without = 0.0;
+    ev_key_sta_rev = -1;
+    ev_key_net_rev = -1;
+    ev_cd = 0;
+    ev_gl = 0.0;
+    ev_ld = 0.0;
+    ev_dens_rev = -1;
+    ev_d_max = 0;
+    ev_nd_max = 0;
+    ev_d_min = 0;
+    ev_nd_min = 0 }
+
+type net_state = {
+  mutable rg : Routing_graph.t;
+  mutable bridge : bool array;
+  mutable candidates : int list;
+  mutable tree : int list;
+  mutable tree_set : bool array;
+  mutable cl_ff : float;
+  mutable rev : int;
+  mutable evals : eval array;
+  mutable partner_map : int array;  (* -1 entries; [||] when not mirrored *)
+}
+
+type t = {
+  fp : Floorplan.t;
+  assignment : Feedthrough.assignment;
+  sta : Sta.t option;
+  dens : Density.t;
+  mutable nets : net_state array;
+  opts : options;
+  hpwl_cap : float array;
+  mutable jog_um : float array;
+      (* Expected in-channel vertical jog per connection point, per
+         channel.  The global router cannot see detailed track
+         positions, but the delay measured after channel routing
+         includes every pin's descent to its track; pricing that
+         surcharge into CL(n) keeps the margins the selection
+         heuristics work with commensurate with the final metrology. *)
+  mutable deletions : int;
+  mutable area_mode : bool;
+}
+
+let floorplan t = t.fp
+let assignment t = t.assignment
+let sta t = t.sta
+let density t = t.dens
+let options t = t.opts
+let n_deletions t = t.deletions
+
+let n_recognized_pairs t =
+  Array.fold_left (fun acc ns -> if Array.length ns.partner_map > 0 then acc + 1 else acc) 0 t.nets
+  / 2
+let set_area_mode t flag = t.area_mode <- flag
+
+let trace t fmt =
+  match t.opts.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some emit -> Format.kasprintf emit fmt
+
+(* --- density bookkeeping ------------------------------------------- *)
+
+let register_edge_density t ns (e : Ugraph.edge) =
+  match Routing_graph.edge_kind ns.rg e.Ugraph.id with
+  | Routing_graph.Trunk { channel; span } ->
+    Density.add_trunk t.dens ~channel ~span ~w:ns.rg.Routing_graph.pitch
+      ~bridge:ns.bridge.(e.Ugraph.id)
+  | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> ()
+
+let unregister_edge_density t ns (e : Ugraph.edge) =
+  match Routing_graph.edge_kind ns.rg e.Ugraph.id with
+  | Routing_graph.Trunk { channel; span } ->
+    Density.remove_trunk t.dens ~channel ~span ~w:ns.rg.Routing_graph.pitch
+      ~bridge:ns.bridge.(e.Ugraph.id)
+  | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> ()
+
+let register_net_density t ns = Ugraph.iter_edges ns.rg.Routing_graph.graph (register_edge_density t ns)
+let unregister_net_density t ns = Ugraph.iter_edges ns.rg.Routing_graph.graph (unregister_edge_density t ns)
+
+(* Recompute the bridge set; reflect status flips of live trunks in the
+   d_m chart and refresh the candidate list. *)
+let refresh_bridges t ns =
+  let g = ns.rg.Routing_graph.graph in
+  let nb = Bridges.bridges g in
+  Ugraph.iter_edges g (fun e ->
+      let id = e.Ugraph.id in
+      if nb.(id) <> ns.bridge.(id) then begin
+        match Routing_graph.edge_kind ns.rg id with
+        | Routing_graph.Trunk { channel; span } ->
+          Density.set_bridge t.dens ~channel ~span ~w:ns.rg.Routing_graph.pitch nb.(id)
+        | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> ()
+      end);
+  ns.bridge <- nb;
+  ns.candidates <-
+    List.rev
+      (Ugraph.fold_edges g
+         (fun acc (e : Ugraph.edge) -> if nb.(e.Ugraph.id) then acc else e.Ugraph.id :: acc)
+         [])
+
+(* --- wire-length estimation ---------------------------------------- *)
+
+let hpwl_cap_of_net fp net_id =
+  let dims = Floorplan.dims fp in
+  let net = Netlist.net (Floorplan.netlist fp) net_id in
+  let bbox = Floorplan.net_bbox fp net_id in
+  let um = Dims.h_um dims (Rect.width bbox) +. Dims.v_um dims ~rows:(Rect.height bbox) in
+  um *. Dims.cap_per_um_at dims ~width:(float_of_int net.Netlist.pitch)
+
+let current_cl t ns =
+  match t.opts.cl_estimator with
+  | Tentative_tree -> Routing_graph.tree_capacitance ns.rg ~edge_ids:ns.tree
+  | Star_bbox -> t.hpwl_cap.(ns.rg.Routing_graph.net_id)
+
+(* Push the net's wiring delay into the timing state under the chosen
+   delay model. *)
+let apply_net_timing t ns =
+  match t.sta with
+  | None -> ()
+  | Some sta ->
+    let net = ns.rg.Routing_graph.net_id in
+    let dg = Sta.delay_graph sta in
+    (match t.opts.delay_model with
+    | Lumped_c -> Delay_graph.set_net_cap dg ~net ~cap_ff:ns.cl_ff
+    | Elmore_rc ->
+      let netlist = Floorplan.netlist t.fp in
+      let r = Elmore.analyze ~dims:(Floorplan.dims t.fp) ~netlist ~rg:ns.rg ~tree:ns.tree () in
+      let lookup = Hashtbl.create 8 in
+      List.iter (fun (ep, ps) -> Hashtbl.replace lookup ep ps) r.Elmore.delay_ps;
+      Delay_graph.set_net_sink_delays dg ~net ~delay_of:(fun ep ->
+          Option.value (Hashtbl.find_opt lookup ep) ~default:0.0));
+    Sta.refresh_for_nets sta [ net ]
+
+let refresh_tree t ns =
+  match Routing_graph.tentative_tree ns.rg with
+  | None ->
+    raise
+      (Routing_graph.Unroutable
+         (Printf.sprintf "net %d lost terminal connectivity" ns.rg.Routing_graph.net_id))
+  | Some edges ->
+    ns.tree <- edges;
+    let set = Array.make (Ugraph.n_edges_total ns.rg.Routing_graph.graph) false in
+    List.iter (fun e -> set.(e) <- true) edges;
+    ns.tree_set <- set;
+    let cl = current_cl t ns in
+    (* Under the lumped model an unchanged CL means unchanged weights;
+       under Elmore the per-sink split can shift even then, so any tree
+       refresh re-applies. *)
+    if cl <> ns.cl_ff || t.opts.delay_model = Elmore_rc then begin
+      ns.cl_ff <- cl;
+      apply_net_timing t ns
+    end
+
+(* --- per-edge heuristic values -------------------------------------- *)
+
+let ensure_eval ns eid =
+  if eid >= Array.length ns.evals then begin
+    let bigger = Array.init (max 8 (2 * (eid + 1))) (fun _ -> fresh_eval ()) in
+    Array.blit ns.evals 0 bigger 0 (Array.length ns.evals);
+    ns.evals <- bigger
+  end;
+  ns.evals.(eid)
+
+let cl_without t ns eid =
+  let ev = ensure_eval ns eid in
+  if ev.ev_cl_rev <> ns.rev then begin
+    ev.ev_cl_rev <- ns.rev;
+    ev.ev_cl_without <-
+      (if not (eid < Array.length ns.tree_set && ns.tree_set.(eid)) then ns.cl_ff
+       else begin
+         match t.opts.cl_estimator with
+         | Star_bbox -> ns.cl_ff
+         | Tentative_tree -> (
+           match Routing_graph.tentative_tree ~exclude_edge:eid ns.rg with
+           | Some edges -> Routing_graph.tree_capacitance ns.rg ~edge_ids:edges
+           | None -> infinity (* cannot happen for non-bridge edges *))
+       end)
+  end;
+  ev.ev_cl_without
+
+(* Penalty function of Eq. 4; the exponent is clamped against overflow
+   on grossly violated constraints. *)
+let penalty x limit =
+  if x >= 0.0 then 1.0 -. (x /. limit) else exp (Float.min 50.0 (-.x /. limit))
+
+let delay_key t ns eid =
+  let ev = ensure_eval ns eid in
+  let sta_rev = match t.sta with None -> 0 | Some sta -> Sta.timing_revision sta in
+  if ev.ev_key_sta_rev <> sta_rev || ev.ev_key_net_rev <> ns.rev then begin
+    ev.ev_key_sta_rev <- sta_rev;
+    ev.ev_key_net_rev <- ns.rev;
+    match t.sta with
+    | None ->
+      ev.ev_cd <- 0;
+      ev.ev_gl <- 0.0;
+      ev.ev_ld <- 0.0
+    | Some sta ->
+      let net = ns.rg.Routing_graph.net_id in
+      let cons = Sta.constraints_of_net sta net in
+      if cons = [] then begin
+        ev.ev_cd <- 0;
+        ev.ev_gl <- 0.0;
+        ev.ev_ld <- 0.0
+      end
+      else begin
+        let dg = Sta.delay_graph sta in
+        let dag = Delay_graph.dag dg in
+        let td = Delay_graph.driver_td dg net in
+        let dcl = cl_without t ns eid -. ns.cl_ff in
+        let cd = ref 0 and gl = ref 0.0 and ld = ref 0.0 in
+        let on_constraint ci =
+          let pc = Sta.constraint_ sta ci in
+          let m = Sta.margin sta ci in
+          let lp = Sta.arrival sta ci in
+          let worst = ref 0.0 in
+          let on_edge de =
+            let v, w = Dag.endpoints dag de in
+            if lp.(v) > neg_infinity && lp.(w) > neg_infinity then begin
+              let d' = Dag.weight dag de +. (dcl *. td) in
+              let diff = lp.(v) +. d' -. lp.(w) in
+              if diff > !worst then worst := diff;
+              ld := !ld +. Float.max 0.0 (dcl *. td)
+            end
+          in
+          List.iter on_edge (Sta.gd_edges_of_net sta ~ci ~net);
+          let lm = m -. !worst in
+          if lm <= 0.0 then incr cd;
+          gl := !gl +. penalty lm pc.Path_constraint.limit_ps -. penalty m pc.Path_constraint.limit_ps
+        in
+        List.iter on_constraint cons;
+        ev.ev_cd <- !cd;
+        ev.ev_gl <- !gl;
+        ev.ev_ld <- !ld
+      end
+  end;
+  ev
+
+let density_params t ns eid =
+  let ev = ensure_eval ns eid in
+  let channel, span = Routing_graph.density_locus ns.rg eid in
+  let rev = Density.revision t.dens ~channel in
+  if ev.ev_dens_rev <> rev then begin
+    ev.ev_dens_rev <- rev;
+    let d_max, nd_max, d_min, nd_min = Density.edge_params t.dens ~channel ~span in
+    ev.ev_d_max <- d_max;
+    ev.ev_nd_max <- nd_max;
+    ev.ev_d_min <- d_min;
+    ev.ev_nd_min <- nd_min
+  end;
+  (channel, ev)
+
+(* --- candidate comparison (Sec. 3.4) -------------------------------- *)
+
+let float_cmp a b =
+  let eps = 1e-9 in
+  if a < b -. eps then -1 else if a > b +. eps then 1 else 0
+
+let compare_delay t (n1, e1) (n2, e2) =
+  let k1 = delay_key t t.nets.(n1) e1 and k2 = delay_key t t.nets.(n2) e2 in
+  let c = Int.compare k1.ev_cd k2.ev_cd in
+  if c <> 0 then c
+  else begin
+    let c = float_cmp k1.ev_gl k2.ev_gl in
+    if c <> 0 then c else float_cmp k1.ev_ld k2.ev_ld
+  end
+
+let compare_cd_only t (n1, e1) (n2, e2) =
+  let k1 = delay_key t t.nets.(n1) e1 and k2 = delay_key t t.nets.(n2) e2 in
+  Int.compare k1.ev_cd k2.ev_cd
+
+let compare_gl_ld t (n1, e1) (n2, e2) =
+  let k1 = delay_key t t.nets.(n1) e1 and k2 = delay_key t t.nets.(n2) e2 in
+  let c = float_cmp k1.ev_gl k2.ev_gl in
+  if c <> 0 then c else float_cmp k1.ev_ld k2.ev_ld
+
+let compare_density t (n1, e1) (n2, e2) =
+  let ns1 = t.nets.(n1) and ns2 = t.nets.(n2) in
+  let t1 = Routing_graph.is_trunk ns1.rg e1 and t2 = Routing_graph.is_trunk ns2.rg e2 in
+  if t1 && not t2 then -1
+  else if t2 && not t1 then 1
+  else begin
+    let c1, p1 = density_params t ns1 e1 and c2, p2 = density_params t ns2 e2 in
+    let cmp f = Int.compare (f c1 p1) (f c2 p2) in
+    let f_m c p = Density.cm t.dens ~channel:c - p.ev_d_min in
+    let n_m c p = Density.ncm t.dens ~channel:c - p.ev_nd_min in
+    let f_big c p = Density.cM t.dens ~channel:c - p.ev_d_max in
+    let n_big c p = Density.ncM t.dens ~channel:c - p.ev_nd_max in
+    let c = cmp f_m in
+    if c <> 0 then c
+    else begin
+      let c = cmp n_m in
+      if c <> 0 then c
+      else begin
+        let c = cmp f_big in
+        if c <> 0 then c else cmp n_big
+      end
+    end
+  end
+
+let compare_length t (n1, e1) (n2, e2) =
+  let w1 = (Ugraph.edge t.nets.(n1).rg.Routing_graph.graph e1).Ugraph.weight in
+  let w2 = (Ugraph.edge t.nets.(n2).rg.Routing_graph.graph e2).Ugraph.weight in
+  (* Longer edge preferred. *)
+  float_cmp w2 w1
+
+let compare_candidates t a b =
+  let chain cmps =
+    let rec go = function
+      | [] -> compare a b (* deterministic final tie-break on ids *)
+      | cmp :: rest ->
+        let c = cmp t a b in
+        if c <> 0 then c else go rest
+    in
+    go cmps
+  in
+  if t.area_mode then chain [ compare_cd_only; compare_density; compare_gl_ld; compare_length ]
+  else chain [ compare_delay; compare_density; compare_length ]
+
+(* A candidate of a mirrored pair is admissible only when its partner
+   image is alive and itself deletable. *)
+let admissible t n eid =
+  let ns = t.nets.(n) in
+  if Array.length ns.partner_map = 0 then true
+  else begin
+    match (Netlist.net (Floorplan.netlist t.fp) n).Netlist.diff_partner with
+    | None -> true
+    | Some p ->
+      let peid = if eid < Array.length ns.partner_map then ns.partner_map.(eid) else -1 in
+      peid >= 0
+      && Ugraph.is_live t.nets.(p).rg.Routing_graph.graph peid
+      && not t.nets.(p).bridge.(peid)
+  end
+
+let select_among t net_ids =
+  let best = ref None in
+  let consider n =
+    let ns = t.nets.(n) in
+    let on_candidate eid =
+      if admissible t n eid then begin
+        match !best with
+        | None -> best := Some (n, eid)
+        | Some b -> if compare_candidates t (n, eid) b < 0 then best := Some (n, eid)
+      end
+    in
+    List.iter on_candidate ns.candidates
+  in
+  List.iter consider net_ids;
+  !best
+
+(* --- deletion with cascade ------------------------------------------ *)
+
+let rec delete_cascade t n eid ~mirror =
+  let ns = t.nets.(n) in
+  let g = ns.rg.Routing_graph.graph in
+  assert (Ugraph.is_live g eid && not ns.bridge.(eid));
+  let touched_tree = ref (eid < Array.length ns.tree_set && ns.tree_set.(eid)) in
+  unregister_edge_density t ns (Ugraph.edge g eid);
+  Ugraph.delete_edge g eid;
+  t.deletions <- t.deletions + 1;
+  Routing_graph.prune_dangling ns.rg ~on_delete:(fun e ->
+      unregister_edge_density t ns e;
+      t.deletions <- t.deletions + 1;
+      if e.Ugraph.id < Array.length ns.tree_set && ns.tree_set.(e.Ugraph.id) then
+        touched_tree := true);
+  refresh_bridges t ns;
+  ns.rev <- ns.rev + 1;
+  if !touched_tree then refresh_tree t ns;
+  if mirror && Array.length ns.partner_map > 0 then begin
+    match (Netlist.net (Floorplan.netlist t.fp) n).Netlist.diff_partner with
+    | None -> ()
+    | Some p ->
+      let peid = if eid < Array.length ns.partner_map then ns.partner_map.(eid) else -1 in
+      let pns = t.nets.(p) in
+      if peid >= 0 && Ugraph.is_live pns.rg.Routing_graph.graph peid then begin
+        if pns.bridge.(peid) then begin
+          (* Homology broke (should not happen under mirrored
+             deletions); fall back to independent routing. *)
+          ns.partner_map <- [||];
+          pns.partner_map <- [||];
+          trace t "pair %d/%d: homology lost, falling back to independent routing" n p
+        end
+        else delete_cascade t p peid ~mirror:false
+      end
+  end
+
+(* --- construction ---------------------------------------------------- *)
+
+(* Graph-only part of a net state (no density/timing side effects). *)
+let fresh_net_state ?jog_cost fp assignment net_id =
+  let rg = Routing_graph.build ?jog_cost fp assignment ~net:net_id in
+  Routing_graph.prune_dangling rg ~on_delete:(fun _ -> ());
+  let bridge = Bridges.bridges rg.Routing_graph.graph in
+  let candidates =
+    List.rev
+      (Ugraph.fold_edges rg.Routing_graph.graph
+         (fun acc (e : Ugraph.edge) -> if bridge.(e.Ugraph.id) then acc else e.Ugraph.id :: acc)
+         [])
+  in
+  { rg;
+    bridge;
+    candidates;
+    tree = [];
+    tree_set = [||];
+    cl_ff = -1.0;
+    rev = 0;
+    evals = Array.init (Ugraph.n_edges_total rg.Routing_graph.graph) (fun _ -> fresh_eval ());
+    partner_map = [||] }
+
+let jog_cost_of t channel = t.jog_um.(channel)
+
+let init_net_state t net_id =
+  let ns = fresh_net_state ~jog_cost:(jog_cost_of t) t.fp t.assignment net_id in
+  t.nets.(net_id) <- ns;
+  register_net_density t ns;
+  refresh_tree t ns
+
+let recognize_pair t n p =
+  let ns = t.nets.(n) and pns = t.nets.(p) in
+  match Diff_pair.recognize ns.rg pns.rg with
+  | None ->
+    ns.partner_map <- [||];
+    pns.partner_map <- [||]
+  | Some emap ->
+    ns.partner_map <- emap;
+    let rev = Array.make (Ugraph.n_edges_total pns.rg.Routing_graph.graph) (-1) in
+    Array.iteri (fun ea eb -> if eb >= 0 then rev.(eb) <- ea) emap;
+    pns.partner_map <- rev
+
+let create ?(options = default_options) fp assignment sta =
+  let netlist = Floorplan.netlist fp in
+  let n_nets = Netlist.n_nets netlist in
+  let t =
+    { fp;
+      assignment;
+      sta;
+      dens = Density.create ~n_channels:(Floorplan.n_channels fp) ~width:(Floorplan.width fp);
+      nets = Array.init n_nets (fun net -> fresh_net_state fp assignment net);
+      opts = options;
+      hpwl_cap = Array.init n_nets (fun net -> hpwl_cap_of_net fp net);
+      jog_um = Array.make (Floorplan.n_channels fp) 0.0;
+      deletions = 0;
+      area_mode = options.area_first_ordering }
+  in
+  Array.iter (fun ns -> register_net_density t ns) t.nets;
+  (* Expected final channel depth is roughly half the candidate-graph
+     density (about half of all candidate trunks get deleted); a pin's
+     expected descent is half of that again.  The estimate is derived
+     from a zero-jog candidate pass, then every routing graph is
+     rebuilt with the jog surcharge priced into its correspondence and
+     branch edge weights. *)
+  t.jog_um <-
+    Array.init (Floorplan.n_channels fp) (fun c ->
+        0.25 *. float_of_int (Density.cM t.dens ~channel:c) *. (Floorplan.dims fp).Dims.track_um);
+  Array.iter (fun ns -> unregister_net_density t ns) t.nets;
+  for net = 0 to n_nets - 1 do
+    init_net_state t net
+  done;
+  (match sta with Some sta -> Sta.refresh sta | None -> ());
+  for net = 0 to n_nets - 1 do
+    match (Netlist.net netlist net).Netlist.diff_partner with
+    | Some p when p > net -> recognize_pair t net p
+    | Some _ | None -> ()
+  done;
+  t
+
+(* --- phases ----------------------------------------------------------- *)
+
+let all_net_ids t = List.init (Array.length t.nets) Fun.id
+
+let route_among t net_ids =
+  let rec loop () =
+    match select_among t net_ids with
+    | None -> ()
+    | Some (n, eid) ->
+      delete_cascade t n eid ~mirror:true;
+      loop ()
+  in
+  loop ()
+
+let initial_route t =
+  trace t "initial routing: %d nets" (Array.length t.nets);
+  route_among t (all_net_ids t);
+  trace t "initial routing done after %d deletions" t.deletions
+
+(* --- sequential baseline (net-at-a-time, congestion-priced) --------- *)
+
+(* Reduce one net's graph to exactly [wanted] by deleting non-bridge
+   edges outside it; mirrored partners follow through delete_cascade. *)
+let reduce_to_tree t n ~wanted =
+  let ns = t.nets.(n) in
+  let in_tree = Hashtbl.create 32 in
+  List.iter (fun eid -> Hashtbl.replace in_tree eid ()) wanted;
+  let rec loop () =
+    match List.find_opt (fun eid -> not (Hashtbl.mem in_tree eid)) ns.candidates with
+    | Some eid ->
+      delete_cascade t n eid ~mirror:true;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let route_sequential ?(congestion_weight = 0.5) ?order t =
+  let order = match order with Some o -> o | None -> all_net_ids t in
+  trace t "sequential baseline: %d nets" (List.length order);
+  let track_um = (Floorplan.dims t.fp).Dims.track_um in
+  let congestion_cost ns (e : Ugraph.edge) =
+    match Routing_graph.edge_kind ns.rg e.Ugraph.id with
+    | Routing_graph.Trunk { channel; span } ->
+      let d_max, _, _, _ = Density.edge_params t.dens ~channel ~span in
+      e.Ugraph.weight +. (congestion_weight *. track_um *. float_of_int d_max)
+    | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> e.Ugraph.weight
+  in
+  let netlist = Floorplan.netlist t.fp in
+  let routed = Array.make (Array.length t.nets) false in
+  let route_one n =
+    if not routed.(n) then begin
+      let ns = t.nets.(n) in
+      match Routing_graph.tentative_tree ~cost:(congestion_cost ns) ns.rg with
+      | None -> () (* cannot happen: the candidate graph is connected *)
+      | Some wanted ->
+        routed.(n) <- true;
+        (match (Netlist.net netlist n).Netlist.diff_partner with
+        | Some p -> routed.(p) <- true
+        | None -> ());
+        reduce_to_tree t n ~wanted;
+        (* Mirroring may leave deletable leftovers in an unrecognized
+           partner or in this net; fall back to plain edge deletion so
+           both end as trees. *)
+        let members =
+          match (Netlist.net netlist n).Netlist.diff_partner with
+          | Some p -> [ n; p ]
+          | None -> [ n ]
+        in
+        route_among t members
+    end
+  in
+  List.iter route_one order;
+  trace t "sequential baseline done after %d deletions" t.deletions
+
+let is_routed t = Array.for_all (fun ns -> ns.candidates = []) t.nets
+
+let reroute_net t n =
+  let netlist = Floorplan.netlist t.fp in
+  let members =
+    match (Netlist.net netlist n).Netlist.diff_partner with
+    | Some p -> [ min n p; max n p ]
+    | None -> [ n ]
+  in
+  List.iter (fun m -> unregister_net_density t t.nets.(m)) members;
+  List.iter (fun m -> init_net_state t m) members;
+  (match members with
+  | [ a; b ] -> recognize_pair t a b
+  | [ _ ] -> ()
+  | _ -> assert false);
+  (match t.sta with Some sta -> Sta.refresh_for_nets sta members | None -> ());
+  route_among t members
+
+let recover_violations t =
+  match t.sta with
+  | None -> { reroutes = 0; passes = 0 }
+  | Some sta ->
+    (* The recovery phase always weighs delay first, whatever ordering
+       the initial routing used (Sec. 3.5 reserves the density-first
+       ordering for the area phase). *)
+    let saved_mode = t.area_mode in
+    set_area_mode t false;
+    let reroutes = ref 0 and passes = ref 0 in
+    let rec loop () =
+      if !passes >= t.opts.max_recover_passes then ()
+      else begin
+        match Sta.violations sta with
+        | [] -> ()
+        | violated ->
+          incr passes;
+          let before = Sta.worst_path_delay sta in
+          let on_constraint ci =
+            let nets = List.sort_uniq Int.compare (Sta.critical_nets sta ci) in
+            List.iter
+              (fun n ->
+                if Sta.margin sta ci < 0.0 then begin
+                  reroute_net t n;
+                  incr reroutes
+                end)
+              nets
+          in
+          List.iter on_constraint violated;
+          let after = Sta.worst_path_delay sta in
+          trace t "recover pass %d: worst delay %.1f -> %.1f ps" !passes before after;
+          if after < before -. 1e-6 || Sta.violations sta = [] then loop ()
+      end
+    in
+    loop ();
+    set_area_mode t saved_mode;
+    { reroutes = !reroutes; passes = !passes }
+
+let improve_delay t =
+  match t.sta with
+  | None -> { reroutes = 0; passes = 0 }
+  | Some sta ->
+    let saved_mode = t.area_mode in
+    set_area_mode t false;
+    let reroutes = ref 0 and passes = ref 0 in
+    let rec loop () =
+      if !passes >= t.opts.max_delay_passes then ()
+      else begin
+        incr passes;
+        let before = Sta.worst_path_delay sta in
+        (* Constraints by ascending margin; their critical nets first. *)
+        let order =
+          List.init (Sta.n_constraints sta) Fun.id
+          |> List.stable_sort (fun a b -> Float.compare (Sta.margin sta a) (Sta.margin sta b))
+        in
+        let seen = Hashtbl.create 64 in
+        let on_constraint ci =
+          List.iter
+            (fun n ->
+              if not (Hashtbl.mem seen n) then begin
+                Hashtbl.replace seen n ();
+                reroute_net t n;
+                incr reroutes
+              end)
+            (Sta.critical_nets sta ci)
+        in
+        List.iter on_constraint order;
+        let after = Sta.worst_path_delay sta in
+        trace t "delay pass %d: worst delay %.1f -> %.1f ps" !passes before after;
+        if after < before -. 1e-6 then loop ()
+      end
+    in
+    loop ();
+    set_area_mode t saved_mode;
+    { reroutes = !reroutes; passes = !passes }
+
+let total_tracks t = Array.fold_left ( + ) 0 (Density.tracks_estimate t.dens)
+
+(* Nets with a trunk covering a maximum-density column of the most
+   congested channel. *)
+let congested_nets t =
+  let worst_channel = ref 0 and worst = ref (-1) in
+  for c = 0 to Density.n_channels t.dens - 1 do
+    let v = Density.cM t.dens ~channel:c in
+    if v > !worst then begin
+      worst := v;
+      worst_channel := c
+    end
+  done;
+  let c = !worst_channel in
+  let peak = !worst in
+  let hot x = Density.dM_at t.dens ~channel:c ~x = peak in
+  let result = ref [] in
+  Array.iteri
+    (fun n ns ->
+      let covers_hot = ref false in
+      Ugraph.iter_edges ns.rg.Routing_graph.graph (fun e ->
+          match Routing_graph.edge_kind ns.rg e.Ugraph.id with
+          | Routing_graph.Trunk { channel; span } when channel = c ->
+            Interval.iter (fun x -> if hot x then covers_hot := true) span
+          | Routing_graph.Trunk _ | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> ())
+        ;
+      if !covers_hot then result := n :: !result)
+    t.nets;
+  List.rev !result
+
+let improve_area t =
+  let reroutes = ref 0 and passes = ref 0 in
+  let saved_mode = t.area_mode in
+  set_area_mode t true;
+  let rec loop () =
+    if !passes >= t.opts.max_area_passes then ()
+    else begin
+      incr passes;
+      let before = total_tracks t in
+      let nets = congested_nets t in
+      List.iter
+        (fun n ->
+          reroute_net t n;
+          incr reroutes)
+        nets;
+      let after = total_tracks t in
+      trace t "area pass %d: total tracks %d -> %d (%d nets)" !passes before after
+        (List.length nets);
+      if after < before then loop ()
+    end
+  in
+  loop ();
+  set_area_mode t saved_mode;
+  { reroutes = !reroutes; passes = !passes }
+
+let run t =
+  initial_route t;
+  let r = recover_violations t in
+  trace t "violation recovery: %d reroutes in %d passes" r.reroutes r.passes;
+  let r = improve_delay t in
+  trace t "delay improvement: %d reroutes in %d passes" r.reroutes r.passes;
+  let r = improve_area t in
+  trace t "area improvement: %d reroutes in %d passes" r.reroutes r.passes;
+  (* The area phase may lengthen critical nets inside still-met
+     constraints; a final timing cleanup (an extra turn of the Sec. 3.5
+     rip-up loops) undoes that at negligible area cost. *)
+  match t.sta with
+  | None -> ()
+  | Some _ ->
+    let r = recover_violations t in
+    trace t "final recovery: %d reroutes in %d passes" r.reroutes r.passes;
+    let r = improve_delay t in
+    trace t "final delay cleanup: %d reroutes in %d passes" r.reroutes r.passes
+
+(* --- results ----------------------------------------------------------- *)
+
+let tree_edges t n = t.nets.(n).tree
+let routing_graph t n = t.nets.(n).rg
+
+let net_length_um t n =
+  let ns = t.nets.(n) in
+  Routing_graph.geometric_length_um ns.rg ~edge_ids:ns.tree
+
+let total_length_mm t =
+  let total = ref 0.0 in
+  Array.iteri (fun n _ -> total := !total +. net_length_um t n) t.nets;
+  Dims.mm_of_um !total
+
+let wire_caps t = Array.map (fun ns -> ns.cl_ff) t.nets
+
+type chan_pin = { cp_x : int; cp_from_top : bool }
+
+type chan_net = {
+  cn_net : int;
+  cn_lo : int;
+  cn_hi : int;
+  cn_pins : chan_pin list;
+  cn_pitch : int;
+}
+
+let channel_nets t ~channel =
+  let netlist = Floorplan.netlist t.fp in
+  let out = ref [] in
+  let on_net n ns =
+    let lo = ref max_int and hi = ref min_int in
+    let pins = ref [] in
+    let touch x =
+      if x < !lo then lo := x;
+      if x > !hi then hi := x
+    in
+    let add_pin x from_top =
+      touch x;
+      pins := { cp_x = x; cp_from_top = from_top } :: !pins
+    in
+    let on_edge eid =
+      match Routing_graph.edge_kind ns.rg eid with
+      | Routing_graph.Trunk { channel = c; span } when c = channel ->
+        touch (Interval.lo span);
+        touch (Interval.hi span)
+      | Routing_graph.Branch { row; x } ->
+        (* Row r sits above channel r: its feedthrough enters channel r
+           from the top, channel r+1 from the bottom. *)
+        if row = channel then add_pin x true
+        else if row + 1 = channel then add_pin x false
+      | Routing_graph.Correspondence p when p.Routing_graph.channel = channel -> begin
+        (* Find which terminal this correspondence serves. *)
+        let e = Ugraph.edge ns.rg.Routing_graph.graph eid in
+        let term_vertex =
+          match ns.rg.Routing_graph.vkind.(e.Ugraph.u) with
+          | Routing_graph.Terminal _ -> e.Ugraph.u
+          | Routing_graph.Position _ -> e.Ugraph.v
+        in
+        match ns.rg.Routing_graph.vkind.(term_vertex) with
+        | Routing_graph.Terminal (Netlist.Pin pin) ->
+          let row = Floorplan.terminal_row t.fp pin in
+          add_pin p.Routing_graph.x (row = channel)
+        | Routing_graph.Terminal (Netlist.Port q) ->
+          let from_top =
+            match (Netlist.port netlist q).Netlist.side with
+            | Netlist.North -> true
+            | Netlist.South -> false
+          in
+          add_pin p.Routing_graph.x from_top
+        | Routing_graph.Position _ -> assert false
+      end
+      | Routing_graph.Trunk _ | Routing_graph.Correspondence _ -> ()
+    in
+    List.iter on_edge ns.tree;
+    if !pins <> [] || !lo <= !hi then
+      out :=
+        { cn_net = n;
+          cn_lo = !lo;
+          cn_hi = !hi;
+          cn_pins = List.rev !pins;
+          cn_pitch = ns.rg.Routing_graph.pitch }
+        :: !out
+  in
+  Array.iteri on_net t.nets;
+  List.rev !out

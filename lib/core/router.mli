@@ -1,0 +1,138 @@
+(** The edge-deletion global router (Fig. 2) with the selection
+    heuristics of Sec. 3.4 and the improvement phases of Sec. 3.5.
+
+    Lifecycle:
+    {ol
+    {- {!create} builds every net's routing graph over an already
+       feedthrough-assigned floorplan, registers channel densities and
+       seeds the timing state;}
+    {- {!initial_route} repeatedly selects one non-bridge edge across
+       {e all} nets and deletes it ("the interconnection wiring of all
+       nets is determined concurrently") until every net graph is a
+       tree;}
+    {- {!recover_violations}, {!improve_delay} and {!improve_area}
+       rip up and reroute nets one by one;}
+    {- {!run} chains all of the above.}}
+
+    Pass [sta = None] (or a constraint-free STA) for the paper's
+    "without constraints" baseline: all delay criteria tie and the
+    selection degenerates to the pure density heuristics. *)
+
+type cl_estimator =
+  | Tentative_tree  (** Dijkstra shortest-path union (Sec. 3.2) *)
+  | Star_bbox  (** half-perimeter estimate — ablation A3 *)
+
+type delay_model =
+  | Lumped_c  (** the paper's capacitance model, Eq. 1 *)
+  | Elmore_rc
+      (** per-sink Elmore RC delays through the tentative tree — the
+          Sec. 2.1 extension; the selection heuristics still use the
+          capacitive first-order term for [LM(e,P)], exactly as the
+          paper notes ("the routing flow and the heuristic criteria ...
+          are not influenced by this delay model change") *)
+
+type options = {
+  cl_estimator : cl_estimator;
+  delay_model : delay_model;
+  area_first_ordering : bool;
+      (** use the area-improvement criterion ordering ([C_d] first,
+          then density, [Gl]/[LD] last) from the start — ablation A1 *)
+  max_recover_passes : int;
+  max_delay_passes : int;
+  max_area_passes : int;
+  trace : (string -> unit) option;  (** phase/selection trace (Fig. 2 outline) *)
+}
+
+val default_options : options
+
+type t
+
+type phase_report = {
+  reroutes : int;  (** nets ripped up and rerouted *)
+  passes : int;
+}
+
+val create :
+  ?options:options ->
+  Floorplan.t ->
+  Feedthrough.assignment ->
+  Sta.t option ->
+  t
+
+val floorplan : t -> Floorplan.t
+val assignment : t -> Feedthrough.assignment
+val sta : t -> Sta.t option
+val density : t -> Density.t
+val options : t -> options
+
+val n_deletions : t -> int
+(** Edge deletions performed so far (including pruned stubs). *)
+
+val n_recognized_pairs : t -> int
+(** Differential pairs routed with mirrored deletions. *)
+
+val initial_route : t -> unit
+
+val route_sequential : ?congestion_weight:float -> ?order:int list -> t -> unit
+(** Baseline: route nets one at a time, as the sequential timing-driven
+    routers the paper compares its concurrent scheme against ([6][7][8]
+    in its references).  Each net in [order] (default: the netlist
+    order) picks its tree by a congestion-priced Dijkstra — a trunk's
+    cost grows by [congestion_weight] (default 0.5) track-heights per
+    unit of current channel density over its span — and then every
+    other candidate edge of that net is deleted before the next net is
+    considered.  Unlike {!initial_route}, the result depends on the net
+    ordering; recognized differential pairs still mirror. *)
+
+val recover_violations : t -> phase_report
+val improve_delay : t -> phase_report
+val improve_area : t -> phase_report
+
+val run : t -> unit
+(** [initial_route] + the three improvement phases. *)
+
+val is_routed : t -> bool
+(** No non-bridge edge remains anywhere. *)
+
+(** {1 Results} *)
+
+val tree_edges : t -> int -> int list
+(** Final (or current tentative) wiring tree of a net, as edge ids into
+    {!routing_graph}. *)
+
+val routing_graph : t -> int -> Routing_graph.t
+
+val net_length_um : t -> int -> float
+
+val total_length_mm : t -> float
+
+val wire_caps : t -> float array
+(** Current [CL(n)] per net, fF. *)
+
+type chan_pin = { cp_x : int; cp_from_top : bool }
+
+type chan_net = {
+  cn_net : int;
+  cn_lo : int;  (** leftmost connection column (closed) *)
+  cn_hi : int;  (** rightmost connection column (closed) *)
+  cn_pins : chan_pin list;
+  cn_pitch : int;
+}
+
+val channel_nets : t -> channel:int -> chan_net list
+(** Per-channel net segments (with their vertical connection points)
+    derived from the final trees — the channel router's input. *)
+
+val reroute_net : t -> int -> unit
+(** Rip up and reroute one net (and its recognized differential
+    partner) with the current heuristics — exposed for experiments. *)
+
+val set_area_mode : t -> bool -> unit
+(** Toggle the area-improvement criterion ordering: delay count first,
+    then density conditions, with [Gl]/[LD] last (Sec. 3.5). *)
+
+val penalty : float -> float -> float
+(** The penalty function of Eq. 4:
+    [pen x limit = 1 - x/limit] when [x >= 0], [exp (-x/limit)]
+    otherwise (clamped against overflow) — exposed for testing and for
+    external cost models. *)

@@ -1,0 +1,24 @@
+let net_skew_ps ~dims ~netlist ~rg ~tree =
+  let r = Elmore.analyze ~dims ~netlist ~rg ~tree () in
+  match r.Elmore.delay_ps with
+  | [] | [ _ ] -> 0.0
+  | delays ->
+    let values = List.map snd delays in
+    let lo = List.fold_left min infinity values and hi = List.fold_left max neg_infinity values in
+    hi -. lo
+
+let router_net_skew_ps router net =
+  let fp = Router.floorplan router in
+  net_skew_ps ~dims:(Floorplan.dims fp) ~netlist:(Floorplan.netlist fp)
+    ~rg:(Router.routing_graph router net) ~tree:(Router.tree_edges router net)
+
+let widest_net netlist =
+  let best = ref None in
+  Array.iter
+    (fun (n : Netlist.net) ->
+      let fanout = List.length n.Netlist.sinks in
+      match !best with
+      | Some (p, f, _) when (p, f) >= (n.Netlist.pitch, fanout) -> ()
+      | _ -> best := Some (n.Netlist.pitch, fanout, n.Netlist.net_id))
+    (Netlist.nets netlist);
+  Option.map (fun (_, _, id) -> id) !best

@@ -1,0 +1,131 @@
+type report = {
+  problems : string list;
+  warnings : string list;
+  checked_nets : int;
+}
+
+let ok r = r.problems = []
+
+let routed router =
+  let fp = Router.floorplan router in
+  let netlist = Floorplan.netlist fp in
+  let assignment = Router.assignment router in
+  let n_nets = Netlist.n_nets netlist in
+  let problems = ref [] and warnings = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
+  let width = Floorplan.width fp and n_channels = Floorplan.n_channels fp in
+  (* Recounted densities, filled as we walk the nets. *)
+  let recount = Density.create ~n_channels ~width in
+  (* Feedthrough occupancy: slot id -> net. *)
+  let slot_claims = Hashtbl.create 64 in
+  for net = 0 to n_nets - 1 do
+    let rg = Router.routing_graph router net in
+    let g = rg.Routing_graph.graph in
+    (* Tree structure. *)
+    if not (Ugraph.connected_within g rg.Routing_graph.terminals) then
+      problem "net %d: terminals disconnected" net;
+    if Bridges.non_bridge_ids g <> [] then problem "net %d: not yet a tree" net;
+    for v = 0 to Ugraph.n_vertices g - 1 do
+      match rg.Routing_graph.vkind.(v) with
+      | Routing_graph.Terminal _ -> ()
+      | Routing_graph.Position _ ->
+        if Ugraph.degree g v = 1 then problem "net %d: dangling stub at vertex %d" net v
+    done;
+    (* Geometry per live edge. *)
+    let bridge = Bridges.bridges g in
+    let granted = Feedthrough.slots_of_net assignment net in
+    Ugraph.iter_edges g (fun e ->
+        match Routing_graph.edge_kind rg e.Ugraph.id with
+        | Routing_graph.Trunk { channel; span } ->
+          if channel < 0 || channel >= n_channels then
+            problem "net %d: trunk in unknown channel %d" net channel
+          else begin
+            if Interval.lo span < 0 || Interval.hi span > width then
+              problem "net %d: trunk outside the chip" net;
+            if
+              Floorplan.trunk_blocked fp ~channel ~x1:(Interval.lo span)
+                ~x2:(Interval.hi span - 1)
+            then problem "net %d: trunk crosses a blockage in channel %d" net channel;
+            Density.add_trunk recount ~channel ~span ~w:rg.Routing_graph.pitch
+              ~bridge:bridge.(e.Ugraph.id)
+          end
+        | Routing_graph.Branch { row; x } -> begin
+          match
+            List.find_opt
+              (fun (r, slots) ->
+                r = row
+                && List.exists (fun (s : Floorplan.slot) -> s.Floorplan.slot_x = x) slots)
+              granted
+          with
+          | None -> problem "net %d: branch at row %d x %d without a granted feedthrough" net row x
+          | Some (_, slots) ->
+            List.iter
+              (fun (s : Floorplan.slot) ->
+                match Hashtbl.find_opt slot_claims s.Floorplan.slot_id with
+                | Some other when other <> net ->
+                  problem "feedthrough slot %d claimed by nets %d and %d" s.Floorplan.slot_id other
+                    net
+                | Some _ | None -> Hashtbl.replace slot_claims s.Floorplan.slot_id net)
+              slots
+        end
+        | Routing_graph.Correspondence p ->
+          if p.Routing_graph.channel < 0 || p.Routing_graph.channel >= n_channels then
+            problem "net %d: connection in unknown channel %d" net p.Routing_graph.channel);
+    (* Capacitance bookkeeping (lumped model only). *)
+    (match (Router.options router).Router.cl_estimator with
+    | Router.Star_bbox -> ()
+    | Router.Tentative_tree ->
+      if (Router.options router).Router.delay_model = Router.Lumped_c then begin
+        let expected =
+          Routing_graph.tree_capacitance rg ~edge_ids:(Router.tree_edges router net)
+        in
+        let recorded = (Router.wire_caps router).(net) in
+        if abs_float (expected -. recorded) > 1e-6 then
+          problem "net %d: recorded CL %.3f differs from tree capacitance %.3f" net recorded
+            expected
+      end);
+    (* Differential pair shape. *)
+    match (Netlist.net netlist net).Netlist.diff_partner with
+    | Some p when p > net ->
+      if Router.n_recognized_pairs router = 0 then
+        warn "pair %d/%d routed without mirroring" net p
+      else begin
+        let shape m =
+          let rgm = Router.routing_graph router m in
+          Router.tree_edges router m
+          |> List.filter_map (fun eid ->
+                 match Routing_graph.edge_kind rgm eid with
+                 | Routing_graph.Trunk { channel; span } ->
+                   Some (`T (channel, Interval.length span))
+                 | Routing_graph.Branch { row; _ } -> Some (`B row)
+                 | Routing_graph.Correspondence _ -> None)
+          |> List.sort compare
+        in
+        if shape net <> shape p then warn "pair %d/%d trees differ in shape" net p
+      end
+    | Some _ | None -> ()
+  done;
+  (* Density charts. *)
+  let live = Router.density router in
+  (try
+     for c = 0 to n_channels - 1 do
+       for x = 0 to width - 1 do
+         if Density.dM_at live ~channel:c ~x <> Density.dM_at recount ~channel:c ~x then
+           problem "density d_M mismatch at channel %d column %d" c x;
+         if Density.dm_at live ~channel:c ~x <> Density.dm_at recount ~channel:c ~x then
+           problem "density d_m mismatch at channel %d column %d" c x
+       done
+     done
+   with e -> problem "density recount failed: %s" (Printexc.to_string e));
+  { problems = List.rev !problems; warnings = List.rev !warnings; checked_nets = n_nets }
+
+let pp ppf r =
+  if ok r then
+    Format.fprintf ppf "verify: OK (%d nets checked, %d warnings)@." r.checked_nets
+      (List.length r.warnings)
+  else
+    Format.fprintf ppf "verify: %d problems over %d nets@." (List.length r.problems)
+      r.checked_nets;
+  List.iter (fun p -> Format.fprintf ppf "  problem: %s@." p) r.problems;
+  List.iter (fun w -> Format.fprintf ppf "  warning: %s@." w) r.warnings

@@ -1,0 +1,33 @@
+(** Independent verification of a routed design — the DRC/LVS analogue
+    for the global-routing level.
+
+    Everything here is recomputed from first principles (fresh bridge
+    finding, fresh density recount, direct geometry checks) so it can
+    catch bookkeeping bugs in the router itself; the test suite runs it
+    on every end-to-end result, and `bgr_run verify` exposes it on the
+    command line. *)
+
+type report = {
+  problems : string list;  (** hard failures: the result is not a legal routing *)
+  warnings : string list;  (** suspicious but legal conditions *)
+  checked_nets : int;
+}
+
+val ok : report -> bool
+(** No problems. *)
+
+val routed : Router.t -> report
+(** Audit a routed (post-{!Router.run}) state:
+    - every net's live graph is a tree spanning its terminals, with no
+      dangling non-terminal stubs;
+    - every trunk lies inside the chip, in a real channel, and crosses
+      no blockage;
+    - every branch sits on a feedthrough slot granted to that net, and
+      no slot serves two nets;
+    - the incremental density charts equal a from-scratch recount;
+    - under the lumped delay model, every recorded [CL(n)] equals the
+      tree capacitance;
+    - recognized differential pairs have shape-identical trees
+      (warning when recognition was dropped). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,53 @@
+type t = { lo : int; hi : int }
+(* Invariant: lo < hi, except the canonical empty interval {0,0}. *)
+
+let empty = { lo = 0; hi = 0 }
+
+let span lo hi = if hi <= lo then empty else { lo; hi }
+
+let make x1 x2 =
+  let lo = min x1 x2 and hi = max x1 x2 in
+  { lo; hi = hi + 1 }
+
+let point x = { lo = x; hi = x + 1 }
+let lo t = t.lo
+let hi t = t.hi
+let is_empty t = t.hi <= t.lo
+let length t = if is_empty t then 0 else t.hi - t.lo
+let mem x t = t.lo <= x && x < t.hi
+let overlaps a b = (not (is_empty a)) && (not (is_empty b)) && a.lo < b.hi && b.lo < a.hi
+
+let contains outer inner =
+  is_empty inner || ((not (is_empty outer)) && outer.lo <= inner.lo && inner.hi <= outer.hi)
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let inter a b = span (max a.lo b.lo) (min a.hi b.hi)
+let shift dx t = if is_empty t then t else { lo = t.lo + dx; hi = t.hi + dx }
+
+let iter f t =
+  for x = t.lo to t.hi - 1 do
+    f x
+  done
+
+let fold f acc t =
+  let rec loop acc x = if x >= t.hi then acc else loop (f acc x) (x + 1) in
+  loop acc t.lo
+
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+
+let compare a b =
+  match (is_empty a, is_empty b) with
+  | true, true -> 0
+  | true, false -> -1
+  | false, true -> 1
+  | false, false ->
+    let c = Int.compare a.lo b.lo in
+    if c <> 0 then c else Int.compare a.hi b.hi
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "(empty)"
+  else Format.fprintf ppf "[%d,%d)" t.lo t.hi

@@ -1,0 +1,69 @@
+(** Integer column intervals on the routing grid.
+
+    A trunk segment spanning grid columns [x1] to [x2] is represented by
+    the half-open interval [\[min x1 x2, max x1 x2)].  Half-open spans
+    let consecutive trunk edges of one net chain without overlapping, so
+    summing their column occupancies never double-counts (DESIGN.md
+    Sec. 5, "Density parameters").  The empty interval (zero columns) is
+    representable and behaves as a neutral element for [hull]. *)
+
+type t
+
+val empty : t
+(** The interval covering no column. *)
+
+val make : int -> int -> t
+(** [make x1 x2] is the half-open interval from [min x1 x2] (inclusive)
+    to [max x1 x2] (exclusive).  [make x x] is a single-column interval
+    [\[x, x+1)] — a point attachment still occupies its column. *)
+
+val span : int -> int -> t
+(** [span lo hi] is the raw half-open interval [\[lo, hi)]; empty when
+    [hi <= lo]. *)
+
+val point : int -> t
+(** [point x] = [make x x]: the single column [x]. *)
+
+val lo : t -> int
+(** Inclusive lower bound.  Unspecified for [empty]. *)
+
+val hi : t -> int
+(** Exclusive upper bound.  Unspecified for [empty]. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** Number of columns covered. *)
+
+val mem : int -> t -> bool
+(** [mem x t] is true when column [x] lies inside [t]. *)
+
+val overlaps : t -> t -> bool
+(** Whether the two intervals share at least one column. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner] is true when every column of [inner] lies in
+    [outer].  The empty interval is contained in everything. *)
+
+val hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val inter : t -> t -> t
+(** Common columns of the two intervals ([empty] when disjoint). *)
+
+val shift : int -> t -> t
+(** Translate by a column offset. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over covered columns in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Left fold over covered columns. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: by lower bound, then upper bound; [empty] first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [\[lo,hi)] or [(empty)]. *)

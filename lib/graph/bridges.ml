@@ -1,0 +1,65 @@
+(* Iterative Tarjan low-link bridge finding.  Frames carry the vertex,
+   the edge used to enter it, and the not-yet-scanned incident edges. *)
+
+type frame = {
+  vertex : int;
+  parent_edge : int;  (* -1 at component roots *)
+  mutable remaining : Ugraph.edge list;
+}
+
+let bridges g =
+  let n = Ugraph.n_vertices g in
+  let total = Ugraph.n_edges_total g in
+  let is_bridge = Array.make total false in
+  let adjacency = Array.make (max 1 n) [] in
+  let record (e : Ugraph.edge) =
+    if e.u <> e.v then begin
+      adjacency.(e.u) <- e :: adjacency.(e.u);
+      adjacency.(e.v) <- e :: adjacency.(e.v)
+    end
+  in
+  Ugraph.iter_edges g record;
+  let disc = Array.make (max 1 n) (-1) in
+  let low = Array.make (max 1 n) 0 in
+  let time = ref 0 in
+  let stack = Stack.create () in
+  let enter vertex parent_edge =
+    disc.(vertex) <- !time;
+    low.(vertex) <- !time;
+    incr time;
+    Stack.push { vertex; parent_edge; remaining = adjacency.(vertex) } stack
+  in
+  let close frame =
+    ignore (Stack.pop stack);
+    if frame.parent_edge >= 0 then begin
+      let e = Ugraph.edge g frame.parent_edge in
+      let parent = Ugraph.other_endpoint e frame.vertex in
+      if low.(frame.vertex) < low.(parent) then low.(parent) <- low.(frame.vertex);
+      if low.(frame.vertex) > disc.(parent) then is_bridge.(frame.parent_edge) <- true
+    end
+  in
+  for root = 0 to n - 1 do
+    if disc.(root) = -1 then begin
+      enter root (-1);
+      while not (Stack.is_empty stack) do
+        let frame = Stack.top stack in
+        match frame.remaining with
+        | [] -> close frame
+        | e :: rest ->
+          frame.remaining <- rest;
+          if e.id <> frame.parent_edge then begin
+            let w = Ugraph.other_endpoint e frame.vertex in
+            if disc.(w) = -1 then enter w e.id
+            else if disc.(w) < low.(frame.vertex) then low.(frame.vertex) <- disc.(w)
+          end
+      done
+    end
+  done;
+  is_bridge
+
+let non_bridge_ids g =
+  let flags = bridges g in
+  List.rev
+    (Ugraph.fold_edges g
+       (fun acc (e : Ugraph.edge) -> if flags.(e.id) then acc else e.id :: acc)
+       [])

@@ -1,0 +1,18 @@
+(** Bridge detection on the live part of a multigraph.
+
+    An edge is a bridge when its deletion disconnects its component.
+    Parallel edges are handled correctly (two parallel edges make each
+    other non-bridges) because the DFS skips only the single traversal
+    of the parent *edge id*, not every edge to the parent vertex.
+
+    The router recomputes this per net after each deletion in that
+    net — routing graphs are small, so the O(V+E) cost is acceptable
+    (DESIGN.md Sec. 5, "Incrementality"). *)
+
+val bridges : Ugraph.t -> bool array
+(** [bridges g] is a flag per edge id ([Ugraph.n_edges_total g] long):
+    [true] iff the edge is live and a bridge.  Dead edges and self-loops
+    are [false]. *)
+
+val non_bridge_ids : Ugraph.t -> int list
+(** Live non-bridge edge ids in increasing order. *)

@@ -1,0 +1,234 @@
+type t = {
+  mutable out_adj : (int * int) list array;  (* vertex -> (edge id, dst) *)
+  mutable in_adj : (int * int) list array;  (* vertex -> (edge id, src) *)
+  mutable weights : float array;
+  mutable srcs : int array;
+  mutable dsts : int array;
+  mutable n_vertices : int;
+  mutable n_edges : int;
+  mutable topo : int array option;  (* cache, invalidated on structural change *)
+}
+
+exception Cycle of int
+
+let create ?(vertex_hint = 16) () =
+  let n = max 1 vertex_hint in
+  { out_adj = Array.make n [];
+    in_adj = Array.make n [];
+    weights = Array.make 16 0.0;
+    srcs = Array.make 16 0;
+    dsts = Array.make 16 0;
+    n_vertices = 0;
+    n_edges = 0;
+    topo = None }
+
+let add_vertex t =
+  let capacity = Array.length t.out_adj in
+  if t.n_vertices = capacity then begin
+    let out_adj = Array.make (2 * capacity) [] in
+    Array.blit t.out_adj 0 out_adj 0 capacity;
+    t.out_adj <- out_adj;
+    let in_adj = Array.make (2 * capacity) [] in
+    Array.blit t.in_adj 0 in_adj 0 capacity;
+    t.in_adj <- in_adj
+  end;
+  let v = t.n_vertices in
+  t.n_vertices <- v + 1;
+  t.topo <- None;
+  v
+
+let n_vertices t = t.n_vertices
+let n_edges t = t.n_edges
+
+let check_vertex t v =
+  if v < 0 || v >= t.n_vertices then invalid_arg "Dag: unknown vertex"
+
+let check_edge t e =
+  if e < 0 || e >= t.n_edges then invalid_arg "Dag: unknown edge id"
+
+let add_edge t ~src ~dst ~weight =
+  check_vertex t src;
+  check_vertex t dst;
+  let capacity = Array.length t.weights in
+  if t.n_edges = capacity then begin
+    let weights = Array.make (2 * capacity) 0.0 in
+    Array.blit t.weights 0 weights 0 capacity;
+    t.weights <- weights;
+    let srcs = Array.make (2 * capacity) 0 in
+    Array.blit t.srcs 0 srcs 0 capacity;
+    t.srcs <- srcs;
+    let dsts = Array.make (2 * capacity) 0 in
+    Array.blit t.dsts 0 dsts 0 capacity;
+    t.dsts <- dsts
+  end;
+  let id = t.n_edges in
+  t.n_edges <- id + 1;
+  t.weights.(id) <- weight;
+  t.srcs.(id) <- src;
+  t.dsts.(id) <- dst;
+  t.out_adj.(src) <- (id, dst) :: t.out_adj.(src);
+  t.in_adj.(dst) <- (id, src) :: t.in_adj.(dst);
+  t.topo <- None;
+  id
+
+let set_weight t e w =
+  check_edge t e;
+  t.weights.(e) <- w
+
+let weight t e =
+  check_edge t e;
+  t.weights.(e)
+
+let endpoints t e =
+  check_edge t e;
+  (t.srcs.(e), t.dsts.(e))
+
+let iter_out t v f =
+  check_vertex t v;
+  List.iter (fun (edge_id, dst) -> f ~edge_id ~dst ~weight:t.weights.(edge_id)) t.out_adj.(v)
+
+let iter_in t v f =
+  check_vertex t v;
+  List.iter (fun (edge_id, src) -> f ~edge_id ~src ~weight:t.weights.(edge_id)) t.in_adj.(v)
+
+let iter_edges t f =
+  for edge_id = 0 to t.n_edges - 1 do
+    f ~edge_id ~src:t.srcs.(edge_id) ~dst:t.dsts.(edge_id) ~weight:t.weights.(edge_id)
+  done
+
+(* Kahn's algorithm; a leftover vertex with nonzero in-degree witnesses
+   a cycle. *)
+let compute_topo t =
+  let n = t.n_vertices in
+  let in_degree = Array.make (max 1 n) 0 in
+  for v = 0 to n - 1 do
+    List.iter (fun (_, dst) -> in_degree.(dst) <- in_degree.(dst) + 1) t.out_adj.(v)
+  done;
+  let order = Array.make (max 1 n) 0 in
+  let filled = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if in_degree.(v) = 0 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    order.(!filled) <- v;
+    incr filled;
+    let release (_, dst) =
+      in_degree.(dst) <- in_degree.(dst) - 1;
+      if in_degree.(dst) = 0 then Queue.add dst queue
+    in
+    List.iter release t.out_adj.(v)
+  done;
+  if !filled < n then begin
+    let witness = ref (-1) in
+    for v = 0 to n - 1 do
+      if !witness = -1 && in_degree.(v) > 0 then witness := v
+    done;
+    raise (Cycle !witness)
+  end;
+  order
+
+let topo_order t =
+  match t.topo with
+  | Some order -> order
+  | None ->
+    let order = compute_topo t in
+    t.topo <- Some order;
+    order
+
+let longest_from t ~sources =
+  let order = topo_order t in
+  let dist = Array.make (max 1 t.n_vertices) neg_infinity in
+  List.iter
+    (fun (s, offset) ->
+      check_vertex t s;
+      if offset > dist.(s) then dist.(s) <- offset)
+    sources;
+  let relax v =
+    if dist.(v) > neg_infinity then
+      iter_out t v (fun ~edge_id:_ ~dst ~weight ->
+          let d = dist.(v) +. weight in
+          if d > dist.(dst) then dist.(dst) <- d)
+  in
+  Array.iter relax order;
+  dist
+
+let longest_to t ~sinks =
+  let order = topo_order t in
+  let dist = Array.make (max 1 t.n_vertices) neg_infinity in
+  List.iter
+    (fun (s, offset) ->
+      check_vertex t s;
+      if offset > dist.(s) then dist.(s) <- offset)
+    sinks;
+  let relax v =
+    iter_out t v (fun ~edge_id:_ ~dst ~weight ->
+        if dist.(dst) > neg_infinity then begin
+          let d = dist.(dst) +. weight in
+          if d > dist.(v) then dist.(v) <- d
+        end)
+  in
+  for i = Array.length order - 1 downto 0 do
+    relax order.(i)
+  done;
+  dist
+
+let bfs_mark adjacency n roots =
+  let mark = Array.make (max 1 n) false in
+  let queue = Queue.create () in
+  let seed v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter seed roots;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    List.iter (fun (_, w) -> seed w) adjacency.(v)
+  done;
+  mark
+
+let reachable_from t roots =
+  List.iter (check_vertex t) roots;
+  bfs_mark t.out_adj t.n_vertices roots
+
+let coreachable_to t roots =
+  List.iter (check_vertex t) roots;
+  bfs_mark t.in_adj t.n_vertices roots
+
+let longest_path t ~sources ~sinks =
+  let from_src = longest_from t ~sources in
+  let is_sink = Array.make (max 1 t.n_vertices) false in
+  List.iter
+    (fun s ->
+      check_vertex t s;
+      is_sink.(s) <- true)
+    sinks;
+  let best = ref neg_infinity and best_v = ref (-1) in
+  List.iter
+    (fun s ->
+      if from_src.(s) > !best then begin
+        best := from_src.(s);
+        best_v := s
+      end)
+    sinks;
+  if !best_v = -1 || !best = neg_infinity then None
+  else begin
+    (* Walk backwards greedily along edges that realize the distances;
+       stop when no predecessor explains the arrival (a source whose
+       offset realizes it). *)
+    let eps = 1e-9 in
+    let rec walk v acc =
+      let pred = ref (-1) in
+      iter_in t v (fun ~edge_id:_ ~src ~weight ->
+          if
+            !pred = -1
+            && from_src.(src) > neg_infinity
+            && abs_float (from_src.(src) +. weight -. from_src.(v)) < eps
+          then pred := src);
+      if !pred = -1 then v :: acc else walk !pred (v :: acc)
+    in
+    Some (!best, walk !best_v [])
+  end

@@ -1,0 +1,33 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    (* Path halving: point x at its grandparent and continue from there. *)
+    let g = t.parent.(p) in
+    t.parent.(x) <- g;
+    find t g
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ka = t.rank.(ra) and kb = t.rank.(rb) in
+    if ka < kb then t.parent.(ra) <- rb
+    else if kb < ka then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- ka + 1
+    end;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let count_distinct t xs =
+  let reps = List.sort_uniq Int.compare (List.map (find t) xs) in
+  List.length reps

@@ -1,0 +1,20 @@
+(** Disjoint-set union (union by rank, path halving).
+
+    Used for terminal-connectivity checks in the router and for merging
+    net segments in the channel router. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0..n-1]. *)
+
+val find : t -> int -> int
+(** Representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; [true] when they were distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count_distinct : t -> int list -> int
+(** Number of distinct sets represented among the given elements. *)

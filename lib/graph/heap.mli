@@ -1,0 +1,17 @@
+(** Minimal binary min-heap of [(float key, int payload)] pairs.
+
+    Supports the lazy-deletion discipline used by [Dijkstra]: stale
+    entries are pushed freely and filtered by the caller on pop. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val push : t -> float -> int -> unit
+
+val pop : t -> (float * int) option
+(** Remove and return the minimum-key entry. *)
+
+val size : t -> int

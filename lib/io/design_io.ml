@@ -1,0 +1,111 @@
+type t = {
+  d_netlist : Netlist.t;
+  d_floorplan : Floorplan.t option;
+  d_constraints : Path_constraint.t list;
+}
+
+let to_string ?(embed_library = false) ?floorplan ?(constraints = []) netlist =
+  let buf = Buffer.create 8192 in
+  if embed_library then begin
+    Buffer.add_string buf "[library]\n";
+    Buffer.add_string buf (Cell_lib_io.to_string (Netlist.library netlist))
+  end;
+  Buffer.add_string buf "[netlist]\n";
+  Buffer.add_string buf (Netlist_io.to_string netlist);
+  (match floorplan with
+  | Some fp ->
+    Buffer.add_string buf "[placement]\n";
+    Buffer.add_string buf (Layout_io.to_string fp)
+  | None -> ());
+  if constraints <> [] then begin
+    Buffer.add_string buf "[constraints]\n";
+    Buffer.add_string buf (Constraint_io.to_string netlist constraints)
+  end;
+  Buffer.contents buf
+
+let write ?embed_library ?floorplan ?constraints netlist ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?embed_library ?floorplan ?constraints netlist))
+
+let split_sections text =
+  let sections = Hashtbl.create 4 in
+  let current = ref None in
+  let buf = Buffer.create 1024 in
+  let flush_section () =
+    match !current with
+    | None -> ()
+    | Some name ->
+      Hashtbl.replace sections name (Buffer.contents buf);
+      Buffer.clear buf
+  in
+  List.iteri
+    (fun i raw ->
+      let trimmed = String.trim raw in
+      if String.length trimmed >= 2 && trimmed.[0] = '[' && trimmed.[String.length trimmed - 1] = ']'
+      then begin
+        flush_section ();
+        current := Some (String.sub trimmed 1 (String.length trimmed - 2))
+      end
+      else begin
+        match !current with
+        | Some _ -> Buffer.add_string buf (raw ^ "\n")
+        | None ->
+          if trimmed <> "" && trimmed.[0] <> '#' then
+            Lineio.fail ~line:(i + 1) "content before the first [section] header"
+      end)
+    (String.split_on_char '\n' text);
+  flush_section ();
+  sections
+
+let of_string ?(libraries = [ Cell_lib.ecl_default ]) ?(dims = Dims.default) text =
+  let sections = split_sections text in
+  let libraries =
+    match Hashtbl.find_opt sections "library" with
+    | Some s -> Cell_lib_io.of_string s :: libraries
+    | None -> libraries
+  in
+  let netlist_text =
+    match Hashtbl.find_opt sections "netlist" with
+    | Some s -> s
+    | None -> Lineio.fail ~line:1 "bundle has no [netlist] section"
+  in
+  let d_netlist = Netlist_io.of_string ~libraries netlist_text in
+  let d_floorplan =
+    Option.map (Layout_io.of_string ~netlist:d_netlist ~dims) (Hashtbl.find_opt sections "placement")
+  in
+  let d_constraints =
+    match Hashtbl.find_opt sections "constraints" with
+    | Some s -> Constraint_io.of_string ~netlist:d_netlist s
+    | None -> []
+  in
+  { d_netlist; d_floorplan; d_constraints }
+
+let read ?libraries ?dims path =
+  let ic = open_in path in
+  let text =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  of_string ?libraries ?dims text
+
+let to_flow_input t =
+  match t.d_floorplan with
+  | None -> invalid_arg "Design_io.to_flow_input: bundle has no placement"
+  | Some fp ->
+    let cells = ref [] and slots = ref [] in
+    for r = 0 to Floorplan.n_rows fp - 1 do
+      Array.iter (fun p -> cells := p :: !cells) (Floorplan.row_cells fp r);
+      Array.iter
+        (fun (s : Floorplan.slot) -> slots := (r, s.Floorplan.slot_x, s.Floorplan.width_flag) :: !slots)
+        (Floorplan.row_slots fp r)
+    done;
+    { Flow.netlist = t.d_netlist;
+      dims = Floorplan.dims fp;
+      n_rows = Floorplan.n_rows fp;
+      width = Floorplan.width fp;
+      cells = List.rev !cells;
+      slots = List.rev !slots;
+      blockages = Floorplan.blockage_triples fp;
+      constraints = t.d_constraints }

@@ -1,0 +1,53 @@
+(** One-file design bundles: netlist + placement + constraints in
+    sections, so a whole routing job can be exchanged as a single text
+    file.
+
+    {v
+    [library]        (optional: embedded cell masters)
+    ... Cell_lib_io format ...
+    [netlist]
+    ... Netlist_io format ...
+    [placement]
+    ... Layout_io format ...
+    [constraints]
+    ... Constraint_io format ...
+    v}
+
+    The [library], [placement] and [constraints] sections are
+    optional; an embedded library takes precedence over the caller's
+    [libraries] when the netlist references its name. *)
+
+type t = {
+  d_netlist : Netlist.t;
+  d_floorplan : Floorplan.t option;
+  d_constraints : Path_constraint.t list;
+}
+
+val to_string :
+  ?embed_library:bool ->
+  ?floorplan:Floorplan.t ->
+  ?constraints:Path_constraint.t list ->
+  Netlist.t ->
+  string
+(** [embed_library] (default false) adds a [\[library\]] section with
+    the netlist's cell masters, making the bundle self-contained —
+    readable without knowing the library by name. *)
+
+val write :
+  ?embed_library:bool ->
+  ?floorplan:Floorplan.t ->
+  ?constraints:Path_constraint.t list ->
+  Netlist.t ->
+  path:string ->
+  unit
+
+val of_string : ?libraries:Cell_lib.t list -> ?dims:Dims.t -> string -> t
+(** [libraries] defaults to [[Cell_lib.ecl_default]], [dims] to
+    [Dims.default].  @raise Lineio.Parse_error *)
+
+val read : ?libraries:Cell_lib.t list -> ?dims:Dims.t -> string -> t
+(** Read a bundle from a file path. *)
+
+val to_flow_input : t -> Flow.input
+(** Convenience: a {!Flow.input} from a bundle with a placement.
+    @raise Invalid_argument when the bundle has no placement. *)

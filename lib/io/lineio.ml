@@ -1,0 +1,32 @@
+exception Parse_error of { line : int; message : string }
+
+let fail ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment s = match String.index_opt s '#' with None -> s | Some i -> String.sub s 0 i
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let tokenize text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw ->
+         let body = strip_comment (strip_cr raw) in
+         let tokens =
+           String.split_on_char ' ' body
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun t -> t <> "")
+         in
+         (i + 1, tokens))
+  |> List.filter (fun (_, tokens) -> tokens <> [])
+
+let int_field ~line ~what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~line "expected an integer for %s, got %S" what s
+
+let float_field ~line ~what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~line "expected a number for %s, got %S" what s

@@ -1,0 +1,18 @@
+(** Line/token plumbing shared by the design-file readers.
+
+    The bgr text formats are line oriented: `#` starts a comment, blank
+    lines are skipped, fields are whitespace separated.  Errors carry
+    the 1-based line number. *)
+
+exception Parse_error of { line : int; message : string }
+
+val fail : line:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** @raise Parse_error *)
+
+val tokenize : string -> (int * string list) list
+(** Split text into (line number, tokens) for every non-empty,
+    non-comment line. *)
+
+val int_field : line:int -> what:string -> string -> int
+
+val float_field : line:int -> what:string -> string -> float

@@ -1,0 +1,121 @@
+exception Stuck of string
+
+(* Count F(w,r): failed demands by (row, width). *)
+let failure_counts ~n_rows failures =
+  let counts = Hashtbl.create 16 in
+  let bump (f : Feedthrough.failure) =
+    if f.Feedthrough.f_row < 0 || f.Feedthrough.f_row >= n_rows then
+      invalid_arg "Feed_insert: failure row outside floorplan";
+    let key = (f.Feedthrough.f_row, f.Feedthrough.f_width) in
+    Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0)
+  in
+  List.iter bump failures;
+  counts
+
+(* Groups of flagged slots to add in one row: wide groups first, then
+   singles topping the row up to the global widening F. *)
+let row_groups counts ~row ~global_f =
+  let of_row = Hashtbl.fold (fun (r, w) c acc -> if r = row then (w, c) :: acc else acc) counts [] in
+  let wide = List.filter (fun (w, _) -> w > 1) of_row in
+  let wide = List.sort (fun (w1, _) (w2, _) -> Int.compare w2 w1) wide in
+  let f_r = List.fold_left (fun acc (w, c) -> acc + (w * c)) 0 of_row in
+  let singles_failed = Option.value (List.assoc_opt 1 of_row) ~default:0 in
+  let n_singles = singles_failed + (global_f - f_r) in
+  let groups = List.concat_map (fun (w, c) -> List.init c (fun _ -> w)) wide in
+  groups @ List.init n_singles (fun _ -> 1)
+
+let insert fp ~failures =
+  if failures = [] then fp
+  else begin
+    let netlist = Floorplan.netlist fp in
+    let n_rows = Floorplan.n_rows fp in
+    let old_width = Floorplan.width fp in
+    let counts = failure_counts ~n_rows failures in
+    let f_of_row r =
+      Hashtbl.fold (fun (row, w) c acc -> if row = r then acc + (w * c) else acc) counts 0
+    in
+    let global_f = ref 0 in
+    for r = 0 to n_rows - 1 do
+      global_f := max !global_f (f_of_row r)
+    done;
+    let global_f = !global_f in
+    let new_cells = ref [] in
+    let new_slots = ref [] in
+    for r = 0 to n_rows - 1 do
+      let groups = row_groups counts ~row:r ~global_f in
+      let cells = Floorplan.row_cells fp r in
+      let slots = Floorplan.row_slots fp r in
+      (* Insertion happens at cell origins (or the row end) so existing
+         slot runs are never split.  Target columns spread the groups
+         evenly across the old row width. *)
+      let g = List.length groups in
+      let snap target =
+        let best = ref old_width and best_d = ref (abs (old_width - target)) in
+        Array.iter
+          (fun (p : Floorplan.placed) ->
+            let d = abs (p.Floorplan.x - target) in
+            if d < !best_d then begin
+              best := p.Floorplan.x;
+              best_d := d
+            end)
+          cells;
+        !best
+      in
+      let insert_points =
+        List.mapi (fun i w -> (snap ((i + 1) * old_width / (g + 1)), i, w)) groups
+        |> List.sort compare
+      in
+      (* Walk row items left to right, emitting pending groups before
+         any item at or past their insertion column. *)
+      let pending = ref insert_points in
+      let shift = ref 0 in
+      let emit_groups_upto x =
+        let rec loop () =
+          match !pending with
+          | (at, _, w) :: rest when at <= x ->
+            pending := rest;
+            for k = 0 to w - 1 do
+              new_slots := (r, at + !shift + k, w) :: !new_slots
+            done;
+            shift := !shift + w;
+            loop ()
+          | _ -> ()
+        in
+        loop ()
+      in
+      let items =
+        let cs = Array.to_list cells |> List.map (fun p -> (p.Floorplan.x, `Cell p)) in
+        let ss =
+          Array.to_list slots
+          |> List.map (fun (s : Floorplan.slot) -> (s.Floorplan.slot_x, `Slot s))
+        in
+        List.sort (fun (x1, _) (x2, _) -> Int.compare x1 x2) (cs @ ss)
+      in
+      let place (x, item) =
+        emit_groups_upto x;
+        match item with
+        | `Cell (p : Floorplan.placed) ->
+          new_cells := { p with Floorplan.x = x + !shift } :: !new_cells
+        | `Slot (s : Floorplan.slot) ->
+          new_slots := (r, x + !shift, s.Floorplan.width_flag) :: !new_slots
+      in
+      List.iter place items;
+      emit_groups_upto old_width;
+      assert (!shift = global_f && !pending = [])
+    done;
+    Floorplan.make ~netlist ~dims:(Floorplan.dims fp) ~n_rows ~width:(old_width + global_f)
+      ~cells:!new_cells ~slots:!new_slots ~blockages:(Floorplan.blockage_triples fp) ()
+  end
+
+let assign_with_insertion ?(max_rounds = 5) fp ~order =
+  let rec loop fp round =
+    let assignment, failures = Feedthrough.assign fp ~order in
+    if failures = [] then (fp, assignment, round)
+    else if round >= max_rounds then
+      raise
+        (Stuck
+           (Printf.sprintf "feed-cell insertion did not converge after %d rounds (%d demands unmet)"
+              round (List.length failures)))
+    else loop (insert fp ~failures) (round + 1)
+  in
+  loop fp 0

@@ -1,0 +1,28 @@
+(** Feed-cell insertion (Sec. 4.3).
+
+    When feedthrough assignment fails, the chip is widened: per row [r]
+    and pitch width [w], [F(w,r)] groups of [w] feed cells flagged for
+    w-pitch nets are inserted "almost evenly spaced between existing
+    cells"; rows short of the global maximum [F = max_r F(r)] receive
+    single-pitch feed cells so every row widens by exactly [F] pitches.
+    Re-running the assignment on the widened floorplan then succeeds
+    (the router loops insertion until it does — see
+    {!val:assign_with_insertion}). *)
+
+val insert : Floorplan.t -> failures:Feedthrough.failure list -> Floorplan.t
+(** Widened floorplan; the input floorplan when [failures] is empty. *)
+
+exception Stuck of string
+(** Raised by {!assign_with_insertion} when insertion rounds exceed the
+    bound without converging — indicates a modelling bug, since each
+    round adds dedicated capacity for every unmet demand. *)
+
+val assign_with_insertion :
+  ?max_rounds:int ->
+  Floorplan.t ->
+  order:int list ->
+  Floorplan.t * Feedthrough.assignment * int
+(** Assign; on failure insert feed cells and retry (default
+    [max_rounds] 5).  Returns the final floorplan, its complete
+    assignment, and the number of insertion rounds used.
+    @raise Stuck *)

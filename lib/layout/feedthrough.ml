@@ -1,0 +1,139 @@
+type demand = {
+  d_net : int;
+  d_partner : int option;
+  d_rows : int list;
+  d_width : int;
+  d_center : int;
+}
+
+let demand_of_net fp net_id =
+  let netlist = Floorplan.netlist fp in
+  let net = Netlist.net netlist net_id in
+  match net.Netlist.diff_partner with
+  | Some p when p < net_id -> None (* folded into the partner's demand *)
+  | partner ->
+    let endpoints (n : Netlist.net) = n.Netlist.driver :: n.Netlist.sinks in
+    let members =
+      net :: (match partner with Some p -> [ Netlist.net netlist p ] | None -> [])
+    in
+    let eps = List.concat_map endpoints members in
+    let channel_sets = List.map (Floorplan.endpoint_channels fp) eps in
+    (* The channel interval that must be crossed: from the lowest of the
+       per-endpoint highest channels up to the highest of the
+       per-endpoint lowest channels.  Moving from channel c to c+1
+       crosses row c, so rows [lo .. hi-1] need a feedthrough. *)
+    let lo =
+      List.fold_left (fun acc cs -> min acc (List.fold_left max min_int cs)) max_int channel_sets
+    in
+    let hi =
+      List.fold_left (fun acc cs -> max acc (List.fold_left min max_int cs)) min_int channel_sets
+    in
+    if hi <= lo then None
+    else begin
+      let cols = List.map (Floorplan.endpoint_column fp) eps in
+      let cmin = List.fold_left min max_int cols and cmax = List.fold_left max min_int cols in
+      let width = net.Netlist.pitch * (match partner with Some _ -> 2 | None -> 1) in
+      Some
+        { d_net = net_id;
+          d_partner = partner;
+          d_rows = List.init (hi - lo) (fun i -> lo + i);
+          d_width = width;
+          d_center = (cmin + cmax) / 2 }
+    end
+
+let demands fp =
+  let n = Netlist.n_nets (Floorplan.netlist fp) in
+  List.filter_map (demand_of_net fp) (List.init n Fun.id)
+
+type failure = { f_net : int; f_row : int; f_width : int }
+
+type assignment = {
+  granted : (int, (int * Floorplan.slot list) list) Hashtbl.t;
+  user : int array;  (* slot id -> occupying net, -1 when free *)
+  complete : bool;
+}
+
+(* A slot can serve a width-w demand when unflagged or flagged w. *)
+let compatible width (s : Floorplan.slot) = s.Floorplan.width_flag = 0 || s.Floorplan.width_flag = width
+
+(* Find the best run of [width] free compatible slots at consecutive
+   columns, minimizing distance of the run centre to [target]. *)
+let find_group fp user ~row ~width ~target =
+  let slots = Floorplan.row_slots fp row in
+  let n = Array.length slots in
+  let ok i =
+    let s = slots.(i) in
+    user.(s.Floorplan.slot_id) = -1 && compatible width s
+  in
+  let best = ref None in
+  for i = 0 to n - width do
+    let consecutive = ref true in
+    for k = 0 to width - 1 do
+      if
+        (not (ok (i + k)))
+        || slots.(i + k).Floorplan.slot_x <> slots.(i).Floorplan.slot_x + k
+      then consecutive := false
+    done;
+    if !consecutive then begin
+      let center = slots.(i).Floorplan.slot_x + ((width - 1) / 2) in
+      let d = abs (center - target) in
+      match !best with
+      | Some (bd, _) when bd <= d -> ()
+      | _ -> best := Some (d, i)
+    end
+  done;
+  match !best with
+  | None -> None
+  | Some (_, i) -> Some (Array.to_list (Array.sub slots i width))
+
+let assign fp ~order =
+  let user = Array.make (Floorplan.n_slots fp) (-1) in
+  let granted = Hashtbl.create 64 in
+  let failures = ref [] in
+  let grant net_id row slots =
+    let prev = Option.value (Hashtbl.find_opt granted net_id) ~default:[] in
+    Hashtbl.replace granted net_id (prev @ [ (row, slots) ])
+  in
+  let serve_demand d =
+    let prev_x = ref None in
+    let serve_row row =
+      let target = Option.value !prev_x ~default:d.d_center in
+      match find_group fp user ~row ~width:d.d_width ~target with
+      | None -> failures := { f_net = d.d_net; f_row = row; f_width = d.d_width } :: !failures
+      | Some slots ->
+        prev_x := Some (List.hd slots).Floorplan.slot_x;
+        (match d.d_partner with
+        | None ->
+          List.iter (fun (s : Floorplan.slot) -> user.(s.Floorplan.slot_id) <- d.d_net) slots;
+          grant d.d_net row slots
+        | Some partner ->
+          (* Left half to the representative, right half to the partner. *)
+          let half = d.d_width / 2 in
+          let left = List.filteri (fun i _ -> i < half) slots in
+          let right = List.filteri (fun i _ -> i >= half) slots in
+          List.iter (fun (s : Floorplan.slot) -> user.(s.Floorplan.slot_id) <- d.d_net) left;
+          List.iter (fun (s : Floorplan.slot) -> user.(s.Floorplan.slot_id) <- partner) right;
+          grant d.d_net row left;
+          grant partner row right)
+    in
+    List.iter serve_row d.d_rows
+  in
+  let serve_net net_id =
+    match demand_of_net fp net_id with
+    | None -> ()
+    | Some d -> serve_demand d
+  in
+  List.iter serve_net order;
+  let failures = List.rev !failures in
+  ({ granted; user; complete = failures = [] }, failures)
+
+let slots_of_net a net_id = Option.value (Hashtbl.find_opt a.granted net_id) ~default:[]
+
+let slot_user a slot_id =
+  let u = a.user.(slot_id) in
+  if u < 0 then None else Some u
+
+let is_complete a = a.complete
+
+let pp_failure ppf f =
+  Format.fprintf ppf "net %d: no %d-wide feedthrough in row %d" f.f_net f.f_width f.f_row

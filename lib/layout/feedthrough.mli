@@ -1,0 +1,53 @@
+(** Feedthrough position assignment (Sec. 3.1, Sec. 4.2-4.3).
+
+    Every net that must cross cell rows gets exactly one feedthrough
+    position per crossed row, chosen by searching outward "from the
+    center of the x coordinates of the terminals" and, across
+    consecutive rows, preferring "the same x coordinates if possible".
+    A w-pitch net occupies [w] adjacent slot columns; a differential
+    pair is treated as one demand of doubled width whose left half goes
+    to the lower-id net and right half to its partner (Sec. 4.1).
+
+    Nets are processed in a caller-supplied order — the router derives
+    it from a static (zero-interconnect) slack analysis, most critical
+    first. *)
+
+type demand = {
+  d_net : int;  (** representative net (lower id of a differential pair) *)
+  d_partner : int option;  (** the paired net sharing the group *)
+  d_rows : int list;  (** rows that must be crossed, ascending *)
+  d_width : int;  (** slot columns required per row *)
+  d_center : int;  (** x search origin *)
+}
+
+val demand_of_net : Floorplan.t -> int -> demand option
+(** [None] when the net crosses no row, or when the net is the
+    higher-id member of a differential pair (folded into its
+    partner's demand). *)
+
+val demands : Floorplan.t -> demand list
+(** All demands, in net-id order. *)
+
+type failure = { f_net : int; f_row : int; f_width : int }
+
+type assignment
+
+val assign : Floorplan.t -> order:int list -> assignment * failure list
+(** Greedy assignment in the given net order ([order] lists every net
+    id exactly once; nets without demands are skipped).  Returns the
+    (partial, on failures) assignment and the unmet (net, row, width)
+    demands. *)
+
+val slots_of_net : assignment -> int -> (int * Floorplan.slot list) list
+(** [(row, slots)] granted to the net, ascending rows; the slot list
+    has the net's pitch many entries in column order.  Differential
+    partners each see their own half. *)
+
+val slot_user : assignment -> int -> int option
+(** Which net occupies a slot id. *)
+
+val is_complete : assignment -> bool
+(** True when the paired failure list was empty (recorded at
+    creation). *)
+
+val pp_failure : Format.formatter -> failure -> unit

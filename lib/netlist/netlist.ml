@@ -1,0 +1,231 @@
+type pin = { inst : int; term : string }
+type port_side = North | South
+type port = { port_id : int; port_name : string; side : port_side; column_hint : int option }
+type endpoint = Pin of pin | Port of int
+
+type net = {
+  net_id : int;
+  net_name : string;
+  driver : endpoint;
+  sinks : endpoint list;
+  pitch : int;
+  diff_partner : int option;
+}
+
+type instance = { inst_id : int; inst_name : string; master : Cell.t }
+
+exception Invalid of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+type builder = {
+  b_library : Cell_lib.t;
+  mutable b_instances : instance list;  (* reversed *)
+  mutable b_n_instances : int;
+  b_inst_names : (string, unit) Hashtbl.t;
+  mutable b_ports : port list;  (* reversed *)
+  mutable b_n_ports : int;
+  mutable b_nets : net list;  (* reversed *)
+  mutable b_n_nets : int;
+  b_driver_used : (int * string, int) Hashtbl.t;  (* output pin -> net *)
+  b_sink_used : (int * string, int) Hashtbl.t;  (* input pin -> net *)
+  b_port_used : (int, int) Hashtbl.t;  (* port -> net *)
+  mutable b_pairs : (int * int) list;
+}
+
+type t = {
+  library : Cell_lib.t;
+  instances : instance array;
+  nets : net array;
+  ports : port array;
+  pin_net : (int * string, int) Hashtbl.t;  (* any pin -> net id *)
+  port_net : (int, int) Hashtbl.t;
+}
+
+let builder ~library =
+  { b_library = library;
+    b_instances = [];
+    b_n_instances = 0;
+    b_inst_names = Hashtbl.create 64;
+    b_ports = [];
+    b_n_ports = 0;
+    b_nets = [];
+    b_n_nets = 0;
+    b_driver_used = Hashtbl.create 64;
+    b_sink_used = Hashtbl.create 64;
+    b_port_used = Hashtbl.create 16;
+    b_pairs = [] }
+
+let add_instance b ~name ~cell =
+  if Hashtbl.mem b.b_inst_names name then fail "duplicate instance name %s" name;
+  let master =
+    match Cell_lib.find_opt b.b_library cell with
+    | Some m -> m
+    | None -> fail "unknown cell master %s" cell
+  in
+  Hashtbl.add b.b_inst_names name ();
+  let inst_id = b.b_n_instances in
+  b.b_instances <- { inst_id; inst_name = name; master } :: b.b_instances;
+  b.b_n_instances <- inst_id + 1;
+  inst_id
+
+let add_port b ~name ~side ?column_hint () =
+  let port_id = b.b_n_ports in
+  b.b_ports <- { port_id; port_name = name; side; column_hint } :: b.b_ports;
+  b.b_n_ports <- port_id + 1;
+  port_id
+
+let instance_of_builder b inst =
+  if inst < 0 || inst >= b.b_n_instances then fail "unknown instance id %d" inst;
+  List.nth b.b_instances (b.b_n_instances - 1 - inst)
+
+let terminal_of_builder b (p : pin) =
+  let i = instance_of_builder b p.inst in
+  match Cell.terminal i.master p.term with
+  | term -> term
+  | exception Not_found -> fail "instance %s has no terminal %s" i.inst_name p.term
+
+let check_port b port_id =
+  if port_id < 0 || port_id >= b.b_n_ports then fail "unknown port id %d" port_id
+
+let add_net b ~name ~driver ~sinks ?(pitch = 1) () =
+  if pitch < 1 then fail "net %s: pitch must be >= 1" name;
+  let net_id = b.b_n_nets in
+  let claim table key what =
+    match Hashtbl.find_opt table key with
+    | Some other -> fail "net %s: %s already used by net %d" name what other
+    | None -> Hashtbl.add table key net_id
+  in
+  (match driver with
+  | Pin p ->
+    let term = terminal_of_builder b p in
+    if term.Cell.dir <> Cell.Output then fail "net %s: driver pin %s is not an output" name p.term;
+    claim b.b_driver_used (p.inst, p.term) "driver pin"
+  | Port port_id ->
+    check_port b port_id;
+    claim b.b_port_used port_id "port");
+  let claim_sink = function
+    | Pin p ->
+      let term = terminal_of_builder b p in
+      if term.Cell.dir <> Cell.Input then fail "net %s: sink pin %s is not an input" name p.term;
+      claim b.b_sink_used (p.inst, p.term) "sink pin"
+    | Port port_id ->
+      check_port b port_id;
+      claim b.b_port_used port_id "port"
+  in
+  List.iter claim_sink sinks;
+  if sinks = [] then fail "net %s: no sinks" name;
+  b.b_nets <- { net_id; net_name = name; driver; sinks; pitch; diff_partner = None } :: b.b_nets;
+  b.b_n_nets <- net_id + 1;
+  net_id
+
+let pair_differential b n1 n2 =
+  if n1 = n2 then fail "differential pair of a net with itself (%d)" n1;
+  let taken n = List.exists (fun (a, c) -> a = n || c = n) b.b_pairs in
+  if taken n1 || taken n2 then fail "net %d or %d already in a differential pair" n1 n2;
+  if n1 < 0 || n1 >= b.b_n_nets || n2 < 0 || n2 >= b.b_n_nets then
+    fail "differential pair references unknown net";
+  b.b_pairs <- (n1, n2) :: b.b_pairs
+
+let validate_pair instances nets (n1, n2) =
+  let a = nets.(n1) and c = nets.(n2) in
+  let driver_inst (n : net) =
+    match n.driver with
+    | Pin p -> p.inst
+    | Port _ -> fail "differential net %s must be cell-driven" n.net_name
+  in
+  if driver_inst a <> driver_inst c then
+    fail "differential pair %s/%s not driven by one instance" a.net_name c.net_name;
+  if a.pitch <> c.pitch then fail "differential pair %s/%s pitch mismatch" a.net_name c.net_name;
+  let sink_insts (n : net) =
+    List.filter_map (function Pin p -> Some p.inst | Port _ -> None) n.sinks
+    |> List.sort Int.compare
+  in
+  if List.length a.sinks <> List.length c.sinks || sink_insts a <> sink_insts c then
+    fail "differential pair %s/%s sink sets not pairable" a.net_name c.net_name;
+  ignore instances
+
+let freeze b =
+  let instances = Array.of_list (List.rev b.b_instances) in
+  let ports = Array.of_list (List.rev b.b_ports) in
+  let nets = Array.of_list (List.rev b.b_nets) in
+  (* Record differential partners. *)
+  let set_pair (n1, n2) =
+    validate_pair instances nets (n1, n2);
+    nets.(n1) <- { (nets.(n1)) with diff_partner = Some n2 };
+    nets.(n2) <- { (nets.(n2)) with diff_partner = Some n1 }
+  in
+  List.iter set_pair b.b_pairs;
+  (* Every instance input must be driven; feed cells have no terminals. *)
+  let check_instance i =
+    let check_input (term : Cell.terminal) =
+      if term.Cell.dir = Cell.Input && not (Hashtbl.mem b.b_sink_used (i.inst_id, term.Cell.t_name))
+      then fail "instance %s input %s unconnected" i.inst_name term.Cell.t_name
+    in
+    Array.iter check_input i.master.Cell.terminals
+  in
+  Array.iter check_instance instances;
+  let check_port (p : port) =
+    if not (Hashtbl.mem b.b_port_used p.port_id) then fail "port %s unconnected" p.port_name
+  in
+  Array.iter check_port ports;
+  let pin_net = Hashtbl.create 256 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace pin_net k v) b.b_driver_used;
+  Hashtbl.iter (fun k v -> Hashtbl.replace pin_net k v) b.b_sink_used;
+  let port_net = Hashtbl.copy b.b_port_used in
+  { library = b.b_library; instances; nets; ports; pin_net; port_net }
+
+let library t = t.library
+let instances t = t.instances
+let nets t = t.nets
+let ports t = t.ports
+let instance t i = t.instances.(i)
+let net t i = t.nets.(i)
+let port t i = t.ports.(i)
+let n_instances t = Array.length t.instances
+let n_nets t = Array.length t.nets
+let n_ports t = Array.length t.ports
+let net_of_pin t (p : pin) = Hashtbl.find_opt t.pin_net (p.inst, p.term)
+let net_of_port t port_id = Hashtbl.find t.port_net port_id
+let fanout t net_id = List.length t.nets.(net_id).sinks
+
+let pins_on_instance t inst =
+  let master = t.instances.(inst).master in
+  let collect acc (term : Cell.terminal) =
+    match Hashtbl.find_opt t.pin_net (inst, term.Cell.t_name) with
+    | Some net_id -> (term.Cell.t_name, net_id) :: acc
+    | None -> acc
+  in
+  List.rev (Array.fold_left collect [] master.Cell.terminals)
+
+let pp_endpoint t ppf = function
+  | Pin p -> Format.fprintf ppf "%s.%s" t.instances.(p.inst).inst_name p.term
+  | Port port_id -> Format.fprintf ppf "port:%s" t.ports.(port_id).port_name
+
+type stats = {
+  n_cells : int;
+  n_nets_total : int;
+  n_diff_pairs : int;
+  n_multi_pitch : int;
+  max_fanout : int;
+  avg_fanout : float;
+}
+
+let stats t =
+  let n_cells =
+    Array.fold_left
+      (fun acc i -> if i.master.Cell.kind = Cell.Feed_through then acc else acc + 1)
+      0 t.instances
+  in
+  let n_diff = Array.fold_left (fun acc n -> if n.diff_partner <> None then acc + 1 else acc) 0 t.nets in
+  let n_multi = Array.fold_left (fun acc n -> if n.pitch > 1 then acc + 1 else acc) 0 t.nets in
+  let fanouts = Array.map (fun n -> List.length n.sinks) t.nets in
+  let max_fanout = Array.fold_left max 0 fanouts in
+  let total_fanout = Array.fold_left ( + ) 0 fanouts in
+  let n_nets_total = Array.length t.nets in
+  { n_cells;
+    n_nets_total;
+    n_diff_pairs = n_diff / 2;
+    n_multi_pitch = n_multi;
+    max_fanout;
+    avg_fanout = (if n_nets_total = 0 then 0.0 else float_of_int total_fanout /. float_of_int n_nets_total) }

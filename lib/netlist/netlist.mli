@@ -1,0 +1,114 @@
+(** Flat gate-level netlists: cell instances, nets, chip ports,
+    differential-pair and pitch-width net attributes (Secs. 4.1-4.2).
+
+    A netlist is built incrementally with a {!builder} and then frozen
+    into an immutable {!t}; freezing validates structural sanity (one
+    driver per net, no dangling inputs, well-formed differential pairs)
+    so every later stage can rely on it. *)
+
+type pin = { inst : int; term : string }
+
+type port_side = North | South
+(** Chip boundary carrying the external terminal: [North] above the top
+    cell row, [South] below the bottom row. *)
+
+type port = {
+  port_id : int;
+  port_name : string;
+  side : port_side;
+  column_hint : int option;  (** preferred grid column, if any *)
+}
+
+type endpoint =
+  | Pin of pin
+  | Port of int  (** by [port_id] *)
+
+type net = {
+  net_id : int;
+  net_name : string;
+  driver : endpoint;
+  sinks : endpoint list;
+  pitch : int;  (** wire width in pitches; 1 for ordinary nets (Sec. 4.2) *)
+  diff_partner : int option;  (** partner [net_id] of a differential pair (Sec. 4.1) *)
+}
+
+type instance = { inst_id : int; inst_name : string; master : Cell.t }
+
+type t
+
+exception Invalid of string
+
+(** {1 Building} *)
+
+type builder
+
+val builder : library:Cell_lib.t -> builder
+
+val add_instance : builder -> name:string -> cell:string -> int
+(** Instantiate a master from the library; returns the instance id.
+    @raise Invalid on an unknown master or duplicate instance name. *)
+
+val add_port : builder -> name:string -> side:port_side -> ?column_hint:int -> unit -> int
+
+val add_net :
+  builder ->
+  name:string ->
+  driver:endpoint ->
+  sinks:endpoint list ->
+  ?pitch:int ->
+  unit ->
+  int
+(** Returns the net id.  @raise Invalid when the driver is not an
+    output terminal / port, a sink is not an input terminal / port, or
+    [pitch < 1]. *)
+
+val pair_differential : builder -> int -> int -> unit
+(** Mark two nets as a differential pair.  Freezing validates that the
+    two nets share their driving instance (complementary outputs), have
+    equal pitch and pairable sink sets.  @raise Invalid on re-pairing. *)
+
+val freeze : builder -> t
+(** @raise Invalid when any instance input is unconnected, a port is
+    unused or used twice, or a differential pair is malformed. *)
+
+(** {1 Access} *)
+
+val library : t -> Cell_lib.t
+val instances : t -> instance array
+val nets : t -> net array
+val ports : t -> port array
+val instance : t -> int -> instance
+val net : t -> int -> net
+val port : t -> int -> port
+val n_instances : t -> int
+val n_nets : t -> int
+val n_ports : t -> int
+
+val net_of_pin : t -> pin -> int option
+(** The net connected to an instance terminal, if any (outputs may be
+    legitimately unconnected). *)
+
+val net_of_port : t -> int -> int
+(** The net attached to a port (every port is attached after freeze). *)
+
+val fanout : t -> int -> int
+(** Number of sink endpoints of a net. *)
+
+val pins_on_instance : t -> int -> (string * int) list
+(** [(terminal name, net id)] for every connected terminal of the
+    instance. *)
+
+val pp_endpoint : t -> Format.formatter -> endpoint -> unit
+
+(** {1 Statistics} *)
+
+type stats = {
+  n_cells : int;  (** non-feed instances *)
+  n_nets_total : int;
+  n_diff_pairs : int;
+  n_multi_pitch : int;
+  max_fanout : int;
+  avg_fanout : float;
+}
+
+val stats : t -> stats

@@ -1,0 +1,63 @@
+let floorplan ?channel_tracks fp =
+  let netlist = Floorplan.netlist fp in
+  let width = Floorplan.width fp in
+  let buf = Buffer.create 2048 in
+  let channel_line c =
+    let body = Bytes.make width '-' in
+    List.iter
+      (fun blocked ->
+        Interval.iter (fun x -> if x >= 0 && x < width then Bytes.set body x 'X') blocked)
+      (Floorplan.channel_blockages fp c);
+    match channel_tracks with
+    | None -> Buffer.add_string buf (Printf.sprintf "ch%-2d %s\n" c (Bytes.to_string body))
+    | Some tracks ->
+      Buffer.add_string buf
+        (Printf.sprintf "ch%-2d %s (%d tracks)\n" c (Bytes.to_string body) tracks.(c))
+  in
+  (* Top channel first: row n_rows-1 is drawn first so north is up. *)
+  channel_line (Floorplan.n_rows fp);
+  for r = Floorplan.n_rows fp - 1 downto 0 do
+    let row = Bytes.make width '.' in
+    Array.iter
+      (fun (p : Floorplan.placed) ->
+        let inst = Netlist.instance netlist p.Floorplan.inst in
+        let w = inst.Netlist.master.Cell.width in
+        let initial = if inst.Netlist.inst_name = "" then '?' else inst.Netlist.inst_name.[0] in
+        for k = 0 to w - 1 do
+          if p.Floorplan.x + k < width then
+            Bytes.set row (p.Floorplan.x + k) (if k = 0 then initial else '*')
+        done)
+      (Floorplan.row_cells fp r);
+    Array.iter
+      (fun (s : Floorplan.slot) ->
+        let glyph =
+          if s.Floorplan.width_flag = 0 then '+'
+          else Char.chr (Char.code '0' + min 9 s.Floorplan.width_flag)
+        in
+        if s.Floorplan.slot_x < width then Bytes.set row s.Floorplan.slot_x glyph)
+      (Floorplan.row_slots fp r);
+    Buffer.add_string buf (Printf.sprintf "row%-2d%s\n" r (Bytes.to_string row));
+    channel_line r
+  done;
+  Buffer.contents buf
+
+let channel_tracks (r : Channel_router.result) ~width =
+  let buf = Buffer.create 1024 in
+  for track = 0 to r.Channel_router.tracks - 1 do
+    let line = Bytes.make width '.' in
+    List.iter
+      (fun (p : Channel_router.piece) ->
+        if track >= p.Channel_router.pc_track && track < p.Channel_router.pc_track + p.Channel_router.pc_width
+        then begin
+          let glyph =
+            let s = string_of_int p.Channel_router.pc_net in
+            s.[String.length s - 1]
+          in
+          for x = max 0 p.Channel_router.pc_lo to min (width - 1) p.Channel_router.pc_hi do
+            Bytes.set line x glyph
+          done
+        end)
+      r.Channel_router.pieces;
+    Buffer.add_string buf (Printf.sprintf "t%-3d %s\n" track (Bytes.to_string line))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** ASCII rendering of floorplans and routed channels, for examples and
+    debugging.
+
+    {!floorplan} draws each cell row as a band of cell glyphs and feed
+    slots, channels between them scaled to their track counts;
+    {!channel_tracks} draws one routed channel track by track. *)
+
+val floorplan : ?channel_tracks:int array -> Floorplan.t -> string
+(** One text row per cell row plus channel separators.  Cells print the
+    first letter of their instance name ('*' for multi-column cells'
+    continuation), feed slots '+' (flagged slots print their width
+    digit), empty columns '.'.  With [channel_tracks], each channel is
+    annotated with its height. *)
+
+val channel_tracks : Channel_router.result -> width:int -> string
+(** The channel's tracks top-down; each piece prints the last character
+    of its net id, vacant columns '.'. *)

@@ -1,0 +1,95 @@
+type t = {
+  n_nets : int;
+  mean_detour : float;
+  max_detour : float;
+  p95_detour : float;
+  histogram : (float * float * int) list;
+  total_trunk_mm : float;
+  total_branch_mm : float;
+  total_hpwl_mm : float;
+}
+
+let buckets =
+  (* detours below 1.0 happen when a port uses a candidate column closer
+     than its nominal position *)
+  [ (0.0, 1.0); (1.0, 1.1); (1.1, 1.25); (1.25, 1.5); (1.5, 2.0); (2.0, 3.0); (3.0, infinity) ]
+
+let of_router router =
+  let fp = Router.floorplan router in
+  let netlist = Floorplan.netlist fp in
+  let dims = Floorplan.dims fp in
+  let detours = ref [] in
+  let trunk_um = ref 0.0 and branch_um = ref 0.0 and hpwl_um = ref 0.0 in
+  for net = 0 to Netlist.n_nets netlist - 1 do
+    let rg = Router.routing_graph router net in
+    let tree = Router.tree_edges router net in
+    let t_um = ref 0.0 and b_um = ref 0.0 in
+    List.iter
+      (fun eid ->
+        let geo = Routing_graph.geometric_length_um rg ~edge_ids:[ eid ] in
+        match Routing_graph.edge_kind rg eid with
+        | Routing_graph.Trunk _ -> t_um := !t_um +. geo
+        | Routing_graph.Branch _ -> b_um := !b_um +. geo
+        | Routing_graph.Correspondence _ -> ())
+      tree;
+    trunk_um := !trunk_um +. !t_um;
+    branch_um := !branch_um +. !b_um;
+    (* True geometric floor: bbox width horizontally, and only the rows
+       the net *must* cross vertically (adjacent rows share a channel,
+       so a row-0-to-row-1 net needs no crossing at all). *)
+    let bbox = Floorplan.net_bbox fp net in
+    let n = Netlist.net netlist net in
+    let channel_sets =
+      List.map (Floorplan.endpoint_channels fp) (n.Netlist.driver :: n.Netlist.sinks)
+    in
+    let lo =
+      List.fold_left (fun acc cs -> min acc (List.fold_left max min_int cs)) max_int channel_sets
+    in
+    let hi =
+      List.fold_left (fun acc cs -> max acc (List.fold_left min max_int cs)) min_int channel_sets
+    in
+    let crossings = max 0 (hi - lo) in
+    let hp = Dims.h_um dims (Rect.width bbox) +. Dims.v_um dims ~rows:crossings in
+    hpwl_um := !hpwl_um +. hp;
+    if hp > 1e-9 then detours := ((!t_um +. !b_um) /. hp) :: !detours
+  done;
+  let detours = Array.of_list !detours in
+  Array.sort Float.compare detours;
+  let n = Array.length detours in
+  let mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 detours /. float_of_int n
+  in
+  let p95 = if n = 0 then 0.0 else detours.(min (n - 1) (n * 95 / 100)) in
+  let histogram =
+    List.map
+      (fun (lo, hi) ->
+        (lo, hi, Array.fold_left (fun acc d -> if d >= lo && d < hi then acc + 1 else acc) 0 detours))
+      buckets
+  in
+  { n_nets = n;
+    mean_detour = mean;
+    max_detour = (if n = 0 then 0.0 else detours.(n - 1));
+    p95_detour = p95;
+    histogram;
+    total_trunk_mm = Dims.mm_of_um !trunk_um;
+    total_branch_mm = Dims.mm_of_um !branch_um;
+    total_hpwl_mm = Dims.mm_of_um !hpwl_um }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "route quality over %d nets: detour mean %.2f, p95 %.2f, max %.2f\n\
+        trunks %.2f mm + row crossings %.2f mm vs HPWL %.2f mm\n"
+       t.n_nets t.mean_detour t.p95_detour t.max_detour t.total_trunk_mm t.total_branch_mm
+       t.total_hpwl_mm);
+  let biggest = List.fold_left (fun acc (_, _, c) -> max acc c) 1 t.histogram in
+  List.iter
+    (fun (lo, hi, count) ->
+      let bar = String.make (count * 40 / biggest) '#' in
+      let label =
+        if hi = infinity then Printf.sprintf ">= %.2f" lo else Printf.sprintf "%.2f-%.2f" lo hi
+      in
+      Buffer.add_string buf (Printf.sprintf "  %-10s %4d %s\n" label count bar))
+    t.histogram;
+  Buffer.contents buf

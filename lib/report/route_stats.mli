@@ -1,0 +1,24 @@
+(** Route-quality statistics: how far each routed net sits above its
+    half-perimeter bound, and where the wirelength went.
+
+    The detour factor of a net is its routed geometric length (trunks +
+    row crossings) divided by its HPWL; 1.0 means the tree is as short
+    as any route could be. *)
+
+type t = {
+  n_nets : int;
+  mean_detour : float;
+  max_detour : float;
+  p95_detour : float;
+  histogram : (float * float * int) list;
+      (** (bucket lo, bucket hi, count) over detour factors *)
+  total_trunk_mm : float;
+  total_branch_mm : float;  (** row crossings *)
+  total_hpwl_mm : float;
+}
+
+val of_router : Router.t -> t
+(** Statistics over all nets with a nonzero HPWL. *)
+
+val render : t -> string
+(** Plain-text report with an ASCII histogram. *)

@@ -1,0 +1,36 @@
+let report (outcome : Flow.outcome) =
+  let buf = Buffer.create 4096 in
+  let m = outcome.Flow.o_measurement in
+  let t = Table.create ~title:"Sign-off summary" ~columns:[ "metric"; "value" ] in
+  let add k v = Table.add_row t [ k; v ] in
+  add "critical-path delay (ps)" (Table.f1 m.Flow.m_delay_ps);
+  add "half-perimeter bound (ps)" (Table.f1 m.Flow.m_lower_bound_ps);
+  add "gap over bound"
+    (Table.pct (Lower_bound.gap_percent ~delay_ps:m.Flow.m_delay_ps ~bound_ps:m.Flow.m_lower_bound_ps));
+  add "worst margin (ps)" (Table.f1 m.Flow.m_margin_ps);
+  add "violated constraints" (Table.fint m.Flow.m_violations);
+  add "chip area (mm2)" (Table.f3 m.Flow.m_area_mm2);
+  add "total wiring (mm)" (Table.f1 m.Flow.m_length_mm);
+  add "chip width (pitches)" (Table.fint m.Flow.m_chip_width);
+  add "channel tracks (total)" (Table.fint (Array.fold_left ( + ) 0 m.Flow.m_tracks));
+  add "feed-cell insertion rounds" (Table.fint m.Flow.m_insert_rounds);
+  add "recognized differential pairs" (Table.fint m.Flow.m_recognized_pairs);
+  add "channel doglegs / breaks"
+    (Printf.sprintf "%d / %d" m.Flow.m_channel_doglegs m.Flow.m_channel_violations);
+  add "CPU (s)" (Table.f2 m.Flow.m_cpu_s);
+  Buffer.add_string buf (Table.render t);
+  Buffer.add_char buf '\n';
+  (* Independent verification. *)
+  let v = Verify.routed outcome.Flow.o_router in
+  Buffer.add_string buf (Format.asprintf "%a" Verify.pp v);
+  Buffer.add_char buf '\n';
+  (* Route quality. *)
+  Buffer.add_string buf (Route_stats.render (Route_stats.of_router outcome.Flow.o_router));
+  Buffer.add_char buf '\n';
+  (* Timing profile. *)
+  (match outcome.Flow.o_sta with
+  | Some sta -> Buffer.add_string buf (Slack_profile.render (Slack_profile.of_sta sta))
+  | None -> Buffer.add_string buf "no timing constraints attached\n");
+  Buffer.contents buf
+
+let print outcome = print_string (report outcome)

@@ -1,0 +1,8 @@
+(** The whole-design sign-off report: everything a tape-out review
+    would ask of the routing step, in one text blob — measurement,
+    independent verification, route quality, and the slack
+    distribution. *)
+
+val report : Flow.outcome -> string
+
+val print : Flow.outcome -> unit

@@ -1,0 +1,55 @@
+type t = {
+  n_endpoints : int;
+  worst_ps : float;
+  total_negative_ps : float;
+  n_violating : int;
+  buckets : (float * float * int) list;
+}
+
+let bucket_edges = [ neg_infinity; -200.0; -50.0; 0.0; 50.0; 200.0; 500.0; infinity ]
+
+let of_sta sta =
+  let slacks = ref [] in
+  for ci = 0 to Sta.n_constraints sta - 1 do
+    List.iter
+      (fun (r : Sta.endpoint_report) -> slacks := r.Sta.ep_slack_ps :: !slacks)
+      (Sta.endpoint_reports sta ci)
+  done;
+  let slacks = !slacks in
+  let worst = List.fold_left min infinity slacks in
+  let negative = List.filter (fun s -> s < 0.0) slacks in
+  let rec pairs = function
+    | lo :: (hi :: _ as rest) -> (lo, hi) :: pairs rest
+    | _ -> []
+  in
+  let buckets =
+    List.map
+      (fun (lo, hi) -> (lo, hi, List.length (List.filter (fun s -> s >= lo && s < hi) slacks)))
+      (pairs bucket_edges)
+  in
+  { n_endpoints = List.length slacks;
+    worst_ps = (if slacks = [] then nan else worst);
+    total_negative_ps = List.fold_left ( +. ) 0.0 negative;
+    n_violating = List.length negative;
+    buckets }
+
+let label lo hi =
+  match (lo = neg_infinity, hi = infinity) with
+  | true, _ -> Printf.sprintf "< %.0f" hi
+  | _, true -> Printf.sprintf ">= %.0f" lo
+  | _ -> Printf.sprintf "%.0f..%.0f" lo hi
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "slack profile: %d endpoints, worst %.1f ps, %d violating (TNS %.1f ps)\n" t.n_endpoints
+       t.worst_ps t.n_violating t.total_negative_ps);
+  let biggest = List.fold_left (fun acc (_, _, c) -> max acc c) 1 t.buckets in
+  List.iter
+    (fun (lo, hi, count) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %4d %s\n" (label lo hi) count
+           (String.make (count * 40 / biggest) '#')))
+    t.buckets;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Endpoint slack distribution across a whole constraint set — the
+    summary a designer reads before deciding where to spend routing
+    effort. *)
+
+type t = {
+  n_endpoints : int;  (** endpoint instances counted (per constraint) *)
+  worst_ps : float;
+  total_negative_ps : float;  (** sum of negative slacks (TNS analogue) *)
+  n_violating : int;
+  buckets : (float * float * int) list;  (** (lo, hi, count), ascending *)
+}
+
+val of_sta : Sta.t -> t
+(** Profile every reachable endpoint of every constraint at the current
+    wiring state. *)
+
+val render : t -> string
+(** Plain-text summary with an ASCII histogram. *)

@@ -1,0 +1,61 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: column count mismatch";
+  t.rows <- row :: t.rows
+
+let is_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || List.mem c [ '.'; '-'; '+'; '%'; 'e' ]) s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let n = List.length t.columns in
+  let width j =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row j))) 0 all
+  in
+  let widths = List.init n width in
+  let pad j s =
+    let w = List.nth widths j in
+    let fill = String.make (w - String.length s) ' ' in
+    if is_numeric s then fill ^ s else s ^ fill
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule = String.make (String.length (line t.columns)) '-' in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (line t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.contents buf
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.columns :: List.rev t.rows)) ^ "\n"
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fint = string_of_int
+
+let special f =
+  if Float.is_nan f then Some "n/a" else if Float.abs f = infinity then Some "-" else None
+
+let f1 f = match special f with Some s -> s | None -> Printf.sprintf "%.1f" f
+let f2 f = match special f with Some s -> s | None -> Printf.sprintf "%.2f" f
+let f3 f = match special f with Some s -> s | None -> Printf.sprintf "%.3f" f
+let pct f = match special f with Some s -> s | None -> Printf.sprintf "%.1f%%" f

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Right-aligns numeric-looking cells, left-aligns the rest, and draws
+    a header rule — enough to print Tables 1-3 the way the paper lays
+    them out. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on a column-count mismatch. *)
+
+val render : t -> string
+
+val to_csv : t -> string
+(** Comma-separated rendering (RFC-4180-style quoting), header first;
+    the title is not included. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+(** {1 Cell formatting helpers} *)
+
+val fint : int -> string
+val f1 : float -> string
+(** One decimal; "n/a" for nan, "-" for infinities. *)
+
+val f2 : float -> string
+val f3 : float -> string
+val pct : float -> string
+(** One decimal plus a percent sign. *)

@@ -1,0 +1,30 @@
+(** Synthetic ECL standard-cell circuits standing in for the paper's
+    proprietary NTT transmission-system chips C1..C3 (DESIGN.md Sec. 2).
+
+    Circuits are levelized DAGs of combinational gates between flip-flop
+    ranks, with a wide multi-pitch clock net, differential-drive pairs
+    feeding dedicated receiver gates, and path constraints derived from
+    the zero-wire static delays (limit = static delay * (1 + wire
+    budget)), which yields tight-but-meetable constraints — the regime
+    the paper evaluates. *)
+
+type params = {
+  seed : int64;
+  n_comb : int;  (** combinational gate count *)
+  n_ff : int;
+  n_inputs : int;
+  n_outputs : int;
+  n_levels : int;  (** logic depth between flip-flop ranks *)
+  n_diff_pairs : int;
+  clock_pitch : int;  (** width of the clock net (Sec. 4.2) *)
+  max_fanout : int;
+  n_constraints : int;
+  wire_budget : float;  (** fraction of static delay granted to wiring *)
+  n_clusters : int;  (** locality clusters (Rent-style modularity) *)
+  locality : float;  (** probability that a sink picks a same-cluster source *)
+}
+
+val default_params : params
+
+val generate : params -> Netlist.t * Path_constraint.t list
+(** Deterministic in [params.seed]. *)

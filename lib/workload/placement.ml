@@ -1,0 +1,240 @@
+type style = P1 | P2
+
+let style_name = function P1 -> "P1" | P2 -> "P2"
+
+type result = {
+  r_width : int;
+  r_n_rows : int;
+  r_cells : Floorplan.placed list;
+  r_slots : (int * int * int) list;
+}
+
+(* Instance adjacency via shared nets, for the BFS ordering. *)
+let adjacency netlist =
+  let n = Netlist.n_instances netlist in
+  let adj = Array.make n [] in
+  let on_net (net : Netlist.net) =
+    let insts =
+      List.filter_map
+        (function Netlist.Pin p -> Some p.Netlist.inst | Netlist.Port _ -> None)
+        (net.Netlist.driver :: net.Netlist.sinks)
+      |> List.sort_uniq Int.compare
+    in
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b);
+        link rest
+      | [] | [ _ ] -> ()
+    in
+    link insts
+  in
+  Array.iter on_net (Netlist.nets netlist);
+  adj
+
+(* BFS over connectivity, seeded by instance 0 then any unvisited, so
+   strongly connected logic ends up contiguous in the linear order. *)
+let bfs_order netlist =
+  let n = Netlist.n_instances netlist in
+  let adj = adjacency netlist in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let push v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  for seed = 0 to n - 1 do
+    push seed;
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      order := v :: !order;
+      List.iter push (List.sort Int.compare adj.(v))
+    done
+  done;
+  List.rev !order
+
+(* Anchor coordinates of the ports pulling on connected cells: ports
+   live on the chip's south (row -1) and north (row n_rows) edges. *)
+let port_anchors netlist ~n_rows ~est_width =
+  let ports = Netlist.ports netlist in
+  let n = Array.length ports in
+  Array.mapi
+    (fun k (p : Netlist.port) ->
+      let x =
+        match p.Netlist.column_hint with
+        | Some c -> float_of_int c
+        | None -> float_of_int (est_width * (k + 1)) /. float_of_int (n + 1)
+      in
+      let y =
+        match p.Netlist.side with
+        | Netlist.South -> -1.0
+        | Netlist.North -> float_of_int n_rows
+      in
+      (x, y))
+    ports
+
+let place ?(utilization = 0.8) ?(barycenter_passes = 12) ~netlist ~n_rows style =
+  if n_rows <= 0 then invalid_arg "Placement.place: n_rows must be positive";
+  let placeable =
+    bfs_order netlist
+    |> List.filter (fun i ->
+           (Netlist.instance netlist i).Netlist.master.Cell.kind <> Cell.Feed_through)
+  in
+  let width_of i = (Netlist.instance netlist i).Netlist.master.Cell.width in
+  let total_width = List.fold_left (fun acc i -> acc + width_of i) 0 placeable in
+  let per_row = (total_width + n_rows - 1) / n_rows in
+  let est_width = max 1 (int_of_float (ceil (float_of_int per_row /. utilization))) in
+  (* Initial snake fill of the BFS chain. *)
+  let rows = Array.make n_rows [] in
+  let row = ref 0 and used = ref 0 in
+  List.iter
+    (fun i ->
+      if !used + width_of i > per_row && !row < n_rows - 1 then begin
+        incr row;
+        used := 0
+      end;
+      rows.(!row) <- i :: rows.(!row);
+      used := !used + width_of i)
+    placeable;
+  Array.iteri (fun r l -> rows.(r) <- (if r mod 2 = 0 then List.rev l else l)) rows;
+  (* Global barycenter refinement over (row, x): every pass computes
+     each cell's desired coordinates as the mean of its connected
+     neighbours (including port anchors on the chip edges), then
+     re-partitions rows by desired y (capacity-balanced) and re-orders
+     columns by desired x. *)
+  let n = Netlist.n_instances netlist in
+  let adj = adjacency netlist in
+  let anchors = port_anchors netlist ~n_rows ~est_width in
+  let port_pull = Array.make n [] in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let ports, pins =
+        List.partition_map
+          (function
+            | Netlist.Port q -> Left q
+            | Netlist.Pin p -> Right p.Netlist.inst)
+          (net.Netlist.driver :: net.Netlist.sinks)
+      in
+      List.iter
+        (fun inst -> List.iter (fun q -> port_pull.(inst) <- q :: port_pull.(inst)) ports)
+        (List.sort_uniq Int.compare pins))
+    (Netlist.nets netlist);
+  let pos_x = Array.make n 0.0 and pos_y = Array.make n 0.0 in
+  let refresh_positions () =
+    Array.iteri
+      (fun r l ->
+        let x = ref 0 in
+        List.iter
+          (fun i ->
+            pos_x.(i) <- float_of_int !x +. (float_of_int (width_of i) /. 2.0);
+            pos_y.(i) <- float_of_int r;
+            x := !x + width_of i + max 0 ((est_width - per_row) / max 1 (List.length l)))
+          l)
+      rows
+  in
+  refresh_positions ();
+  for _pass = 1 to barycenter_passes do
+    let want_x = Array.make n 0.0 and want_y = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let sx = ref 0.0 and sy = ref 0.0 and k = ref 0 in
+      List.iter
+        (fun j ->
+          sx := !sx +. pos_x.(j);
+          sy := !sy +. pos_y.(j);
+          incr k)
+        adj.(i);
+      List.iter
+        (fun q ->
+          let ax, ay = anchors.(q) in
+          sx := !sx +. ax;
+          sy := !sy +. ay;
+          incr k)
+        port_pull.(i);
+      if !k = 0 then begin
+        want_x.(i) <- pos_x.(i);
+        want_y.(i) <- pos_y.(i)
+      end
+      else begin
+        want_x.(i) <- !sx /. float_of_int !k;
+        want_y.(i) <- !sy /. float_of_int !k
+      end
+    done;
+    (* Re-partition into rows by desired y, balanced by cell width. *)
+    let by_y =
+      List.stable_sort
+        (fun a b ->
+          let c = Float.compare want_y.(a) want_y.(b) in
+          if c <> 0 then c else Float.compare want_x.(a) want_x.(b))
+        placeable
+    in
+    Array.fill rows 0 n_rows [];
+    let row = ref 0 and used = ref 0 in
+    List.iter
+      (fun i ->
+        if !used + width_of i > per_row && !row < n_rows - 1 then begin
+          incr row;
+          used := 0
+        end;
+        rows.(!row) <- i :: rows.(!row);
+        used := !used + width_of i)
+      by_y;
+    Array.iteri
+      (fun r l ->
+        rows.(r) <- List.stable_sort (fun a b -> Float.compare want_x.(a) want_x.(b)) (List.rev l))
+      rows;
+    refresh_positions ()
+  done;
+  (* Physical row layout: logic plus spare (feed) columns. *)
+  let row_widths = Array.map (fun l -> List.fold_left (fun acc i -> acc + width_of i) 0 l) rows in
+  let max_row_width = Array.fold_left max 1 row_widths in
+  let chip_width = max max_row_width (int_of_float (ceil (float_of_int max_row_width /. utilization))) in
+  let cells = ref [] and slots = ref [] in
+  Array.iteri
+    (fun r l ->
+      let spare = chip_width - row_widths.(r) in
+      let k = List.length l in
+      (match style with
+      | P2 ->
+        (* Cells packed left; all spare columns at the row end. *)
+        let x = ref 0 in
+        List.iter
+          (fun i ->
+            cells := { Floorplan.inst = i; row = r; x = !x } :: !cells;
+            x := !x + width_of i)
+          l;
+        for s = 0 to spare - 1 do
+          slots := (r, !x + s, 0) :: !slots
+        done
+      | P1 ->
+        (* Spare columns spread over the k+1 gaps between cells. *)
+        let gaps = k + 1 in
+        let gap_size g = (spare * (g + 1) / gaps) - (spare * g / gaps) in
+        let x = ref 0 in
+        let emit_gap g =
+          for _ = 1 to gap_size g do
+            slots := (r, !x, 0) :: !slots;
+            incr x
+          done
+        in
+        List.iteri
+          (fun g i ->
+            emit_gap g;
+            cells := { Floorplan.inst = i; row = r; x = !x } :: !cells;
+            x := !x + width_of i)
+          l;
+        emit_gap k))
+    rows;
+  { r_width = chip_width; r_n_rows = n_rows; r_cells = !cells; r_slots = !slots }
+
+let to_flow_input ~netlist ~dims ~constraints r =
+  { Flow.netlist;
+    dims;
+    n_rows = r.r_n_rows;
+    width = r.r_width;
+    cells = r.r_cells;
+    slots = r.r_slots;
+    blockages = [];
+    constraints }

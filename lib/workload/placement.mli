@@ -1,0 +1,39 @@
+(** Constructive row placement with the paper's P1/P2 feed-cell knob.
+
+    The paper's placements were designer-provided; P1 had feed cells
+    inserted "by automatic feed-cell insertion" (evenly spaced), P2 was
+    "given by moving the feed cells aside in the cell rows in order to
+    test the even spacing effect".  Here the logic placement is a
+    deterministic connectivity-driven construction (BFS order, snake
+    row fill, barycenter refinement); the style only decides where each
+    row's spare columns — the designer feed slots — end up. *)
+
+type style =
+  | P1  (** spare columns distributed evenly between cells *)
+  | P2  (** cells packed left, all spare columns swept to the row end *)
+
+val style_name : style -> string
+
+type result = {
+  r_width : int;
+  r_n_rows : int;
+  r_cells : Floorplan.placed list;
+  r_slots : (int * int * int) list;  (** (row, x, width_flag = 0) *)
+}
+
+val place :
+  ?utilization:float ->
+  ?barycenter_passes:int ->
+  netlist:Netlist.t ->
+  n_rows:int ->
+  style ->
+  result
+(** [utilization] (default 0.8) is the fraction of row width occupied
+    by logic; the rest becomes feed slots. *)
+
+val to_flow_input :
+  netlist:Netlist.t ->
+  dims:Dims.t ->
+  constraints:Path_constraint.t list ->
+  result ->
+  Flow.input

@@ -1,0 +1,29 @@
+(** Deterministic splitmix64 PRNG.
+
+    All workload randomness flows through an explicit seed so every
+    generated circuit, placement and experiment is bit-reproducible
+    across runs and machines (DESIGN.md Sec. 5, "Determinism"). *)
+
+type t
+
+val create : seed:int64 -> t
+
+val next64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument
+    when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element.  @raise Invalid_argument on []. *)
+
+val pick_arr : t -> 'a array -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

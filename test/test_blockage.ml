@@ -1,0 +1,148 @@
+(* Tests for routing blockages — the "blockages on the routing layers"
+   input of the paper's problem formulation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A same-row net that would naturally route through channel 1; a
+   blockage there must push it into channel 0 or 2. *)
+let blocked_floorplan ~blockages =
+  let netlist, invs = Util.chain_netlist 4 in
+  let cells =
+    [ { Floorplan.inst = invs.(0); row = 0; x = 0 };
+      { Floorplan.inst = invs.(1); row = 0; x = 6 };
+      { Floorplan.inst = invs.(2); row = 1; x = 0 };
+      { Floorplan.inst = invs.(3); row = 1; x = 6 } ]
+  in
+  let slots = [ (0, 4, 0); (0, 9, 0); (1, 4, 0); (1, 9, 0) ] in
+  let fp =
+    Floorplan.make ~netlist ~dims:Dims.default ~n_rows:2 ~width:12 ~cells ~slots ~blockages ()
+  in
+  (fp, netlist, invs)
+
+let test_accessors () =
+  let fp, _, _ = blocked_floorplan ~blockages:[ (1, 3, 5) ] in
+  check_int "one blockage in channel 1" 1 (List.length (Floorplan.channel_blockages fp 1));
+  check_int "none in channel 0" 0 (List.length (Floorplan.channel_blockages fp 0));
+  check_bool "trunk across is blocked" true (Floorplan.trunk_blocked fp ~channel:1 ~x1:0 ~x2:7);
+  check_bool "trunk touching the edge is blocked" true
+    (Floorplan.trunk_blocked fp ~channel:1 ~x1:5 ~x2:8);
+  check_bool "trunk clear of it is fine" false (Floorplan.trunk_blocked fp ~channel:1 ~x1:6 ~x2:9);
+  check_bool "other channel unaffected" false (Floorplan.trunk_blocked fp ~channel:0 ~x1:0 ~x2:7);
+  Alcotest.(check (list (triple int int int)))
+    "triples round-trip" [ (1, 3, 5) ] (Floorplan.blockage_triples fp)
+
+let test_validation () =
+  let expect blockages =
+    match blocked_floorplan ~blockages with
+    | _ -> Alcotest.fail "expected Overlap"
+    | exception Floorplan.Overlap _ -> ()
+  in
+  expect [ (7, 0, 1) ] (* unknown channel *);
+  expect [ (1, -1, 3) ] (* off chip left *);
+  expect [ (1, 5, 20) ] (* off chip right *);
+  expect [ (1, 5, 3) ] (* inverted *)
+
+let route_net fp netlist invs =
+  let net = Option.get (Netlist.net_of_pin netlist { Netlist.inst = invs.(0); term = "Z" }) in
+  let assignment, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  Alcotest.(check bool) "assignable" true (failures = []);
+  (Routing_graph.build fp assignment ~net, net)
+
+let test_routing_detours () =
+  (* Net i0.Z (col 1) -> i1.A (col 6), row 0: channels 0 and 1 both
+     offer trunks normally.  Block channel 0 between them: only the
+     channel-1 trunk survives and the tree must use it. *)
+  let fp, netlist, invs = blocked_floorplan ~blockages:[ (0, 2, 4) ] in
+  let rg, _ = route_net fp netlist invs in
+  let trunk_channels = ref [] in
+  Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+      match Routing_graph.edge_kind rg e.Ugraph.id with
+      | Routing_graph.Trunk { channel; _ } -> trunk_channels := channel :: !trunk_channels
+      | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> ());
+  check_bool "no trunk in the blocked channel" true (not (List.mem 0 !trunk_channels));
+  check_bool "channel 1 trunk exists" true (List.mem 1 !trunk_channels);
+  let tree = Option.get (Routing_graph.tentative_tree rg) in
+  check_bool "tree routes through channel 1" true
+    (List.exists
+       (fun eid ->
+         match Routing_graph.edge_kind rg eid with
+         | Routing_graph.Trunk { channel = 1; _ } -> true
+         | Routing_graph.Trunk _ | Routing_graph.Branch _ | Routing_graph.Correspondence _ -> false)
+       tree)
+
+let test_unroutable_when_fully_blocked () =
+  (* Block both channels the net could use: construction must fail
+     loudly rather than produce a disconnected candidate graph. *)
+  let fp, netlist, invs = blocked_floorplan ~blockages:[ (0, 2, 4); (1, 2, 4) ] in
+  check_bool "unroutable raised" true
+    (match route_net fp netlist invs with
+    | exception Routing_graph.Unroutable _ -> true
+    | _ -> false)
+
+let test_full_flow_with_blockage () =
+  (* End-to-end: with a blockage in a middle channel the flow either
+     routes everything around it, or — when the blockage strands a net
+     whose only candidates cross it (one feedthrough per net per row
+     cannot detour inside a channel) — fails loudly with Unroutable.
+     At least one probed position must route fully, and routed results
+     must never cross the blockage. *)
+  let case = Suite.mini () in
+  let base = case.Suite.input in
+  let fp0 = Flow.floorplan_of_input base in
+  let width = Floorplan.width fp0 in
+  let blocked_channel = 2 in
+  let routed_somewhere = ref false in
+  List.iter
+    (fun x ->
+      if x >= 0 && x + 1 < width then begin
+        let input = { base with Flow.blockages = [ (blocked_channel, x, x + 1) ] } in
+        match Flow.run input with
+        | exception Routing_graph.Unroutable _ -> () (* documented outcome *)
+        | outcome ->
+          routed_somewhere := true;
+          check_bool "routed" true (Router.is_routed outcome.Flow.o_router);
+          let router = outcome.Flow.o_router in
+          let netlist = input.Flow.netlist in
+          let fp = outcome.Flow.o_floorplan in
+          for net = 0 to Netlist.n_nets netlist - 1 do
+            let rg = Router.routing_graph router net in
+            List.iter
+              (fun eid ->
+                match Routing_graph.edge_kind rg eid with
+                | Routing_graph.Trunk { channel; span } when channel = blocked_channel ->
+                  check_bool
+                    (Printf.sprintf "net %d avoids the blockage" net)
+                    false
+                    (Floorplan.trunk_blocked fp ~channel ~x1:(Interval.lo span)
+                       ~x2:(Interval.hi span - 1))
+                | Routing_graph.Trunk _ | Routing_graph.Branch _ | Routing_graph.Correspondence _ ->
+                  ())
+              (Router.tree_edges router net)
+          done
+      end)
+    [ 1; width / 4; width / 2; (3 * width) / 4; width - 3 ];
+  check_bool "at least one blockage position routes fully" true !routed_somewhere
+
+let test_io_roundtrip () =
+  let fp, netlist, _ = blocked_floorplan ~blockages:[ (1, 3, 5); (2, 0, 2) ] in
+  let text = Layout_io.to_string fp in
+  let back = Layout_io.of_string ~netlist ~dims:Dims.default text in
+  Alcotest.(check (list (triple int int int)))
+    "blockages serialize" (Floorplan.blockage_triples fp) (Floorplan.blockage_triples back)
+
+let test_view_marks_blockage () =
+  let fp, _, _ = blocked_floorplan ~blockages:[ (1, 3, 5) ] in
+  let s = Layout_view.floorplan fp in
+  check_bool "blockage rendered as X" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "ch1 " && String.contains l 'X'))
+
+let suite =
+  [ Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "routing detours around blockage" `Quick test_routing_detours;
+    Alcotest.test_case "unroutable when fully blocked" `Quick test_unroutable_when_fully_blocked;
+    Alcotest.test_case "full flow with blockage" `Quick test_full_flow_with_blockage;
+    Alcotest.test_case "blockage io round trip" `Quick test_io_roundtrip;
+    Alcotest.test_case "view marks blockage" `Quick test_view_marks_blockage ]

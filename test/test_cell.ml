@@ -1,0 +1,132 @@
+(* Tests for bgr_cell: master validation and the built-in ECL library. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let simple_inv ?(width = 2) ?(arcs = [ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = 50.0 } ])
+    () =
+  Cell.make ~name:"X" ~kind:Cell.Combinational ~width
+    ~terminals:
+      [ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:0;
+        Cell.output_t ~name:"Z" ~tf:5.0 ~td:1.0 ~offset:1 ]
+    ~arcs ()
+
+let test_make_valid () =
+  let c = simple_inv () in
+  check_int "width" 2 c.Cell.width;
+  check_int "terminal count" 2 (Array.length c.Cell.terminals);
+  check_bool "has A" true (Cell.has_terminal c "A");
+  check_bool "no B" false (Cell.has_terminal c "B");
+  check_int "inputs" 1 (List.length (Cell.inputs c));
+  check_int "outputs" 1 (List.length (Cell.outputs c));
+  check_float "arc intrinsic" 50.0
+    (match Cell.arcs_to c ~output:"Z" with [ a ] -> a.Cell.intrinsic_ps | _ -> nan)
+
+let expect_malformed name f =
+  match f () with
+  | (_ : Cell.t) -> Alcotest.failf "%s: expected Cell.Malformed" name
+  | exception Cell.Malformed _ -> ()
+
+let test_make_invalid () =
+  expect_malformed "zero width" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Combinational ~width:0 ~terminals:[] ~arcs:[] ());
+  expect_malformed "offset outside cell" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Combinational ~width:2
+        ~terminals:[ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:2;
+                     Cell.output_t ~name:"Z" ~tf:1.0 ~td:1.0 ~offset:1 ]
+        ~arcs:[] ());
+  expect_malformed "duplicate terminal" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Combinational ~width:2
+        ~terminals:
+          [ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:0;
+            Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:1 ]
+        ~arcs:[] ());
+  expect_malformed "arc to unknown terminal" (fun () ->
+      simple_inv ~arcs:[ { Cell.from_input = "A"; to_output = "Q"; intrinsic_ps = 1.0 } ] ());
+  expect_malformed "arc source is output" (fun () ->
+      simple_inv ~arcs:[ { Cell.from_input = "Z"; to_output = "Z"; intrinsic_ps = 1.0 } ] ());
+  expect_malformed "negative intrinsic" (fun () ->
+      simple_inv ~arcs:[ { Cell.from_input = "A"; to_output = "Z"; intrinsic_ps = -1.0 } ] ());
+  expect_malformed "zero fanin input" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Combinational ~width:2
+        ~terminals:[ Cell.input_t ~name:"A" ~fanin_ff:0.0 ~offset:0 ]
+        ~arcs:[] ());
+  expect_malformed "feed cell with terminals" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Feed_through ~width:1
+        ~terminals:[ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:0 ]
+        ~arcs:[] ());
+  expect_malformed "flip-flop without sequential inputs" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Flipflop ~width:2
+        ~terminals:[ Cell.input_t ~name:"D" ~fanin_ff:1.0 ~offset:0 ]
+        ~arcs:[] ());
+  expect_malformed "combinational with sequential inputs" (fun () ->
+      Cell.make ~name:"X" ~kind:Cell.Combinational ~width:2
+        ~terminals:[ Cell.input_t ~name:"A" ~fanin_ff:1.0 ~offset:0 ]
+        ~arcs:[] ~sequential_inputs:[ "A" ] ())
+
+let test_sequential_inputs () =
+  let lib = Cell_lib.ecl_default in
+  let dff = Cell_lib.find lib "DFF" in
+  check_bool "D is sequential" true (Cell.is_sequential_input dff "D");
+  check_bool "CK is sequential" true (Cell.is_sequential_input dff "CK");
+  let inv = Cell_lib.find lib "INV1" in
+  check_bool "INV1.A is not" false (Cell.is_sequential_input inv "A")
+
+let test_library_lookup () =
+  let lib = Cell_lib.ecl_default in
+  check_bool "find INV1" true (Cell_lib.find_opt lib "INV1" <> None);
+  check_bool "no such cell" true (Cell_lib.find_opt lib "NAND97" = None);
+  check_bool "find raises" true
+    (match Cell_lib.find lib "NAND97" with exception Not_found -> true | _ -> false);
+  let feed = Cell_lib.feed_cell lib in
+  check_bool "feed master" true (feed.Cell.kind = Cell.Feed_through);
+  check_int "feed width 1" 1 feed.Cell.width
+
+let test_library_well_formed () =
+  (* Every master validates, every combinational input has an arc to
+     some output, and outputs carry drive factors. *)
+  let lib = Cell_lib.ecl_default in
+  List.iter
+    (fun (c : Cell.t) ->
+      (match c.Cell.kind with
+      | Cell.Combinational ->
+        List.iter
+          (fun (term : Cell.terminal) ->
+            let has_arc =
+              List.exists (fun (a : Cell.arc) -> a.Cell.from_input = term.Cell.t_name) c.Cell.arcs
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s.%s drives an arc" c.Cell.name term.Cell.t_name)
+              true has_arc)
+          (Cell.inputs c)
+      | Cell.Flipflop | Cell.Feed_through -> ());
+      List.iter
+        (fun (term : Cell.terminal) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s.%s has drive" c.Cell.name term.Cell.t_name)
+            true
+            (term.Cell.tf_ps_per_ff > 0.0 && term.Cell.td_ps_per_ff > 0.0))
+        (Cell.outputs c))
+    (Cell_lib.cells lib)
+
+let test_library_duplicate () =
+  let inv = simple_inv () in
+  check_bool "duplicate master rejected" true
+    (match Cell_lib.make ~name:"l" ~cells:[ inv; inv ] with
+    | exception Cell.Malformed _ -> true
+    | _ -> false)
+
+let test_differential_master () =
+  let ddrv = Cell_lib.find Cell_lib.ecl_default "DDRV" in
+  check_int "two complementary outputs" 2 (List.length (Cell.outputs ddrv));
+  check_int "arcs reach both" 2 (List.length ddrv.Cell.arcs)
+
+let suite =
+  [ Alcotest.test_case "make valid master" `Quick test_make_valid;
+    Alcotest.test_case "make rejects malformed masters" `Quick test_make_invalid;
+    Alcotest.test_case "sequential inputs" `Quick test_sequential_inputs;
+    Alcotest.test_case "library lookup" `Quick test_library_lookup;
+    Alcotest.test_case "ecl library well-formed" `Quick test_library_well_formed;
+    Alcotest.test_case "library duplicate rejected" `Quick test_library_duplicate;
+    Alcotest.test_case "differential master" `Quick test_differential_master ]

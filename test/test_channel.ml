@@ -1,0 +1,247 @@
+(* Tests for the left-edge channel router: track packing, vertical
+   constraints, doglegs, and randomized structural audits. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let seg ?(w = 1) net lo hi pins =
+  { Channel_router.seg_net = net;
+    seg_lo = lo;
+    seg_hi = hi;
+    seg_pins = List.map (fun (x, top) -> { Channel_router.pin_x = x; pin_from_top = top }) pins;
+    seg_width = w }
+
+let test_disjoint_share_track () =
+  let r = Channel_router.route [ seg 0 0 4 [ (0, true) ]; seg 1 6 9 [ (7, true) ] ] in
+  check_int "one track suffices" 1 r.Channel_router.tracks;
+  check_int "no doglegs" 0 r.Channel_router.doglegs;
+  check_int "no violations" 0 r.Channel_router.violations;
+  match Channel_router.check [ seg 0 0 4 [ (0, true) ]; seg 1 6 9 [ (7, true) ] ] r with
+  | Ok _ -> ()
+  | Error problems -> Alcotest.failf "audit failed: %s" (String.concat "; " problems)
+
+let test_overlapping_stack () =
+  let segs = [ seg 0 0 5 []; seg 1 3 8 []; seg 2 4 6 [] ] in
+  let r = Channel_router.route segs in
+  check_int "three overlapping nets need three tracks" 3 r.Channel_router.tracks
+
+let test_vertical_constraint_order () =
+  (* At column 3, net 0 pins from the top and net 1 from the bottom:
+     net 0 must take a higher track. *)
+  let segs = [ seg 1 0 6 [ (3, false) ]; seg 0 2 8 [ (3, true) ] ] in
+  let r = Channel_router.route segs in
+  let track_of net =
+    List.find (fun p -> p.Channel_router.pc_net = net) r.Channel_router.pieces
+  in
+  check_bool "top-pinned net above bottom-pinned net" true
+    ((track_of 0).Channel_router.pc_track < (track_of 1).Channel_router.pc_track)
+
+let test_vcg_chain () =
+  (* a above b at x=2, b above c at x=5: three tracks in order. *)
+  let segs =
+    [ seg 2 0 9 [ (5, false) ];
+      seg 1 0 9 [ (2, false); (5, true) ];
+      seg 0 0 9 [ (2, true) ] ]
+  in
+  let r = Channel_router.route segs in
+  let track_of net =
+    (List.find (fun p -> p.Channel_router.pc_net = net) r.Channel_router.pieces).Channel_router.pc_track
+  in
+  check_bool "chain stacks in order" true (track_of 0 < track_of 1 && track_of 1 < track_of 2)
+
+let test_cycle_dogleg () =
+  (* Classic 2-net VCG cycle: a above b at x=2, b above a at x=7.
+     Requires a dogleg. *)
+  let segs = [ seg 0 0 9 [ (2, true); (7, false) ]; seg 1 0 9 [ (2, false); (7, true) ] ] in
+  let r = Channel_router.route segs in
+  check_bool "cycle resolved" true (r.Channel_router.doglegs >= 1 || r.Channel_router.violations >= 1);
+  match Channel_router.check segs r with
+  | Ok _ -> ()
+  | Error problems -> Alcotest.failf "audit failed: %s" (String.concat "; " problems)
+
+let test_multipitch_tracks () =
+  let segs = [ seg ~w:3 0 0 9 [ (1, true) ]; seg 1 0 9 [] ] in
+  let r = Channel_router.route segs in
+  check_int "wide net + thin net need 4 tracks" 4 r.Channel_router.tracks
+
+let test_vertical_lengths () =
+  (* One net alone on one track: its pin descends half a track from the
+     top, (tracks - 0 - 1 + 0.5) from the bottom. *)
+  let segs = [ seg 0 0 5 [ (1, true); (4, false) ] ] in
+  let r = Channel_router.route segs in
+  check_int "single track" 1 r.Channel_router.tracks;
+  (match r.Channel_router.net_vertical_tracks with
+  | [ (0, v) ] -> Alcotest.(check (float 1e-9)) "0.5 down + 0.5 up" 1.0 v
+  | _ -> Alcotest.fail "expected one net's verticals");
+  Alcotest.(check (float 1e-9)) "um scaling" 8.0 (Channel_router.vertical_um ~track_um:8.0 r)
+
+let test_degenerate_point_segment () =
+  let segs = [ seg 0 3 3 [ (3, true) ] ] in
+  let r = Channel_router.route segs in
+  check_int "a point still gets a track" 1 r.Channel_router.tracks
+
+(* Random segments: the audit must pass, tracks must be at least the
+   column density, and every net's verticals must be accounted for. *)
+let random_segs_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 10 in
+    let mk net =
+      let* a = int_range 0 19 in
+      let* b = int_range 0 19 in
+      let lo = min a b and hi = max a b in
+      let* top_pin = int_range lo hi in
+      let* bot_pin = int_range lo hi in
+      let* with_top = bool in
+      let* with_bot = bool in
+      let pins =
+        (if with_top then [ (top_pin, true) ] else []) @ if with_bot then [ (bot_pin, false) ] else []
+      in
+      return (seg net lo hi pins)
+    in
+    let rec build k acc =
+      if k >= n then return (List.rev acc)
+      else
+        let* s = mk k in
+        build (k + 1) (s :: acc)
+    in
+    build 0 [])
+
+let prop_random_channels =
+  QCheck.Test.make ~name:"channel: random inputs route and audit clean" ~count:200
+    (QCheck.make random_segs_gen)
+    (fun segs ->
+      let r = Channel_router.route segs in
+      let audit = match Channel_router.check segs r with Ok _ -> true | Error _ -> false in
+      (* density lower bound on tracks *)
+      let density =
+        let max_col = 20 in
+        let best = ref 0 in
+        for x = 0 to max_col do
+          let d =
+            List.fold_left
+              (fun acc s ->
+                if s.Channel_router.seg_lo <= x && x <= s.Channel_router.seg_hi then
+                  acc + s.Channel_router.seg_width
+                else acc)
+              0 segs
+          in
+          if d > !best then best := d
+        done;
+        !best
+      in
+      audit && r.Channel_router.tracks >= density)
+
+(* --- greedy router ----------------------------------------------------- *)
+
+let test_greedy_basics () =
+  let segs = [ seg 0 0 4 [ (0, true); (4, false) ]; seg 1 6 9 [ (7, true) ] ] in
+  let r = Greedy_router.route segs in
+  check_int "disjoint nets share a track" 1 r.Channel_router.tracks;
+  check_int "no violations" 0 r.Channel_router.violations;
+  (match Channel_router.check segs r with
+  | Ok _ -> ()
+  | Error problems -> Alcotest.failf "greedy audit: %s" (String.concat "; " problems))
+
+let test_greedy_vcg_order () =
+  (* Top pin and bottom pin of different nets at one column: greedy
+     serves them with verticals that cannot overlap, so both route. *)
+  let segs = [ seg 1 0 6 [ (3, false) ]; seg 0 2 8 [ (3, true) ] ] in
+  let r = Greedy_router.route segs in
+  check_int "no violations" 0 r.Channel_router.violations;
+  match Channel_router.check segs r with
+  | Ok _ -> ()
+  | Error problems -> Alcotest.failf "greedy audit: %s" (String.concat "; " problems)
+
+let test_greedy_cycle () =
+  (* The VCG cycle that forces the left-edge router to dogleg is routed
+     naturally by per-column verticals. *)
+  let segs = [ seg 0 0 9 [ (2, true); (7, false) ]; seg 1 0 9 [ (2, false); (7, true) ] ] in
+  let r = Greedy_router.route segs in
+  check_int "no violations" 0 r.Channel_router.violations;
+  match Channel_router.check segs r with
+  | Ok _ -> ()
+  | Error problems -> Alcotest.failf "greedy audit: %s" (String.concat "; " problems)
+
+let test_greedy_multipitch () =
+  let segs = [ seg ~w:3 0 0 9 [ (1, true) ]; seg 1 0 9 [ (5, false) ] ] in
+  let r = Greedy_router.route segs in
+  check_int "wide + thin tracks" 4 r.Channel_router.tracks;
+  match Channel_router.check segs r with
+  | Ok _ -> ()
+  | Error problems -> Alcotest.failf "greedy audit: %s" (String.concat "; " problems)
+
+let prop_greedy_random =
+  QCheck.Test.make ~name:"greedy: random inputs route and audit clean" ~count:200
+    (QCheck.make random_segs_gen)
+    (fun segs ->
+      let r = Greedy_router.route segs in
+      match Channel_router.check segs r with Ok _ -> true | Error _ -> false)
+
+let prop_routers_agree_on_density_bound =
+  QCheck.Test.make ~name:"greedy and left-edge both respect the density bound" ~count:100
+    (QCheck.make random_segs_gen)
+    (fun segs ->
+      let density =
+        let best = ref 0 in
+        for x = 0 to 20 do
+          let d =
+            List.fold_left
+              (fun acc s ->
+                if s.Channel_router.seg_lo <= x && x <= s.Channel_router.seg_hi then
+                  acc + s.Channel_router.seg_width
+                else acc)
+              0 segs
+          in
+          if d > !best then best := d
+        done;
+        !best
+      in
+      let le = Channel_router.route segs in
+      let gr = Greedy_router.route segs in
+      le.Channel_router.tracks >= density && gr.Channel_router.tracks >= density)
+
+let prop_pin_bias_preserves_structure =
+  QCheck.Test.make ~name:"pin bias: same tracks, clean audit, permuted pieces" ~count:200
+    (QCheck.make random_segs_gen)
+    (fun segs ->
+      let plain = Channel_router.route segs in
+      let biased = Channel_router.route ~pin_bias:true segs in
+      let audit r = match Channel_router.check segs r with Ok _ -> true | Error _ -> false in
+      let spans r =
+        List.map
+          (fun (p : Channel_router.piece) -> (p.Channel_router.pc_net, p.Channel_router.pc_lo, p.Channel_router.pc_hi))
+          r.Channel_router.pieces
+        |> List.sort compare
+      in
+      plain.Channel_router.tracks = biased.Channel_router.tracks
+      && audit biased
+      && spans plain = spans biased)
+
+let test_pin_bias_moves_top_heavy_up () =
+  (* Two independent nets: one all-top pins, one all-bottom; with the
+     bias the top-heavy one must take the upper track. *)
+  let segs = [ seg 0 0 9 [ (2, false); (7, false) ]; seg 1 0 9 [ (3, true); (6, true) ] ] in
+  let r = Channel_router.route ~pin_bias:true segs in
+  let track_of net =
+    (List.find (fun p -> p.Channel_router.pc_net = net) r.Channel_router.pieces).Channel_router.pc_track
+  in
+  check_bool "top-heavy above bottom-heavy" true (track_of 1 < track_of 0)
+
+let suite =
+  [ Alcotest.test_case "disjoint nets share a track" `Quick test_disjoint_share_track;
+    QCheck_alcotest.to_alcotest prop_pin_bias_preserves_structure;
+    Alcotest.test_case "pin bias moves top-heavy nets up" `Quick test_pin_bias_moves_top_heavy_up;
+    Alcotest.test_case "greedy basics" `Quick test_greedy_basics;
+    Alcotest.test_case "greedy vcg order" `Quick test_greedy_vcg_order;
+    Alcotest.test_case "greedy handles the vcg cycle" `Quick test_greedy_cycle;
+    Alcotest.test_case "greedy multi-pitch" `Quick test_greedy_multipitch;
+    QCheck_alcotest.to_alcotest prop_greedy_random;
+    QCheck_alcotest.to_alcotest prop_routers_agree_on_density_bound;
+    Alcotest.test_case "overlapping nets stack" `Quick test_overlapping_stack;
+    Alcotest.test_case "vertical constraint order" `Quick test_vertical_constraint_order;
+    Alcotest.test_case "vcg chain" `Quick test_vcg_chain;
+    Alcotest.test_case "vcg cycle dogleg" `Quick test_cycle_dogleg;
+    Alcotest.test_case "multi-pitch tracks" `Quick test_multipitch_tracks;
+    Alcotest.test_case "vertical lengths" `Quick test_vertical_lengths;
+    Alcotest.test_case "degenerate point" `Quick test_degenerate_point_segment;
+    QCheck_alcotest.to_alcotest prop_random_channels ]

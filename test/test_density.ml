@@ -1,0 +1,117 @@
+(* Tests for the channel density charts and the eight parameters of
+   Sec. 3.3 (Fig. 4). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_add_remove () =
+  let d = Density.create ~n_channels:2 ~width:10 in
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 2 6) ~w:1 ~bridge:false;
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 4 8) ~w:1 ~bridge:true;
+  check_int "d_M stacks" 2 (Density.dM_at d ~channel:0 ~x:4);
+  check_int "d_M single" 1 (Density.dM_at d ~channel:0 ~x:2);
+  check_int "d_m only bridges" 1 (Density.dm_at d ~channel:0 ~x:4);
+  check_int "d_m zero off-bridge" 0 (Density.dm_at d ~channel:0 ~x:2);
+  check_int "C_M" 2 (Density.cM d ~channel:0);
+  check_int "NC_M counts peak columns" 2 (Density.ncM d ~channel:0);
+  check_int "C_m" 1 (Density.cm d ~channel:0);
+  check_int "NC_m" 4 (Density.ncm d ~channel:0);
+  check_int "other channel untouched" 0 (Density.cM d ~channel:1);
+  Density.remove_trunk d ~channel:0 ~span:(Interval.span 4 8) ~w:1 ~bridge:true;
+  check_int "removal restores d_M" 1 (Density.dM_at d ~channel:0 ~x:4);
+  check_int "removal restores d_m" 0 (Density.dm_at d ~channel:0 ~x:4)
+
+let test_multipitch_weight () =
+  let d = Density.create ~n_channels:1 ~width:8 in
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 1 4) ~w:3 ~bridge:false;
+  check_int "w-pitch counts w" 3 (Density.dM_at d ~channel:0 ~x:2);
+  check_int "C_M reflects width" 3 (Density.cM d ~channel:0)
+
+let test_set_bridge () =
+  let d = Density.create ~n_channels:1 ~width:8 in
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 0 5) ~w:1 ~bridge:false;
+  check_int "not a bridge yet" 0 (Density.cm d ~channel:0);
+  Density.set_bridge d ~channel:0 ~span:(Interval.span 0 5) ~w:1 true;
+  check_int "promoted to bridge" 1 (Density.cm d ~channel:0);
+  Density.set_bridge d ~channel:0 ~span:(Interval.span 0 5) ~w:1 false;
+  check_int "demoted again" 0 (Density.cm d ~channel:0)
+
+let test_revision_and_cache () =
+  let d = Density.create ~n_channels:2 ~width:8 in
+  let r0 = Density.revision d ~channel:0 in
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 0 3) ~w:1 ~bridge:false;
+  check_bool "mutation bumps revision" true (Density.revision d ~channel:0 > r0);
+  let r1 = Density.revision d ~channel:1 in
+  ignore (Density.cM d ~channel:0);
+  check_int "reads do not bump" r1 (Density.revision d ~channel:1);
+  Density.add_trunk d ~channel:1 ~span:Interval.empty ~w:1 ~bridge:false;
+  check_int "empty span is a no-op" r1 (Density.revision d ~channel:1)
+
+let test_edge_params () =
+  let d = Density.create ~n_channels:1 ~width:10 in
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 0 10) ~w:1 ~bridge:true;
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 3 7) ~w:1 ~bridge:false;
+  Density.add_trunk d ~channel:0 ~span:(Interval.span 5 7) ~w:1 ~bridge:false;
+  (* chart d_M: 1 1 1 2 2 3 3 1 1 1 ; d_m: all 1 *)
+  let d_max, nd_max, d_min, nd_min = Density.edge_params d ~channel:0 ~span:(Interval.span 0 10) in
+  check_int "D_M over all" 3 d_max;
+  check_int "ND_M over all" 2 nd_max;
+  check_int "D_m over all" 1 d_min;
+  check_int "ND_m over all" 10 nd_min;
+  let d_max, nd_max, _, _ = Density.edge_params d ~channel:0 ~span:(Interval.span 0 4) in
+  check_int "D_M restricted" 2 d_max;
+  check_int "ND_M restricted" 1 nd_max;
+  let all_zero = Density.edge_params d ~channel:0 ~span:Interval.empty in
+  check_bool "empty span params" true (all_zero = (0, 0, 0, 0))
+
+let test_tracks_and_chart () =
+  let d = Density.create ~n_channels:3 ~width:6 in
+  Density.add_trunk d ~channel:1 ~span:(Interval.span 0 6) ~w:2 ~bridge:false;
+  Alcotest.(check (array int)) "tracks estimate" [| 0; 2; 0 |] (Density.tracks_estimate d);
+  let chart = Density.chart d ~channel:1 in
+  check_int "chart width" 6 (Array.length chart);
+  check_bool "chart values" true (Array.for_all (fun (m, b) -> m = 2 && b = 0) chart)
+
+(* Property: random add/remove/set_bridge sequences leave the chart
+   equal to a naive recount. *)
+let op_gen =
+  QCheck.Gen.(
+    let* channel = int_range 0 1 in
+    let* a = int_range 0 11 in
+    let* b = int_range 0 11 in
+    let* w = int_range 1 3 in
+    let* bridge = bool in
+    return (channel, min a b, max a b, w, bridge))
+
+let prop_incremental_vs_recount =
+  QCheck.Test.make ~name:"density: incremental chart equals recount" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 20) op_gen))
+    (fun ops ->
+      let d = Density.create ~n_channels:2 ~width:12 in
+      (* maintain the reference chart *)
+      let reference = Array.init 2 (fun _ -> Array.make 12 (0, 0)) in
+      List.iter
+        (fun (c, lo, hi, w, bridge) ->
+          Density.add_trunk d ~channel:c ~span:(Interval.span lo hi) ~w ~bridge;
+          for x = lo to hi - 1 do
+            let m, b = reference.(c).(x) in
+            reference.(c).(x) <- (m + w, if bridge then b + w else b)
+          done)
+        ops;
+      let ok = ref true in
+      for c = 0 to 1 do
+        for x = 0 to 11 do
+          let m, b = reference.(c).(x) in
+          if Density.dM_at d ~channel:c ~x <> m || Density.dm_at d ~channel:c ~x <> b then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "add/remove trunks" `Quick test_add_remove;
+    Alcotest.test_case "multi-pitch weight" `Quick test_multipitch_weight;
+    Alcotest.test_case "set_bridge" `Quick test_set_bridge;
+    Alcotest.test_case "revision and cache" `Quick test_revision_and_cache;
+    Alcotest.test_case "edge params (D/ND)" `Quick test_edge_params;
+    Alcotest.test_case "tracks and chart" `Quick test_tracks_and_chart;
+    QCheck_alcotest.to_alcotest prop_incremental_vs_recount ]

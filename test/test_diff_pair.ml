@@ -1,0 +1,84 @@
+(* Tests for differential-pair homology recognition (Sec. 4.1). *)
+
+let check_bool = Alcotest.(check bool)
+
+let pin = Util.pin
+
+(* A pair circuit with [sep] columns between the receivers' inputs; the
+   pair's routing graphs are homologous when the geometry lines up. *)
+let pair_floorplan () =
+  let b = Netlist.builder ~library:Cell_lib.ecl_default in
+  let a = Netlist.add_port b ~name:"A" ~side:Netlist.South () in
+  let drv = Netlist.add_instance b ~name:"drv" ~cell:"DDRV" in
+  let r1 = Netlist.add_instance b ~name:"r1" ~cell:"OR2" in
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port a) ~sinks:[ pin drv "A" ] () in
+  let z = Netlist.add_net b ~name:"z" ~driver:(pin drv "Z") ~sinks:[ pin r1 "A" ] () in
+  let zn = Netlist.add_net b ~name:"zn" ~driver:(pin drv "ZN") ~sinks:[ pin r1 "B" ] () in
+  Netlist.pair_differential b z zn;
+  let q = Netlist.add_port b ~name:"Q" ~side:Netlist.North () in
+  let _ = Netlist.add_net b ~name:"n1" ~driver:(pin r1 "Z") ~sinks:[ Netlist.Port q ] () in
+  let netlist = Netlist.freeze b in
+  let cells =
+    [ { Floorplan.inst = drv; row = 0; x = 0 }; { Floorplan.inst = r1; row = 2; x = 0 } ]
+  in
+  let slots = [ (1, 3, 0); (1, 4, 0); (1, 7, 0) ] in
+  let fp = Floorplan.make ~netlist ~dims:Dims.default ~n_rows:3 ~width:12 ~cells ~slots () in
+  let assignment, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  Alcotest.(check bool) "assigned" true (failures = []);
+  (fp, assignment, z, zn)
+
+let test_recognize_homologous () =
+  let fp, assignment, z, zn = pair_floorplan () in
+  let rga = Routing_graph.build fp assignment ~net:z in
+  let rgb = Routing_graph.build fp assignment ~net:zn in
+  match Diff_pair.recognize rga rgb with
+  | None -> Alcotest.fail "expected homology"
+  | Some emap ->
+    (* The map covers every live edge bijectively with matching kinds. *)
+    let seen = Hashtbl.create 16 in
+    Ugraph.iter_edges rga.Routing_graph.graph (fun e ->
+        let img = emap.(e.Ugraph.id) in
+        check_bool "mapped" true (img >= 0);
+        check_bool "image live" true (Ugraph.is_live rgb.Routing_graph.graph img);
+        check_bool "injective" true (not (Hashtbl.mem seen img));
+        Hashtbl.replace seen img ();
+        let kind_tag rg eid =
+          match Routing_graph.edge_kind rg eid with
+          | Routing_graph.Trunk { channel; _ } -> (0, channel)
+          | Routing_graph.Branch { row; _ } -> (1, row)
+          | Routing_graph.Correspondence p -> (2, p.Routing_graph.channel)
+        in
+        check_bool "kinds and channels match" true (kind_tag rga e.Ugraph.id = kind_tag rgb img))
+
+let test_recognize_rejects_mismatch () =
+  let fp, assignment, z, zn = pair_floorplan () in
+  let rga = Routing_graph.build fp assignment ~net:z in
+  let rgb = Routing_graph.build fp assignment ~net:zn in
+  (* Break homology: delete one edge from one graph only. *)
+  let doomed = ref (-1) in
+  Ugraph.iter_edges rgb.Routing_graph.graph (fun e -> if !doomed = -1 then doomed := e.Ugraph.id);
+  Ugraph.delete_edge rgb.Routing_graph.graph !doomed;
+  check_bool "asymmetric graphs rejected" true (Diff_pair.recognize rga rgb = None)
+
+let test_mirrored_deletion_preserves_homology () =
+  let fp, assignment, z, zn = pair_floorplan () in
+  let rga = Routing_graph.build fp assignment ~net:z in
+  let rgb = Routing_graph.build fp assignment ~net:zn in
+  match Diff_pair.recognize rga rgb with
+  | None -> Alcotest.fail "expected homology"
+  | Some emap ->
+    (* Delete a non-bridge in a and its image in b: still homologous. *)
+    (match Bridges.non_bridge_ids rga.Routing_graph.graph with
+    | [] -> () (* nothing deletable: trivially fine *)
+    | eid :: _ ->
+      Ugraph.delete_edge rga.Routing_graph.graph eid;
+      Routing_graph.prune_dangling rga ~on_delete:(fun _ -> ());
+      Ugraph.delete_edge rgb.Routing_graph.graph emap.(eid);
+      Routing_graph.prune_dangling rgb ~on_delete:(fun _ -> ());
+      check_bool "homology preserved by mirrored deletion" true
+        (Diff_pair.recognize rga rgb <> None))
+
+let suite =
+  [ Alcotest.test_case "recognize homologous pair" `Quick test_recognize_homologous;
+    Alcotest.test_case "reject mismatched graphs" `Quick test_recognize_rejects_mismatch;
+    Alcotest.test_case "mirrored deletion keeps homology" `Quick test_mirrored_deletion_preserves_homology ]

@@ -1,0 +1,166 @@
+(* Tests for the Elmore RC extension (Sec. 2.1). *)
+
+let check_bool = Alcotest.(check bool)
+
+let routed_mini () =
+  let case = Suite.mini () in
+  let outcome = Flow.run case.Suite.input in
+  (outcome.Flow.o_router, outcome.Flow.o_floorplan)
+
+let test_zero_resistance_equals_lumped () =
+  (* With r = 0 the Elmore delay collapses to Td * (wire capacitance),
+     i.e. the paper's lumped model. *)
+  let router, fp = routed_mini () in
+  let netlist = Floorplan.netlist fp in
+  let dims = { (Floorplan.dims fp) with Dims.res_ohm_per_um = 0.0 } in
+  for net = 0 to Netlist.n_nets netlist - 1 do
+    let rg = Router.routing_graph router net in
+    let tree = Router.tree_edges router net in
+    let r = Elmore.analyze ~dims ~netlist ~rg ~tree () in
+    let lumped =
+      Routing_graph.tree_capacitance rg ~edge_ids:tree *. Elmore.driver_td netlist rg
+    in
+    List.iter
+      (fun (_, ps) ->
+        Alcotest.(check (float 1e-6)) (Printf.sprintf "net %d sink delay" net) lumped ps)
+      r.Elmore.delay_ps
+  done
+
+let test_rc_above_lumped () =
+  (* With positive resistance every sink delay is at least the lumped
+     delay (extra positive RC terms), and in the bipolar regime only
+     slightly so. *)
+  let router, fp = routed_mini () in
+  let netlist = Floorplan.netlist fp in
+  let dims = Floorplan.dims fp in
+  for net = 0 to Netlist.n_nets netlist - 1 do
+    let rg = Router.routing_graph router net in
+    let tree = Router.tree_edges router net in
+    let r = Elmore.analyze ~dims ~netlist ~rg ~tree () in
+    let lumped =
+      Routing_graph.tree_capacitance rg ~edge_ids:tree *. Elmore.driver_td netlist rg
+    in
+    List.iter
+      (fun (_, ps) ->
+        check_bool (Printf.sprintf "net %d rc >= lumped" net) true (ps >= lumped -. 1e-9);
+        if lumped > 1.0 then
+          check_bool
+            (Printf.sprintf "net %d rc within 30%% of lumped (wide wires)" net)
+            true
+            (ps <= lumped *. 1.3))
+      r.Elmore.delay_ps
+  done
+
+let test_sink_count () =
+  let router, fp = routed_mini () in
+  let netlist = Floorplan.netlist fp in
+  let dims = Floorplan.dims fp in
+  for net = 0 to Netlist.n_nets netlist - 1 do
+    let rg = Router.routing_graph router net in
+    let r = Elmore.analyze ~dims ~netlist ~rg ~tree:(Router.tree_edges router net) () in
+    Alcotest.(check int)
+      (Printf.sprintf "net %d: one delay per sink" net)
+      (Netlist.fanout netlist net)
+      (List.length r.Elmore.delay_ps);
+    check_bool "worst is the max" true
+      (List.for_all (fun (_, ps) -> ps <= r.Elmore.worst_ps +. 1e-9) r.Elmore.delay_ps)
+  done
+
+let test_monotone_in_resistance () =
+  let router, fp = routed_mini () in
+  let netlist = Floorplan.netlist fp in
+  let base = Floorplan.dims fp in
+  let rg = Router.routing_graph router 0 in
+  let tree = Router.tree_edges router 0 in
+  let worst r = (Elmore.analyze ~dims:r ~netlist ~rg ~tree ()).Elmore.worst_ps in
+  let low = worst { base with Dims.res_ohm_per_um = 0.01 } in
+  let high = worst { base with Dims.res_ohm_per_um = 0.1 } in
+  check_bool "delay grows with resistance" true (high >= low)
+
+let test_router_under_elmore () =
+  (* The whole flow runs under the RC model and still routes; the
+     selection heuristics are unchanged, as the paper promises. *)
+  let case = Suite.mini () in
+  let options = { Router.default_options with Router.delay_model = Router.Elmore_rc } in
+  let outcome = Flow.run ~options case.Suite.input in
+  check_bool "routed" true (Router.is_routed outcome.Flow.o_router);
+  let m = outcome.Flow.o_measurement in
+  check_bool "measured" true (m.Flow.m_delay_ps > 0.0);
+  (* Compare with the lumped run: same circuit, similar outcome. *)
+  let lumped = Flow.run case.Suite.input in
+  let lm = lumped.Flow.o_measurement in
+  check_bool "delay within 10% of the lumped run" true
+    (abs_float (m.Flow.m_delay_ps -. lm.Flow.m_delay_ps) <= 0.10 *. lm.Flow.m_delay_ps)
+
+let test_set_net_sink_delays () =
+  let netlist, _ = Util.chain_netlist 3 in
+  let dg = Delay_graph.build netlist in
+  let dag = Delay_graph.dag dg in
+  let net = 1 (* i0.Z -> i1.A *) in
+  let base = List.map (Dag.weight dag) (Delay_graph.edges_of_net dg net) in
+  Delay_graph.set_net_sink_delays dg ~net ~delay_of:(fun _ -> 42.0);
+  let after = List.map (Dag.weight dag) (Delay_graph.edges_of_net dg net) in
+  List.iter2
+    (fun b a -> Alcotest.(check (float 1e-9)) "static + 42" (b +. 42.0) a)
+    base after;
+  check_bool "lumped cap now unknown" true (Float.is_nan (Delay_graph.net_cap dg net));
+  (* sink_of_edge resolves. *)
+  List.iter
+    (fun e ->
+      match Delay_graph.sink_of_edge dg e with
+      | Netlist.Pin _ | Netlist.Port _ -> ())
+    (Delay_graph.edges_of_net dg net);
+  Delay_graph.set_net_cap dg ~net ~cap_ff:0.0;
+  let restored = List.map (Dag.weight dag) (Delay_graph.edges_of_net dg net) in
+  List.iter2 (fun b r -> Alcotest.(check (float 1e-9)) "restored" b r) base restored
+
+let test_hand_computed_two_pin () =
+  (* A single-trunk two-terminal net whose Elmore delay we can compute
+     on paper:
+       delay(sink) = Td * C_wire + R_wire * (C_wire/2 + F_in(sink)). *)
+  let fp, netlist, invs = Util.small_floorplan () in
+  let order = Util.id_order netlist in
+  let assignment, failures = Feedthrough.assign fp ~order in
+  Alcotest.(check bool) "assigned" true (failures = []);
+  let net = Option.get (Netlist.net_of_pin netlist { Netlist.inst = invs.(0); term = "Z" }) in
+  let rg = Routing_graph.build fp assignment ~net in
+  let tree = Option.get (Routing_graph.tentative_tree rg) in
+  let dims = Floorplan.dims fp in
+  let r = Elmore.analyze ~dims ~netlist ~rg ~tree () in
+  let um = Routing_graph.geometric_length_um rg ~edge_ids:tree in
+  let c_wire = um *. Dims.cap_per_um_at dims ~width:1.0 in
+  let r_wire = um *. Dims.res_kohm_per_um_at dims ~width:1.0 in
+  let inv = Cell_lib.find Cell_lib.ecl_default "INV1" in
+  let td = (Cell.terminal inv "Z").Cell.td_ps_per_ff in
+  let f_in = (Cell.terminal inv "A").Cell.fanin_ff in
+  let expected = (td *. c_wire) +. (r_wire *. ((c_wire /. 2.0) +. f_in)) in
+  (match r.Elmore.delay_ps with
+  | [ (_, ps) ] -> Alcotest.(check (float 1e-9)) "hand Elmore" expected ps
+  | _ -> Alcotest.fail "expected exactly one sink");
+  Alcotest.(check (float 1e-9)) "total cap = wire + load" (c_wire +. f_in) r.Elmore.total_cap_ff
+
+let test_bound_probe_under_elmore () =
+  (* Regression: probing the lower bound while per-sink delays are
+     installed must restore the exact weights (a capacitance snapshot
+     would re-inject NaN). *)
+  let case = Suite.mini () in
+  let options = { Router.default_options with Router.delay_model = Router.Elmore_rc } in
+  let outcome = Flow.run ~options case.Suite.input in
+  match outcome.Flow.o_sta with
+  | None -> Alcotest.fail "expected sta"
+  | Some sta ->
+    let before = Sta.worst_path_delay sta in
+    let bound = Lower_bound.critical_delay sta outcome.Flow.o_floorplan in
+    check_bool "bound finite" true (Float.is_finite bound);
+    Alcotest.(check (float 1e-9)) "weights restored" before (Sta.worst_path_delay sta);
+    check_bool "no NaN smuggled in" true (Float.is_finite (Sta.worst_path_delay sta))
+
+let suite =
+  [ Alcotest.test_case "zero resistance equals lumped" `Quick test_zero_resistance_equals_lumped;
+    Alcotest.test_case "bound probe under Elmore restores weights" `Quick test_bound_probe_under_elmore;
+    Alcotest.test_case "hand-computed two-pin Elmore" `Quick test_hand_computed_two_pin;
+    Alcotest.test_case "rc above lumped, slightly" `Quick test_rc_above_lumped;
+    Alcotest.test_case "one delay per sink" `Quick test_sink_count;
+    Alcotest.test_case "monotone in resistance" `Quick test_monotone_in_resistance;
+    Alcotest.test_case "full flow under Elmore" `Quick test_router_under_elmore;
+    Alcotest.test_case "per-sink delay graph update" `Quick test_set_net_sink_delays ]

@@ -1,0 +1,150 @@
+(* Unit and property tests for bgr_geom: Interval, Rect, Dims. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Interval -------------------------------------------------------- *)
+
+let test_interval_make () =
+  let i = Interval.make 3 7 in
+  check_int "lo" 3 (Interval.lo i);
+  check_int "hi (exclusive, both endpoints covered)" 8 (Interval.hi i);
+  check_int "length" 5 (Interval.length i);
+  let r = Interval.make 7 3 in
+  check_bool "make is order-insensitive" true (Interval.equal i r)
+
+let test_interval_point () =
+  let p = Interval.point 4 in
+  check_int "single column" 1 (Interval.length p);
+  check_bool "mem" true (Interval.mem 4 p);
+  check_bool "not mem left" false (Interval.mem 3 p);
+  check_bool "not mem right" false (Interval.mem 5 p)
+
+let test_interval_span () =
+  check_int "span length" 4 (Interval.length (Interval.span 2 6));
+  check_bool "span right end exclusive" false (Interval.mem 6 (Interval.span 2 6));
+  check_bool "empty when hi<=lo" true (Interval.is_empty (Interval.span 5 5));
+  check_bool "empty when inverted" true (Interval.is_empty (Interval.span 7 3))
+
+let test_interval_empty () =
+  check_bool "empty is empty" true (Interval.is_empty Interval.empty);
+  check_int "empty length" 0 (Interval.length Interval.empty);
+  check_bool "nothing in empty" false (Interval.mem 0 Interval.empty);
+  check_bool "hull neutral left" true
+    (Interval.equal (Interval.make 1 2) (Interval.hull Interval.empty (Interval.make 1 2)));
+  check_bool "hull neutral right" true
+    (Interval.equal (Interval.make 1 2) (Interval.hull (Interval.make 1 2) Interval.empty));
+  check_bool "contains empty" true (Interval.contains (Interval.make 1 2) Interval.empty)
+
+let test_interval_set_ops () =
+  let a = Interval.span 0 5 and b = Interval.span 3 9 in
+  check_bool "overlaps" true (Interval.overlaps a b);
+  check_bool "inter" true (Interval.equal (Interval.span 3 5) (Interval.inter a b));
+  check_bool "hull" true (Interval.equal (Interval.span 0 9) (Interval.hull a b));
+  let c = Interval.span 5 7 in
+  check_bool "adjacent half-open spans do not overlap" false (Interval.overlaps a c);
+  check_bool "disjoint inter empty" true (Interval.is_empty (Interval.inter a c))
+
+let test_interval_iter_fold () =
+  let xs = ref [] in
+  Interval.iter (fun x -> xs := x :: !xs) (Interval.span 2 6);
+  Alcotest.(check (list int)) "iter ascending" [ 2; 3; 4; 5 ] (List.rev !xs);
+  check_int "fold sums" 14 (Interval.fold ( + ) 0 (Interval.span 2 6))
+
+let test_interval_shift () =
+  check_bool "shift" true (Interval.equal (Interval.span 5 8) (Interval.shift 3 (Interval.span 2 5)));
+  check_bool "shift empty" true (Interval.is_empty (Interval.shift 3 Interval.empty))
+
+(* Properties. *)
+let interval_gen =
+  QCheck.Gen.(
+    map2 (fun a b -> Interval.span (min a b) (max a b)) (int_range (-20) 20) (int_range (-20) 20))
+
+let arb_interval = QCheck.make ~print:(Format.asprintf "%a" Interval.pp) interval_gen
+
+let prop_hull_contains =
+  QCheck.Test.make ~name:"interval: hull contains both operands" ~count:500
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.contains h a && Interval.contains h b)
+
+let prop_inter_subset =
+  QCheck.Test.make ~name:"interval: intersection inside both" ~count:500
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      let i = Interval.inter a b in
+      Interval.contains a i && Interval.contains b i)
+
+let prop_length_consistent =
+  QCheck.Test.make ~name:"interval: length = #covered columns" ~count:500 arb_interval
+    (fun a -> Interval.length a = Interval.fold (fun n _ -> n + 1) 0 a)
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"interval: overlap is symmetric and matches mem" ~count:500
+    (QCheck.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      let by_mem = Interval.fold (fun acc x -> acc || Interval.mem x b) false a in
+      Interval.overlaps a b = by_mem && Interval.overlaps b a = Interval.overlaps a b)
+
+(* --- Rect ------------------------------------------------------------ *)
+
+let test_rect_bbox () =
+  match Rect.of_points [ (2, 5); (7, 1); (4, 4) ] with
+  | None -> Alcotest.fail "expected a box"
+  | Some r ->
+    check_int "width" 5 (Rect.width r);
+    check_int "height" 4 (Rect.height r);
+    check_int "half perimeter" 9 (Rect.half_perimeter r);
+    check_bool "mem inside" true (Rect.mem r ~x:4 ~y:3);
+    check_bool "mem outside" false (Rect.mem r ~x:8 ~y:3)
+
+let test_rect_empty () =
+  check_bool "of_points []" true (Rect.of_points [] = None)
+
+let test_rect_degenerate () =
+  let r = Rect.of_point ~x:3 ~y:3 in
+  check_int "degenerate half perimeter" 0 (Rect.half_perimeter r);
+  let r = Rect.add_point r ~x:3 ~y:9 in
+  check_int "vertical-only" 6 (Rect.half_perimeter r)
+
+let prop_rect_union =
+  let point = QCheck.(pair (int_range (-50) 50) (int_range (-50) 50)) in
+  QCheck.Test.make ~name:"rect: union contains all points of both lists" ~count:300
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 8) point)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 8) point))
+    (fun (ps, qs) ->
+      match (Rect.of_points ps, Rect.of_points qs) with
+      | Some a, Some b ->
+        let u = Rect.union a b in
+        List.for_all (fun (x, y) -> Rect.mem u ~x ~y) (ps @ qs)
+      | _ -> false)
+
+(* --- Dims ------------------------------------------------------------ *)
+
+let test_dims () =
+  let d = Dims.default in
+  check_float "h_um" (10.0 *. d.Dims.pitch_um) (Dims.h_um d 10);
+  check_float "v_um" (3.0 *. d.Dims.row_height_um) (Dims.v_um d ~rows:3);
+  check_float "wire cap" (100.0 *. d.Dims.cap_per_um) (Dims.wire_cap d ~um:100.0);
+  check_float "mm" 1.5 (Dims.mm_of_um 1500.0);
+  check_float "mm2" 2.0 (Dims.mm2_of_um2 2.0e6)
+
+let suite =
+  [ Alcotest.test_case "interval make" `Quick test_interval_make;
+    Alcotest.test_case "interval point" `Quick test_interval_point;
+    Alcotest.test_case "interval span" `Quick test_interval_span;
+    Alcotest.test_case "interval empty" `Quick test_interval_empty;
+    Alcotest.test_case "interval set ops" `Quick test_interval_set_ops;
+    Alcotest.test_case "interval iter/fold" `Quick test_interval_iter_fold;
+    Alcotest.test_case "interval shift" `Quick test_interval_shift;
+    QCheck_alcotest.to_alcotest prop_hull_contains;
+    QCheck_alcotest.to_alcotest prop_inter_subset;
+    QCheck_alcotest.to_alcotest prop_length_consistent;
+    QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    Alcotest.test_case "rect bbox" `Quick test_rect_bbox;
+    Alcotest.test_case "rect empty" `Quick test_rect_empty;
+    Alcotest.test_case "rect degenerate" `Quick test_rect_degenerate;
+    QCheck_alcotest.to_alcotest prop_rect_union;
+    Alcotest.test_case "dims conversions" `Quick test_dims ]

@@ -1,0 +1,278 @@
+(* Tests for bgr_layout: Floorplan, Feedthrough assignment, Feed_insert. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Floorplan --------------------------------------------------------- *)
+
+let test_floorplan_geometry () =
+  let fp, _, invs = Util.small_floorplan () in
+  check_int "rows" 2 (Floorplan.n_rows fp);
+  check_int "channels" 3 (Floorplan.n_channels fp);
+  check_int "width" 12 (Floorplan.width fp);
+  check_int "slots" 4 (Floorplan.n_slots fp);
+  (* INV1: input A at offset 0, output Z at offset 1. *)
+  check_int "terminal column of i1.A" 6
+    (Floorplan.terminal_column fp { Netlist.inst = invs.(1); term = "A" });
+  check_int "terminal column of i1.Z" 7
+    (Floorplan.terminal_column fp { Netlist.inst = invs.(1); term = "Z" });
+  check_int "row of i2" 1 (Floorplan.terminal_row fp { Netlist.inst = invs.(2); term = "A" });
+  Alcotest.(check (list int))
+    "both-sides access of a row-1 cell" [ 1; 2 ]
+    (Floorplan.terminal_channels fp { Netlist.inst = invs.(2); term = "A" })
+
+let test_floorplan_ports () =
+  let fp, netlist, _ = Util.small_floorplan () in
+  let find name =
+    let found = ref (-1) in
+    Array.iter
+      (fun (p : Netlist.port) -> if p.Netlist.port_name = name then found := p.Netlist.port_id)
+      (Netlist.ports netlist);
+    !found
+  in
+  let p_in = find "IN" and p_out = find "OUT" in
+  check_int "south port channel" 0 (Floorplan.port_channel fp p_in);
+  check_int "north port channel" 2 (Floorplan.port_channel fp p_out);
+  check_bool "port candidates inside chip" true
+    (List.for_all (fun x -> x >= 0 && x < 12) (Floorplan.port_candidates fp p_in));
+  check_bool "several candidates" true (List.length (Floorplan.port_candidates fp p_in) >= 2)
+
+let test_floorplan_rejects () =
+  let netlist, invs = Util.chain_netlist 2 in
+  let expect name cells slots width =
+    match Floorplan.make ~netlist ~dims:Dims.default ~n_rows:1 ~width ~cells ~slots () with
+    | (_ : Floorplan.t) -> Alcotest.failf "%s: expected Overlap" name
+    | exception Floorplan.Overlap _ -> ()
+  in
+  let c0 = { Floorplan.inst = invs.(0); row = 0; x = 0 } in
+  let c1 = { Floorplan.inst = invs.(1); row = 0; x = 1 } in
+  expect "overlapping cells" [ c0; c1 ] [] 10;
+  expect "cell beyond chip" [ c0; { c1 with Floorplan.x = 9 } ] [] 10;
+  expect "slot inside a cell" [ c0; { c1 with Floorplan.x = 5 } ] [ (0, 1, 0) ] 10;
+  expect "missing instance" [ c0 ] [] 10;
+  expect "duplicate slot column" [ c0; { c1 with Floorplan.x = 5 } ] [ (0, 3, 0); (0, 3, 0) ] 10
+
+let test_net_bbox () =
+  let fp, netlist, invs = Util.small_floorplan () in
+  (* Net i1.Z -> i2.A spans row 0 to row 1. *)
+  let net = Option.get (Netlist.net_of_pin netlist { Netlist.inst = invs.(1); term = "Z" }) in
+  let bbox = Floorplan.net_bbox fp net in
+  check_int "bbox width" 7 (Rect.width bbox) (* columns 0..7 *);
+  check_bool "bbox vertical extent > 0" true (Rect.height bbox >= 1)
+
+let test_chip_metrics () =
+  let fp, _, _ = Util.small_floorplan () in
+  let tracks = [| 2; 4; 2 |] in
+  let d = Dims.default in
+  let expected_h = (2.0 *. d.Dims.row_height_um) +. (8.0 *. d.Dims.track_um) in
+  Alcotest.(check (float 1e-6)) "height" expected_h (Floorplan.chip_height_um fp ~channel_tracks:tracks);
+  let mid0 = Floorplan.channel_mid_y_um fp ~channel_tracks:tracks 0 in
+  Alcotest.(check (float 1e-6)) "channel 0 midpoint" (1.0 *. d.Dims.track_um) mid0;
+  let mid1 = Floorplan.channel_mid_y_um fp ~channel_tracks:tracks 1 in
+  Alcotest.(check (float 1e-6))
+    "channel 1 midpoint" ((2.0 *. d.Dims.track_um) +. d.Dims.row_height_um +. (2.0 *. d.Dims.track_um))
+    mid1;
+  check_bool "area positive" true (Floorplan.chip_area_mm2 fp ~channel_tracks:tracks > 0.0)
+
+(* --- Feedthrough assignment -------------------------------------------- *)
+
+let test_demands () =
+  let fp, netlist, invs = Util.small_floorplan () in
+  (* Same-row net: no demand.  Cross-row net: exactly row 0 or 1? The
+     chain net i1.Z (row 0) -> i2.A (row 1) shares channel 1, so no
+     crossing is required either. *)
+  let net_cross = Option.get (Netlist.net_of_pin netlist { Netlist.inst = invs.(1); term = "Z" }) in
+  check_bool "adjacent rows share a channel: no demand" true
+    (Feedthrough.demand_of_net fp net_cross = None);
+  ignore (Feedthrough.demands fp)
+
+let three_row_netlist () =
+  (* driver in row 0, sink in row 2: must cross row 1. *)
+  let b = Netlist.builder ~library:Cell_lib.ecl_default in
+  let p = Netlist.add_port b ~name:"IN" ~side:Netlist.South () in
+  let d = Netlist.add_instance b ~name:"d" ~cell:"BUF2" in
+  let s = Netlist.add_instance b ~name:"s" ~cell:"INV1" in
+  let q = Netlist.add_port b ~name:"OUT" ~side:Netlist.North () in
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port p) ~sinks:[ Util.pin d "A" ] () in
+  let far = Netlist.add_net b ~name:"far" ~driver:(Util.pin d "Z") ~sinks:[ Util.pin s "A" ] () in
+  let _ = Netlist.add_net b ~name:"n1" ~driver:(Util.pin s "Z") ~sinks:[ Netlist.Port q ] () in
+  (Netlist.freeze b, d, s, far)
+
+let three_row_fp ?(slots = [ (1, 4, 0) ]) () =
+  let netlist, d, s, far = three_row_netlist () in
+  let cells =
+    [ { Floorplan.inst = d; row = 0; x = 0 }; { Floorplan.inst = s; row = 2; x = 0 } ]
+  in
+  (Floorplan.make ~netlist ~dims:Dims.default ~n_rows:3 ~width:10 ~cells ~slots (), netlist, far)
+
+let test_demand_rows () =
+  let fp, _, far = three_row_fp () in
+  match Feedthrough.demand_of_net fp far with
+  | None -> Alcotest.fail "expected a crossing demand"
+  | Some d ->
+    Alcotest.(check (list int)) "crosses row 1 only" [ 1 ] d.Feedthrough.d_rows;
+    check_int "width 1" 1 d.Feedthrough.d_width
+
+let test_assign_success_and_occupancy () =
+  let fp, netlist, far = three_row_fp () in
+  let assignment, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  check_bool "no failures" true (failures = []);
+  check_bool "complete" true (Feedthrough.is_complete assignment);
+  (match Feedthrough.slots_of_net assignment far with
+  | [ (1, [ slot ]) ] ->
+    check_int "granted the row-1 slot" 4 slot.Floorplan.slot_x;
+    check_bool "occupied by the net" true (Feedthrough.slot_user assignment slot.Floorplan.slot_id = Some far)
+  | _ -> Alcotest.fail "expected one granted row")
+
+let test_assign_failure () =
+  let fp, netlist, far = three_row_fp ~slots:[] () in
+  let _, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  (match failures with
+  | [ f ] ->
+    check_int "failing net" far f.Feedthrough.f_net;
+    check_int "failing row" 1 f.Feedthrough.f_row
+  | _ -> Alcotest.fail "expected exactly one failure")
+
+let test_assign_center_preference () =
+  (* Slots at columns 1 and 8; terminals near column 1: the closer slot
+     wins. *)
+  let fp, netlist, far = three_row_fp ~slots:[ (1, 8, 0); (1, 1, 0) ] () in
+  let assignment, _ = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  match Feedthrough.slots_of_net assignment far with
+  | [ (1, [ slot ]) ] -> check_int "center-out search picks x=1" 1 slot.Floorplan.slot_x
+  | _ -> Alcotest.fail "expected a grant"
+
+let test_width_flag_compatibility () =
+  (* The only slot is flagged for 2-pitch nets: a 1-pitch net must not
+     take it. *)
+  let fp, netlist, _ = three_row_fp ~slots:[ (1, 4, 2) ] () in
+  let _, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  check_int "flagged slot refused" 1 (List.length failures)
+
+(* --- Feed-cell insertion ------------------------------------------------ *)
+
+let test_insert_noop () =
+  let fp, _, _ = Util.small_floorplan () in
+  let fp' = Feed_insert.insert fp ~failures:[] in
+  check_bool "no failures -> same floorplan" true (fp' == fp)
+
+let test_insert_widens_and_succeeds () =
+  let fp, netlist, far = three_row_fp ~slots:[] () in
+  check_int "no slots initially" 0 (Floorplan.n_slots fp);
+  let fp', assignment, rounds = Feed_insert.assign_with_insertion fp ~order:(Util.id_order netlist) in
+  check_bool "some insertion happened" true (rounds >= 1);
+  check_bool "wider chip" true (Floorplan.width fp' > Floorplan.width fp);
+  check_bool "complete after insertion" true (Feedthrough.is_complete assignment);
+  check_bool "net served" true (Feedthrough.slots_of_net assignment far <> []);
+  (* Every row widened by the same amount. *)
+  let widened = Floorplan.width fp' - Floorplan.width fp in
+  for r = 0 to Floorplan.n_rows fp' - 1 do
+    let slots_in_row = Array.length (Floorplan.row_slots fp' r) in
+    let before = Array.length (Floorplan.row_slots fp r) in
+    check_int (Printf.sprintf "row %d gains exactly the widening" r) widened (slots_in_row - before)
+  done
+
+let test_insert_flags_multipitch () =
+  (* A 2-pitch net with no adjacent free slots triggers a flagged group. *)
+  let b = Netlist.builder ~library:Cell_lib.ecl_default in
+  let p = Netlist.add_port b ~name:"IN" ~side:Netlist.South () in
+  let d = Netlist.add_instance b ~name:"d" ~cell:"CLKBUF" in
+  let s = Netlist.add_instance b ~name:"s" ~cell:"DFF" in
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port p) ~sinks:[ Util.pin d "A" ] () in
+  let wide =
+    Netlist.add_net b ~name:"wide" ~pitch:2 ~driver:(Util.pin d "Z") ~sinks:[ Util.pin s "CK" ] ()
+  in
+  let p2 = Netlist.add_port b ~name:"D2" ~side:Netlist.North () in
+  let _ = Netlist.add_net b ~name:"nd" ~driver:(Netlist.Port p2) ~sinks:[ Util.pin s "D" ] () in
+  let netlist = Netlist.freeze b in
+  let cells =
+    [ { Floorplan.inst = d; row = 0; x = 0 }; { Floorplan.inst = s; row = 2; x = 0 } ]
+  in
+  let fp = Floorplan.make ~netlist ~dims:Dims.default ~n_rows:3 ~width:10 ~cells ~slots:[ (1, 8, 0) ] () in
+  let fp', assignment, _ = Feed_insert.assign_with_insertion fp ~order:(Util.id_order netlist) in
+  let flagged =
+    Array.to_list (Floorplan.slots fp')
+    |> List.filter (fun (s : Floorplan.slot) -> s.Floorplan.width_flag = 2)
+  in
+  check_bool "2-flagged group inserted" true (List.length flagged >= 2);
+  (match Feedthrough.slots_of_net assignment wide with
+  | [ (1, granted) ] ->
+    check_int "two adjacent columns granted" 2 (List.length granted);
+    (match granted with
+    | [ a; b ] -> check_int "adjacency" (a.Floorplan.slot_x + 1) b.Floorplan.slot_x
+    | _ -> Alcotest.fail "expected two slots")
+  | _ -> Alcotest.fail "expected a row-1 grant")
+
+(* Property: however nets are ordered, the assignment never
+   double-books a slot, grants only compatible flags, and serves
+   whole demands with column-adjacent groups. *)
+let prop_assignment_sound =
+  let case = lazy (Suite.mini ()) in
+  QCheck.Test.make ~name:"feedthrough: random orders never double-book" ~count:30
+    QCheck.(make Gen.(int_range 0 1000000))
+    (fun salt ->
+      let case = Lazy.force case in
+      let input = case.Suite.input in
+      let fp = Flow.floorplan_of_input input in
+      let netlist = input.Flow.netlist in
+      let n = Netlist.n_nets netlist in
+      (* a deterministic pseudo-shuffle of the net order *)
+      let order = Array.init n Fun.id in
+      let rng = Prng.create ~seed:(Int64.of_int (salt + 7)) in
+      Prng.shuffle rng order;
+      let assignment, _failures = Feedthrough.assign fp ~order:(Array.to_list order) in
+      let seen = Hashtbl.create 64 in
+      let sound = ref true in
+      for net = 0 to n - 1 do
+        List.iter
+          (fun (_, slots) ->
+            (* adjacency of the granted group *)
+            let xs = List.map (fun (s : Floorplan.slot) -> s.Floorplan.slot_x) slots in
+            (match xs with
+            | first :: _ ->
+              List.iteri (fun i x -> if x <> first + i then sound := false) xs
+            | [] -> sound := false);
+            List.iter
+              (fun (s : Floorplan.slot) ->
+                if Hashtbl.mem seen s.Floorplan.slot_id then sound := false;
+                Hashtbl.replace seen s.Floorplan.slot_id ();
+                (* occupancy table agrees *)
+                if Feedthrough.slot_user assignment s.Floorplan.slot_id = None then sound := false;
+                (* flag compatibility *)
+                let net' = Option.get (Feedthrough.slot_user assignment s.Floorplan.slot_id) in
+                let pitch = (Netlist.net netlist net').Netlist.pitch in
+                let flag = s.Floorplan.width_flag in
+                let paired = (Netlist.net netlist net').Netlist.diff_partner <> None in
+                let demand_width = if paired then 2 * pitch else pitch in
+                if flag <> 0 && flag <> demand_width then sound := false)
+              slots)
+          (Feedthrough.slots_of_net assignment net)
+      done;
+      !sound)
+
+let test_insertion_stuck () =
+  (* Failure injection: zero insertion rounds with unmet demands must
+     raise Stuck rather than return an incomplete assignment. *)
+  let fp, netlist, _ = three_row_fp ~slots:[] () in
+  check_bool "stuck raised" true
+    (match Feed_insert.assign_with_insertion ~max_rounds:0 fp ~order:(Util.id_order netlist) with
+    | exception Feed_insert.Stuck _ -> true
+    | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "floorplan geometry" `Quick test_floorplan_geometry;
+    Alcotest.test_case "insertion stuck failure" `Quick test_insertion_stuck;
+    QCheck_alcotest.to_alcotest prop_assignment_sound;
+    Alcotest.test_case "floorplan ports" `Quick test_floorplan_ports;
+    Alcotest.test_case "floorplan validation" `Quick test_floorplan_rejects;
+    Alcotest.test_case "net bounding box" `Quick test_net_bbox;
+    Alcotest.test_case "chip metrics" `Quick test_chip_metrics;
+    Alcotest.test_case "feedthrough demands" `Quick test_demands;
+    Alcotest.test_case "demand rows" `Quick test_demand_rows;
+    Alcotest.test_case "assignment success/occupancy" `Quick test_assign_success_and_occupancy;
+    Alcotest.test_case "assignment failure" `Quick test_assign_failure;
+    Alcotest.test_case "center-out search" `Quick test_assign_center_preference;
+    Alcotest.test_case "width-flag compatibility" `Quick test_width_flag_compatibility;
+    Alcotest.test_case "insertion no-op" `Quick test_insert_noop;
+    Alcotest.test_case "insertion widens and succeeds" `Quick test_insert_widens_and_succeeds;
+    Alcotest.test_case "insertion flags multi-pitch groups" `Quick test_insert_flags_multipitch ]

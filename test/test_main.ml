@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "bgr"
+    [ ("geom", Test_geom.suite);
+      ("graph", Test_graph.suite);
+      ("cell", Test_cell.suite);
+      ("netlist", Test_netlist.suite);
+      ("layout", Test_layout.suite);
+      ("timing", Test_timing.suite);
+      ("density", Test_density.suite);
+      ("routing-graph", Test_routing_graph.suite);
+      ("diff-pair", Test_diff_pair.suite);
+      ("router", Test_router.suite);
+      ("channel", Test_channel.suite);
+      ("workload", Test_workload.suite);
+      ("flow", Test_flow.suite);
+      ("elmore", Test_elmore.suite);
+      ("io", Test_io.suite);
+      ("blockage", Test_blockage.suite);
+      ("report", Test_report.suite);
+      ("skew", Test_skew.suite);
+      ("random-e2e", Test_random_e2e.suite);
+      ("misc", Test_misc.suite);
+      ("fidelity", Test_fidelity.suite) ]

@@ -1,0 +1,132 @@
+(* Corner cases across modules that the themed suites do not pin
+   down. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_interval_order_and_pp () =
+  let open Interval in
+  check_bool "empty sorts first" true (compare empty (point 0) < 0);
+  check_bool "lo orders" true (compare (span 1 5) (span 2 3) < 0);
+  check_bool "hi breaks ties" true (compare (span 1 3) (span 1 5) < 0);
+  check_int "equal" 0 (compare (span 2 4) (make 2 3));
+  check_string "pp span" "[2,5)" (Format.asprintf "%a" pp (span 2 5));
+  check_string "pp empty" "(empty)" (Format.asprintf "%a" pp empty)
+
+let test_heap_bookkeeping () =
+  let h = Heap.create () in
+  check_bool "fresh empty" true (Heap.is_empty h);
+  check_int "size 0" 0 (Heap.size h);
+  Heap.push h 1.0 1;
+  Heap.push h 2.0 2;
+  check_int "size 2" 2 (Heap.size h);
+  ignore (Heap.pop h);
+  check_int "size 1" 1 (Heap.size h);
+  check_bool "pop empty" true (let h2 = Heap.create () in Heap.pop h2 = None)
+
+let test_ugraph_edge_accounting () =
+  let g = Ugraph.create () in
+  let a = Ugraph.add_vertex g and b = Ugraph.add_vertex g in
+  let e1 = Ugraph.add_edge g ~u:a ~v:b ~weight:1.0 in
+  let e2 = Ugraph.add_edge g ~u:a ~v:b ~weight:2.0 in
+  check_int "total ids" 2 (Ugraph.n_edges_total g);
+  Ugraph.delete_edge g e1;
+  check_int "total ids stable after delete" 2 (Ugraph.n_edges_total g);
+  check_int "live" 1 (Ugraph.n_edges_live g);
+  (match Ugraph.live_edges g with
+  | [ e ] -> check_int "live id" e2 e.Ugraph.id
+  | _ -> Alcotest.fail "expected one live edge");
+  check_bool "edge record readable after death" true ((Ugraph.edge g e1).Ugraph.weight = 1.0);
+  check_bool "unknown edge rejected" true
+    (match Ugraph.edge g 99 with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "unknown vertex rejected" true
+    (match Ugraph.add_edge g ~u:0 ~v:7 ~weight:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_dag_misc () =
+  let d = Dag.create () in
+  let a = Dag.add_vertex d and b = Dag.add_vertex d in
+  let e = Dag.add_edge d ~src:a ~dst:b ~weight:3.0 in
+  check_int "n_edges" 1 (Dag.n_edges d);
+  check_bool "endpoints" true (Dag.endpoints d e = (a, b));
+  let seen = ref [] in
+  Dag.iter_edges d (fun ~edge_id ~src ~dst ~weight ->
+      seen := (edge_id, src, dst, weight) :: !seen);
+  check_bool "iter_edges" true (!seen = [ (e, a, b, 3.0) ]);
+  check_bool "no path -> None" true (Dag.longest_path d ~sources:[ (b, 0.0) ] ~sinks:[ a ] = None)
+
+let test_density_empty_channel_semantics () =
+  (* On an untouched channel the maximum is 0 and every column attains
+     it: NC_M equals the width.  Documented, if slightly surprising. *)
+  let d = Density.create ~n_channels:1 ~width:7 in
+  check_int "C_M of empty" 0 (Density.cM d ~channel:0);
+  check_int "NC_M of empty" 7 (Density.ncM d ~channel:0);
+  check_bool "unknown channel rejected" true
+    (match Density.cM d ~channel:3 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_cell_and_netlist_printing () =
+  let inv = Cell_lib.find Cell_lib.ecl_default "INV1" in
+  let s = Format.asprintf "%a" Cell.pp inv in
+  check_bool "cell pp mentions name" true (String.length s > 4 && String.sub s 0 4 = "INV1");
+  let netlist, invs = Util.chain_netlist 2 in
+  let s =
+    Format.asprintf "%a" (Netlist.pp_endpoint netlist) (Netlist.Pin { Netlist.inst = invs.(0); term = "Z" })
+  in
+  check_string "pin endpoint" "i0.Z" s;
+  let s = Format.asprintf "%a" (Netlist.pp_endpoint netlist) (Netlist.Port 0) in
+  check_string "port endpoint" "port:IN" s
+
+let test_feedthrough_failure_printing () =
+  let f = { Feedthrough.f_net = 3; f_row = 1; f_width = 2 } in
+  check_string "failure text" "net 3: no 2-wide feedthrough in row 1"
+    (Format.asprintf "%a" Feedthrough.pp_failure f)
+
+let test_lineio_field_errors () =
+  check_bool "int error carries line" true
+    (match Lineio.int_field ~line:42 ~what:"x" "seven" with
+    | exception Lineio.Parse_error { line = 42; _ } -> true
+    | _ -> false);
+  check_bool "float error" true
+    (match Lineio.float_field ~line:7 ~what:"x" "?" with
+    | exception Lineio.Parse_error { line = 7; _ } -> true
+    | _ -> false);
+  check_int "tokenize numbers lines from 1" 1
+    (match Lineio.tokenize "a b" with (line, _) :: _ -> line | [] -> 0)
+
+let test_placement_extreme_utilization () =
+  let netlist, _ = Util.chain_netlist 6 in
+  let full = Placement.place ~utilization:1.0 ~netlist ~n_rows:2 Placement.P1 in
+  (* Full utilization leaves no feed slots. *)
+  check_int "no slots at 100%" 0 (List.length full.Placement.r_slots);
+  let loose = Placement.place ~utilization:0.5 ~netlist ~n_rows:2 Placement.P1 in
+  check_bool "half utilization leaves about half the columns" true
+    (List.length loose.Placement.r_slots >= full.Placement.r_width)
+
+let test_dsu_self_union () =
+  let d = Dsu.create 3 in
+  check_bool "self union is false" false (Dsu.union d 1 1);
+  check_int "distinct unaffected" 3 (Dsu.count_distinct d [ 0; 1; 2 ])
+
+let test_greedy_overhang_constant () =
+  check_bool "bounded overhang" true (Greedy_router.overhang_columns > 0)
+
+let test_rect_equal () =
+  let a = Rect.of_point ~x:1 ~y:2 in
+  check_bool "reflexive" true (Rect.equal a a);
+  check_bool "distinct" false (Rect.equal a (Rect.of_point ~x:1 ~y:3))
+
+let suite =
+  [ Alcotest.test_case "interval order and printing" `Quick test_interval_order_and_pp;
+    Alcotest.test_case "heap bookkeeping" `Quick test_heap_bookkeeping;
+    Alcotest.test_case "ugraph edge accounting" `Quick test_ugraph_edge_accounting;
+    Alcotest.test_case "dag misc" `Quick test_dag_misc;
+    Alcotest.test_case "density empty-channel semantics" `Quick test_density_empty_channel_semantics;
+    Alcotest.test_case "cell and netlist printing" `Quick test_cell_and_netlist_printing;
+    Alcotest.test_case "feedthrough failure printing" `Quick test_feedthrough_failure_printing;
+    Alcotest.test_case "lineio field errors" `Quick test_lineio_field_errors;
+    Alcotest.test_case "placement extreme utilization" `Quick test_placement_extreme_utilization;
+    Alcotest.test_case "dsu self union" `Quick test_dsu_self_union;
+    Alcotest.test_case "greedy overhang constant" `Quick test_greedy_overhang_constant;
+    Alcotest.test_case "rect equality" `Quick test_rect_equal ]

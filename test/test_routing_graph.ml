@@ -1,0 +1,170 @@
+(* Tests for Routing_graph: Fig.-3 construction, pruning, tentative
+   trees, jog costing. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* A same-row two-terminal net: driver and sink each reach channels 0
+   and 1, trunks in both channels form one cycle. *)
+let same_row_case () =
+  let fp, netlist, invs = Util.small_floorplan () in
+  (* net n0-chain between i0 (row 0) and i1 (row 0): i0.Z -> i1.A. *)
+  let net = Option.get (Netlist.net_of_pin netlist { Netlist.inst = invs.(0); term = "Z" }) in
+  let assignment, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  Alcotest.(check bool) "assignable" true (failures = []);
+  (fp, assignment, net)
+
+let test_build_same_row () =
+  let fp, assignment, net = same_row_case () in
+  let rg = Routing_graph.build fp assignment ~net in
+  (* 2 terminals + 4 positions; 4 correspondences + 2 trunks. *)
+  check_int "vertices" 6 (Ugraph.n_vertices rg.Routing_graph.graph);
+  check_int "edges" 6 (Ugraph.n_edges_live rg.Routing_graph.graph);
+  let trunks = ref 0 and corr = ref 0 and branch = ref 0 in
+  Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+      match Routing_graph.edge_kind rg e.Ugraph.id with
+      | Routing_graph.Trunk _ -> incr trunks
+      | Routing_graph.Correspondence _ -> incr corr
+      | Routing_graph.Branch _ -> incr branch);
+  check_int "two trunk alternatives" 2 !trunks;
+  check_int "four correspondences" 4 !corr;
+  check_int "no branches needed" 0 !branch;
+  check_bool "driver is a terminal" true (List.mem rg.Routing_graph.driver rg.Routing_graph.terminals)
+
+let test_trunk_weights_and_geometry () =
+  let fp, assignment, net = same_row_case () in
+  let rg = Routing_graph.build fp assignment ~net in
+  let d = Dims.default in
+  Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+      match Routing_graph.edge_kind rg e.Ugraph.id with
+      | Routing_graph.Trunk { span; _ } ->
+        check_float "trunk weight = pitch * span"
+          (float_of_int (Interval.length span) *. d.Dims.pitch_um)
+          e.Ugraph.weight;
+        check_float "geometry equals weight without jogs" e.Ugraph.weight
+          (Routing_graph.geometric_length_um rg ~edge_ids:[ e.Ugraph.id ])
+      | Routing_graph.Correspondence _ ->
+        check_float "correspondence weight 0 without jog costing" 0.0 e.Ugraph.weight
+      | Routing_graph.Branch _ -> ())
+
+let test_jog_costing () =
+  let fp, assignment, net = same_row_case () in
+  let jog = function 0 -> 11.0 | 1 -> 22.0 | _ -> 33.0 in
+  let rg = Routing_graph.build ~jog_cost:jog fp assignment ~net in
+  Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+      match Routing_graph.edge_kind rg e.Ugraph.id with
+      | Routing_graph.Correspondence p ->
+        check_float "correspondence priced by its channel"
+          (jog p.Routing_graph.channel) e.Ugraph.weight;
+        check_float "geometry stays zero" 0.0
+          (Routing_graph.geometric_length_um rg ~edge_ids:[ e.Ugraph.id ])
+      | Routing_graph.Trunk _ | Routing_graph.Branch _ -> ())
+
+let test_tentative_tree_and_capacitance () =
+  let fp, assignment, net = same_row_case () in
+  let rg = Routing_graph.build fp assignment ~net in
+  match Routing_graph.tentative_tree rg with
+  | None -> Alcotest.fail "tree expected"
+  | Some edges ->
+    (* Shortest connection: one trunk + two correspondences. *)
+    check_int "tree edges" 3 (List.length edges);
+    let d = Dims.default in
+    let um = Routing_graph.geometric_length_um rg ~edge_ids:edges in
+    check_float "capacitance from weights" (um *. d.Dims.cap_per_um)
+      (Routing_graph.tree_capacitance rg ~edge_ids:edges)
+
+let test_exclude_reroutes () =
+  let fp, assignment, net = same_row_case () in
+  let rg = Routing_graph.build fp assignment ~net in
+  let tree = Option.get (Routing_graph.tentative_tree rg) in
+  let trunk_in_tree =
+    List.find (fun eid -> Routing_graph.is_trunk rg eid) tree
+  in
+  match Routing_graph.tentative_tree ~exclude_edge:trunk_in_tree rg with
+  | None -> Alcotest.fail "the other channel should still connect"
+  | Some other ->
+    check_bool "rerouted avoiding the edge" true (not (List.mem trunk_in_tree other))
+
+let test_prune_dangling () =
+  let fp, assignment, net = same_row_case () in
+  let rg = Routing_graph.build fp assignment ~net in
+  (* Delete one trunk; its two flanking correspondences become dead
+     ends and must be pruned. *)
+  let doomed =
+    let found = ref (-1) in
+    Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+        if !found = -1 && Routing_graph.is_trunk rg e.Ugraph.id then found := e.Ugraph.id);
+    !found
+  in
+  Ugraph.delete_edge rg.Routing_graph.graph doomed;
+  let pruned = ref 0 in
+  Routing_graph.prune_dangling rg ~on_delete:(fun _ -> incr pruned);
+  check_int "two stubs pruned" 2 !pruned;
+  check_bool "terminals still connected" true
+    (Ugraph.connected_within rg.Routing_graph.graph rg.Routing_graph.terminals);
+  (* Now everything is a bridge: the tree. *)
+  check_int "no non-bridges remain" 0
+    (List.length (Bridges.non_bridge_ids rg.Routing_graph.graph))
+
+let test_multi_row_branch () =
+  (* Reuse layout test's three-row circuit: net must use the assigned
+     feedthrough as a Branch edge. *)
+  let b = Netlist.builder ~library:Cell_lib.ecl_default in
+  let p = Netlist.add_port b ~name:"IN" ~side:Netlist.South () in
+  let d = Netlist.add_instance b ~name:"d" ~cell:"BUF2" in
+  let s = Netlist.add_instance b ~name:"s" ~cell:"INV1" in
+  let q = Netlist.add_port b ~name:"OUT" ~side:Netlist.North () in
+  let _ = Netlist.add_net b ~name:"n0" ~driver:(Netlist.Port p) ~sinks:[ Util.pin d "A" ] () in
+  let far = Netlist.add_net b ~name:"far" ~driver:(Util.pin d "Z") ~sinks:[ Util.pin s "A" ] () in
+  let _ = Netlist.add_net b ~name:"n1" ~driver:(Util.pin s "Z") ~sinks:[ Netlist.Port q ] () in
+  let netlist = Netlist.freeze b in
+  let cells = [ { Floorplan.inst = d; row = 0; x = 0 }; { Floorplan.inst = s; row = 2; x = 0 } ] in
+  let fp =
+    Floorplan.make ~netlist ~dims:Dims.default ~n_rows:3 ~width:10 ~cells ~slots:[ (1, 4, 0) ] ()
+  in
+  let assignment, failures = Feedthrough.assign fp ~order:(Util.id_order netlist) in
+  Alcotest.(check bool) "assigned" true (failures = []);
+  let rg = Routing_graph.build fp assignment ~net:far in
+  let branches = ref [] in
+  Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+      match Routing_graph.edge_kind rg e.Ugraph.id with
+      | Routing_graph.Branch { row; x } -> branches := (row, x) :: !branches
+      | Routing_graph.Trunk _ | Routing_graph.Correspondence _ -> ());
+  Alcotest.(check (list (pair int int))) "one branch at the granted slot" [ (1, 4) ] !branches;
+  (* Tree must cross the row: it includes the branch. *)
+  let tree = Option.get (Routing_graph.tentative_tree rg) in
+  check_bool "tree crosses via the branch" true
+    (List.exists
+       (fun eid ->
+         match Routing_graph.edge_kind rg eid with
+         | Routing_graph.Branch _ -> true
+         | Routing_graph.Trunk _ | Routing_graph.Correspondence _ -> false)
+       tree);
+  let d_dims = Dims.default in
+  check_bool "tree length includes the row crossing" true
+    (Routing_graph.geometric_length_um rg ~edge_ids:tree >= d_dims.Dims.row_height_um)
+
+let test_density_locus () =
+  let fp, assignment, net = same_row_case () in
+  let rg = Routing_graph.build fp assignment ~net in
+  Ugraph.iter_edges rg.Routing_graph.graph (fun e ->
+      let channel, span = Routing_graph.density_locus rg e.Ugraph.id in
+      match Routing_graph.edge_kind rg e.Ugraph.id with
+      | Routing_graph.Trunk { channel = c; span = s } ->
+        check_int "trunk channel" c channel;
+        check_bool "trunk span" true (Interval.equal s span)
+      | Routing_graph.Correspondence p ->
+        check_int "correspondence channel" p.Routing_graph.channel channel;
+        check_int "point interval" 1 (Interval.length span)
+      | Routing_graph.Branch _ -> ())
+
+let suite =
+  [ Alcotest.test_case "build same-row net" `Quick test_build_same_row;
+    Alcotest.test_case "trunk weights and geometry" `Quick test_trunk_weights_and_geometry;
+    Alcotest.test_case "jog costing" `Quick test_jog_costing;
+    Alcotest.test_case "tentative tree and CL" `Quick test_tentative_tree_and_capacitance;
+    Alcotest.test_case "exclude-edge reroute" `Quick test_exclude_reroutes;
+    Alcotest.test_case "prune dangling stubs" `Quick test_prune_dangling;
+    Alcotest.test_case "multi-row branch" `Quick test_multi_row_branch;
+    Alcotest.test_case "density locus" `Quick test_density_locus ]

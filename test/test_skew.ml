@@ -1,0 +1,74 @@
+(* Tests for the clock-skew measurement and the Sec. 4.2 width-vs-skew
+   trade (ablation A7's machinery). *)
+
+let check_bool = Alcotest.(check bool)
+
+let routed_mini () =
+  let case = Suite.mini () in
+  let outcome = Flow.run case.Suite.input in
+  (case.Suite.input.Flow.netlist, outcome)
+
+let test_widest_net_is_clock () =
+  let netlist, _ = routed_mini () in
+  match Skew.widest_net netlist with
+  | None -> Alcotest.fail "expected a widest net"
+  | Some net ->
+    Alcotest.(check int) "the clock has pitch 2" 2 (Netlist.net netlist net).Netlist.pitch;
+    Alcotest.(check string) "named clk" "clk" (Netlist.net netlist net).Netlist.net_name
+
+let test_skew_nonnegative_and_zero_for_two_terminal () =
+  let netlist, outcome = routed_mini () in
+  let router = outcome.Flow.o_router in
+  for net = 0 to Netlist.n_nets netlist - 1 do
+    let skew = Skew.router_net_skew_ps router net in
+    check_bool (Printf.sprintf "net %d skew >= 0" net) true (skew >= 0.0);
+    if Netlist.fanout netlist net = 1 then
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "net %d single-sink skew" net) 0.0 skew
+  done
+
+let test_width_reduces_skew () =
+  (* The fringe-capacitance model makes wire RC fall with width, so the
+     same routed clock tree has monotonically smaller Elmore skew at
+     larger effective widths (Sec. 4.2's claim). *)
+  let netlist, outcome = routed_mini () in
+  let router = outcome.Flow.o_router in
+  match Skew.widest_net netlist with
+  | None -> Alcotest.fail "no clock"
+  | Some clk ->
+    let fp = outcome.Flow.o_floorplan in
+    let rg = Router.routing_graph router clk in
+    let tree = Router.tree_edges router clk in
+    let skew_at scale =
+      let r =
+        Elmore.analyze ~width_scale:scale ~dims:(Floorplan.dims fp) ~netlist ~rg ~tree ()
+      in
+      match List.map snd r.Elmore.delay_ps with
+      | [] | [ _ ] -> 0.0
+      | vs -> List.fold_left max neg_infinity vs -. List.fold_left min infinity vs
+    in
+    let s1 = skew_at 0.5 (* effective 1-pitch *) in
+    let s2 = skew_at 1.0 in
+    let s4 = skew_at 2.0 in
+    check_bool "2-pitch skew below 1-pitch" true (s2 < s1);
+    check_bool "4-pitch skew below 2-pitch" true (s4 < s2)
+
+let test_cap_model_monotone () =
+  let d = Dims.default in
+  check_bool "cap grows with width" true
+    (Dims.cap_per_um_at d ~width:2.0 > Dims.cap_per_um_at d ~width:1.0);
+  check_bool "cap grows sublinearly (fringe)" true
+    (Dims.cap_per_um_at d ~width:2.0 < 2.0 *. Dims.cap_per_um_at d ~width:1.0);
+  check_bool "resistance falls with width" true
+    (Dims.res_kohm_per_um_at d ~width:2.0 < Dims.res_kohm_per_um_at d ~width:1.0);
+  Alcotest.(check (float 1e-12))
+    "width 1 matches the headline figure" d.Dims.cap_per_um
+    (Dims.cap_per_um_at d ~width:1.0);
+  (* RC product per um falls with width thanks to the fringe term. *)
+  let rc w = Dims.cap_per_um_at d ~width:w *. Dims.res_kohm_per_um_at d ~width:w in
+  check_bool "RC falls with width" true (rc 2.0 < rc 1.0)
+
+let suite =
+  [ Alcotest.test_case "widest net is the clock" `Quick test_widest_net_is_clock;
+    Alcotest.test_case "skew bounds" `Quick test_skew_nonnegative_and_zero_for_two_terminal;
+    Alcotest.test_case "width reduces clock skew" `Quick test_width_reduces_skew;
+    Alcotest.test_case "capacitance model monotone" `Quick test_cap_model_monotone ]
