@@ -9,6 +9,27 @@
 let section title =
   Printf.printf "\n==== %s ====\n\n%!" title
 
+(* Wall-clock (not Sys.time): with several domains routing, CPU time
+   across all of them exceeds the elapsed time we are comparing. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let same_suite_results a b =
+  List.for_all2
+    (fun (x : Experiments.run) (y : Experiments.run) ->
+      let same (m : Flow.measurement) (n : Flow.measurement) =
+        m.Flow.m_delay_ps = n.Flow.m_delay_ps
+        && m.Flow.m_area_mm2 = n.Flow.m_area_mm2
+        && m.Flow.m_length_mm = n.Flow.m_length_mm
+        && m.Flow.m_violations = n.Flow.m_violations
+        && m.Flow.m_deletions = n.Flow.m_deletions
+      in
+      same x.Experiments.constrained y.Experiments.constrained
+      && same x.Experiments.unconstrained y.Experiments.unconstrained)
+    a b
+
 let paper_tables () =
   section "Table 1 (paper: test bipolar circuits)";
   let cases = Suite.all () in
@@ -16,7 +37,9 @@ let paper_tables () =
   Printf.printf "(paper's exact cell/net counts are unreadable in the transcription;\n";
   Printf.printf " sizes are 1994-plausible synthetic stand-ins, see DESIGN.md)\n";
   section "Table 2 (paper: experimental results)";
-  let runs = Experiments.run_suite ~cases () in
+  let runs_seq, seq_s = timed (fun () -> Experiments.run_suite ~cases ~domains:1 ()) in
+  let domains = Par.default_domains () in
+  let runs, par_s = timed (fun () -> Experiments.run_suite ~cases ~domains ()) in
   let w, wo = Experiments.table2 runs in
   Table.print w;
   Table.print wo;
@@ -28,6 +51,12 @@ let paper_tables () =
   Printf.printf
     "paper shape: constrained within ~10%% of the bound, unconstrained much\n\
      further; average reduction 17.6%% of the lower bound.\n";
+  section "Suite wall-clock: sequential vs parallel";
+  Printf.printf "full suite,  1 domain : %6.2f s wall\n" seq_s;
+  Printf.printf "full suite, %2d domains: %6.2f s wall  (speedup %.2fx)\n" domains par_s
+    (if par_s > 0.0 then seq_s /. par_s else nan);
+  Printf.printf "determinism: parallel results are %s the sequential results\n"
+    (if same_suite_results runs_seq runs then "identical to" else "DIFFERENT FROM (BUG!)");
   runs
 
 let fig4 () =

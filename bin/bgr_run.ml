@@ -33,6 +33,16 @@ let no_constraints =
 
 let trace_flag = Arg.(value & flag & info [ "trace" ] ~doc:"Print the router's phase trace.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel routing engine: 0 (default) resolves to the \
+           BGR_DOMAINS environment variable or all available cores, 1 forces the sequential \
+           engine.  The routing result is identical for every value.")
+
 let report_measurement name (m : Flow.measurement) =
   let t = Table.create ~title:(Printf.sprintf "Routing result: %s" name) ~columns:[ "metric"; "value" ] in
   let add k v = Table.add_row t [ k; v ] in
@@ -55,24 +65,25 @@ let report_measurement name (m : Flow.measurement) =
 
 let tables_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.") in
-  let run csv =
+  let run csv domains =
     let emit t = if csv then print_string (Table.to_csv t) else Table.print t in
     let cases = Suite.all () in
     emit (Experiments.table1 cases);
-    let runs = Experiments.run_suite ~cases () in
+    let runs = Experiments.run_suite ~cases ~domains () in
     let w, wo = Experiments.table2 runs in
     emit w;
     emit wo;
     emit (Experiments.table3 runs)
   in
   Cmd.v (Cmd.info "tables" ~doc:"Reproduce Tables 1-3 on the synthetic suite.")
-    Term.(const run $ csv)
+    Term.(const run $ csv $ domains_arg)
 
 let route_cmd =
-  let run case unconstrained with_trace =
+  let run case unconstrained with_trace domains =
     let options =
-      if with_trace then { Router.default_options with Router.trace = Some print_endline }
-      else Router.default_options
+      { Router.default_options with
+        Router.trace = (if with_trace then Some print_endline else None);
+        domains }
     in
     let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
     report_measurement
@@ -80,7 +91,7 @@ let route_cmd =
       outcome.Flow.o_measurement
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one case end to end and report all metrics.")
-    Term.(const run $ case_arg $ no_constraints $ trace_flag)
+    Term.(const run $ case_arg $ no_constraints $ trace_flag $ domains_arg)
 
 let density_cmd =
   let run case =
@@ -230,15 +241,16 @@ most congested channel (%d), routed tracks top-down:
     Term.(const run $ case_arg)
 
 let verify_cmd =
-  let run case unconstrained =
-    let outcome = Flow.run ~timing_driven:(not unconstrained) case.Suite.input in
+  let run case unconstrained domains =
+    let options = { Router.default_options with Router.domains } in
+    let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
     let report = Verify.routed outcome.Flow.o_router in
     Format.printf "%a" Verify.pp report;
     if not (Verify.ok report) then exit 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Route a case and audit the result with the independent verifier.")
-    Term.(const run $ case_arg $ no_constraints)
+    Term.(const run $ case_arg $ no_constraints $ domains_arg)
 
 let generate_cmd =
   let path_arg =
@@ -276,13 +288,14 @@ let generate_cmd =
     Term.(const run $ path_arg $ seed $ comb $ ffs $ rows $ pairs $ constraints $ embed)
 
 let signoff_cmd =
-  let run case unconstrained =
-    let outcome = Flow.run ~timing_driven:(not unconstrained) case.Suite.input in
+  let run case unconstrained domains =
+    let options = { Router.default_options with Router.domains } in
+    let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
     Signoff.print outcome
   in
   Cmd.v
     (Cmd.info "signoff" ~doc:"Full sign-off report: metrics, verification, quality, slacks.")
-    Term.(const run $ case_arg $ no_constraints)
+    Term.(const run $ case_arg $ no_constraints $ domains_arg)
 
 let main =
   let doc = "Timing- and area-driven global router for bipolar standard-cell LSIs (DAC'94 reproduction)" in

@@ -9,6 +9,7 @@ type options = {
   max_delay_passes : int;
   max_area_passes : int;
   trace : (string -> unit) option;
+  domains : int;
 }
 
 let default_options =
@@ -18,7 +19,8 @@ let default_options =
     max_recover_passes = 4;
     max_delay_passes = 3;
     max_area_passes = 3;
-    trace = None }
+    trace = None;
+    domains = 0 }
 
 type phase_report = { reroutes : int; passes : int }
 
@@ -81,7 +83,12 @@ type t = {
          surcharge into CL(n) keeps the margins the selection
          heuristics work with commensurate with the final metrology. *)
   mutable deletions : int;
+  mutable del_hash : int;
+      (* Running hash of the (net, edge) deletion sequence, cascades
+         included — the equivalence tests' fingerprint that parallel
+         scoring leaves the algorithm bit-for-bit unchanged. *)
   mutable area_mode : bool;
+  par : Par.t option;  (* None: strictly sequential scoring *)
 }
 
 let floorplan t = t.fp
@@ -90,6 +97,8 @@ let sta t = t.sta
 let density t = t.dens
 let options t = t.opts
 let n_deletions t = t.deletions
+let deletion_hash t = t.del_hash
+let n_domains t = match t.par with None -> 1 | Some pool -> Par.domains pool
 
 let n_recognized_pairs t =
   Array.fold_left (fun acc ns -> if Array.length ns.partner_map > 0 then acc + 1 else acc) 0 t.nets
@@ -373,23 +382,105 @@ let admissible t n eid =
       && not t.nets.(p).bridge.(peid)
   end
 
+(* All admissible candidates of [net_ids], in the exact order the
+   sequential selection would visit them. *)
+let admissible_candidates t net_ids =
+  let acc = ref [] and count = ref 0 in
+  List.iter
+    (fun n ->
+      let ns = t.nets.(n) in
+      List.iter
+        (fun eid ->
+          if admissible t n eid then begin
+            acc := (n, eid) :: !acc;
+            incr count
+          end)
+        ns.candidates)
+    net_ids;
+  let out = Array.make !count (0, 0) in
+  List.iter
+    (fun c ->
+      decr count;
+      out.(!count) <- c)
+    !acc;
+  out
+
+(* Parallel pre-computation of every candidate's heuristic values
+   (C_d, Gl, LD via delay_key — including the tentative-tree CL(n)
+   without the edge — and the density interval parameters).
+
+   Scoring is read-only with respect to everything shared: each
+   candidate's values land in its own [eval] record, written by exactly
+   one domain, and all values are deterministic functions of the
+   routing state.  The only lazily mutated shared caches on the read
+   path (the per-channel density aggregates) are warmed on the calling
+   domain first.  The sequential selection that follows then finds
+   every cache fresh and compares exactly the numbers the sequential
+   engine would have computed — which is the determinism argument for
+   the whole parallel engine (see DESIGN.md): parallel score,
+   sequential apply, bit-identical result. *)
+let warm_selection_caches t cands =
+  match t.par with
+  | None -> ()
+  | Some pool ->
+    let sta_rev = match t.sta with None -> 0 | Some sta -> Sta.timing_revision sta in
+    (* Only candidates whose caches are stale under the exact revision
+       checks the lazy accessors use: after the first selection round a
+       deletion dirties one net and a couple of channels, so the
+       parallel work list stays proportional to the damage. *)
+    let stale = Array.make (Array.length cands) (0, 0) in
+    let n_stale = ref 0 in
+    Array.iter
+      (fun ((net, eid) as c) ->
+        let ns = t.nets.(net) in
+        let ev = ensure_eval ns eid in
+        if
+          ev.ev_key_sta_rev <> sta_rev
+          || ev.ev_key_net_rev <> ns.rev
+          ||
+          let channel, _ = Routing_graph.density_locus ns.rg eid in
+          ev.ev_dens_rev <> Density.revision t.dens ~channel
+        then begin
+          stale.(!n_stale) <- c;
+          incr n_stale
+        end)
+      cands;
+    let n = !n_stale in
+    (* Under ~8 stale candidates the dispatch overhead outweighs the
+       win and the sequential selection warms them up anyway. *)
+    if n >= 8 then begin
+      for c = 0 to Density.n_channels t.dens - 1 do
+        ignore (Density.cM t.dens ~channel:c);
+        ignore (Density.ncM t.dens ~channel:c);
+        ignore (Density.cm t.dens ~channel:c);
+        ignore (Density.ncm t.dens ~channel:c)
+      done;
+      Par.parallel_iter pool
+        (fun i ->
+          let net, eid = stale.(i) in
+          let ns = t.nets.(net) in
+          ignore (delay_key t ns eid);
+          ignore (density_params t ns eid))
+        n
+    end
+
 let select_among t net_ids =
+  let cands = admissible_candidates t net_ids in
+  warm_selection_caches t cands;
   let best = ref None in
-  let consider n =
-    let ns = t.nets.(n) in
-    let on_candidate eid =
-      if admissible t n eid then begin
-        match !best with
-        | None -> best := Some (n, eid)
-        | Some b -> if compare_candidates t (n, eid) b < 0 then best := Some (n, eid)
-      end
-    in
-    List.iter on_candidate ns.candidates
-  in
-  List.iter consider net_ids;
+  Array.iter
+    (fun c ->
+      match !best with
+      | None -> best := Some c
+      | Some b -> if compare_candidates t c b < 0 then best := Some c)
+    cands;
   !best
 
 (* --- deletion with cascade ------------------------------------------ *)
+
+let mix_hash h v = ((h * 1000003) + v) land max_int
+
+let record_deletion t n eid = t.del_hash <- mix_hash (mix_hash t.del_hash n) eid
 
 let rec delete_cascade t n eid ~mirror =
   let ns = t.nets.(n) in
@@ -399,9 +490,11 @@ let rec delete_cascade t n eid ~mirror =
   unregister_edge_density t ns (Ugraph.edge g eid);
   Ugraph.delete_edge g eid;
   t.deletions <- t.deletions + 1;
+  record_deletion t n eid;
   Routing_graph.prune_dangling ns.rg ~on_delete:(fun e ->
       unregister_edge_density t ns e;
       t.deletions <- t.deletions + 1;
+      record_deletion t n e.Ugraph.id;
       if e.Ugraph.id < Array.length ns.tree_set && ns.tree_set.(e.Ugraph.id) then
         touched_tree := true);
   refresh_bridges t ns;
@@ -471,6 +564,16 @@ let recognize_pair t n p =
 let create ?(options = default_options) fp assignment sta =
   let netlist = Floorplan.netlist fp in
   let n_nets = Netlist.n_nets netlist in
+  (* [domains = 0] means auto (BGR_DOMAINS or the available cores);
+     [<= 1] selects the strictly sequential engine.  A router built
+     inside a pool worker (a parallel suite run) scores sequentially
+     too, instead of nesting pools. *)
+  let requested =
+    if options.domains = 0 then Par.default_domains () else max 1 options.domains
+  in
+  let par =
+    if requested <= 1 || Par.in_worker () then None else Some (Par.get ~domains:requested ())
+  in
   let t =
     { fp;
       assignment;
@@ -481,7 +584,9 @@ let create ?(options = default_options) fp assignment sta =
       hpwl_cap = Array.init n_nets (fun net -> hpwl_cap_of_net fp net);
       jog_um = Array.make (Floorplan.n_channels fp) 0.0;
       deletions = 0;
-      area_mode = options.area_first_ordering }
+      del_hash = 0;
+      area_mode = options.area_first_ordering;
+      par }
   in
   Array.iter (fun ns -> register_net_density t ns) t.nets;
   (* Expected final channel depth is roughly half the candidate-graph

@@ -41,6 +41,17 @@ type options = {
   max_delay_passes : int;
   max_area_passes : int;
   trace : (string -> unit) option;  (** phase/selection trace (Fig. 2 outline) *)
+  domains : int;
+      (** domain count of the parallel scoring engine: [0] (the
+          default) resolves to the [BGR_DOMAINS] environment variable
+          or the available cores; [1] forces the strictly sequential
+          engine; [n > 1] scores candidate edges on [n] domains.  The
+          routing result is bit-identical for every value: candidates
+          are {e scored} in parallel (each deletable edge's [C_d],
+          [Gl], [LD], tentative-tree [CL] and density parameters are
+          pure functions of the routing state, cached per edge) while
+          the winning deletion is selected and {e applied}
+          sequentially. *)
 }
 
 val default_options : options
@@ -67,6 +78,16 @@ val options : t -> options
 
 val n_deletions : t -> int
 (** Edge deletions performed so far (including pruned stubs). *)
+
+val deletion_hash : t -> int
+(** Order-sensitive hash of the whole [(net, edge)] deletion sequence,
+    cascaded prunes included — the fingerprint the determinism tests
+    compare across domain counts: equal hashes mean the parallel and
+    sequential engines deleted exactly the same edges in exactly the
+    same order. *)
+
+val n_domains : t -> int
+(** Domains the scoring engine actually runs on ([1] = sequential). *)
 
 val n_recognized_pairs : t -> int
 (** Differential pairs routed with mirrored deletions. *)

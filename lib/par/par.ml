@@ -1,0 +1,182 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+let default_domains () =
+  match Sys.getenv_opt "BGR_DOMAINS" with
+  | None -> available_domains ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> available_domains ())
+
+(* One mailbox per helper: [job = Some _] means a round is in flight.
+   The same condition serves both directions — the helper waits while
+   the mailbox is empty, the submitter waits while it is full — the
+   predicates are disjoint. *)
+type worker = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+}
+
+type t = {
+  workers : worker array;
+  handles : unit Domain.t array;
+  mutable alive : bool;
+  mutable in_round : bool;
+      (* A round is in flight: a nested submission from the caller's
+         own chunk would clobber the helpers' mailboxes, so it runs
+         sequentially instead (only the orchestrating domain ever
+         touches this flag). *)
+}
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let worker_loop w =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock w.m;
+    while w.job = None && not w.stop do
+      Condition.wait w.cv w.m
+    done;
+    match w.job with
+    | None -> Mutex.unlock w.m (* stop requested *)
+    | Some job ->
+      Mutex.unlock w.m;
+      (* The job wrapper traps its own exceptions into the round's
+         result cell; anything escaping here would kill the helper, so
+         swallow defensively. *)
+      (try job () with _ -> ());
+      Mutex.lock w.m;
+      w.job <- None;
+      Condition.signal w.cv;
+      Mutex.unlock w.m;
+      loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let n = match domains with Some n -> max 1 n | None -> default_domains () in
+  let workers =
+    Array.init (n - 1) (fun _ ->
+        { m = Mutex.create (); cv = Condition.create (); job = None; stop = false })
+  in
+  let handles = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
+  { workers; handles; alive = true; in_round = false }
+
+let domains t = Array.length t.workers + 1
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.m;
+        w.stop <- true;
+        Condition.broadcast w.cv;
+        Mutex.unlock w.m)
+      t.workers;
+    Array.iter Domain.join t.handles
+  end
+
+(* The shared pool: grown on demand, never shrunk.  Creation and growth
+   happen on the orchestrating domain only (nested requests from
+   workers degrade to sequential before reaching [get]). *)
+let global : t option ref = ref None
+
+let get ?domains:want () =
+  let want = match want with Some n -> max 1 n | None -> default_domains () in
+  match !global with
+  | Some p when p.alive && domains p >= want -> p
+  | prev ->
+    (match prev with Some p -> shutdown p | None -> ());
+    let p = create ~domains:want () in
+    global := Some p;
+    p
+
+(* Run [n_chunks] work items, each exactly once, across the helpers and
+   the caller; re-raise the first exception after the barrier. *)
+let run_chunked t ~n_chunks f =
+  if n_chunks > 0 then begin
+    if
+      Array.length t.workers = 0 || (not t.alive) || in_worker () || t.in_round
+      || n_chunks = 1
+    then
+      for c = 0 to n_chunks - 1 do
+        f c
+      done
+    else begin
+      t.in_round <- true;
+      let next = Atomic.make 0 in
+      let first_exn : exn option Atomic.t = Atomic.make None in
+      let body () =
+        let rec go () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < n_chunks then begin
+            (match Atomic.get first_exn with
+            | Some _ -> () (* a participant failed: abandon the rest *)
+            | None -> (
+              try f c
+              with e -> ignore (Atomic.compare_and_set first_exn None (Some e))));
+            go ()
+          end
+        in
+        go ()
+      in
+      Array.iter
+        (fun w ->
+          Mutex.lock w.m;
+          w.job <- Some body;
+          Condition.signal w.cv;
+          Mutex.unlock w.m)
+        t.workers;
+      (try body ()
+       with e ->
+         (* [body] traps [f]'s exceptions itself; only truly unexpected
+            failures land here, and the barrier must still run. *)
+         ignore (Atomic.compare_and_set first_exn None (Some e)));
+      Array.iter
+        (fun w ->
+          Mutex.lock w.m;
+          while w.job <> None do
+            Condition.wait w.cv w.m
+          done;
+          Mutex.unlock w.m)
+        t.workers;
+      t.in_round <- false;
+      match Atomic.get first_exn with Some e -> raise e | None -> ()
+    end
+  end
+
+let parallel_iter ?chunk t f n =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 ((n + (4 * domains t) - 1) / (4 * domains t))
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    run_chunked t ~n_chunks (fun c ->
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+        for i = lo to hi - 1 do
+          f i
+        done)
+  end
+
+let parallel_init t n f =
+  if n <= 0 then [||]
+  else begin
+    (* Element 0 is computed on the caller to seed the result array
+       without an Option/Obj detour; the rest fills in parallel. *)
+    let out = Array.make n (f 0) in
+    parallel_iter t (fun i -> out.(i + 1) <- f (i + 1)) (n - 1);
+    out
+  end
+
+let parallel_map t f arr = parallel_init t (Array.length arr) (fun i -> f arr.(i))
+
+let parallel_list_map t f l = Array.to_list (parallel_map t f (Array.of_list l))
+
+let parallel_reduce t ~map ~combine ~init n =
+  Array.fold_left combine init (parallel_init t n map)

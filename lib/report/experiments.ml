@@ -4,14 +4,39 @@ type run = {
   unconstrained : Flow.measurement;
 }
 
-let run_case case =
-  let con = Flow.run ~timing_driven:true case.Suite.input in
-  let unc = Flow.run ~timing_driven:false case.Suite.input in
+let run_case ?(domains = 0) case =
+  let options = { Router.default_options with Router.domains } in
+  let con = Flow.run ~options ~timing_driven:true case.Suite.input in
+  let unc = Flow.run ~options ~timing_driven:false case.Suite.input in
   { case; constrained = con.Flow.o_measurement; unconstrained = unc.Flow.o_measurement }
 
-let run_suite ?cases () =
+let run_suite ?cases ?(domains = 0) () =
   let cases = match cases with Some c -> c | None -> Suite.all () in
-  List.map run_case cases
+  let n = if domains = 0 then Par.default_domains () else max 1 domains in
+  if n <= 1 || Par.in_worker () then List.map (run_case ~domains:n) cases
+  else begin
+    (* One job per (case, constrained?) measurement — twice the
+       parallel width of a per-case split.  Routing a case is
+       deterministic whatever engine runs it (routers built inside pool
+       workers score sequentially; see Router.options.domains), so the
+       parallel suite reproduces the sequential suite's numbers
+       exactly, CPU-time column aside. *)
+    let pool = Par.get ~domains:n () in
+    let options = { Router.default_options with Router.domains = n } in
+    let jobs =
+      Array.of_list (List.concat_map (fun case -> [ (case, true); (case, false) ]) cases)
+    in
+    let measurements =
+      Par.parallel_map pool
+        (fun (case, timing) ->
+          (Flow.run ~options ~timing_driven:timing case.Suite.input).Flow.o_measurement)
+        jobs
+    in
+    List.mapi
+      (fun i case ->
+        { case; constrained = measurements.(2 * i); unconstrained = measurements.((2 * i) + 1) })
+      cases
+  end
 
 let table1 cases =
   let t =

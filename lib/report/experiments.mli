@@ -13,11 +13,16 @@ type run = {
   unconstrained : Flow.measurement;
 }
 
-val run_case : Suite.case -> run
-(** Route the case both with and without constraints. *)
+val run_case : ?domains:int -> Suite.case -> run
+(** Route the case both with and without constraints.  [domains] is
+    passed to {!Router.options.domains} ([0] = auto). *)
 
-val run_suite : ?cases:Suite.case list -> unit -> run list
-(** Defaults to [Suite.all ()]. *)
+val run_suite : ?cases:Suite.case list -> ?domains:int -> unit -> run list
+(** Defaults to [Suite.all ()].  With more than one domain ([0] = auto
+    resolves via [BGR_DOMAINS] / available cores) the independent
+    (case, with/without-constraints) measurements are routed
+    concurrently on the shared domain pool; results are identical to a
+    sequential run apart from the CPU-time column. *)
 
 val table1 : Suite.case list -> Table.t
 (** "Test bipolar circuits": cells, nets, constraints per case. *)

@@ -56,8 +56,11 @@ let rows_of_circuit = function
   | _ -> raise Not_found
 
 (* Generated circuits are cached: the same netlist value backs both
-   placements of a circuit, as in the paper. *)
+   placements of a circuit, as in the paper.  The mutex keeps the cache
+   sound when cases are built from several domains (the parallel suite
+   runner constructs its cases up front, but API users need not). *)
 let cache : (string, Netlist.t * Path_constraint.t list) Hashtbl.t = Hashtbl.create 4
+let cache_mutex = Mutex.create ()
 
 (* Constraint limits are calibrated against an unconstrained reference
    routing of the P1 layout: 10% headroom over each constraint's
@@ -65,18 +68,22 @@ let cache : (string, Netlist.t * Path_constraint.t list) Hashtbl.t = Hashtbl.cre
 let calibration_headroom = 0.18
 
 let circuit name =
-  match Hashtbl.find_opt cache name with
-  | Some c -> c
-  | None ->
-    let netlist, raw_constraints = Circuit_gen.generate (circuit_params name) in
-    let placed = Placement.place ~netlist ~n_rows:(rows_of_circuit name) Placement.P1 in
-    let input =
-      Placement.to_flow_input ~netlist ~dims:Dims.default ~constraints:raw_constraints placed
-    in
-    let constraints = Calibrate.against_reference_route ~input ~headroom:calibration_headroom in
-    let c = (netlist, constraints) in
-    Hashtbl.replace cache name c;
-    c
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) (fun () ->
+      match Hashtbl.find_opt cache name with
+      | Some c -> c
+      | None ->
+        let netlist, raw_constraints = Circuit_gen.generate (circuit_params name) in
+        let placed = Placement.place ~netlist ~n_rows:(rows_of_circuit name) Placement.P1 in
+        let input =
+          Placement.to_flow_input ~netlist ~dims:Dims.default ~constraints:raw_constraints placed
+        in
+        let constraints =
+          Calibrate.against_reference_route ~input ~headroom:calibration_headroom
+        in
+        let c = (netlist, constraints) in
+        Hashtbl.replace cache name c;
+        c)
 
 let make_case ~circuit:name ~placement =
   let netlist, constraints = circuit name in

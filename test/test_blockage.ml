@@ -146,3 +146,5 @@ let suite =
     Alcotest.test_case "full flow with blockage" `Quick test_full_flow_with_blockage;
     Alcotest.test_case "blockage io round trip" `Quick test_io_roundtrip;
     Alcotest.test_case "view marks blockage" `Quick test_view_marks_blockage ]
+
+let () = Alcotest.run "blockage" [ ("blockage", suite) ]

@@ -130,3 +130,5 @@ let suite =
     Alcotest.test_case "ecl library well-formed" `Quick test_library_well_formed;
     Alcotest.test_case "library duplicate rejected" `Quick test_library_duplicate;
     Alcotest.test_case "differential master" `Quick test_differential_master ]
+
+let () = Alcotest.run "cell" [ ("cell", suite) ]

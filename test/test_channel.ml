@@ -245,3 +245,5 @@ let suite =
     Alcotest.test_case "vertical lengths" `Quick test_vertical_lengths;
     Alcotest.test_case "degenerate point" `Quick test_degenerate_point_segment;
     QCheck_alcotest.to_alcotest prop_random_channels ]
+
+let () = Alcotest.run "channel" [ ("channel", suite) ]

@@ -115,3 +115,5 @@ let suite =
     Alcotest.test_case "edge params (D/ND)" `Quick test_edge_params;
     Alcotest.test_case "tracks and chart" `Quick test_tracks_and_chart;
     QCheck_alcotest.to_alcotest prop_incremental_vs_recount ]
+
+let () = Alcotest.run "density" [ ("density", suite) ]

@@ -82,3 +82,5 @@ let suite =
   [ Alcotest.test_case "recognize homologous pair" `Quick test_recognize_homologous;
     Alcotest.test_case "reject mismatched graphs" `Quick test_recognize_rejects_mismatch;
     Alcotest.test_case "mirrored deletion keeps homology" `Quick test_mirrored_deletion_preserves_homology ]
+
+let () = Alcotest.run "diff-pair" [ ("diff-pair", suite) ]

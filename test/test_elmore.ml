@@ -164,3 +164,5 @@ let suite =
     Alcotest.test_case "monotone in resistance" `Quick test_monotone_in_resistance;
     Alcotest.test_case "full flow under Elmore" `Quick test_router_under_elmore;
     Alcotest.test_case "per-sink delay graph update" `Quick test_set_net_sink_delays ]
+
+let () = Alcotest.run "elmore" [ ("elmore", suite) ]

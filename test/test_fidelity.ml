@@ -168,3 +168,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_dijkstra_vs_bellman;
     QCheck_alcotest.to_alcotest prop_arrival_monotone_in_caps;
     Alcotest.test_case "C3P2 constructible" `Quick test_c3p2_available ]
+
+let () = Alcotest.run "fidelity" [ ("fidelity", suite) ]

@@ -193,3 +193,5 @@ let suite =
     Alcotest.test_case "table csv" `Quick test_table_csv;
     Alcotest.test_case "experiment tables build" `Quick test_tables_build;
     Alcotest.test_case "fig4 renders" `Quick test_fig4_renders ]
+
+let () = Alcotest.run "flow" [ ("flow", suite) ]

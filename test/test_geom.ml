@@ -148,3 +148,5 @@ let suite =
     Alcotest.test_case "rect degenerate" `Quick test_rect_degenerate;
     QCheck_alcotest.to_alcotest prop_rect_union;
     Alcotest.test_case "dims conversions" `Quick test_dims ]
+
+let () = Alcotest.run "geom" [ ("geom", suite) ]

@@ -333,3 +333,5 @@ let suite =
     Alcotest.test_case "dag longest path (chain)" `Quick test_dag_longest;
     Alcotest.test_case "dag longest path (diamond)" `Quick test_dag_longest_diamond;
     Alcotest.test_case "dag reachability" `Quick test_dag_reachability ]
+
+let () = Alcotest.run "graph" [ ("graph", suite) ]

@@ -246,3 +246,5 @@ let suite =
     Alcotest.test_case "bundle round trip routes identically" `Quick test_bundle_roundtrip;
     Alcotest.test_case "bundle file io" `Quick test_bundle_file_io;
     Alcotest.test_case "bundle errors" `Quick test_bundle_errors ]
+
+let () = Alcotest.run "io" [ ("io", suite) ]

@@ -276,3 +276,5 @@ let suite =
     Alcotest.test_case "insertion no-op" `Quick test_insert_noop;
     Alcotest.test_case "insertion widens and succeeds" `Quick test_insert_widens_and_succeeds;
     Alcotest.test_case "insertion flags multi-pitch groups" `Quick test_insert_flags_multipitch ]
+
+let () = Alcotest.run "layout" [ ("layout", suite) ]

@@ -130,3 +130,5 @@ let suite =
     Alcotest.test_case "dsu self union" `Quick test_dsu_self_union;
     Alcotest.test_case "greedy overhang constant" `Quick test_greedy_overhang_constant;
     Alcotest.test_case "rect equality" `Quick test_rect_equal ]
+
+let () = Alcotest.run "misc" [ ("misc", suite) ]

@@ -156,3 +156,5 @@ let suite =
     Alcotest.test_case "differential pairs" `Quick test_differential_pairs;
     Alcotest.test_case "differential pair errors" `Quick test_differential_errors;
     Alcotest.test_case "multi-pitch and stats" `Quick test_multi_pitch_and_stats ]
+
+let () = Alcotest.run "netlist" [ ("netlist", suite) ]

@@ -1,0 +1,67 @@
+(* Determinism of the parallel engine: routing with [~domains:4] must
+   be bit-identical to [~domains:1] — same Table-2 metrics, same
+   channel heights, and the same deleted-edge sequence (order-sensitive
+   hash) — on every case of the synthetic suite, and repeated parallel
+   runs must agree with themselves. *)
+
+let route ?(timing = true) ~domains (case : Suite.case) =
+  Flow.run
+    ~options:{ Router.default_options with Router.domains }
+    ~timing_driven:timing case.Suite.input
+
+(* Exact fingerprint of an outcome: floats rendered as hex (%h) so the
+   comparison is bitwise, plus the order-sensitive deletion hash. *)
+let fingerprint (outcome : Flow.outcome) =
+  let m = outcome.Flow.o_measurement in
+  Printf.sprintf "delay=%h area=%h len=%h viol=%d del=%d tracks=[%s] hash=%d"
+    m.Flow.m_delay_ps m.Flow.m_area_mm2 m.Flow.m_length_mm m.Flow.m_violations
+    m.Flow.m_deletions
+    (String.concat ";" (Array.to_list (Array.map string_of_int m.Flow.m_tracks)))
+    (Router.deletion_hash outcome.Flow.o_router)
+
+let test_full_suite_constrained () =
+  List.iter
+    (fun (case : Suite.case) ->
+      Alcotest.(check string)
+        (case.Suite.case_name ^ " constrained: 1 domain = 4 domains")
+        (fingerprint (route ~domains:1 case))
+        (fingerprint (route ~domains:4 case)))
+    (Suite.all ())
+
+let test_unconstrained () =
+  let case = Suite.make_case ~circuit:"C1" ~placement:Placement.P1 in
+  Alcotest.(check string) "C1P1 unconstrained: 1 domain = 4 domains"
+    (fingerprint (route ~timing:false ~domains:1 case))
+    (fingerprint (route ~timing:false ~domains:4 case))
+
+let test_repeated_runs_stable () =
+  let case = Suite.make_case ~circuit:"C1" ~placement:Placement.P1 in
+  Alcotest.(check string) "C1P1: two 4-domain runs agree"
+    (fingerprint (route ~domains:4 case))
+    (fingerprint (route ~domains:4 case))
+
+(* The suite-level parallel runner (independent cases routed on
+   separate domains) must reproduce the sequential runner's Table-2
+   measurements exactly. *)
+let test_suite_runner_equivalent () =
+  let cases = [ Suite.mini (); Suite.make_case ~circuit:"C1" ~placement:Placement.P1 ] in
+  let fp_run (r : Experiments.run) =
+    let fp_m (m : Flow.measurement) =
+      Printf.sprintf "delay=%h area=%h len=%h viol=%d del=%d" m.Flow.m_delay_ps
+        m.Flow.m_area_mm2 m.Flow.m_length_mm m.Flow.m_violations m.Flow.m_deletions
+    in
+    Printf.sprintf "%s: with=[%s] without=[%s]" r.Experiments.case.Suite.case_name
+      (fp_m r.Experiments.constrained)
+      (fp_m r.Experiments.unconstrained)
+  in
+  let seq = List.map fp_run (Experiments.run_suite ~cases ~domains:1 ()) in
+  let par = List.map fp_run (Experiments.run_suite ~cases ~domains:4 ()) in
+  Alcotest.(check (list string)) "run_suite: 1 domain = 4 domains" seq par
+
+let suite =
+  [ Alcotest.test_case "full suite constrained: seq = par" `Slow test_full_suite_constrained;
+    Alcotest.test_case "unconstrained: seq = par" `Slow test_unconstrained;
+    Alcotest.test_case "repeated parallel runs stable" `Slow test_repeated_runs_stable;
+    Alcotest.test_case "parallel suite runner = sequential" `Slow test_suite_runner_equivalent ]
+
+let () = Alcotest.run "parallel" [ ("parallel", suite) ]

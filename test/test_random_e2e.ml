@@ -113,3 +113,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_random_flow_unconstrained;
     QCheck_alcotest.to_alcotest prop_random_sequential;
     QCheck_alcotest.to_alcotest prop_random_io_roundtrip ]
+
+let () = Alcotest.run "random-e2e" [ ("random-e2e", suite) ]

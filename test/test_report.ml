@@ -93,3 +93,5 @@ let suite =
     Alcotest.test_case "floorplan view with tracks" `Quick test_floorplan_view_tracks;
     Alcotest.test_case "channel view" `Quick test_channel_view;
     Alcotest.test_case "route statistics" `Quick test_route_stats ]
+
+let () = Alcotest.run "report" [ ("report", suite) ]

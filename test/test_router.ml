@@ -298,3 +298,5 @@ let suite =
     Alcotest.test_case "unconstrained mode" `Quick test_unconstrained_mode;
     Alcotest.test_case "star estimator" `Quick test_star_estimator;
     Alcotest.test_case "channel segments cover trees" `Quick test_channel_nets_cover_trees ]
+
+let () = Alcotest.run "router" [ ("router", suite) ]

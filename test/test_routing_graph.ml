@@ -168,3 +168,5 @@ let suite =
     Alcotest.test_case "prune dangling stubs" `Quick test_prune_dangling;
     Alcotest.test_case "multi-row branch" `Quick test_multi_row_branch;
     Alcotest.test_case "density locus" `Quick test_density_locus ]
+
+let () = Alcotest.run "routing-graph" [ ("routing-graph", suite) ]

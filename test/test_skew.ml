@@ -72,3 +72,5 @@ let suite =
     Alcotest.test_case "skew bounds" `Quick test_skew_nonnegative_and_zero_for_two_terminal;
     Alcotest.test_case "width reduces clock skew" `Quick test_width_reduces_skew;
     Alcotest.test_case "capacitance model monotone" `Quick test_cap_model_monotone ]
+
+let () = Alcotest.run "skew" [ ("skew", suite) ]

@@ -302,3 +302,5 @@ let suite =
     Alcotest.test_case "unknown node" `Quick test_unknown_node;
     Alcotest.test_case "path constraint validation" `Quick test_path_constraint_validation;
     Alcotest.test_case "refresh_for_nets" `Quick test_refresh_for_nets ]
+
+let () = Alcotest.run "timing" [ ("timing", suite) ]

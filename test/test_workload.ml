@@ -181,3 +181,5 @@ let suite =
     Alcotest.test_case "placement refinement sanity" `Quick test_placement_hpwl_sanity;
     Alcotest.test_case "calibration above bound" `Quick test_calibrate_tightens_to_bound;
     Alcotest.test_case "suite cases" `Quick test_suite_cases ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]
