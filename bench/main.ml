@@ -82,7 +82,7 @@ let fig4 () =
   in
   Printf.printf "Before edge deletion (redundant candidate graphs):\n";
   print_string (Experiments.fig4_of_density dens ~channel);
-  Router.run router;
+  ignore (Router.run router);
   Printf.printf "\nAfter routing (every remaining trunk is a bridge, d_M = d_m):\n";
   print_string (Experiments.fig4_of_density dens ~channel)
 
@@ -182,7 +182,7 @@ let micro_tests () =
     Test.make ~name:"channel_route(worst)"
       (let sta = Sta.create dg input.Flow.constraints in
        let router = Router.create fp assignment (Some sta) in
-       Router.run router;
+       ignore (Router.run router);
        let channel =
          let dens = Router.density router in
          let best = ref 0 and best_v = ref (-1) in

@@ -43,6 +43,21 @@ let domains_arg =
            BGR_DOMAINS environment variable or all available cores, 1 forces the sequential \
            engine.  The routing result is identical for every value.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget for the router's improvement phases, in milliseconds.  The initial \
+           routing always completes, so the output is a full (verifiable) routing either way; \
+           when the budget runs out the remaining improvement phases are skipped and the report \
+           says where the router stopped.")
+
+let budget_of_deadline = function
+  | None -> Budget.unlimited
+  | Some ms -> Budget.make ~wall_ms:(float_of_int ms) ()
+
 let report_measurement name (m : Flow.measurement) =
   let t = Table.create ~title:(Printf.sprintf "Routing result: %s" name) ~columns:[ "metric"; "value" ] in
   let add k v = Table.add_row t [ k; v ] in
@@ -61,6 +76,7 @@ let report_measurement name (m : Flow.measurement) =
   add "channel doglegs" (Table.fint m.Flow.m_channel_doglegs);
   add "channel constraint breaks" (Table.fint m.Flow.m_channel_violations);
   add "CPU (s)" (Table.f2 m.Flow.m_cpu_s);
+  add "router stopped because" m.Flow.m_stopped_because;
   Table.print t
 
 let tables_cmd =
@@ -79,19 +95,22 @@ let tables_cmd =
     Term.(const run $ csv $ domains_arg)
 
 let route_cmd =
-  let run case unconstrained with_trace domains =
+  let run case unconstrained with_trace domains deadline =
     let options =
       { Router.default_options with
         Router.trace = (if with_trace then Some print_endline else None);
         domains }
     in
-    let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
+    let outcome =
+      Flow.run ~options ~timing_driven:(not unconstrained)
+        ~budget:(budget_of_deadline deadline) case.Suite.input
+    in
     report_measurement
       (case.Suite.case_name ^ if unconstrained then " (unconstrained)" else " (constrained)")
       outcome.Flow.o_measurement
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one case end to end and report all metrics.")
-    Term.(const run $ case_arg $ no_constraints $ trace_flag $ domains_arg)
+    Term.(const run $ case_arg $ no_constraints $ trace_flag $ domains_arg $ deadline_arg)
 
 let density_cmd =
   let run case =
@@ -155,15 +174,35 @@ let route_file_cmd =
   let path_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Design bundle path.")
   in
-  let run path unconstrained =
-    let bundle = Design_io.read path in
-    let input = Design_io.to_flow_input bundle in
-    let outcome = Flow.run ~timing_driven:(not unconstrained) input in
-    report_measurement (Filename.basename path) outcome.Flow.o_measurement
+  let run path unconstrained deadline =
+    let result =
+      Result.bind (Design_io.read_result path) Design_check.validate
+      |> Result.map_error (Bgr_error.with_file path)
+    in
+    match result with
+    | Error e ->
+      prerr_endline (Bgr_error.to_string e);
+      exit (Bgr_error.exit_code e.Bgr_error.code)
+    | Ok bundle -> (
+      match
+        Lineio.protect ~file:path (fun () ->
+            let input = Design_io.to_flow_input bundle in
+            Flow.run ~timing_driven:(not unconstrained) ~budget:(budget_of_deadline deadline)
+              input)
+      with
+      | Error e ->
+        prerr_endline (Bgr_error.to_string e);
+        exit (Bgr_error.exit_code e.Bgr_error.code)
+      | Ok outcome -> report_measurement (Filename.basename path) outcome.Flow.o_measurement)
   in
   Cmd.v
-    (Cmd.info "route-file" ~doc:"Route a design bundle written by export (or by hand).")
-    Term.(const run $ path_arg $ no_constraints)
+    (Cmd.info "route-file"
+       ~doc:
+         "Route a design bundle written by export (or by hand).  Malformed or inconsistent \
+          bundles are rejected with a file:line: message on stderr and a documented non-zero \
+          exit code (2 parse, 3 validation/geometry, 4 unroutable, 5 injected fault, 6 \
+          deadline, 7 I/O, 10 internal).")
+    Term.(const run $ path_arg $ no_constraints $ deadline_arg)
 
 let stats_cmd =
   let run case =

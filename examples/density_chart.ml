@@ -27,7 +27,7 @@ let () =
   print_string (Experiments.fig4_of_density dens ~channel);
   Printf.printf "\n  d_M counts every live trunk, d_m only bridges; C_m is a floor the\n";
   Printf.printf "  router must never raise carelessly, C_M the ceiling it wants down.\n\n";
-  Router.run router;
+  ignore (Router.run router);
   Printf.printf "After routing (trees only, so every trunk is a bridge):\n";
   print_string (Experiments.fig4_of_density dens ~channel);
   Printf.printf "\nper-channel track estimates:";

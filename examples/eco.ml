@@ -16,7 +16,7 @@ let () =
   let achievable =
     let sta = Sta.create dg input.Flow.constraints in
     let scratch = Router.create fp assignment (Some sta) in
-    Router.run scratch;
+    ignore (Router.run scratch);
     Array.init (Sta.n_constraints sta) (fun ci -> Sta.critical_delay sta ci)
   in
   let sta = Sta.create dg input.Flow.constraints in

@@ -38,5 +38,5 @@ let () =
   let input = { input with Flow.width = Floorplan.width fp } in
   ignore input;
   let router = Router.create fp assignment None in
-  Router.run router;
+  ignore (Router.run router);
   Printf.printf "routed: %b\n" (Router.is_routed router)

@@ -294,7 +294,10 @@ let route ?(pin_bias = false) segs =
       | cycle -> break_cycle st cycle
     end
   done;
-  if unplaced st <> [] then failwith "Channel_router.route: did not converge";
+  if unplaced st <> [] then
+    Bgr_error.raise_error Bgr_error.Internal
+      "Channel_router.route: did not converge (%d of %d segments unplaced)"
+      (List.length (unplaced st)) (List.length segs);
   if pin_bias then begin
     let bias_of = Hashtbl.create 16 in
     List.iter (fun s -> Hashtbl.replace bias_of s.seg_net (top_bias s)) segs;

@@ -8,7 +8,9 @@ type channel_state = {
 type t = { channels : channel_state array; width : int }
 
 let create ~n_channels ~width =
-  if n_channels <= 0 || width <= 0 then invalid_arg "Density.create";
+  if n_channels <= 0 || width <= 0 then
+    Bgr_error.raise_error Bgr_error.Internal
+      "Density.create: needs positive dimensions, got %d channels x width %d" n_channels width;
   let mk _ = { d_max = Array.make width 0; d_min = Array.make width 0; rev = 0; cache = None } in
   { channels = Array.init n_channels mk; width }
 
@@ -16,7 +18,9 @@ let width t = t.width
 let n_channels t = Array.length t.channels
 
 let channel t c =
-  if c < 0 || c >= Array.length t.channels then invalid_arg "Density: unknown channel";
+  if c < 0 || c >= Array.length t.channels then
+    Bgr_error.raise_error Bgr_error.Internal "Density: unknown channel %d (have %d)" c
+      (Array.length t.channels);
   t.channels.(c)
 
 let touch ch =

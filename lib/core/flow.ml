@@ -24,6 +24,7 @@ type measurement = {
   m_recognized_pairs : int;
   m_channel_doglegs : int;
   m_channel_violations : int;
+  m_stopped_because : string;  (* Router.stop_reason_string of the run *)
 }
 
 type outcome = {
@@ -32,6 +33,7 @@ type outcome = {
   o_sta : Sta.t option;
   o_channels : Channel_router.result array;
   o_measurement : measurement;
+  o_run_report : Router.run_report;
 }
 
 let floorplan_of_input input =
@@ -56,7 +58,8 @@ type algorithm = Concurrent_edge_deletion | Sequential_net_at_a_time
 type channel_algorithm = Left_edge | Left_edge_biased | Greedy
 
 let run ?(options = Router.default_options) ?(timing_driven = true)
-    ?(algorithm = Concurrent_edge_deletion) ?(channel_algorithm = Left_edge) input =
+    ?(algorithm = Concurrent_edge_deletion) ?(channel_algorithm = Left_edge)
+    ?(budget = Budget.unlimited) input =
   let fp0 = floorplan_of_input input in
   let t0 = Sys.time () in
   let dg = Delay_graph.build input.netlist in
@@ -69,9 +72,15 @@ let run ?(options = Router.default_options) ?(timing_driven = true)
   let sta = if have_constraints then Some (Sta.create dg input.constraints) else None in
   let routing_sta = if timing_driven then sta else None in
   let router = Router.create ~options fp assignment routing_sta in
-  (match algorithm with
-  | Concurrent_edge_deletion -> Router.run router
-  | Sequential_net_at_a_time -> Router.route_sequential ~order router);
+  let run_report =
+    match algorithm with
+    | Concurrent_edge_deletion -> Router.run ~budget router
+    | Sequential_net_at_a_time ->
+      Router.route_sequential ~order router;
+      { Router.completed_phases = [ "route_sequential" ];
+        stopped_because = Router.Finished;
+        rolled_back = false }
+  in
   (* Channel routing and final metrology. *)
   let n_channels = Floorplan.n_channels fp in
   let route_channel =
@@ -146,6 +155,12 @@ let run ?(options = Router.default_options) ?(timing_driven = true)
       m_channel_violations =
         Array.fold_left
           (fun acc (r : Channel_router.result) -> acc + r.Channel_router.violations)
-          0 channels }
+          0 channels;
+      m_stopped_because = Router.stop_reason_string run_report.Router.stopped_because }
   in
-  { o_router = router; o_floorplan = fp; o_sta = sta; o_channels = channels; o_measurement = measurement }
+  { o_router = router;
+    o_floorplan = fp;
+    o_sta = sta;
+    o_channels = channels;
+    o_measurement = measurement;
+    o_run_report = run_report }

@@ -33,6 +33,9 @@ type measurement = {
   m_recognized_pairs : int;
   m_channel_doglegs : int;
   m_channel_violations : int;
+  m_stopped_because : string;
+      (** {!Router.stop_reason_string} of the run — ["finished"] unless
+          a budget or an injected fault cut the router short *)
 }
 
 type outcome = {
@@ -41,6 +44,7 @@ type outcome = {
   o_sta : Sta.t option;
   o_channels : Channel_router.result array;
   o_measurement : measurement;
+  o_run_report : Router.run_report;
 }
 
 type algorithm =
@@ -60,10 +64,14 @@ val run :
   ?timing_driven:bool ->
   ?algorithm:algorithm ->
   ?channel_algorithm:channel_algorithm ->
+  ?budget:Budget.t ->
   input ->
   outcome
 (** [timing_driven] defaults to [true], [algorithm] to
-    [Concurrent_edge_deletion], [channel_algorithm] to [Left_edge]. *)
+    [Concurrent_edge_deletion], [channel_algorithm] to [Left_edge].
+    [budget] (default unlimited) caps the global-routing improvement
+    phases; whatever happens, channel routing and metrology always run
+    on a complete set of net trees (see {!Router.run}). *)
 
 val floorplan_of_input : input -> Floorplan.t
 (** The pre-insertion floorplan (for inspection and examples). *)

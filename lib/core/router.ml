@@ -702,7 +702,10 @@ let reroute_net t n =
   (match t.sta with Some sta -> Sta.refresh_for_nets sta members | None -> ());
   route_among t members
 
-let recover_violations t =
+let no_guard () = ()
+
+let recover_violations ?(guard = no_guard) ?max_passes t =
+  let limit = min t.opts.max_recover_passes (Option.value max_passes ~default:max_int) in
   match t.sta with
   | None -> { reroutes = 0; passes = 0 }
   | Some sta ->
@@ -713,8 +716,9 @@ let recover_violations t =
     set_area_mode t false;
     let reroutes = ref 0 and passes = ref 0 in
     let rec loop () =
-      if !passes >= t.opts.max_recover_passes then ()
+      if !passes >= limit then ()
       else begin
+        guard ();
         match Sta.violations sta with
         | [] -> ()
         | violated ->
@@ -740,7 +744,8 @@ let recover_violations t =
     set_area_mode t saved_mode;
     { reroutes = !reroutes; passes = !passes }
 
-let improve_delay t =
+let improve_delay ?(guard = no_guard) ?max_passes t =
+  let limit = min t.opts.max_delay_passes (Option.value max_passes ~default:max_int) in
   match t.sta with
   | None -> { reroutes = 0; passes = 0 }
   | Some sta ->
@@ -748,8 +753,9 @@ let improve_delay t =
     set_area_mode t false;
     let reroutes = ref 0 and passes = ref 0 in
     let rec loop () =
-      if !passes >= t.opts.max_delay_passes then ()
+      if !passes >= limit then ()
       else begin
+        guard ();
         incr passes;
         let before = Sta.worst_path_delay sta in
         (* Constraints by ascending margin; their critical nets first. *)
@@ -808,13 +814,15 @@ let congested_nets t =
     t.nets;
   List.rev !result
 
-let improve_area t =
+let improve_area ?(guard = no_guard) ?max_passes t =
+  let limit = min t.opts.max_area_passes (Option.value max_passes ~default:max_int) in
   let reroutes = ref 0 and passes = ref 0 in
   let saved_mode = t.area_mode in
   set_area_mode t true;
   let rec loop () =
-    if !passes >= t.opts.max_area_passes then ()
+    if !passes >= limit then ()
     else begin
+      guard ();
       incr passes;
       let before = total_tracks t in
       let nets = congested_nets t in
@@ -833,24 +841,152 @@ let improve_area t =
   set_area_mode t saved_mode;
   { reroutes = !reroutes; passes = !passes }
 
-let run t =
-  initial_route t;
-  let r = recover_violations t in
-  trace t "violation recovery: %d reroutes in %d passes" r.reroutes r.passes;
-  let r = improve_delay t in
-  trace t "delay improvement: %d reroutes in %d passes" r.reroutes r.passes;
-  let r = improve_area t in
-  trace t "area improvement: %d reroutes in %d passes" r.reroutes r.passes;
-  (* The area phase may lengthen critical nets inside still-met
-     constraints; a final timing cleanup (an extra turn of the Sec. 3.5
-     rip-up loops) undoes that at negligible area cost. *)
-  match t.sta with
-  | None -> ()
-  | Some _ ->
-    let r = recover_violations t in
-    trace t "final recovery: %d reroutes in %d passes" r.reroutes r.passes;
-    let r = improve_delay t in
-    trace t "final delay cleanup: %d reroutes in %d passes" r.reroutes r.passes
+(* --- checkpoints and the deadline-aware driver ----------------------- *)
+
+type stop_reason =
+  | Finished
+  | Deadline of { phase : string }
+  | Fault_stop of { phase : string; error : Bgr_error.t }
+
+type run_report = {
+  completed_phases : string list;
+  stopped_because : stop_reason;
+  rolled_back : bool;
+}
+
+let stop_reason_string = function
+  | Finished -> "finished"
+  | Deadline { phase } -> Printf.sprintf "deadline during %s" phase
+  | Fault_stop { phase; _ } -> Printf.sprintf "injected fault during %s" phase
+
+exception Stop_run of stop_reason
+
+(* A checkpoint is each net's live candidate-graph edge set; edge ids
+   are stable because init_net_state rebuilds a net's graph
+   deterministically. *)
+type checkpoint = { ck_deletions : int; ck_live : int list array }
+
+let snapshot t =
+  { ck_deletions = t.deletions;
+    ck_live =
+      Array.map
+        (fun ns ->
+          List.map (fun (e : Ugraph.edge) -> e.Ugraph.id)
+            (Ugraph.live_edges ns.rg.Routing_graph.graph))
+        t.nets }
+
+(* Bring every net back to the snapshot state, following the proven
+   reroute pattern: rebuild the full candidate graph, then delete
+   everything outside the recorded live set.  No-op when nothing was
+   deleted since the snapshot. *)
+let restore t ck =
+  if t.deletions <> ck.ck_deletions then begin
+    let netlist = Floorplan.netlist t.fp in
+    Array.iter (fun ns -> unregister_net_density t ns) t.nets;
+    for n = 0 to Array.length t.nets - 1 do
+      init_net_state t n
+    done;
+    for net = 0 to Array.length t.nets - 1 do
+      match (Netlist.net netlist net).Netlist.diff_partner with
+      | Some p when p > net -> recognize_pair t net p
+      | Some _ | None -> ()
+    done;
+    (match t.sta with Some sta -> Sta.refresh sta | None -> ());
+    for n = 0 to Array.length t.nets - 1 do
+      let keep = Hashtbl.create 64 in
+      List.iter (fun eid -> Hashtbl.replace keep eid ()) ck.ck_live.(n);
+      let ns = t.nets.(n) in
+      let rec loop () =
+        match List.find_opt (fun eid -> not (Hashtbl.mem keep eid)) ns.candidates with
+        | Some eid ->
+          delete_cascade t n eid ~mirror:false;
+          loop ()
+        | None -> ()
+      in
+      loop ()
+    done
+  end
+
+let run ?(budget = Budget.unlimited) t =
+  let completed = ref [] in
+  let last_ck = ref None in
+  let rolled_back = ref false in
+  let mark phase =
+    completed := phase :: !completed;
+    last_ck := Some (snapshot t)
+  in
+  let guard ~phase () =
+    if Fault.trip "router.improve" then
+      raise
+        (Stop_run
+           (Fault_stop
+              { phase;
+                error = Bgr_error.make ~phase Bgr_error.Fault "injected fault at site router.improve"
+              }));
+    if Budget.expired budget then raise (Stop_run (Deadline { phase }))
+  in
+  let saved_mode = t.area_mode in
+  let stopped_because =
+    try
+      (* The initial routing always runs to completion: it is what
+         guarantees a verifiable spanning tree for every net, so the
+         budget is only consulted from the first checkpoint on. *)
+      initial_route t;
+      mark "initial_route";
+      let limit d = Budget.phase_pass_limit budget ~default:d in
+      guard ~phase:"recover_violations" ();
+      let r =
+        recover_violations ~guard:(guard ~phase:"recover_violations")
+          ~max_passes:(limit t.opts.max_recover_passes) t
+      in
+      trace t "violation recovery: %d reroutes in %d passes" r.reroutes r.passes;
+      mark "recover_violations";
+      guard ~phase:"improve_delay" ();
+      let r =
+        improve_delay ~guard:(guard ~phase:"improve_delay")
+          ~max_passes:(limit t.opts.max_delay_passes) t
+      in
+      trace t "delay improvement: %d reroutes in %d passes" r.reroutes r.passes;
+      mark "improve_delay";
+      guard ~phase:"improve_area" ();
+      let r =
+        improve_area ~guard:(guard ~phase:"improve_area") ~max_passes:(limit t.opts.max_area_passes)
+          t
+      in
+      trace t "area improvement: %d reroutes in %d passes" r.reroutes r.passes;
+      mark "improve_area";
+      (* The area phase may lengthen critical nets inside still-met
+         constraints; a final timing cleanup (an extra turn of the
+         Sec. 3.5 rip-up loops) undoes that at negligible area cost. *)
+      (match t.sta with
+      | None -> ()
+      | Some _ ->
+        guard ~phase:"final_recovery" ();
+        let r =
+          recover_violations ~guard:(guard ~phase:"final_recovery")
+            ~max_passes:(limit t.opts.max_recover_passes) t
+        in
+        trace t "final recovery: %d reroutes in %d passes" r.reroutes r.passes;
+        mark "final_recovery";
+        guard ~phase:"final_delay" ();
+        let r =
+          improve_delay ~guard:(guard ~phase:"final_delay")
+            ~max_passes:(limit t.opts.max_delay_passes) t
+        in
+        trace t "final delay cleanup: %d reroutes in %d passes" r.reroutes r.passes;
+        mark "final_delay");
+      Finished
+    with Stop_run reason ->
+      set_area_mode t saved_mode;
+      (match !last_ck with
+      | Some ck when t.deletions <> ck.ck_deletions ->
+        trace t "%s: rolling back to the last checkpoint" (stop_reason_string reason);
+        restore t ck;
+        rolled_back := true
+      | Some _ | None -> ());
+      reason
+  in
+  { completed_phases = List.rev !completed; stopped_because; rolled_back = !rolled_back }
 
 (* --- results ----------------------------------------------------------- *)
 

@@ -105,12 +105,40 @@ val route_sequential : ?congestion_weight:float -> ?order:int list -> t -> unit
     considered.  Unlike {!initial_route}, the result depends on the net
     ordering; recognized differential pairs still mirror. *)
 
-val recover_violations : t -> phase_report
-val improve_delay : t -> phase_report
-val improve_area : t -> phase_report
+val recover_violations : ?guard:(unit -> unit) -> ?max_passes:int -> t -> phase_report
+val improve_delay : ?guard:(unit -> unit) -> ?max_passes:int -> t -> phase_report
+val improve_area : ?guard:(unit -> unit) -> ?max_passes:int -> t -> phase_report
+(** The improvement phases.  [guard] is called before every pass (it
+    may raise to abandon the phase); [max_passes] caps the pass count
+    below the configured maximum. *)
 
-val run : t -> unit
-(** [initial_route] + the three improvement phases. *)
+type stop_reason =
+  | Finished
+  | Deadline of { phase : string }  (** budget ran out while this phase was due *)
+  | Fault_stop of { phase : string; error : Bgr_error.t }
+      (** an injected fault (site ["router.improve"]) fired *)
+
+type run_report = {
+  completed_phases : string list;  (** in execution order *)
+  stopped_because : stop_reason;
+  rolled_back : bool;
+      (** a mid-phase stop discarded partial reroutes and restored the
+          last checkpoint *)
+}
+
+val stop_reason_string : stop_reason -> string
+
+val run : ?budget:Budget.t -> t -> run_report
+(** [initial_route] + the three improvement phases + a final timing
+    cleanup, with a checkpoint after each phase.  The initial routing
+    always completes — every net has a verifiable tree in any outcome —
+    and from then on the budget is consulted between phases and before
+    every improvement pass.  On budget exhaustion (or an injected
+    fault) the router stops at the last consistent state: partial
+    passes are rolled back to the previous checkpoint, and the report
+    says which phases completed and why the run stopped.  The stop
+    point is a deterministic program point, so with a zero wall-clock
+    budget the result is bit-identical across domain counts. *)
 
 val is_routed : t -> bool
 (** No non-bridge edge remains anywhere. *)

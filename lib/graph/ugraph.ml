@@ -35,10 +35,12 @@ let n_edges_total t = t.n_edges
 let n_edges_live t = t.n_live
 
 let check_vertex t v =
-  if v < 0 || v >= t.n_vertices then invalid_arg "Ugraph: unknown vertex"
+  if v < 0 || v >= t.n_vertices then
+    Bgr_error.raise_error Bgr_error.Internal "Ugraph: unknown vertex %d (have %d)" v t.n_vertices
 
 let check_edge t e =
-  if e < 0 || e >= t.n_edges then invalid_arg "Ugraph: unknown edge id"
+  if e < 0 || e >= t.n_edges then
+    Bgr_error.raise_error Bgr_error.Internal "Ugraph: unknown edge id %d (have %d)" e t.n_edges
 
 let add_edge t ~u ~v ~weight =
   check_vertex t u;
@@ -77,7 +79,9 @@ let edge t e =
 let other_endpoint e v =
   if e.u = v then e.v
   else if e.v = v then e.u
-  else invalid_arg "Ugraph.other_endpoint: vertex not on edge"
+  else
+    Bgr_error.raise_error Bgr_error.Internal
+      "Ugraph.other_endpoint: vertex %d not on edge %d (%d-%d)" v e.id e.u e.v
 
 let iter_incident t v f =
   check_vertex t v;

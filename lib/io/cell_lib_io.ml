@@ -134,10 +134,8 @@ let of_string text =
   | None -> Lineio.fail ~line:1 "missing library name line"
   | Some name -> Cell_lib.make ~name ~cells:(List.rev !cells)
 
-let read path =
-  let ic = open_in path in
-  let text =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  in
-  of_string text
+let read path = of_string (Lineio.read_all path)
+
+let of_string_result ?file text = Lineio.protect ?file (fun () -> of_string text)
+
+let read_result path = Lineio.protect ~file:path (fun () -> of_string (Lineio.read_all path))

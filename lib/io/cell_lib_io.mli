@@ -25,3 +25,8 @@ val of_string : string -> Cell_lib.t
 
 val read : string -> Cell_lib.t
 (** Read from a file path. *)
+
+val of_string_result : ?file:string -> string -> (Cell_lib.t, Bgr_error.t) result
+(** Exception-free variant of {!of_string}; see {!Lineio.protect}. *)
+
+val read_result : string -> (Cell_lib.t, Bgr_error.t) result

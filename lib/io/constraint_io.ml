@@ -123,10 +123,10 @@ let of_string ~netlist text =
   close ();
   List.rev !finished
 
-let read ~netlist ~path =
-  let ic = open_in path in
-  let text =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  in
-  of_string ~netlist text
+let read ~netlist ~path = of_string ~netlist (Lineio.read_all path)
+
+let of_string_result ?file ~netlist text =
+  Lineio.protect ?file (fun () -> of_string ~netlist text)
+
+let read_result ~netlist ~path =
+  Lineio.protect ~file:path (fun () -> of_string ~netlist (Lineio.read_all path))

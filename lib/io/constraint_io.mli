@@ -23,3 +23,10 @@ val of_string : netlist:Netlist.t -> string -> Path_constraint.t list
     terminals. *)
 
 val read : netlist:Netlist.t -> path:string -> Path_constraint.t list
+
+val of_string_result :
+  ?file:string -> netlist:Netlist.t -> string -> (Path_constraint.t list, Bgr_error.t) result
+(** Exception-free variant of {!of_string}; see {!Lineio.protect}. *)
+
+val read_result :
+  netlist:Netlist.t -> path:string -> (Path_constraint.t list, Bgr_error.t) result

@@ -1,0 +1,88 @@
+exception Found of Bgr_error.t
+
+let fail ?(code = Bgr_error.Validate) fmt =
+  Format.kasprintf (fun s -> raise (Found (Bgr_error.make ~line:0 code "%s" s))) fmt
+
+let check_number ~cell ~term ~what v =
+  if not (Float.is_finite v) then fail "cell %s terminal %s: %s is not finite" cell term what;
+  if v < 0.0 then fail "cell %s terminal %s: %s is negative (%g)" cell term what v
+
+let check_cell (c : Cell.t) =
+  Array.iter
+    (fun (t : Cell.terminal) ->
+      match t.Cell.dir with
+      | Cell.Input ->
+        check_number ~cell:c.Cell.name ~term:t.Cell.t_name ~what:"fanin capacitance"
+          t.Cell.fanin_ff;
+        if t.Cell.fanin_ff = 0.0 then
+          fail "cell %s terminal %s: fanin capacitance must be positive" c.Cell.name t.Cell.t_name
+      | Cell.Output ->
+        check_number ~cell:c.Cell.name ~term:t.Cell.t_name ~what:"tf slope" t.Cell.tf_ps_per_ff;
+        check_number ~cell:c.Cell.name ~term:t.Cell.t_name ~what:"td slope" t.Cell.td_ps_per_ff)
+    c.Cell.terminals;
+  List.iter
+    (fun (a : Cell.arc) ->
+      if not (Float.is_finite a.Cell.intrinsic_ps) then
+        fail "cell %s arc %s->%s: intrinsic delay is not finite" c.Cell.name a.Cell.from_input
+          a.Cell.to_output)
+    c.Cell.arcs
+
+let check_nets netlist =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (n : Netlist.net) ->
+      (match Hashtbl.find_opt seen n.Netlist.net_name with
+      | Some _ -> fail "duplicate net name %s" n.Netlist.net_name
+      | None -> Hashtbl.add seen n.Netlist.net_name ());
+      if n.Netlist.pitch < 1 then
+        fail "net %s: pitch must be >= 1, got %d" n.Netlist.net_name n.Netlist.pitch)
+    (Netlist.nets netlist)
+
+let check_constraints (constraints : Path_constraint.t list) =
+  List.iter
+    (fun (pc : Path_constraint.t) ->
+      let l = pc.Path_constraint.limit_ps in
+      if not (Float.is_finite l) then
+        fail "constraint %s: limit is not finite" pc.Path_constraint.cname;
+      if l <= 0.0 then fail "constraint %s: limit must be positive, got %g" pc.Path_constraint.cname l;
+      if pc.Path_constraint.sources = [] then
+        fail "constraint %s: no sources" pc.Path_constraint.cname;
+      if pc.Path_constraint.sinks = [] then fail "constraint %s: no sinks" pc.Path_constraint.cname)
+    constraints
+
+let check_placement netlist fp =
+  let width = Floorplan.width fp and n_channels = Floorplan.n_channels fp in
+  let check_endpoint net_name ep =
+    let describe () = Netlist_io.endpoint_name netlist ep in
+    (match Floorplan.endpoint_column fp ep with
+    | x ->
+      if x < 0 || x >= width then
+        fail ~code:Bgr_error.Geometry
+          "net %s: endpoint %s resolves to column %d, outside the chip (width %d)" net_name
+          (describe ()) x width
+    | exception Not_found ->
+      fail ~code:Bgr_error.Geometry "net %s: endpoint %s refers to an unplaced instance" net_name
+        (describe ()));
+    List.iter
+      (fun c ->
+        if c < 0 || c >= n_channels then
+          fail ~code:Bgr_error.Geometry
+            "net %s: endpoint %s reaches channel %d, outside 0..%d (net is unroutable)" net_name
+            (describe ()) c (n_channels - 1))
+      (Floorplan.endpoint_channels fp ep)
+  in
+  Array.iter
+    (fun (n : Netlist.net) ->
+      List.iter (check_endpoint n.Netlist.net_name) (n.Netlist.driver :: n.Netlist.sinks))
+    (Netlist.nets netlist)
+
+let validate (d : Design_io.t) =
+  match
+    let netlist = d.Design_io.d_netlist in
+    List.iter check_cell (Cell_lib.cells (Netlist.library netlist));
+    check_nets netlist;
+    check_constraints d.Design_io.d_constraints;
+    Option.iter (check_placement netlist) d.Design_io.d_floorplan
+  with
+  | () -> Ok d
+  | exception Found e -> Error e

@@ -1,0 +1,18 @@
+(** Whole-design semantic validation, beyond what the parsers and the
+    netlist builder enforce line by line.
+
+    {!validate} catches the problems that only show up when the bundle
+    is looked at as a whole: duplicate net names (the builder keeps the
+    last one silently), non-finite or non-positive electrical
+    parameters on cell masters, degenerate constraint limits, and —
+    when a placement is present — net endpoints that resolve outside
+    the chip or to unplaced instances, which would make the net
+    unroutable.
+
+    Errors carry code [Validate] (or [Geometry] for placement-related
+    findings) and line 0: they concern the design, not a single source
+    line. *)
+
+val validate : Design_io.t -> (Design_io.t, Bgr_error.t) result
+(** Returns the design unchanged on success, so it chains after
+    {!Design_io.read_result} with [Result.bind]. *)

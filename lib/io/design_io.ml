@@ -29,15 +29,18 @@ let write ?embed_library ?floorplan ?constraints netlist ~path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ?embed_library ?floorplan ?constraints netlist))
 
+let known_sections = [ "library"; "netlist"; "placement"; "constraints" ]
+
 let split_sections text =
   let sections = Hashtbl.create 4 in
+  let seen_at = Hashtbl.create 4 in  (* section name -> header line *)
   let current = ref None in
   let buf = Buffer.create 1024 in
   let flush_section () =
     match !current with
     | None -> ()
-    | Some name ->
-      Hashtbl.replace sections name (Buffer.contents buf);
+    | Some (name, header_line) ->
+      Hashtbl.replace sections name (header_line, Buffer.contents buf);
       Buffer.clear buf
   in
   List.iteri
@@ -46,7 +49,15 @@ let split_sections text =
       if String.length trimmed >= 2 && trimmed.[0] = '[' && trimmed.[String.length trimmed - 1] = ']'
       then begin
         flush_section ();
-        current := Some (String.sub trimmed 1 (String.length trimmed - 2))
+        let name = String.sub trimmed 1 (String.length trimmed - 2) in
+        let line = i + 1 in
+        if not (List.mem name known_sections) then
+          Lineio.fail ~line "unknown section [%s] (known: %s)" name
+            (String.concat ", " known_sections);
+        (match Hashtbl.find_opt seen_at name with
+        | Some first -> Lineio.fail ~line "duplicate section [%s] (first at line %d)" name first
+        | None -> Hashtbl.add seen_at name line);
+        current := Some (name, line)
       end
       else begin
         match !current with
@@ -59,36 +70,45 @@ let split_sections text =
   flush_section ();
   sections
 
+(* Section parsers see text starting just after the header, so their
+   line numbers are section relative; shift them to whole-file lines. *)
+let in_section (header_line, text) parse =
+  try parse text
+  with Lineio.Parse_error { line; message } ->
+    raise (Lineio.Parse_error { line = (if line = 0 then 0 else header_line + line); message })
+
 let of_string ?(libraries = [ Cell_lib.ecl_default ]) ?(dims = Dims.default) text =
   let sections = split_sections text in
   let libraries =
     match Hashtbl.find_opt sections "library" with
-    | Some s -> Cell_lib_io.of_string s :: libraries
+    | Some s -> in_section s Cell_lib_io.of_string :: libraries
     | None -> libraries
   in
-  let netlist_text =
+  let netlist_section =
     match Hashtbl.find_opt sections "netlist" with
     | Some s -> s
-    | None -> Lineio.fail ~line:1 "bundle has no [netlist] section"
+    | None -> Lineio.fail ~line:0 "bundle has no [netlist] section"
   in
-  let d_netlist = Netlist_io.of_string ~libraries netlist_text in
+  let d_netlist = in_section netlist_section (Netlist_io.of_string ~libraries) in
   let d_floorplan =
-    Option.map (Layout_io.of_string ~netlist:d_netlist ~dims) (Hashtbl.find_opt sections "placement")
+    Option.map
+      (fun s -> in_section s (Layout_io.of_string ~netlist:d_netlist ~dims))
+      (Hashtbl.find_opt sections "placement")
   in
   let d_constraints =
     match Hashtbl.find_opt sections "constraints" with
-    | Some s -> Constraint_io.of_string ~netlist:d_netlist s
+    | Some s -> in_section s (Constraint_io.of_string ~netlist:d_netlist)
     | None -> []
   in
   { d_netlist; d_floorplan; d_constraints }
 
-let read ?libraries ?dims path =
-  let ic = open_in path in
-  let text =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  in
-  of_string ?libraries ?dims text
+let read ?libraries ?dims path = of_string ?libraries ?dims (Lineio.read_all path)
+
+let of_string_result ?libraries ?dims ?file text =
+  Lineio.protect ?file (fun () -> of_string ?libraries ?dims text)
+
+let read_result ?libraries ?dims path =
+  Lineio.protect ~file:path (fun () -> of_string ?libraries ?dims (Lineio.read_all path))
 
 let to_flow_input t =
   match t.d_floorplan with

@@ -43,10 +43,21 @@ val write :
 
 val of_string : ?libraries:Cell_lib.t list -> ?dims:Dims.t -> string -> t
 (** [libraries] defaults to [[Cell_lib.ecl_default]], [dims] to
-    [Dims.default].  @raise Lineio.Parse_error *)
+    [Dims.default].  Unknown or repeated [\[section\]] headers are
+    rejected with the header's 1-based line number; errors inside a
+    section are reported at their whole-file line.
+    @raise Lineio.Parse_error *)
 
 val read : ?libraries:Cell_lib.t list -> ?dims:Dims.t -> string -> t
 (** Read a bundle from a file path. *)
+
+val of_string_result :
+  ?libraries:Cell_lib.t list -> ?dims:Dims.t -> ?file:string -> string -> (t, Bgr_error.t) result
+(** Exception-free variant of {!of_string}; see {!Lineio.protect} for
+    the error mapping.  [file] stamps the error's file field. *)
+
+val read_result : ?libraries:Cell_lib.t list -> ?dims:Dims.t -> string -> (t, Bgr_error.t) result
+(** Exception-free variant of {!read}; the path is stamped on errors. *)
 
 val to_flow_input : t -> Flow.input
 (** Convenience: a {!Flow.input} from a bundle with a placement.

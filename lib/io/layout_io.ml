@@ -67,10 +67,10 @@ let of_string ~netlist ~dims text =
   | None, _ -> Lineio.fail ~line:1 "missing rows line"
   | _, None -> Lineio.fail ~line:1 "missing width line"
 
-let read ~netlist ~dims ~path =
-  let ic = open_in path in
-  let text =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  in
-  of_string ~netlist ~dims text
+let read ~netlist ~dims ~path = of_string ~netlist ~dims (Lineio.read_all path)
+
+let of_string_result ?file ~netlist ~dims text =
+  Lineio.protect ?file (fun () -> of_string ~netlist ~dims text)
+
+let read_result ~netlist ~dims ~path =
+  Lineio.protect ~file:path (fun () -> of_string ~netlist ~dims (Lineio.read_all path))

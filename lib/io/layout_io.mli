@@ -20,3 +20,10 @@ val of_string : netlist:Netlist.t -> dims:Dims.t -> string -> Floorplan.t
     [Floorplan.Overlap] on illegal geometry. *)
 
 val read : netlist:Netlist.t -> dims:Dims.t -> path:string -> Floorplan.t
+
+val of_string_result :
+  ?file:string -> netlist:Netlist.t -> dims:Dims.t -> string -> (Floorplan.t, Bgr_error.t) result
+(** Exception-free variant of {!of_string}; see {!Lineio.protect}. *)
+
+val read_result :
+  netlist:Netlist.t -> dims:Dims.t -> path:string -> (Floorplan.t, Bgr_error.t) result

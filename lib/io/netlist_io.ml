@@ -156,10 +156,10 @@ let of_string ~libraries text =
   | Some c -> Netlist.freeze c.builder
   | None -> assert false
 
-let read ~libraries ~path =
-  let ic = open_in path in
-  let text =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  in
-  of_string ~libraries text
+let read ~libraries ~path = of_string ~libraries (Lineio.read_all path)
+
+let of_string_result ?file ~libraries text =
+  Lineio.protect ?file (fun () -> of_string ~libraries text)
+
+let read_result ~libraries ~path =
+  Lineio.protect ~file:path (fun () -> of_string ~libraries (Lineio.read_all path))

@@ -15,6 +15,9 @@
     first.  Writing then reading reproduces the netlist exactly (same
     ids, same order — asserted by the round-trip tests). *)
 
+val endpoint_name : Netlist.t -> Netlist.endpoint -> string
+(** Human-readable endpoint: [inst.term] or [port:NAME]. *)
+
 val to_string : Netlist.t -> string
 
 val write : Netlist.t -> path:string -> unit
@@ -24,3 +27,9 @@ val of_string : libraries:Cell_lib.t list -> string -> Netlist.t
     library name), [Netlist.Invalid] on structurally bad designs. *)
 
 val read : libraries:Cell_lib.t list -> path:string -> Netlist.t
+
+val of_string_result :
+  ?file:string -> libraries:Cell_lib.t list -> string -> (Netlist.t, Bgr_error.t) result
+(** Exception-free variant of {!of_string}; see {!Lineio.protect}. *)
+
+val read_result : libraries:Cell_lib.t list -> path:string -> (Netlist.t, Bgr_error.t) result

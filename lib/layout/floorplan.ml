@@ -14,20 +14,26 @@ type t = {
   blockages : Interval.t list array;  (* per channel *)
 }
 
-exception Overlap of string
+exception Overlap of Bgr_error.t
 
-let fail fmt = Format.kasprintf (fun s -> raise (Overlap s)) fmt
+let fail fmt =
+  Format.kasprintf (fun s -> raise (Overlap (Bgr_error.make Bgr_error.Geometry "%s" s))) fmt
 
 let cell_width netlist inst = (Netlist.instance netlist inst).Netlist.master.Cell.width
+let inst_name netlist inst = (Netlist.instance netlist inst).Netlist.inst_name
 
 let make ~netlist ~dims ~n_rows ~width ~cells ~slots ?(blockages = []) () =
-  if n_rows <= 0 || width <= 0 then fail "floorplan needs positive rows and width";
+  if n_rows <= 0 || width <= 0 then
+    fail "floorplan needs positive rows and width, got %d rows x width %d" n_rows width;
   let row_cells = Array.make n_rows [] in
   let add_cell (p : placed) =
-    if p.row < 0 || p.row >= n_rows then fail "instance %d placed in unknown row %d" p.inst p.row;
+    if p.row < 0 || p.row >= n_rows then
+      fail "instance %s placed in unknown row %d (floorplan has rows 0..%d)"
+        (inst_name netlist p.inst) p.row (n_rows - 1);
     let w = cell_width netlist p.inst in
     if p.x < 0 || p.x + w > width then
-      fail "instance %d at x=%d width %d exceeds chip width %d" p.inst p.x w width;
+      fail "row %d: instance %s at x=%d width %d exceeds chip width %d" p.row
+        (inst_name netlist p.inst) p.x w width;
     row_cells.(p.row) <- p :: row_cells.(p.row)
   in
   List.iter add_cell cells;
@@ -40,7 +46,9 @@ let make ~netlist ~dims ~n_rows ~width ~cells ~slots ?(blockages = []) () =
     (fun r arr ->
       let last_end = ref (-1) in
       let check (p : placed) =
-        if p.x < !last_end then fail "row %d: instance %d overlaps its left neighbour" r p.inst;
+        if p.x < !last_end then
+          fail "row %d: instance %s at x=%d overlaps its left neighbour" r
+            (inst_name netlist p.inst) p.x;
         last_end := p.x + cell_width netlist p.inst
       in
       Array.iter check arr)
@@ -48,8 +56,10 @@ let make ~netlist ~dims ~n_rows ~width ~cells ~slots ?(blockages = []) () =
   (* Slots: per row, sorted; must not collide with logic cells. *)
   let slot_lists = Array.make n_rows [] in
   let add_slot (row, x, width_flag) =
-    if row < 0 || row >= n_rows then fail "slot in unknown row %d" row;
-    if x < 0 || x >= width then fail "slot at x=%d outside chip" x;
+    if row < 0 || row >= n_rows then
+      fail "feed slot in unknown row %d (floorplan has rows 0..%d)" row (n_rows - 1);
+    if x < 0 || x >= width then
+      fail "row %d: feed slot at x=%d outside the chip (width %d)" row x width;
     slot_lists.(row) <- (x, width_flag) :: slot_lists.(row)
   in
   List.iter add_slot slots;
@@ -71,7 +81,7 @@ let make ~netlist ~dims ~n_rows ~width ~cells ~slots ?(blockages = []) () =
     (fun r arr ->
       let prev = ref (-1) in
       let check s =
-        if s.slot_x = !prev then fail "row %d: duplicate slot column %d" r s.slot_x;
+        if s.slot_x = !prev then fail "row %d: duplicate feed-slot column %d" r s.slot_x;
         prev := s.slot_x;
         let hits (p : placed) =
           p.x <= s.slot_x && s.slot_x < p.x + cell_width netlist p.inst
@@ -111,9 +121,11 @@ let make ~netlist ~dims ~n_rows ~width ~cells ~slots ?(blockages = []) () =
   let blockage_lists = Array.make (n_rows + 1) [] in
   List.iter
     (fun (channel, x_lo, x_hi) ->
-      if channel < 0 || channel > n_rows then fail "blockage in unknown channel %d" channel;
+      if channel < 0 || channel > n_rows then
+        fail "blockage in unknown channel %d (floorplan has channels 0..%d)" channel n_rows;
       if x_lo < 0 || x_hi >= width || x_hi < x_lo then
-        fail "blockage columns [%d,%d] outside the chip" x_lo x_hi;
+        fail "channel %d: blockage columns [%d,%d] outside the chip (width %d)" channel x_lo x_hi
+          width;
       blockage_lists.(channel) <- Interval.make x_lo x_hi :: blockage_lists.(channel))
     blockages;
   { netlist;

@@ -28,9 +28,11 @@ type slot = {
 
 type t
 
-exception Overlap of string
+exception Overlap of Bgr_error.t
 (** Raised by {!make} when two cells in a row overlap, a cell exceeds
-    the chip width, or a slot collides with a logic cell. *)
+    the chip width, or a slot collides with a logic cell.  The carried
+    {!Bgr_error.t} has code [Geometry] and a message naming the
+    offending instance, row or channel. *)
 
 val make :
   netlist:Netlist.t ->

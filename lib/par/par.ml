@@ -17,21 +17,34 @@ type worker = {
   cv : Condition.t;
   mutable job : (unit -> unit) option;
   mutable stop : bool;
+  mutable dead : bool;  (* helper domain exited; mailbox stays empty *)
+  mutable respawned : bool;  (* the slot's single respawn is spent *)
+  mutable retired : bool;  (* permanently out of service *)
 }
 
 type t = {
   workers : worker array;
-  handles : unit Domain.t array;
+  handles : unit Domain.t option array;
   mutable alive : bool;
   mutable in_round : bool;
       (* A round is in flight: a nested submission from the caller's
          own chunk would clobber the helpers' mailboxes, so it runs
          sequentially instead (only the orchestrating domain ever
          touches this flag). *)
+  mutable warnings_rev : string list;
 }
 
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get in_worker_key
+
+(* Mark a worker dead under its lock with the mailbox cleared, so a
+   barrier waiting on [job = None] can never hang on it. *)
+let mark_dead w =
+  Mutex.lock w.m;
+  w.dead <- true;
+  w.job <- None;
+  Condition.broadcast w.cv;
+  Mutex.unlock w.m
 
 let worker_loop w =
   Domain.DLS.set in_worker_key true;
@@ -44,28 +57,104 @@ let worker_loop w =
     | None -> Mutex.unlock w.m (* stop requested *)
     | Some job ->
       Mutex.unlock w.m;
-      (* The job wrapper traps its own exceptions into the round's
-         result cell; anything escaping here would kill the helper, so
-         swallow defensively. *)
-      (try job () with _ -> ());
-      Mutex.lock w.m;
-      w.job <- None;
-      Condition.signal w.cv;
-      Mutex.unlock w.m;
-      loop ()
+      (* Injected worker death fires after pickup but before any chunk
+         is pulled: the atomic counter hands the whole round to the
+         surviving participants (the caller always participates), so a
+         death never loses work — it only costs parallelism. *)
+      if Fault.trip "par.worker" then mark_dead w
+      else begin
+        (* The job wrapper traps its own exceptions into the round's
+           result cell; anything escaping here would kill the helper, so
+           swallow defensively. *)
+        (try job () with _ -> ());
+        Mutex.lock w.m;
+        w.job <- None;
+        Condition.signal w.cv;
+        Mutex.unlock w.m;
+        loop ()
+      end
   in
-  loop ()
+  try loop () with _ -> mark_dead w
+
+(* Spawn a helper, retrying once: a failed [Domain.spawn] (resource
+   exhaustion, or the injected "par.spawn" fault) is often transient. *)
+let spawn_worker w =
+  let attempt () =
+    if Fault.trip "par.spawn" then failwith "injected spawn failure at site par.spawn";
+    Domain.spawn (fun () -> worker_loop w)
+  in
+  match attempt () with
+  | h -> Some h
+  | exception _ -> ( match attempt () with h -> Some h | exception _ -> None)
 
 let create ?domains () =
   let n = match domains with Some n -> max 1 n | None -> default_domains () in
   let workers =
     Array.init (n - 1) (fun _ ->
-        { m = Mutex.create (); cv = Condition.create (); job = None; stop = false })
+        { m = Mutex.create ();
+          cv = Condition.create ();
+          job = None;
+          stop = false;
+          dead = false;
+          respawned = false;
+          retired = false })
   in
-  let handles = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
-  { workers; handles; alive = true; in_round = false }
+  let warnings = ref [] in
+  let handles =
+    Array.map
+      (fun w ->
+        match spawn_worker w with
+        | Some h -> Some h
+        | None ->
+          w.dead <- true;
+          w.respawned <- true;
+          w.retired <- true;
+          warnings :=
+            "could not spawn a pool worker (retried once); continuing with fewer domains"
+            :: !warnings;
+          None)
+      workers
+  in
+  { workers; handles; alive = true; in_round = false; warnings_rev = !warnings }
 
 let domains t = Array.length t.workers + 1
+
+let warnings t = List.rev t.warnings_rev
+let degraded t = Array.exists (fun w -> w.retired) t.workers
+
+(* Bring dead helpers back after a round: one respawn per slot, then
+   the slot is retired and the pool stays degraded (with every helper
+   retired the pool degenerates to the sequential engine). *)
+let heal t =
+  Array.iteri
+    (fun i w ->
+      if w.dead && not w.retired && t.alive then begin
+        (match t.handles.(i) with
+        | Some h -> ( try Domain.join h with _ -> ())
+        | None -> ());
+        t.handles.(i) <- None;
+        if w.respawned then begin
+          w.retired <- true;
+          t.warnings_rev <-
+            "a pool worker died again after its respawn; continuing with fewer domains"
+            :: t.warnings_rev
+        end
+        else begin
+          w.respawned <- true;
+          match spawn_worker w with
+          | Some h ->
+            w.dead <- false;
+            w.stop <- false;
+            t.handles.(i) <- Some h;
+            t.warnings_rev <- "a pool worker died mid-run; respawned it" :: t.warnings_rev
+          | None ->
+            w.retired <- true;
+            t.warnings_rev <-
+              "a pool worker died and could not be respawned; continuing with fewer domains"
+              :: t.warnings_rev
+        end
+      end)
+    t.workers
 
 let shutdown t =
   if t.alive then begin
@@ -77,7 +166,7 @@ let shutdown t =
         Condition.broadcast w.cv;
         Mutex.unlock w.m)
       t.workers;
-    Array.iter Domain.join t.handles
+    Array.iter (function Some h -> ( try Domain.join h with _ -> ()) | None -> ()) t.handles
   end
 
 (* The shared pool: grown on demand, never shrunk.  Creation and growth
@@ -127,8 +216,10 @@ let run_chunked t ~n_chunks f =
       Array.iter
         (fun w ->
           Mutex.lock w.m;
-          w.job <- Some body;
-          Condition.signal w.cv;
+          if not w.dead then begin
+            w.job <- Some body;
+            Condition.signal w.cv
+          end;
           Mutex.unlock w.m)
         t.workers;
       (try body ()
@@ -145,6 +236,7 @@ let run_chunked t ~n_chunks f =
           Mutex.unlock w.m)
         t.workers;
       t.in_round <- false;
+      heal t;
       match Atomic.get first_exn with Some e -> raise e | None -> ()
     end
   end

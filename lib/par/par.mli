@@ -20,6 +20,14 @@
     - {b Nesting is safe}: a parallel operation issued from inside a
       worker falls back to sequential execution instead of
       deadlocking, so parallel suite runs may wrap parallel routers.
+    - {b Worker death degrades, never hangs or loses work}: chunks are
+      handed out by an atomic counter and the caller always
+      participates, so a helper that dies (or fails to spawn) only
+      costs parallelism.  A dead helper is respawned once per slot;
+      after that the slot is retired, the pool reports itself
+      {!degraded}, and with every slot retired execution is plain
+      sequential.  Fault-injection sites: ["par.worker"] (death on job
+      pickup) and ["par.spawn"] (spawn failure).
 
     A pool is meant to be driven by a single orchestrating domain;
     concurrent submissions to the same pool from several domains are
@@ -55,6 +63,14 @@ val get : ?domains:int -> unit -> t
 val in_worker : unit -> bool
 (** True when called from inside a pool helper — the condition under
     which nested parallel operations degrade to sequential. *)
+
+val warnings : t -> string list
+(** Recorded degradation events (spawn failures, worker deaths,
+    respawns), oldest first. *)
+
+val degraded : t -> bool
+(** Some helper slot is permanently retired: the pool runs below its
+    nominal domain count. *)
 
 val parallel_iter : ?chunk:int -> t -> (int -> unit) -> int -> unit
 (** [parallel_iter pool f n] runs [f i] for every [i] in [0..n-1],

@@ -18,6 +18,7 @@ let report (outcome : Flow.outcome) =
   add "channel doglegs / breaks"
     (Printf.sprintf "%d / %d" m.Flow.m_channel_doglegs m.Flow.m_channel_violations);
   add "CPU (s)" (Table.f2 m.Flow.m_cpu_s);
+  add "router stopped because" m.Flow.m_stopped_because;
   Buffer.add_string buf (Table.render t);
   Buffer.add_char buf '\n';
   (* Independent verification. *)

@@ -1,0 +1,50 @@
+(** Deterministic fault injection.
+
+    The pipeline is sprinkled with named {e injection sites} (e.g.
+    ["io.parse"], ["router.improve"], ["par.worker"], ["par.spawn"]).
+    Each site calls {!trip} on every pass; with no plan installed the
+    call is a few nanoseconds and never fires.  A {e plan} decides
+    which hits of which sites fail:
+
+    {v
+    seed=42; par.worker:n=1; io.parse:p=0.05; router.improve:always
+    v}
+
+    - [SITE:n=K] — fire on exactly the K-th hit of [SITE] (1-based);
+    - [SITE:p=F] — fire each hit with probability [F], drawn from a
+      seeded PRNG ([seed=N], default 1);
+    - [SITE:always] — fire on every hit.
+
+    Entries are separated by [;] or [,].  The plan is installed either
+    programmatically ({!with_plan} — what the tests use) or from the
+    [BGR_FAULT_PLAN] environment variable (what the CI fault job uses);
+    a malformed environment plan is reported once on stderr and
+    ignored, never fatal.
+
+    Counters live in the plan installation, so [n=K] is deterministic
+    for a single-threaded site.  Sites hit concurrently from pool
+    workers serialize on an internal mutex; {e which} domain observes
+    the fatal hit may vary, but the recovery paths under test are
+    required to converge to the same result regardless. *)
+
+type plan
+
+val parse_plan : string -> (plan, string) result
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** Install [plan] with fresh counters, run the thunk, restore the
+    previous installation (counters included). *)
+
+val active : unit -> bool
+(** A plan (programmatic or environment) is installed and non-empty. *)
+
+val trip : string -> bool
+(** [trip site] records a hit at [site] and reports whether the plan
+    fires there now.  Always false with no plan installed. *)
+
+val check : ?phase:string -> string -> unit
+(** {!trip}, raising [Bgr_error.Error] with code [Fault] when it
+    fires. *)
+
+val fired : string -> int
+(** How many times [site] has fired under the current installation. *)

@@ -1,0 +1,114 @@
+(* The malformed-design corpus: every file under corpus/ must come
+   back as [Error _] from the Result-returning load-and-validate path —
+   never as an escaping exception — with a structured, renderable
+   [Bgr_error.t] carrying the file, a line number and a documented exit
+   code.  Plus a QCheck round trip: generated designs survive
+   to_string/of_string_result/validate. *)
+
+let check_bool = Alcotest.(check bool)
+(* dune runtest runs in test/; dune exec from the repo root. *)
+let corpus_dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bgr")
+  |> List.sort compare
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* "file:LINE: [code] message" — the shape bgr_run prints to stderr. *)
+let well_formed_rendering ~path s =
+  let prefix = path ^ ":" in
+  String.length s > String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+  &&
+  let rest = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+  match String.index_opt rest ':' with
+  | None -> false
+  | Some i ->
+    is_digits (String.sub rest 0 i)
+    && String.length rest > i + 3
+    && String.sub rest (i + 1) 2 = " ["
+
+let check_corpus_file name () =
+  let path = Filename.concat corpus_dir name in
+  match
+    Result.bind (Design_io.read_result path) Design_check.validate
+    |> Result.map_error (Bgr_error.with_file path)
+  with
+  | Ok _ -> Alcotest.failf "%s: expected Error, parsed and validated fine" name
+  | Error e ->
+    let rendered = Bgr_error.to_string e in
+    check_bool
+      (Printf.sprintf "%s renders as file:line: [code] (got %S)" name rendered)
+      true
+      (well_formed_rendering ~path rendered);
+    let ec = Bgr_error.exit_code e.Bgr_error.code in
+    check_bool
+      (Printf.sprintf "%s exit code %d is documented (2..10)" name ec)
+      true
+      (ec >= 2 && ec <= 10)
+  | exception e ->
+    Alcotest.failf "%s: exception escaped the Result path: %s" name (Printexc.to_string e)
+
+let test_corpus_is_nonempty () =
+  check_bool "corpus has at least 20 files" true (List.length (corpus_files ()) >= 20)
+
+(* Every corpus file also stays harmless when handed to the legacy
+   raising reader wrapped in the protect boundary directly. *)
+let test_protect_totality () =
+  List.iter
+    (fun name ->
+      let path = Filename.concat corpus_dir name in
+      match Lineio.protect ~file:path (fun () -> Design_io.read path) with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "%s: protect let an exception through: %s" name (Printexc.to_string e))
+    (corpus_files ())
+
+(* QCheck: generated designs round-trip through the bundle format and
+   pass semantic validation. *)
+let params_of seed =
+  { Circuit_gen.default_params with
+    Circuit_gen.seed;
+    n_comb = 20;
+    n_ff = 4;
+    n_inputs = 4;
+    n_outputs = 4;
+    n_levels = 3;
+    n_diff_pairs = 1;
+    n_constraints = 3 }
+
+let arb_seed = QCheck.make ~print:Int64.to_string QCheck.Gen.(map Int64.of_int (int_range 1 100000))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"generated bundles round-trip and validate" ~count:10 arb_seed
+    (fun seed ->
+      let netlist, constraints = Circuit_gen.generate (params_of seed) in
+      let placed = Placement.place ~netlist ~n_rows:3 Placement.P1 in
+      let input = Placement.to_flow_input ~netlist ~dims:Dims.default ~constraints placed in
+      let fp = Flow.floorplan_of_input input in
+      let text = Design_io.to_string ~floorplan:fp ~constraints netlist in
+      match Result.bind (Design_io.of_string_result text) Design_check.validate with
+      | Error e -> QCheck.Test.fail_reportf "rejected: %s" (Bgr_error.to_string e)
+      | Ok bundle ->
+        (* Idempotence: re-serializing the reread bundle is stable. *)
+        let fp = Option.get bundle.Design_io.d_floorplan in
+        let text' =
+          Design_io.to_string ~floorplan:fp ~constraints:bundle.Design_io.d_constraints
+            bundle.Design_io.d_netlist
+        in
+        text = text')
+
+let () =
+  let per_file =
+    List.map
+      (fun name -> Alcotest.test_case name `Quick (check_corpus_file name))
+      (corpus_files ())
+  in
+  Alcotest.run "corpus"
+    [ ("malformed designs", per_file);
+      ( "totality",
+        [ Alcotest.test_case "corpus size floor" `Quick test_corpus_is_nonempty;
+          Alcotest.test_case "protect never leaks exceptions" `Quick test_protect_totality ] );
+      ("roundtrip", [ QCheck_alcotest.to_alcotest prop_roundtrip ]) ]

@@ -1,0 +1,132 @@
+(* Fault injection and pool hardening: plan parsing, worker death and
+   respawn, spawn failure degrading to sequential, and the io.parse
+   site surfacing as a structured Error rather than an exception. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let plan s =
+  match Fault.parse_plan s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "parse_plan %S: %s" s m
+
+let test_parse_plan () =
+  (match Fault.parse_plan "" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "empty plan should parse: %s" m);
+  ignore (plan "seed=42; par.worker:n=1; io.parse:p=0.5; router.improve:always");
+  ignore (plan "par.worker:n=3,par.spawn:always");
+  List.iter
+    (fun bad ->
+      match Fault.parse_plan bad with
+      | Ok _ -> Alcotest.failf "plan %S should be rejected" bad
+      | Error _ -> ())
+    [ "par.worker"; "par.worker:n=x"; "par.worker:p=2.5"; "whatever:"; ":n=1"; "seed=" ]
+
+let test_trip_counts () =
+  Fault.with_plan (plan "site.a:n=2") (fun () ->
+      check_bool "hit 1 does not fire" false (Fault.trip "site.a");
+      check_bool "hit 2 fires" true (Fault.trip "site.a");
+      check_bool "hit 3 does not fire" false (Fault.trip "site.a");
+      check_bool "other site never fires" false (Fault.trip "site.b");
+      check_int "fired count" 1 (Fault.fired "site.a"));
+  (* Outside with_plan only an environment plan (the CI fault job) may
+     be active. *)
+  if Sys.getenv_opt "BGR_FAULT_PLAN" = None then
+    check_bool "no plan installed outside with_plan" false (Fault.active ())
+
+let test_always_and_check () =
+  Fault.with_plan (plan "site.x:always") (fun () ->
+      check_bool "always fires" true (Fault.trip "site.x");
+      check_bool "always fires again" true (Fault.trip "site.x");
+      match Fault.check ~phase:"demo" "site.x" with
+      | () -> Alcotest.fail "check should raise"
+      | exception Bgr_error.Error e ->
+        check_bool "code is Fault" true (e.Bgr_error.code = Bgr_error.Fault))
+
+let sum_with_pool pool n =
+  let acc = Atomic.make 0 in
+  Par.parallel_iter pool (fun i -> ignore (Atomic.fetch_and_add acc i)) n;
+  Atomic.get acc
+
+let expected_sum n = n * (n - 1) / 2
+
+(* One worker dies mid-run: no chunk may be lost, and the pool heals
+   itself (respawn) with a recorded warning. *)
+let test_worker_death_recovers () =
+  Fault.with_plan (plan "par.worker:n=1") (fun () ->
+      let pool = Par.create ~domains:4 () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown pool)
+        (fun () ->
+          let n = 5000 in
+          check_int "no work lost on worker death" (expected_sum n) (sum_with_pool pool n);
+          check_int "later rounds also complete" (expected_sum n) (sum_with_pool pool n);
+          check_bool "the death left a warning" true (Par.warnings pool <> [])))
+
+(* Every worker dies on every pickup: after each slot's one respawn is
+   spent the pool is degraded — and still computes everything. *)
+let test_all_workers_die_degrades () =
+  Fault.with_plan (plan "par.worker:always") (fun () ->
+      let pool = Par.create ~domains:4 () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown pool)
+        (fun () ->
+          let n = 2000 in
+          for _ = 1 to 4 do
+            check_int "sequential fallback still sums" (expected_sum n) (sum_with_pool pool n)
+          done;
+          check_bool "pool reports degraded" true (Par.degraded pool)))
+
+let test_spawn_failure_degrades () =
+  Fault.with_plan (plan "par.spawn:always") (fun () ->
+      let pool = Par.create ~domains:4 () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown pool)
+        (fun () ->
+          let n = 1000 in
+          check_int "spawn-less pool still sums" (expected_sum n) (sum_with_pool pool n);
+          check_bool "degraded from birth" true (Par.degraded pool);
+          check_bool "spawn failure recorded" true (Par.warnings pool <> [])))
+
+(* The io.parse site turns into a structured Error on the Result path,
+   never an exception. *)
+let test_io_parse_fault () =
+  Fault.with_plan (plan "io.parse:always") (fun () ->
+      match Design_io.of_string_result ~file:"demo.bgr" "[netlist]\nlibrary ecl_default\n" with
+      | Ok _ -> Alcotest.fail "expected the injected fault to surface"
+      | Error e ->
+        check_bool "code is Fault" true (e.Bgr_error.code = Bgr_error.Fault);
+        check_bool "file stamped" true (e.Bgr_error.file = Some "demo.bgr")
+      | exception e ->
+        Alcotest.failf "exception escaped the Result path: %s" (Printexc.to_string e))
+
+(* Routing under a worker-death plan must still match the clean
+   sequential result: deaths cost parallelism, never correctness. *)
+let test_routing_survives_worker_death () =
+  let route ~domains =
+    let case = Suite.mini () in
+    let outcome =
+      Flow.run
+        ~options:{ Router.default_options with Router.domains }
+        ~timing_driven:true case.Suite.input
+    in
+    Printf.sprintf "del=%d hash=%d" outcome.Flow.o_measurement.Flow.m_deletions
+      (Router.deletion_hash outcome.Flow.o_router)
+  in
+  let clean = route ~domains:1 in
+  let faulty = Fault.with_plan (plan "par.worker:n=2") (fun () -> route ~domains:4) in
+  Alcotest.(check string) "worker death does not change the routing" clean faulty
+
+let suite =
+  [ Alcotest.test_case "parse_plan grammar" `Quick test_parse_plan;
+    Alcotest.test_case "n=K counting" `Quick test_trip_counts;
+    Alcotest.test_case "always + check" `Quick test_always_and_check;
+    Alcotest.test_case "worker death recovers" `Quick test_worker_death_recovers;
+    Alcotest.test_case "all workers die -> degraded" `Quick test_all_workers_die_degrades;
+    Alcotest.test_case "spawn failure -> degraded" `Quick test_spawn_failure_degrades;
+    Alcotest.test_case "io.parse fault is structured" `Quick test_io_parse_fault;
+    Alcotest.test_case "routing unaffected by worker death" `Quick
+      test_routing_survives_worker_death ]
+
+let () = Alcotest.run "fault" [ ("fault", suite) ]

@@ -39,10 +39,10 @@ let test_ugraph_edge_accounting () =
   | _ -> Alcotest.fail "expected one live edge");
   check_bool "edge record readable after death" true ((Ugraph.edge g e1).Ugraph.weight = 1.0);
   check_bool "unknown edge rejected" true
-    (match Ugraph.edge g 99 with exception Invalid_argument _ -> true | _ -> false);
+    (match Ugraph.edge g 99 with exception Bgr_error.Error _ -> true | _ -> false);
   check_bool "unknown vertex rejected" true
     (match Ugraph.add_edge g ~u:0 ~v:7 ~weight:1.0 with
-    | exception Invalid_argument _ -> true
+    | exception Bgr_error.Error _ -> true
     | _ -> false)
 
 let test_dag_misc () =
@@ -64,7 +64,7 @@ let test_density_empty_channel_semantics () =
   check_int "C_M of empty" 0 (Density.cM d ~channel:0);
   check_int "NC_M of empty" 7 (Density.ncM d ~channel:0);
   check_bool "unknown channel rejected" true
-    (match Density.cM d ~channel:3 with exception Invalid_argument _ -> true | _ -> false)
+    (match Density.cM d ~channel:3 with exception Bgr_error.Error _ -> true | _ -> false)
 
 let test_cell_and_netlist_printing () =
   let inv = Cell_lib.find Cell_lib.ecl_default "INV1" in

@@ -76,7 +76,7 @@ let test_density_consistency () =
 let test_caps_match_trees () =
   let input = mini_input () in
   let router, _ = build_router input in
-  Router.run router;
+  ignore (Router.run router);
   let caps = Router.wire_caps router in
   let netlist = input.Flow.netlist in
   for net = 0 to Netlist.n_nets netlist - 1 do
@@ -98,7 +98,7 @@ let test_differential_mirroring () =
   let input = mini_input () in
   let router, _ = build_router input in
   check_int "pair recognized before routing" 1 (Router.n_recognized_pairs router);
-  Router.run router;
+  ignore (Router.run router);
   (* Find the pair and compare tree shapes. *)
   let netlist = input.Flow.netlist in
   let pair = ref None in
@@ -161,7 +161,7 @@ let test_unconstrained_mode () =
   let input = mini_input () in
   let router, _ = build_router ~timing:false input in
   check_bool "no sta attached" true (Router.sta router = None);
-  Router.run router;
+  ignore (Router.run router);
   check_bool "area-only routing completes" true (Router.is_routed router)
 
 let test_star_estimator () =
@@ -181,7 +181,7 @@ let test_star_estimator () =
 let test_channel_nets_cover_trees () =
   let input = mini_input () in
   let router, fp = build_router input in
-  Router.run router;
+  ignore (Router.run router);
   (* Every tree trunk must appear in its channel's segment list. *)
   for channel = 0 to Floorplan.n_channels fp - 1 do
     let segs = Router.channel_nets router ~channel in
@@ -261,7 +261,7 @@ let test_eco_recovery () =
      tightened budget is demonstrably achievable. *)
   let input = mini_input () in
   let router, _ = build_router input in
-  Router.run router;
+  ignore (Router.run router);
   match Router.sta router with
   | None -> Alcotest.fail "expected sta"
   | Some sta ->
