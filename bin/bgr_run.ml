@@ -77,7 +77,19 @@ let report_measurement name (m : Flow.measurement) =
   add "channel constraint breaks" (Table.fint m.Flow.m_channel_violations);
   add "CPU (s)" (Table.f2 m.Flow.m_cpu_s);
   add "router stopped because" m.Flow.m_stopped_because;
-  Table.print t
+  add "worker domains" (Table.fint m.Flow.m_domains);
+  add "deletion hash" (string_of_int m.Flow.m_deletion_hash);
+  Table.print t;
+  List.iter
+    (fun w -> Printf.printf "warning: degraded scoring pool: %s\n" w)
+    m.Flow.m_par_warnings
+
+(* Shared by route-file --audit and resume: print the audit and fail
+   loudly (exit 10) when invariants are broken. *)
+let run_audit ?(repair = false) router =
+  let a = Verify.audit ~repair ~measured_caps:true router in
+  Format.printf "%a@?" Verify.pp_audit a;
+  if not (Verify.audit_ok a) then exit (Bgr_error.exit_code Bgr_error.Internal)
 
 let tables_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values.") in
@@ -174,26 +186,56 @@ let route_file_cmd =
   let path_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Design bundle path.")
   in
-  let run path unconstrained deadline =
+  let persist_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist" ] ~docv:"DIR"
+          ~doc:
+            "Run crash-safe: store the design and a write-ahead deletion journal in $(docv), \
+             snapshotting at every phase boundary.  A killed run is continued with \
+             $(b,bgr_run resume) $(docv).")
+  in
+  let audit_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "audit" ]
+          ~doc:
+            "After routing, sweep the full state-invariant audit (densities, connectivity, \
+             pair mirroring, timing staleness) and exit 10 if anything is broken.")
+  in
+  let run path unconstrained deadline persist audit =
     let result =
-      Result.bind (Design_io.read_result path) Design_check.validate
-      |> Result.map_error (Bgr_error.with_file path)
+      match Lineio.read_all path with
+      | exception Sys_error msg ->
+        Error (Bgr_error.make ~file:path ~phase:"io" Bgr_error.Io_error "%s" msg)
+      | text ->
+        Result.bind
+          (Result.bind (Design_io.of_string_result ~file:path text) Design_check.validate
+          |> Result.map_error (Bgr_error.with_file path))
+          (fun bundle -> Ok (text, bundle))
     in
     match result with
     | Error e ->
       prerr_endline (Bgr_error.to_string e);
       exit (Bgr_error.exit_code e.Bgr_error.code)
-    | Ok bundle -> (
+    | Ok (text, bundle) -> (
       match
         Lineio.protect ~file:path (fun () ->
             let input = Design_io.to_flow_input bundle in
-            Flow.run ~timing_driven:(not unconstrained) ~budget:(budget_of_deadline deadline)
-              input)
+            let timing_driven = not unconstrained in
+            let budget = budget_of_deadline deadline in
+            match persist with
+            | None -> Flow.run ~timing_driven ~budget input
+            | Some dir -> Persist.route ~timing_driven ~budget ~dir ~design_text:text input)
       with
       | Error e ->
         prerr_endline (Bgr_error.to_string e);
         exit (Bgr_error.exit_code e.Bgr_error.code)
-      | Ok outcome -> report_measurement (Filename.basename path) outcome.Flow.o_measurement)
+      | Ok outcome ->
+        report_measurement (Filename.basename path) outcome.Flow.o_measurement;
+        if audit then run_audit outcome.Flow.o_router)
   in
   Cmd.v
     (Cmd.info "route-file"
@@ -202,7 +244,48 @@ let route_file_cmd =
           bundles are rejected with a file:line: message on stderr and a documented non-zero \
           exit code (2 parse, 3 validation/geometry, 4 unroutable, 5 injected fault, 6 \
           deadline, 7 I/O, 10 internal).")
-    Term.(const run $ path_arg $ no_constraints $ deadline_arg)
+    Term.(const run $ path_arg $ no_constraints $ deadline_arg $ persist_arg $ audit_flag)
+
+let resume_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Run directory written by route-file --persist.")
+  in
+  let repair_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "repair" ]
+          ~doc:
+            "Let the audit rebuild derived state (densities, trees, timing) when it finds \
+             corruption, instead of failing.")
+  in
+  let run dir domains deadline repair =
+    match Persist.resume ~domains ~budget:(budget_of_deadline deadline) ~dir () with
+    | Error e ->
+      prerr_endline (Bgr_error.to_string e);
+      exit (Bgr_error.exit_code e.Bgr_error.code)
+    | Ok r ->
+      List.iter (fun w -> Printf.printf "resume: %s\n" w) r.Persist.rr_warnings;
+      if r.Persist.rr_completed_at_load <> [] then
+        Printf.printf "resume: phases already complete: %s\n"
+          (String.concat ", " r.Persist.rr_completed_at_load);
+      if r.Persist.rr_replayed > 0 then
+        Printf.printf "resume: replayed %d journaled deletions\n" r.Persist.rr_replayed;
+      let outcome = r.Persist.rr_outcome in
+      report_measurement (Filename.basename dir ^ " (resumed)") outcome.Flow.o_measurement;
+      run_audit ~repair outcome.Flow.o_router
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume an interrupted route-file --persist run from its directory: restore the last \
+          snapshot, replay the deletion journal (truncating a torn tail with a warning), \
+          finish the run and audit the final state.  The result is bit-identical to an \
+          uninterrupted run — compare the deletion hash rows.")
+    Term.(const run $ dir_arg $ domains_arg $ deadline_arg $ repair_flag)
 
 let stats_cmd =
   let run case =
@@ -346,6 +429,7 @@ let main =
       stats_cmd;
       export_cmd;
       route_file_cmd;
+      resume_cmd;
       view_cmd;
       timing_cmd;
       generate_cmd;

@@ -57,6 +57,14 @@ let set_bridge t ~channel:c ~span ~w bridge =
     touch ch
   end
 
+let clear t =
+  Array.iter
+    (fun ch ->
+      Array.fill ch.d_max 0 (Array.length ch.d_max) 0;
+      Array.fill ch.d_min 0 (Array.length ch.d_min) 0;
+      touch ch)
+    t.channels
+
 let max_and_count arr lo hi =
   (* Maximum over columns [lo, hi) and how many columns attain it. *)
   let best = ref 0 and count = ref 0 in

@@ -33,6 +33,11 @@ val set_bridge : t -> channel:int -> span:Interval.t -> w:int -> bool -> unit
 (** Flip only the bridge ([d_m]) contribution of an already-recorded
     trunk. *)
 
+val clear : t -> unit
+(** Zero both charts of every channel (bumping each revision) — the
+    first step of rebuilding the density state from the net graphs
+    ({!Router.rebuild_derived} / [Verify.audit ~repair]). *)
+
 val cM : t -> channel:int -> int
 (** Maximum of [d_M] over the channel — the track upper bound. *)
 

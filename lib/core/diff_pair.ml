@@ -55,3 +55,41 @@ let recognize (a : Routing_graph.t) (b : Routing_graph.t) =
   with
   | () -> Some emap
   | exception Mismatch -> None
+
+(* Audit-time consistency check of an established recognition: the map
+   must send every live edge of [a] to a distinct live edge of [b] of
+   homologous kind, covering all of [b].  Returns human-readable
+   problems (empty = consistent). *)
+let mirror_problems (a : Routing_graph.t) (b : Routing_graph.t) ~map =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let na = a.Routing_graph.net_id and nb = b.Routing_graph.net_id in
+  let ga = a.Routing_graph.graph and gb = b.Routing_graph.graph in
+  let seen = Hashtbl.create 64 in
+  Ugraph.iter_edges ga (fun e ->
+      let id = e.Ugraph.id in
+      let img = if id < Array.length map then map.(id) else -1 in
+      if img < 0 then add "pair %d/%d: live edge %d of net %d has no partner image" na nb id na
+      else if img >= Ugraph.n_edges_total gb || not (Ugraph.is_live gb img) then
+        add "pair %d/%d: edge %d of net %d maps to dead partner edge %d" na nb id na img
+      else begin
+        if Hashtbl.mem seen img then
+          add "pair %d/%d: partner edge %d is the image of two edges" na nb img
+        else Hashtbl.replace seen img ();
+        let homologous =
+          match (Routing_graph.edge_kind a id, Routing_graph.edge_kind b img) with
+          | Routing_graph.Trunk { channel = c1; _ }, Routing_graph.Trunk { channel = c2; _ } ->
+            c1 = c2
+          | Routing_graph.Branch { row = r1; _ }, Routing_graph.Branch { row = r2; _ } -> r1 = r2
+          | Routing_graph.Correspondence p1, Routing_graph.Correspondence p2 ->
+            p1.Routing_graph.channel = p2.Routing_graph.channel
+          | _ -> false
+        in
+        if not homologous then
+          add "pair %d/%d: edge %d of net %d and its image %d differ in kind or channel" na nb id
+            na img
+      end);
+  if Ugraph.n_edges_live ga <> Ugraph.n_edges_live gb then
+    add "pair %d/%d: live edge counts differ (%d vs %d)" na nb (Ugraph.n_edges_live ga)
+      (Ugraph.n_edges_live gb);
+  List.rev !problems

@@ -21,3 +21,11 @@ val recognize : Routing_graph.t -> Routing_graph.t -> int array option
 (** [recognize a b] is the live-edge map from [a]'s edge ids to [b]'s
     (entries for dead ids are [-1]), or [None] when the graphs are not
     homologous — the pair then falls back to independent routing. *)
+
+val mirror_problems : Routing_graph.t -> Routing_graph.t -> map:int array -> string list
+(** Audit an established recognition: [map] must send every live edge
+    of the first graph to a distinct live edge of the second of
+    homologous kind (same tag and channel/row), covering all of it.
+    Returns the violations as human-readable strings; empty means the
+    mirroring invariant holds ({!Verify.audit} uses this on resumed
+    state). *)

@@ -25,6 +25,9 @@ type measurement = {
   m_channel_doglegs : int;
   m_channel_violations : int;
   m_stopped_because : string;  (* Router.stop_reason_string of the run *)
+  m_domains : int;
+  m_par_warnings : string list;
+  m_deletion_hash : int;
 }
 
 type outcome = {
@@ -57,9 +60,21 @@ let channel_segments router ~channel =
 type algorithm = Concurrent_edge_deletion | Sequential_net_at_a_time
 type channel_algorithm = Left_edge | Left_edge_biased | Greedy
 
-let run ?(options = Router.default_options) ?(timing_driven = true)
-    ?(algorithm = Concurrent_edge_deletion) ?(channel_algorithm = Left_edge)
-    ?(budget = Budget.unlimited) input =
+type prepared = {
+  p_input : input;
+  p_fp : Floorplan.t;
+  p_dg : Delay_graph.t;
+  p_sta : Sta.t option;
+  p_order : int list;
+  p_insert_rounds : int;
+  p_t0 : float;
+}
+
+(* Everything up to (and including) building the router — shared by
+   [run] and the crash-recovery path, which must construct a router
+   over the identical floorplan/assignment before restoring state into
+   it. *)
+let prepare ?(options = Router.default_options) ?(timing_driven = true) input =
   let fp0 = floorplan_of_input input in
   let t0 = Sys.time () in
   let dg = Delay_graph.build input.netlist in
@@ -72,16 +87,24 @@ let run ?(options = Router.default_options) ?(timing_driven = true)
   let sta = if have_constraints then Some (Sta.create dg input.constraints) else None in
   let routing_sta = if timing_driven then sta else None in
   let router = Router.create ~options fp assignment routing_sta in
-  let run_report =
-    match algorithm with
-    | Concurrent_edge_deletion -> Router.run ~budget router
-    | Sequential_net_at_a_time ->
-      Router.route_sequential ~order router;
-      { Router.completed_phases = [ "route_sequential" ];
-        stopped_because = Router.Finished;
-        rolled_back = false }
-  in
-  (* Channel routing and final metrology. *)
+  ( { p_input = input;
+      p_fp = fp;
+      p_dg = dg;
+      p_sta = sta;
+      p_order = order;
+      p_insert_rounds = insert_rounds;
+      p_t0 = t0 },
+    router )
+
+(* Channel routing and final metrology over whatever trees the router
+   holds. *)
+let finish ?(channel_algorithm = Left_edge) prep router run_report =
+  let input = prep.p_input in
+  let fp = prep.p_fp in
+  let dg = prep.p_dg in
+  let sta = prep.p_sta in
+  let insert_rounds = prep.p_insert_rounds in
+  let t0 = prep.p_t0 in
   let n_channels = Floorplan.n_channels fp in
   let route_channel =
     match channel_algorithm with
@@ -156,7 +179,10 @@ let run ?(options = Router.default_options) ?(timing_driven = true)
         Array.fold_left
           (fun acc (r : Channel_router.result) -> acc + r.Channel_router.violations)
           0 channels;
-      m_stopped_because = Router.stop_reason_string run_report.Router.stopped_because }
+      m_stopped_because = Router.stop_reason_string run_report.Router.stopped_because;
+      m_domains = Router.n_domains router;
+      m_par_warnings = Router.pool_warnings router;
+      m_deletion_hash = Router.deletion_hash router }
   in
   { o_router = router;
     o_floorplan = fp;
@@ -164,3 +190,17 @@ let run ?(options = Router.default_options) ?(timing_driven = true)
     o_channels = channels;
     o_measurement = measurement;
     o_run_report = run_report }
+
+let run ?options ?timing_driven ?(algorithm = Concurrent_edge_deletion)
+    ?(channel_algorithm = Left_edge) ?(budget = Budget.unlimited) input =
+  let prep, router = prepare ?options ?timing_driven input in
+  let run_report =
+    match algorithm with
+    | Concurrent_edge_deletion -> Router.run ~budget router
+    | Sequential_net_at_a_time ->
+      Router.route_sequential ~order:prep.p_order router;
+      { Router.completed_phases = [ "route_sequential" ];
+        stopped_because = Router.Finished;
+        rolled_back = false }
+  in
+  finish ~channel_algorithm prep router run_report

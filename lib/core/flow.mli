@@ -36,6 +36,12 @@ type measurement = {
   m_stopped_because : string;
       (** {!Router.stop_reason_string} of the run — ["finished"] unless
           a budget or an injected fault cut the router short *)
+  m_domains : int;  (** effective scoring-domain count ([1] = sequential) *)
+  m_par_warnings : string list;
+      (** pool degradation warnings (worker deaths, spawn failures) *)
+  m_deletion_hash : int;
+      (** {!Router.deletion_hash} of the final state — the determinism
+          fingerprint the crash-recovery CI compares *)
 }
 
 type outcome = {
@@ -75,3 +81,26 @@ val run :
 
 val floorplan_of_input : input -> Floorplan.t
 (** The pre-insertion floorplan (for inspection and examples). *)
+
+(** {1 Split entry points}
+
+    {!run} = {!prepare} + [Router.run] + {!finish}.  The split exists
+    for the crash-recovery path ([lib/persist]): a resume must build
+    the router over the identical floorplan and feedthrough assignment
+    ({!prepare} is deterministic), restore the journaled state into it,
+    continue the run, and only then do channel routing and metrology. *)
+
+type prepared
+(** Everything {!prepare} computed besides the router: the
+    post-insertion floorplan, the delay graph and measurement STA, the
+    net order and the CPU-clock origin. *)
+
+val prepare :
+  ?options:Router.options -> ?timing_driven:bool -> input -> prepared * Router.t
+(** Floorplan, delay graph, net ordering, feed insertion, STA and
+    router construction — everything before the first deletion. *)
+
+val finish :
+  ?channel_algorithm:channel_algorithm -> prepared -> Router.t -> Router.run_report -> outcome
+(** Channel routing and final metrology over the router's current
+    trees. *)

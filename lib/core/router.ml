@@ -55,6 +55,23 @@ let fresh_eval () =
     ev_d_min = 0;
     ev_nd_min = 0 }
 
+(* A checkpoint is each net's live candidate-graph edge set plus the
+   deletion counters; edge ids are stable because init_net_state
+   rebuilds a net's graph deterministically. *)
+type checkpoint = { ck_deletions : int; ck_del_hash : int; ck_live : int list array }
+
+(* One committed primary deletion, as observed by the write-ahead
+   journal hook *before* the cascade runs: the counters are the state
+   the deletion starts from, so a replay can verify the chain. *)
+type deletion_commit = {
+  dc_phase : string;
+  dc_area_mode : bool;
+  dc_net : int;
+  dc_edge : int;
+  dc_deletions_before : int;
+  dc_hash_before : int;
+}
+
 type net_state = {
   mutable rg : Routing_graph.t;
   mutable bridge : bool array;
@@ -89,6 +106,9 @@ type t = {
          scoring leaves the algorithm bit-for-bit unchanged. *)
   mutable area_mode : bool;
   par : Par.t option;  (* None: strictly sequential scoring *)
+  mutable cur_phase : string;  (* phase tag stamped on journaled deletions *)
+  mutable on_commit : (deletion_commit -> unit) option;
+  mutable on_checkpoint : (phase:string -> completed:string list -> checkpoint -> unit) option;
 }
 
 let floorplan t = t.fp
@@ -99,6 +119,9 @@ let options t = t.opts
 let n_deletions t = t.deletions
 let deletion_hash t = t.del_hash
 let n_domains t = match t.par with None -> 1 | Some pool -> Par.domains pool
+let pool_warnings t = match t.par with None -> [] | Some pool -> Par.warnings pool
+let set_commit_hook t hook = t.on_commit <- hook
+let set_checkpoint_hook t hook = t.on_checkpoint <- hook
 
 let n_recognized_pairs t =
   Array.fold_left (fun acc ns -> if Array.length ns.partner_map > 0 then acc + 1 else acc) 0 t.nets
@@ -518,6 +541,40 @@ let rec delete_cascade t n eid ~mirror =
       end
   end
 
+(* A *committed* deletion — one the selection loop chose — goes through
+   the write-ahead hook first, so the journal record is durable before
+   any state changes.  Cascaded prunes and the mirrored partner
+   deletion are deterministic consequences of the primary deletion and
+   are regenerated on replay, which is why a mirrored pair costs one
+   journal record, not two. *)
+let commit_deletion t n eid =
+  (match t.on_commit with
+  | None -> ()
+  | Some hook ->
+    hook
+      { dc_phase = t.cur_phase;
+        dc_area_mode = t.area_mode;
+        dc_net = n;
+        dc_edge = eid;
+        dc_deletions_before = t.deletions;
+        dc_hash_before = t.del_hash });
+  delete_cascade t n eid ~mirror:true
+
+(* Replay entry for the journal: apply a recorded primary deletion
+   without re-journaling it.  Validates instead of asserting — a
+   corrupt (but CRC-clean) record must surface as a structured error,
+   not a crash. *)
+let apply_deletion t ~net ~edge =
+  if net < 0 || net >= Array.length t.nets then
+    Bgr_error.raise_error ~phase:"resume" Bgr_error.Internal "journal replay: unknown net %d" net;
+  let ns = t.nets.(net) in
+  let g = ns.rg.Routing_graph.graph in
+  if edge < 0 || edge >= Ugraph.n_edges_total g || not (Ugraph.is_live g edge) || ns.bridge.(edge)
+  then
+    Bgr_error.raise_error ~phase:"resume" Bgr_error.Internal
+      "journal replay: edge %d of net %d is not a deletable candidate" edge net;
+  delete_cascade t net edge ~mirror:true
+
 (* --- construction ---------------------------------------------------- *)
 
 (* Graph-only part of a net state (no density/timing side effects). *)
@@ -586,7 +643,10 @@ let create ?(options = default_options) fp assignment sta =
       deletions = 0;
       del_hash = 0;
       area_mode = options.area_first_ordering;
-      par }
+      par;
+      cur_phase = "initial_route";
+      on_commit = None;
+      on_checkpoint = None }
   in
   Array.iter (fun ns -> register_net_density t ns) t.nets;
   (* Expected final channel depth is roughly half the candidate-graph
@@ -619,12 +679,13 @@ let route_among t net_ids =
     match select_among t net_ids with
     | None -> ()
     | Some (n, eid) ->
-      delete_cascade t n eid ~mirror:true;
+      commit_deletion t n eid;
       loop ()
   in
   loop ()
 
 let initial_route t =
+  t.cur_phase <- "initial_route";
   trace t "initial routing: %d nets" (Array.length t.nets);
   route_among t (all_net_ids t);
   trace t "initial routing done after %d deletions" t.deletions
@@ -861,13 +922,9 @@ let stop_reason_string = function
 
 exception Stop_run of stop_reason
 
-(* A checkpoint is each net's live candidate-graph edge set; edge ids
-   are stable because init_net_state rebuilds a net's graph
-   deterministically. *)
-type checkpoint = { ck_deletions : int; ck_live : int list array }
-
-let snapshot t =
+let checkpoint t =
   { ck_deletions = t.deletions;
+    ck_del_hash = t.del_hash;
     ck_live =
       Array.map
         (fun ns ->
@@ -875,12 +932,20 @@ let snapshot t =
             (Ugraph.live_edges ns.rg.Routing_graph.graph))
         t.nets }
 
-(* Bring every net back to the snapshot state, following the proven
+let checkpoint_make ~deletions ~del_hash ~live =
+  { ck_deletions = deletions; ck_del_hash = del_hash; ck_live = Array.copy live }
+
+let checkpoint_stats ck = (ck.ck_deletions, ck.ck_del_hash)
+let checkpoint_live ck = Array.copy ck.ck_live
+
+(* Bring every net back to the checkpointed state, following the proven
    reroute pattern: rebuild the full candidate graph, then delete
-   everything outside the recorded live set.  No-op when nothing was
-   deleted since the snapshot. *)
+   everything outside the recorded live set.  The deletion counters are
+   then rewound to the checkpoint's, so a restored run continues the
+   same deletion-hash chain as the run the checkpoint was taken from.
+   No-op when the state already matches the checkpoint. *)
 let restore t ck =
-  if t.deletions <> ck.ck_deletions then begin
+  if t.deletions <> ck.ck_deletions || t.del_hash <> ck.ck_del_hash then begin
     let netlist = Floorplan.netlist t.fp in
     Array.iter (fun ns -> unregister_net_density t ns) t.nets;
     for n = 0 to Array.length t.nets - 1 do
@@ -904,16 +969,26 @@ let restore t ck =
         | None -> ()
       in
       loop ()
-    done
+    done;
+    t.deletions <- ck.ck_deletions;
+    t.del_hash <- ck.ck_del_hash
   end
 
-let run ?(budget = Budget.unlimited) t =
-  let completed = ref [] in
-  let last_ck = ref None in
+let run ?(budget = Budget.unlimited) ?(completed = []) t =
+  let already_done = completed in
+  let skip phase = List.mem phase already_done in
+  let completed = ref (List.rev already_done) in
+  (* On a resume the current state *is* the last durable checkpoint, so
+     a mid-phase stop in the continued run rolls back to it. *)
+  let last_ck = ref (match already_done with [] -> None | _ :: _ -> Some (checkpoint t)) in
   let rolled_back = ref false in
   let mark phase =
     completed := phase :: !completed;
-    last_ck := Some (snapshot t)
+    let ck = checkpoint t in
+    last_ck := Some ck;
+    match t.on_checkpoint with
+    | None -> ()
+    | Some hook -> hook ~phase ~completed:(List.rev !completed) ck
   in
   let guard ~phase () =
     if Fault.trip "router.improve" then
@@ -931,50 +1006,36 @@ let run ?(budget = Budget.unlimited) t =
       (* The initial routing always runs to completion: it is what
          guarantees a verifiable spanning tree for every net, so the
          budget is only consulted from the first checkpoint on. *)
-      initial_route t;
-      mark "initial_route";
+      if not (skip "initial_route") then begin
+        initial_route t;
+        mark "initial_route"
+      end;
       let limit d = Budget.phase_pass_limit budget ~default:d in
-      guard ~phase:"recover_violations" ();
-      let r =
-        recover_violations ~guard:(guard ~phase:"recover_violations")
-          ~max_passes:(limit t.opts.max_recover_passes) t
+      let improvement phase default_limit f =
+        if not (skip phase) then begin
+          t.cur_phase <- phase;
+          guard ~phase ();
+          let r = f ~guard:(guard ~phase) ~max_passes:(limit default_limit) t in
+          trace t "%s: %d reroutes in %d passes" phase r.reroutes r.passes;
+          mark phase
+        end
       in
-      trace t "violation recovery: %d reroutes in %d passes" r.reroutes r.passes;
-      mark "recover_violations";
-      guard ~phase:"improve_delay" ();
-      let r =
-        improve_delay ~guard:(guard ~phase:"improve_delay")
-          ~max_passes:(limit t.opts.max_delay_passes) t
-      in
-      trace t "delay improvement: %d reroutes in %d passes" r.reroutes r.passes;
-      mark "improve_delay";
-      guard ~phase:"improve_area" ();
-      let r =
-        improve_area ~guard:(guard ~phase:"improve_area") ~max_passes:(limit t.opts.max_area_passes)
-          t
-      in
-      trace t "area improvement: %d reroutes in %d passes" r.reroutes r.passes;
-      mark "improve_area";
+      improvement "recover_violations" t.opts.max_recover_passes (fun ~guard ~max_passes t ->
+          recover_violations ~guard ~max_passes t);
+      improvement "improve_delay" t.opts.max_delay_passes (fun ~guard ~max_passes t ->
+          improve_delay ~guard ~max_passes t);
+      improvement "improve_area" t.opts.max_area_passes (fun ~guard ~max_passes t ->
+          improve_area ~guard ~max_passes t);
       (* The area phase may lengthen critical nets inside still-met
          constraints; a final timing cleanup (an extra turn of the
          Sec. 3.5 rip-up loops) undoes that at negligible area cost. *)
       (match t.sta with
       | None -> ()
       | Some _ ->
-        guard ~phase:"final_recovery" ();
-        let r =
-          recover_violations ~guard:(guard ~phase:"final_recovery")
-            ~max_passes:(limit t.opts.max_recover_passes) t
-        in
-        trace t "final recovery: %d reroutes in %d passes" r.reroutes r.passes;
-        mark "final_recovery";
-        guard ~phase:"final_delay" ();
-        let r =
-          improve_delay ~guard:(guard ~phase:"final_delay")
-            ~max_passes:(limit t.opts.max_delay_passes) t
-        in
-        trace t "final delay cleanup: %d reroutes in %d passes" r.reroutes r.passes;
-        mark "final_delay");
+        improvement "final_recovery" t.opts.max_recover_passes (fun ~guard ~max_passes t ->
+            recover_violations ~guard ~max_passes t);
+        improvement "final_delay" t.opts.max_delay_passes (fun ~guard ~max_passes t ->
+            improve_delay ~guard ~max_passes t));
       Finished
     with Stop_run reason ->
       set_area_mode t saved_mode;
@@ -1003,6 +1064,51 @@ let total_length_mm t =
   Dims.mm_of_um !total
 
 let wire_caps t = Array.map (fun ns -> ns.cl_ff) t.nets
+
+(* --- audit/repair access --------------------------------------------- *)
+
+let mirrored t n = Array.length t.nets.(n).partner_map > 0
+let partner_map_copy t n = Array.copy t.nets.(n).partner_map
+
+let drop_pair_recognition t n =
+  t.nets.(n).partner_map <- [||];
+  match (Netlist.net (Floorplan.netlist t.fp) n).Netlist.diff_partner with
+  | Some p -> t.nets.(p).partner_map <- [||]
+  | None -> ()
+
+(* Rebuild every piece of derived state — bridge sets, candidate lists,
+   density charts, tentative trees, wire caps and timing weights — from
+   the primal live graphs, which are the only source of truth after a
+   resume or a detected corruption.  Primal damage (a disconnected net)
+   is left alone: there is nothing to rebuild it from. *)
+let rebuild_derived t =
+  Density.clear t.dens;
+  Array.iter
+    (fun ns ->
+      let g = ns.rg.Routing_graph.graph in
+      ns.bridge <- Bridges.bridges g;
+      ns.candidates <-
+        List.rev
+          (Ugraph.fold_edges g
+             (fun acc (e : Ugraph.edge) ->
+               if ns.bridge.(e.Ugraph.id) then acc else e.Ugraph.id :: acc)
+             []);
+      ns.rev <- ns.rev + 1;
+      register_net_density t ns)
+    t.nets;
+  Array.iter
+    (fun ns ->
+      match Routing_graph.tentative_tree ns.rg with
+      | None -> ()
+      | Some edges ->
+        ns.tree <- edges;
+        let set = Array.make (Ugraph.n_edges_total ns.rg.Routing_graph.graph) false in
+        List.iter (fun e -> set.(e) <- true) edges;
+        ns.tree_set <- set;
+        ns.cl_ff <- current_cl t ns;
+        apply_net_timing t ns)
+    t.nets;
+  match t.sta with Some sta -> Sta.refresh sta | None -> ()
 
 type chan_pin = { cp_x : int; cp_from_top : bool }
 

@@ -89,6 +89,10 @@ val deletion_hash : t -> int
 val n_domains : t -> int
 (** Domains the scoring engine actually runs on ([1] = sequential). *)
 
+val pool_warnings : t -> string list
+(** Degradation warnings recorded by the scoring pool (worker deaths,
+    spawn failures); empty for the sequential engine. *)
+
 val n_recognized_pairs : t -> int
 (** Differential pairs routed with mirrored deletions. *)
 
@@ -128,7 +132,66 @@ type run_report = {
 
 val stop_reason_string : stop_reason -> string
 
-val run : ?budget:Budget.t -> t -> run_report
+(** {1 Checkpoints and crash safety}
+
+    The hooks below are the router side of the write-ahead persistence
+    subsystem ([lib/persist]): the commit hook observes every primary
+    deletion {e before} it is applied, and the checkpoint hook fires at
+    each phase boundary with the consistent state to snapshot. *)
+
+type checkpoint
+(** Consistent routing state: each net's live candidate-edge set plus
+    the deletion counters.  Edge ids are stable across router rebuilds
+    because routing graphs are constructed deterministically. *)
+
+val checkpoint : t -> checkpoint
+
+val checkpoint_make : deletions:int -> del_hash:int -> live:int list array -> checkpoint
+(** Reassemble a checkpoint from its serialized parts (snapshot load). *)
+
+val checkpoint_stats : checkpoint -> int * int
+(** [(deletions, deletion hash)] recorded in the checkpoint. *)
+
+val checkpoint_live : checkpoint -> int list array
+(** Per-net live edge ids (a copy). *)
+
+val restore : t -> checkpoint -> unit
+(** Bring the router back to the checkpointed state: every net's
+    candidate graph is rebuilt and reduced to the recorded live set,
+    pairs are re-recognized, timing is refreshed, and the deletion
+    counters are rewound to the checkpoint's — so a restored run
+    continues the same deletion-hash chain.  No-op when the state
+    already matches. *)
+
+type deletion_commit = {
+  dc_phase : string;  (** phase the selection ran in *)
+  dc_area_mode : bool;  (** heuristic ordering in force *)
+  dc_net : int;
+  dc_edge : int;
+  dc_deletions_before : int;  (** {!n_deletions} before this deletion *)
+  dc_hash_before : int;  (** {!deletion_hash} before this deletion *)
+}
+(** One committed primary deletion as seen by the write-ahead hook.
+    Cascaded prunes and the mirrored partner deletion are deterministic
+    consequences and are {e not} separately committed — a mirrored pair
+    costs one record. *)
+
+val set_commit_hook : t -> (deletion_commit -> unit) option -> unit
+(** Install (or clear) the write-ahead hook, called before each
+    committed deletion is applied. *)
+
+val set_checkpoint_hook :
+  t -> (phase:string -> completed:string list -> checkpoint -> unit) option -> unit
+(** Install (or clear) the phase-boundary hook {!run} fires after each
+    completed phase, with the full completed list so far. *)
+
+val apply_deletion : t -> net:int -> edge:int -> unit
+(** Replay one journaled primary deletion (cascades and mirroring
+    included) without invoking the commit hook.  Raises a structured
+    [Bgr_error.Error] ([Internal]) when the record does not name a live
+    deletable candidate — a corrupt journal must never crash. *)
+
+val run : ?budget:Budget.t -> ?completed:string list -> t -> run_report
 (** [initial_route] + the three improvement phases + a final timing
     cleanup, with a checkpoint after each phase.  The initial routing
     always completes — every net has a verifiable tree in any outcome —
@@ -138,7 +201,13 @@ val run : ?budget:Budget.t -> t -> run_report
     passes are rolled back to the previous checkpoint, and the report
     says which phases completed and why the run stopped.  The stop
     point is a deterministic program point, so with a zero wall-clock
-    budget the result is bit-identical across domain counts. *)
+    budget the result is bit-identical across domain counts.
+
+    [completed] lists phases already done (a resumed run): they are
+    skipped, the current state is taken as the initial rollback
+    checkpoint, and the returned [completed_phases] includes them.
+    Because every phase is deterministic, a resumed run finishes with
+    the same {!deletion_hash} as an uninterrupted one. *)
 
 val is_routed : t -> bool
 (** No non-bridge edge remains anywhere. *)
@@ -157,6 +226,27 @@ val total_length_mm : t -> float
 
 val wire_caps : t -> float array
 (** Current [CL(n)] per net, fF. *)
+
+(** {1 Audit and repair access} *)
+
+val mirrored : t -> int -> bool
+(** The net currently routes as half of a recognized mirrored pair. *)
+
+val partner_map_copy : t -> int -> int array
+(** Copy of the net's partner edge map ([[||]] when not mirrored) —
+    input to {!Diff_pair.mirror_problems}. *)
+
+val drop_pair_recognition : t -> int -> unit
+(** Forget the recognition of this net's pair (both sides): the repair
+    for a broken mirroring invariant — the nets route independently
+    from here on. *)
+
+val rebuild_derived : t -> unit
+(** Rebuild all derived state — bridge sets, candidate lists, density
+    charts, tentative trees, wire caps, timing weights — from the
+    primal live graphs.  The repair step of [Verify.audit]: fixes any
+    corruption of derived state; primal damage (a disconnected net) is
+    left for the audit to report. *)
 
 type chan_pin = { cp_x : int; cp_from_top : bool }
 

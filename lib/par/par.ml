@@ -37,6 +37,11 @@ type t = {
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get in_worker_key
 
+let assert_orchestrator ~what =
+  if in_worker () then
+    Bgr_error.raise_error Bgr_error.Internal
+      "%s must run on the orchestrating domain, never a pool worker" what
+
 (* Mark a worker dead under its lock with the mailbox cleared, so a
    barrier waiting on [job = None] can never hang on it. *)
 let mark_dead w =

@@ -64,6 +64,12 @@ val in_worker : unit -> bool
 (** True when called from inside a pool helper — the condition under
     which nested parallel operations degrade to sequential. *)
 
+val assert_orchestrator : what:string -> unit
+(** Raise a structured [Internal] error when called from a pool helper.
+    The write-ahead journal serializes its appends through the
+    router's sequential apply step; this assertion is how the journal
+    enforces that no scoring worker ever reaches the commit path. *)
+
 val warnings : t -> string list
 (** Recorded degradation events (spawn failures, worker deaths,
     respawns), oldest first. *)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over strings — the
+    integrity check of journal records and snapshot files.  Pure OCaml,
+    table-driven, no dependencies. *)
+
+val string : string -> int
+(** CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends [crc] with [len] bytes of [s] from
+    [pos]; [update 0 s 0 (String.length s) = string s]. *)

@@ -1,0 +1,203 @@
+type record = {
+  r_phase : string;
+  r_area_mode : bool;
+  r_net : int;
+  r_edge : int;
+  r_deletions_before : int;
+  r_hash_before : int;
+}
+
+let magic = "BGRJ1\n"
+let header_bytes = String.length magic
+let payload_len = 26
+
+let phase_code = function
+  | "initial_route" -> 0
+  | "recover_violations" -> 1
+  | "improve_delay" -> 2
+  | "improve_area" -> 3
+  | "final_recovery" -> 4
+  | "final_delay" -> 5
+  | _ -> 255
+
+let phase_name = function
+  | 0 -> "initial_route"
+  | 1 -> "recover_violations"
+  | 2 -> "improve_delay"
+  | 3 -> "improve_area"
+  | 4 -> "final_recovery"
+  | 5 -> "final_delay"
+  | _ -> "unknown"
+
+let encode_payload r =
+  let b = Bytes.create payload_len in
+  Bytes.set_uint8 b 0 (phase_code r.r_phase);
+  Bytes.set_uint8 b 1 (if r.r_area_mode then 1 else 0);
+  Bytes.set_int32_be b 2 (Int32.of_int r.r_net);
+  Bytes.set_int32_be b 6 (Int32.of_int r.r_edge);
+  Bytes.set_int64_be b 10 (Int64.of_int r.r_deletions_before);
+  Bytes.set_int64_be b 18 (Int64.of_int r.r_hash_before);
+  Bytes.unsafe_to_string b
+
+let get_u32 s pos = Int32.to_int (String.get_int32_be s pos) land 0xFFFFFFFF
+
+let decode_payload s pos =
+  { r_phase = phase_name (Char.code s.[pos]);
+    r_area_mode = Char.code s.[pos + 1] <> 0;
+    r_net = get_u32 s (pos + 2);
+    r_edge = get_u32 s (pos + 6);
+    r_deletions_before = Int64.to_int (String.get_int64_be s (pos + 10));
+    r_hash_before = Int64.to_int (String.get_int64_be s (pos + 18)) }
+
+let encode_frame r =
+  let payload = encode_payload r in
+  let b = Buffer.create (payload_len + 8) in
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_be b (Int32.of_int (Crc32.string payload));
+  Buffer.contents b
+
+(* --- writing --------------------------------------------------------- *)
+
+type writer = { w_oc : out_channel; w_path : string; mutable w_closed : bool }
+
+let io_error path e what =
+  Bgr_error.raise_error ~phase:"persist" ~file:path Bgr_error.Io_error "%s: %s" what
+    (Unix.error_message e)
+
+let create ~path =
+  match open_out_bin path with
+  | oc ->
+    output_string oc magic;
+    flush oc;
+    { w_oc = oc; w_path = path; w_closed = false }
+  | exception Sys_error msg ->
+    Bgr_error.raise_error ~phase:"persist" ~file:path Bgr_error.Io_error "%s" msg
+
+let reopen ~path ~keep_bytes =
+  let fd =
+    try Unix.openfile path [ Unix.O_WRONLY ] 0o644
+    with Unix.Unix_error (e, _, _) -> io_error path e "cannot reopen journal"
+  in
+  (try
+     Unix.ftruncate fd keep_bytes;
+     ignore (Unix.lseek fd keep_bytes Unix.SEEK_SET)
+   with Unix.Unix_error (e, _, _) ->
+     Unix.close fd;
+     io_error path e "cannot truncate journal");
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_out oc true;
+  { w_oc = oc; w_path = path; w_closed = false }
+
+(* Write-ahead: the caller applies the deletion only after this
+   returns, so a fault/kill here loses at most the deletion that was
+   never applied — which the resumed run re-derives.  The append runs
+   on the orchestrating domain only (the router applies deletions
+   sequentially); [Persist] asserts this. *)
+let append w r =
+  Fault.check ~phase:"persist" "persist.append";
+  output_string w.w_oc (encode_frame r);
+  flush w.w_oc
+
+let sync w =
+  Fault.check ~phase:"persist" "persist.fsync";
+  flush w.w_oc;
+  try Unix.fsync (Unix.descr_of_out_channel w.w_oc) with Unix.Unix_error _ -> ()
+
+let close w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    try flush w.w_oc; close_out_noerr w.w_oc with Sys_error _ -> ()
+  end
+
+(* --- reading --------------------------------------------------------- *)
+
+type read_result = {
+  records : (record * int) list;
+  valid_bytes : int;
+  torn : bool;
+  warnings : string list;
+}
+
+let read_string ?file s =
+  let len = String.length s in
+  if len < header_bytes || String.sub s 0 header_bytes <> magic then
+    Error (Bgr_error.make ?file ~phase:"persist" Bgr_error.Parse "not a bgr deletion journal")
+  else begin
+    let records = ref [] and n = ref 0 in
+    let result = ref None in
+    let finish ~valid_bytes ~torn ~warning =
+      result :=
+        Some
+          (Ok
+             { records = List.rev !records;
+               valid_bytes;
+               torn;
+               warnings = (match warning with None -> [] | Some w -> [ w ]) })
+    in
+    let pos = ref header_bytes in
+    while !result = None do
+      let p = !pos in
+      if p = len then finish ~valid_bytes:p ~torn:false ~warning:None
+      else if len - p < 4 then
+        finish ~valid_bytes:p ~torn:true
+          ~warning:
+            (Some
+               (Printf.sprintf
+                  "journal tail truncated at byte %d (partial length prefix discarded)" p))
+      else begin
+        let l = get_u32 s p in
+        let frame_end = p + 4 + l + 4 in
+        if l < 1 || l > 0xFFFF then
+          result :=
+            Some
+              (Error
+                 (Bgr_error.make ?file ~phase:"persist" Bgr_error.Parse
+                    "journal corrupt at byte %d: implausible record length %d" p l))
+        else if frame_end > len then
+          finish ~valid_bytes:p ~torn:true
+            ~warning:
+              (Some (Printf.sprintf "journal tail truncated at byte %d (torn record discarded)" p))
+        else begin
+          let crc = get_u32 s (p + 4 + l) in
+          if Crc32.update 0 s (p + 4) l <> crc then begin
+            if frame_end = len then
+              finish ~valid_bytes:p ~torn:true
+                ~warning:
+                  (Some
+                     (Printf.sprintf
+                        "journal tail truncated at byte %d (bad CRC on the final record)" p))
+            else
+              result :=
+                Some
+                  (Error
+                     (Bgr_error.make ?file ~phase:"persist" Bgr_error.Parse
+                        "journal corrupt at byte %d: CRC mismatch before the final record" p))
+          end
+          else if l <> payload_len then
+            result :=
+              Some
+                (Error
+                   (Bgr_error.make ?file ~phase:"persist" Bgr_error.Parse
+                      "journal record %d has unsupported length %d" !n l))
+          else begin
+            records := (decode_payload s (p + 4), frame_end) :: !records;
+            incr n;
+            pos := frame_end
+          end
+        end
+      end
+    done;
+    Option.get !result
+  end
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> read_string ~file:path s
+  | exception Sys_error msg ->
+    Error (Bgr_error.make ~file:path ~phase:"persist" Bgr_error.Io_error "%s" msg)

@@ -19,7 +19,12 @@ let report (outcome : Flow.outcome) =
     (Printf.sprintf "%d / %d" m.Flow.m_channel_doglegs m.Flow.m_channel_violations);
   add "CPU (s)" (Table.f2 m.Flow.m_cpu_s);
   add "router stopped because" m.Flow.m_stopped_because;
+  add "worker domains" (Table.fint m.Flow.m_domains);
+  add "deletion hash" (string_of_int m.Flow.m_deletion_hash);
   Buffer.add_string buf (Table.render t);
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "warning: degraded scoring pool: %s\n" w))
+    m.Flow.m_par_warnings;
   Buffer.add_char buf '\n';
   (* Independent verification. *)
   let v = Verify.routed outcome.Flow.o_router in

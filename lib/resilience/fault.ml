@@ -39,7 +39,13 @@ let parse_plan text =
         | None -> Error (Printf.sprintf "fault plan: bad seed in %S" e)
       end
       else begin
-        match parse_entry e with Ok r -> go seed (r :: rules) rest | Error m -> Error m
+        match parse_entry e with
+        | Ok (site, _) when List.mem_assoc site rules ->
+          (* Silently taking the last (or first) clause would make a
+             typo'd plan test something other than what it says. *)
+          Error (Printf.sprintf "fault plan: duplicate clause for site %S" site)
+        | Ok r -> go seed (r :: rules) rest
+        | Error m -> Error m
       end
   in
   go 1 [] entries

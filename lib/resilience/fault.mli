@@ -30,6 +30,9 @@
 type plan
 
 val parse_plan : string -> (plan, string) result
+(** Parse the [seed=N; SITE:n=K | SITE:p=F | SITE:always] grammar.
+    A plan naming the same site twice is rejected — the clauses would
+    shadow each other and the plan would not test what it says. *)
 
 val with_plan : plan -> (unit -> 'a) -> 'a
 (** Install [plan] with fresh counters, run the thunk, restore the

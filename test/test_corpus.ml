@@ -14,6 +14,13 @@ let corpus_files () =
   |> List.filter (fun f -> Filename.check_suffix f ".bgr")
   |> List.sort compare
 
+(* valid_*.bgr are the corpus's well-formed bundles: they must load,
+   route and pass the full state-invariant audit; everything else must
+   come back as a structured Error. *)
+let is_valid name = String.length name >= 6 && String.sub name 0 6 = "valid_"
+let malformed_files () = List.filter (fun n -> not (is_valid n)) (corpus_files ())
+let valid_files () = List.filter is_valid (corpus_files ())
+
 let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
 (* "file:LINE: [code] message" — the shape bgr_run prints to stderr. *)
@@ -51,8 +58,24 @@ let check_corpus_file name () =
   | exception e ->
     Alcotest.failf "%s: exception escaped the Result path: %s" name (Printexc.to_string e)
 
+let check_valid_file name () =
+  let path = Filename.concat corpus_dir name in
+  match
+    Result.bind (Design_io.read_result path) Design_check.validate
+    |> Result.map_error (Bgr_error.with_file path)
+  with
+  | Error e -> Alcotest.failf "%s: well-formed bundle rejected: %s" name (Bgr_error.to_string e)
+  | Ok bundle ->
+    let outcome = Flow.run (Design_io.to_flow_input bundle) in
+    let a = Verify.audit ~measured_caps:true outcome.Flow.o_router in
+    check_bool
+      (Printf.sprintf "%s: routed state passes the invariant audit (%s)" name
+         (Format.asprintf "%a" Verify.pp_audit a))
+      true (Verify.audit_ok a)
+
 let test_corpus_is_nonempty () =
-  check_bool "corpus has at least 20 files" true (List.length (corpus_files ()) >= 20)
+  check_bool "corpus has at least 20 malformed files" true (List.length (malformed_files ()) >= 20);
+  check_bool "corpus has at least one valid bundle" true (valid_files () <> [])
 
 (* Every corpus file also stays harmless when handed to the legacy
    raising reader wrapped in the protect boundary directly. *)
@@ -104,10 +127,15 @@ let () =
   let per_file =
     List.map
       (fun name -> Alcotest.test_case name `Quick (check_corpus_file name))
-      (corpus_files ())
+      (malformed_files ())
+  and per_valid =
+    List.map
+      (fun name -> Alcotest.test_case name `Slow (check_valid_file name))
+      (valid_files ())
   in
   Alcotest.run "corpus"
     [ ("malformed designs", per_file);
+      ("valid designs route and audit clean", per_valid);
       ( "totality",
         [ Alcotest.test_case "corpus size floor" `Quick test_corpus_is_nonempty;
           Alcotest.test_case "protect never leaks exceptions" `Quick test_protect_totality ] );

@@ -21,7 +21,16 @@ let test_parse_plan () =
       match Fault.parse_plan bad with
       | Ok _ -> Alcotest.failf "plan %S should be rejected" bad
       | Error _ -> ())
-    [ "par.worker"; "par.worker:n=x"; "par.worker:p=2.5"; "whatever:"; ":n=1"; "seed=" ]
+    [ "par.worker";
+      "par.worker:n=x";
+      "par.worker:p=2.5";
+      "whatever:";
+      ":n=1";
+      "seed=";
+      (* Duplicate clauses for one site are ambiguous (which rule
+         wins?) and always a typo in practice — rejected outright. *)
+      "par.worker:n=1, par.worker:always";
+      "seed=7;persist.append:n=3;io.parse:p=0.5;persist.append:always" ]
 
 let test_trip_counts () =
   Fault.with_plan (plan "site.a:n=2") (fun () ->
