@@ -229,8 +229,17 @@ let micro () =
       | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
     names
 
+(* Per-suite observability: phase timings of the runs above, plus the
+   whole registry on one machine-greppable line so BENCH_*.json
+   trajectories can carry phase-level timing alongside wall-clock. *)
+let obs_summary () =
+  section "Phase-level metrics (orchestrator-side spans of the runs above)";
+  Table.print (Obs_report.phase_durations ());
+  Printf.printf "BENCH_METRICS_JSON %s\n" (Obs.Metrics.render_json ())
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Obs.enable ();
   let t0 = Sys.time () in
   if what = "all" || what = "tables" then begin
     ignore (paper_tables ());
@@ -239,4 +248,5 @@ let () =
   end;
   if what = "all" || what = "scaling" then scaling ();
   if what = "all" || what = "micro" then micro ();
+  obs_summary ();
   Printf.printf "\ntotal bench CPU: %.1f s\n" (Sys.time () -. t0)

@@ -58,6 +58,84 @@ let budget_of_deadline = function
   | None -> Budget.unlimited
   | Some ms -> Budget.make ~wall_ms:(float_of_int ms) ()
 
+(* --- observability flags (route-file / resume / signoff) -------------- *)
+
+type obs_opts = {
+  ob_trace : string option;
+  ob_jsonl : string option;
+  ob_metrics : string option;
+  ob_summary : bool;
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.json"
+          ~doc:
+            "Record the run's spans and write them as a Chrome trace_event file; open it at \
+             ui.perfetto.dev or chrome://tracing.  See docs/observability.md for the span \
+             taxonomy.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE.jsonl"
+          ~doc:"Also stream completed spans as one JSON object per line (grep/jq-friendly).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE.prom"
+          ~doc:
+            "After the run, dump the metrics registry (deletion counters by phase and \
+             criterion, phase durations, density peaks, journal latencies, domain busy time) \
+             in Prometheus text-exposition format.")
+  in
+  let summary =
+    Arg.(
+      value
+      & flag
+      & info [ "obs-summary" ]
+          ~doc:"Print per-phase durations and the slowest trace spans after the run.")
+  in
+  Term.(
+    const (fun t j m s -> { ob_trace = t; ob_jsonl = j; ob_metrics = m; ob_summary = s })
+    $ trace $ jsonl $ metrics $ summary)
+
+let obs_active o =
+  o.ob_trace <> None || o.ob_jsonl <> None || o.ob_metrics <> None || o.ob_summary
+
+let obs_setup o =
+  if obs_active o then begin
+    Obs.enable ();
+    Option.iter Obs.Trace.to_chrome_file o.ob_trace;
+    Option.iter Obs.Trace.to_jsonl_file o.ob_jsonl
+  end
+
+(* Observability must never fail the run: an unwritable metrics path
+   degrades to a warning, exactly like a failed trace sink. *)
+let obs_finish o =
+  if obs_active o then begin
+    Obs.Trace.close_sinks ();
+    (match o.ob_metrics with
+    | None -> ()
+    | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Obs.Metrics.render_prometheus ());
+        close_out oc
+      with Sys_error msg -> Obs.warn "cannot write metrics file %s: %s" path msg));
+    if o.ob_summary then begin
+      Table.print (Obs_report.phase_durations ());
+      Table.print (Obs_report.slowest_spans ~n:12 ())
+    end;
+    List.iter (fun w -> Printf.eprintf "warning: obs: %s\n%!" w) (Obs.warnings ())
+  end
+
 let report_measurement name (m : Flow.measurement) =
   let t = Table.create ~title:(Printf.sprintf "Routing result: %s" name) ~columns:[ "metric"; "value" ] in
   let add k v = Table.add_row t [ k; v ] in
@@ -205,7 +283,7 @@ let route_file_cmd =
             "After routing, sweep the full state-invariant audit (densities, connectivity, \
              pair mirroring, timing staleness) and exit 10 if anything is broken.")
   in
-  let run path unconstrained deadline persist audit =
+  let run path unconstrained deadline persist audit obs =
     let result =
       match Lineio.read_all path with
       | exception Sys_error msg ->
@@ -221,6 +299,7 @@ let route_file_cmd =
       prerr_endline (Bgr_error.to_string e);
       exit (Bgr_error.exit_code e.Bgr_error.code)
     | Ok (text, bundle) -> (
+      obs_setup obs;
       match
         Lineio.protect ~file:path (fun () ->
             let input = Design_io.to_flow_input bundle in
@@ -231,10 +310,12 @@ let route_file_cmd =
             | Some dir -> Persist.route ~timing_driven ~budget ~dir ~design_text:text input)
       with
       | Error e ->
+        obs_finish obs;
         prerr_endline (Bgr_error.to_string e);
         exit (Bgr_error.exit_code e.Bgr_error.code)
       | Ok outcome ->
         report_measurement (Filename.basename path) outcome.Flow.o_measurement;
+        obs_finish obs;
         if audit then run_audit outcome.Flow.o_router)
   in
   Cmd.v
@@ -244,7 +325,9 @@ let route_file_cmd =
           bundles are rejected with a file:line: message on stderr and a documented non-zero \
           exit code (2 parse, 3 validation/geometry, 4 unroutable, 5 injected fault, 6 \
           deadline, 7 I/O, 10 internal).")
-    Term.(const run $ path_arg $ no_constraints $ deadline_arg $ persist_arg $ audit_flag)
+    Term.(
+      const run $ path_arg $ no_constraints $ deadline_arg $ persist_arg $ audit_flag
+      $ obs_term)
 
 let resume_cmd =
   let dir_arg =
@@ -262,9 +345,11 @@ let resume_cmd =
             "Let the audit rebuild derived state (densities, trees, timing) when it finds \
              corruption, instead of failing.")
   in
-  let run dir domains deadline repair =
+  let run dir domains deadline repair obs =
+    obs_setup obs;
     match Persist.resume ~domains ~budget:(budget_of_deadline deadline) ~dir () with
     | Error e ->
+      obs_finish obs;
       prerr_endline (Bgr_error.to_string e);
       exit (Bgr_error.exit_code e.Bgr_error.code)
     | Ok r ->
@@ -276,6 +361,7 @@ let resume_cmd =
         Printf.printf "resume: replayed %d journaled deletions\n" r.Persist.rr_replayed;
       let outcome = r.Persist.rr_outcome in
       report_measurement (Filename.basename dir ^ " (resumed)") outcome.Flow.o_measurement;
+      obs_finish obs;
       run_audit ~repair outcome.Flow.o_router
   in
   Cmd.v
@@ -285,7 +371,7 @@ let resume_cmd =
           snapshot, replay the deletion journal (truncating a torn tail with a warning), \
           finish the run and audit the final state.  The result is bit-identical to an \
           uninterrupted run — compare the deletion hash rows.")
-    Term.(const run $ dir_arg $ domains_arg $ deadline_arg $ repair_flag)
+    Term.(const run $ dir_arg $ domains_arg $ deadline_arg $ repair_flag $ obs_term)
 
 let stats_cmd =
   let run case =
@@ -410,14 +496,17 @@ let generate_cmd =
     Term.(const run $ path_arg $ seed $ comb $ ffs $ rows $ pairs $ constraints $ embed)
 
 let signoff_cmd =
-  let run case unconstrained domains =
+  let run case unconstrained domains obs =
+    obs_setup obs;
     let options = { Router.default_options with Router.domains } in
     let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
-    Signoff.print outcome
+    let snap = Route_stats.snapshot outcome.Flow.o_router in
+    Signoff.print ~snapshot:snap outcome;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "signoff" ~doc:"Full sign-off report: metrics, verification, quality, slacks.")
-    Term.(const run $ case_arg $ no_constraints $ domains_arg)
+    Term.(const run $ case_arg $ no_constraints $ domains_arg $ obs_term)
 
 let main =
   let doc = "Timing- and area-driven global router for bipolar standard-cell LSIs (DAC'94 reproduction)" in

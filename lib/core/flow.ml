@@ -74,7 +74,12 @@ type prepared = {
    [run] and the crash-recovery path, which must construct a router
    over the identical floorplan/assignment before restoring state into
    it. *)
+let m_density_peak =
+  Obs.Metrics.gauge "bgr_channel_density_peak" ~labels:[ "channel" ]
+    ~help:"Peak bridge density C_M (tracks) per channel after routing"
+
 let prepare ?(options = Router.default_options) ?(timing_driven = true) input =
+  Obs.Trace.span "flow:prepare" @@ fun () ->
   let fp0 = floorplan_of_input input in
   let t0 = Sys.time () in
   let dg = Delay_graph.build input.netlist in
@@ -113,8 +118,17 @@ let finish ?(channel_algorithm = Left_edge) prep router run_report =
     | Greedy -> fun segs -> Greedy_router.route segs
   in
   let channels =
-    Array.init n_channels (fun channel -> route_channel (channel_segments router ~channel))
+    Obs.Trace.span "flow:channel_route"
+      ~attrs:[ ("channels", Obs.Trace.Int n_channels) ]
+      (fun () ->
+        Array.init n_channels (fun channel -> route_channel (channel_segments router ~channel)))
   in
+  (let dens = Router.density router in
+   for channel = 0 to n_channels - 1 do
+     Obs.Metrics.set m_density_peak
+       ~labels:[ ("channel", string_of_int channel) ]
+       (float_of_int (Density.cM dens ~channel))
+   done);
   let tracks = Array.map (fun (r : Channel_router.result) -> r.Channel_router.tracks) channels in
   let dims = Floorplan.dims fp in
   (* Final net lengths: global trunks and branches plus channel-internal
@@ -136,6 +150,7 @@ let finish ?(channel_algorithm = Left_edge) prep router run_report =
     Dims.mm_of_um !sum
   in
   let delay_ps, margin_ps, violations, lower_bound_ps =
+    Obs.Trace.span "flow:metrology" @@ fun () ->
     match sta with
     | None -> (nan, infinity, 0, nan)
     | Some sta ->

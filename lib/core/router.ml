@@ -34,6 +34,11 @@ type eval = {
   mutable ev_cd : int;
   mutable ev_gl : float;
   mutable ev_ld : float;
+  mutable ev_lm_min : float;
+      (* Worst local margin LM(e,P) across the net's constraints,
+         computed alongside ev_cd/ev_gl/ev_ld.  Deterministic and never
+         read by any comparator — it only feeds the local-margin
+         histogram at commit time. *)
   mutable ev_dens_rev : int;
   mutable ev_d_max : int;
   mutable ev_nd_max : int;
@@ -49,6 +54,7 @@ let fresh_eval () =
     ev_cd = 0;
     ev_gl = 0.0;
     ev_ld = 0.0;
+    ev_lm_min = infinity;
     ev_dens_rev = -1;
     ev_d_max = 0;
     ev_nd_max = 0;
@@ -128,10 +134,69 @@ let n_recognized_pairs t =
   / 2
 let set_area_mode t flag = t.area_mode <- flag
 
+(* --- observability (read-only; must never steer a routing decision) -- *)
+
+let m_deletions =
+  Obs.Metrics.counter "bgr_deletions_total" ~labels:[ "criterion"; "phase" ]
+    ~help:
+      "Committed primary deletions by routing phase and by the selection criterion that \
+       separated the winner from the runner-up"
+
+let m_cascade =
+  Obs.Metrics.counter "bgr_cascade_deletions_total" ~labels:[ "phase" ]
+    ~help:"Secondary deletions (dangling prunes, mirrored partner) per primary deletion"
+
+let m_bridge_rej =
+  Obs.Metrics.counter "bgr_bridge_rejections_total"
+    ~help:"Mirrored-pair candidates rejected because the partner image was dead or a bridge"
+
+let m_rollbacks =
+  Obs.Metrics.counter "bgr_rollbacks_total"
+    ~help:"Checkpoint rollbacks after a deadline or an injected fault"
+
+let m_phase_dur =
+  Obs.Metrics.gauge "bgr_phase_duration_seconds" ~labels:[ "phase" ]
+    ~help:"Wall seconds of the most recent execution of each phase"
+
+let m_phase_total =
+  Obs.Metrics.counter "bgr_phase_seconds_total" ~labels:[ "phase" ]
+    ~help:"Cumulative wall seconds per phase across runs"
+
+let m_headroom =
+  Obs.Metrics.gauge "bgr_budget_headroom_ms"
+    ~help:"Remaining deadline budget in milliseconds at the last guard check"
+
+let m_batch =
+  Obs.Metrics.histogram "bgr_scoring_batch_seconds"
+    ~help:"Latency of one candidate-scoring + selection batch (warm caches + best scan)"
+
+let m_lm =
+  Obs.Metrics.histogram "bgr_local_margin_ps"
+    ~buckets:[| -1000.; -300.; -100.; -30.; -10.; 0.; 10.; 30.; 100.; 300.; 1000.; 3000. |]
+    ~help:
+      "Worst local margin LM(e,P) in picoseconds of each committed deletion (negative = \
+       constraint-violating at selection time)"
+
+(* Hot-path records are dropped on pool workers (the parallel suite
+   runner routes whole cases inside workers); this is the single gate. *)
+let observing () = Obs.enabled () && not (Par.in_worker ())
+
+(* Deprecation shim: [options.trace] predates the Obs subsystem.  Every
+   message still reaches the raw callback, so existing callers keep
+   working unchanged, but each one is also forwarded into the trace
+   stream as a "router.log" instant event; new code should use
+   [Obs.Trace] instead of this hook. *)
 let trace t fmt =
-  match t.opts.trace with
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-  | Some emit -> Format.kasprintf emit fmt
+  let inactive =
+    (match t.opts.trace with None -> true | Some _ -> false) && not (observing ())
+  in
+  if inactive then Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else
+    Format.kasprintf
+      (fun s ->
+        if observing () then Obs.Trace.instant "router.log" ~attrs:[ ("msg", Obs.Trace.Str s) ];
+        match t.opts.trace with None -> () | Some emit -> emit s)
+      fmt
 
 (* --- density bookkeeping ------------------------------------------- *)
 
@@ -267,21 +332,23 @@ let delay_key t ns eid =
     | None ->
       ev.ev_cd <- 0;
       ev.ev_gl <- 0.0;
-      ev.ev_ld <- 0.0
+      ev.ev_ld <- 0.0;
+      ev.ev_lm_min <- infinity
     | Some sta ->
       let net = ns.rg.Routing_graph.net_id in
       let cons = Sta.constraints_of_net sta net in
       if cons = [] then begin
         ev.ev_cd <- 0;
         ev.ev_gl <- 0.0;
-        ev.ev_ld <- 0.0
+        ev.ev_ld <- 0.0;
+        ev.ev_lm_min <- infinity
       end
       else begin
         let dg = Sta.delay_graph sta in
         let dag = Delay_graph.dag dg in
         let td = Delay_graph.driver_td dg net in
         let dcl = cl_without t ns eid -. ns.cl_ff in
-        let cd = ref 0 and gl = ref 0.0 and ld = ref 0.0 in
+        let cd = ref 0 and gl = ref 0.0 and ld = ref 0.0 and lm_min = ref infinity in
         let on_constraint ci =
           let pc = Sta.constraint_ sta ci in
           let m = Sta.margin sta ci in
@@ -298,13 +365,15 @@ let delay_key t ns eid =
           in
           List.iter on_edge (Sta.gd_edges_of_net sta ~ci ~net);
           let lm = m -. !worst in
+          if lm < !lm_min then lm_min := lm;
           if lm <= 0.0 then incr cd;
           gl := !gl +. penalty lm pc.Path_constraint.limit_ps -. penalty m pc.Path_constraint.limit_ps
         in
         List.iter on_constraint cons;
         ev.ev_cd <- !cd;
         ev.ev_gl <- !gl;
-        ev.ev_ld <- !ld
+        ev.ev_ld <- !ld;
+        ev.ev_lm_min <- !lm_min
       end
   end;
   ev
@@ -377,18 +446,38 @@ let compare_length t (n1, e1) (n2, e2) =
   (* Longer edge preferred. *)
   float_cmp w2 w1
 
+(* The two Sec. 3.4 comparison chains, with the criterion names the
+   deletions-by-criterion counter reports. *)
+let delay_chain =
+  [ ("delay", compare_delay); ("density", compare_density); ("length", compare_length) ]
+
+let area_chain =
+  [ ("delay_count", compare_cd_only);
+    ("density", compare_density);
+    ("gl_ld", compare_gl_ld);
+    ("length", compare_length) ]
+
+let active_chain t = if t.area_mode then area_chain else delay_chain
+
 let compare_candidates t a b =
-  let chain cmps =
-    let rec go = function
-      | [] -> compare a b (* deterministic final tie-break on ids *)
-      | cmp :: rest ->
-        let c = cmp t a b in
-        if c <> 0 then c else go rest
-    in
-    go cmps
+  let rec go = function
+    | [] -> compare a b (* deterministic final tie-break on ids *)
+    | (_, cmp) :: rest ->
+      let c = cmp t a b in
+      if c <> 0 then c else go rest
   in
-  if t.area_mode then chain [ compare_cd_only; compare_density; compare_gl_ld; compare_length ]
-  else chain [ compare_delay; compare_density; compare_length ]
+  go (active_chain t)
+
+(* Name of the first criterion that separates winner [a] from runner-up
+   [b].  Pure cache reads (every comparator is memoized and already
+   warm after the selection scan), used only to label the deletion
+   counter — never to choose a candidate. *)
+let criterion_between t a b =
+  let rec go = function
+    | [] -> "id_tie_break"
+    | (name, cmp) :: rest -> if cmp t a b <> 0 then name else go rest
+  in
+  go (active_chain t)
 
 (* A candidate of a mirrored pair is admissible only when its partner
    image is alive and itself deletable. *)
@@ -400,9 +489,13 @@ let admissible t n eid =
     | None -> true
     | Some p ->
       let peid = if eid < Array.length ns.partner_map then ns.partner_map.(eid) else -1 in
-      peid >= 0
-      && Ugraph.is_live t.nets.(p).rg.Routing_graph.graph peid
-      && not t.nets.(p).bridge.(peid)
+      let ok =
+        peid >= 0
+        && Ugraph.is_live t.nets.(p).rg.Routing_graph.graph peid
+        && not t.nets.(p).bridge.(peid)
+      in
+      if (not ok) && observing () then Obs.Metrics.inc m_bridge_rej;
+      ok
   end
 
 (* All admissible candidates of [net_ids], in the exact order the
@@ -487,9 +580,7 @@ let warm_selection_caches t cands =
         n
     end
 
-let select_among t net_ids =
-  let cands = admissible_candidates t net_ids in
-  warm_selection_caches t cands;
+let select_plain t cands =
   let best = ref None in
   Array.iter
     (fun c ->
@@ -498,6 +589,50 @@ let select_among t net_ids =
       | Some b -> if compare_candidates t c b < 0 then best := Some c)
     cands;
   !best
+
+(* Same best as [select_plain] (the update condition is identical; the
+   runner-up tracking is a pure bystander), but also reports which
+   criterion made the winner win. *)
+let select_observed t cands =
+  let best = ref None and second = ref None in
+  Array.iter
+    (fun c ->
+      match !best with
+      | None -> best := Some c
+      | Some b ->
+        if compare_candidates t c b < 0 then begin
+          second := Some b;
+          best := Some c
+        end
+        else begin
+          match !second with
+          | None -> second := Some c
+          | Some s -> if compare_candidates t c s < 0 then second := Some c
+        end)
+    cands;
+  match !best with
+  | None -> None
+  | Some b ->
+    let crit =
+      match !second with None -> "only_candidate" | Some s -> criterion_between t b s
+    in
+    Some (b, crit)
+
+(* Returns the chosen candidate plus the criterion label for the
+   deletion counter ("" when observability is off: nobody reads it). *)
+let select_among t net_ids =
+  let cands = admissible_candidates t net_ids in
+  if observing () then begin
+    let t0 = Obs.now_s () in
+    warm_selection_caches t cands;
+    let r = select_observed t cands in
+    Obs.Metrics.observe m_batch (Obs.now_s () -. t0);
+    r
+  end
+  else begin
+    warm_selection_caches t cands;
+    match select_plain t cands with None -> None | Some c -> Some (c, "")
+  end
 
 (* --- deletion with cascade ------------------------------------------ *)
 
@@ -678,8 +813,21 @@ let route_among t net_ids =
   let rec loop () =
     match select_among t net_ids with
     | None -> ()
-    | Some (n, eid) ->
-      commit_deletion t n eid;
+    | Some ((n, eid), crit) ->
+      if observing () then begin
+        (* delay_key only re-reads the eval cache the selection scan
+           just warmed; the LM(e,P) value was computed either way. *)
+        let ev = delay_key t t.nets.(n) eid in
+        if ev.ev_lm_min < infinity then Obs.Metrics.observe m_lm ev.ev_lm_min;
+        let before = t.deletions in
+        commit_deletion t n eid;
+        Obs.Metrics.inc m_deletions ~labels:[ ("criterion", crit); ("phase", t.cur_phase) ];
+        let cascade = t.deletions - before - 1 in
+        if cascade > 0 then
+          Obs.Metrics.inc m_cascade ~labels:[ ("phase", t.cur_phase) ]
+            ~by:(float_of_int cascade)
+      end
+      else commit_deletion t n eid;
       loop ()
   in
   loop ()
@@ -795,7 +943,9 @@ let recover_violations ?(guard = no_guard) ?max_passes t =
                 end)
               nets
           in
-          List.iter on_constraint violated;
+          Obs.Trace.span "pass:recover_violations"
+            ~attrs:[ ("pass", Obs.Trace.Int !passes) ]
+            (fun () -> List.iter on_constraint violated);
           let after = Sta.worst_path_delay sta in
           trace t "recover pass %d: worst delay %.1f -> %.1f ps" !passes before after;
           if after < before -. 1e-6 || Sta.violations sta = [] then loop ()
@@ -835,7 +985,9 @@ let improve_delay ?(guard = no_guard) ?max_passes t =
               end)
             (Sta.critical_nets sta ci)
         in
-        List.iter on_constraint order;
+        Obs.Trace.span "pass:improve_delay"
+          ~attrs:[ ("pass", Obs.Trace.Int !passes) ]
+          (fun () -> List.iter on_constraint order);
         let after = Sta.worst_path_delay sta in
         trace t "delay pass %d: worst delay %.1f -> %.1f ps" !passes before after;
         if after < before -. 1e-6 then loop ()
@@ -887,11 +1039,14 @@ let improve_area ?(guard = no_guard) ?max_passes t =
       incr passes;
       let before = total_tracks t in
       let nets = congested_nets t in
-      List.iter
-        (fun n ->
-          reroute_net t n;
-          incr reroutes)
-        nets;
+      Obs.Trace.span "pass:improve_area"
+        ~attrs:[ ("pass", Obs.Trace.Int !passes); ("nets", Obs.Trace.Int (List.length nets)) ]
+        (fun () ->
+          List.iter
+            (fun n ->
+              reroute_net t n;
+              incr reroutes)
+            nets);
       let after = total_tracks t in
       trace t "area pass %d: total tracks %d -> %d (%d nets)" !passes before after
         (List.length nets);
@@ -974,6 +1129,22 @@ let restore t ck =
     t.del_hash <- ck.ck_del_hash
   end
 
+(* Phase wrapper: a "phase:<name>" trace span plus the duration gauge
+   (last execution) and the cumulative per-phase counter.  The gauge is
+   set even when the phase aborts (deadline, fault): the time was spent
+   either way. *)
+let timed_phase phase f =
+  if not (observing ()) then f ()
+  else begin
+    let t0 = Obs.now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        let d = Obs.now_s () -. t0 in
+        Obs.Metrics.set m_phase_dur ~labels:[ ("phase", phase) ] d;
+        Obs.Metrics.inc m_phase_total ~labels:[ ("phase", phase) ] ~by:d)
+      (fun () -> Obs.Trace.span ("phase:" ^ phase) f)
+  end
+
 let run ?(budget = Budget.unlimited) ?(completed = []) t =
   let already_done = completed in
   let skip phase = List.mem phase already_done in
@@ -991,6 +1162,10 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
     | Some hook -> hook ~phase ~completed:(List.rev !completed) ck
   in
   let guard ~phase () =
+    if observing () then (
+      match Budget.remaining_ms budget with
+      | Some ms -> Obs.Metrics.set m_headroom ms
+      | None -> ());
     if Fault.trip "router.improve" then
       raise
         (Stop_run
@@ -1007,7 +1182,7 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
          guarantees a verifiable spanning tree for every net, so the
          budget is only consulted from the first checkpoint on. *)
       if not (skip "initial_route") then begin
-        initial_route t;
+        timed_phase "initial_route" (fun () -> initial_route t);
         mark "initial_route"
       end;
       let limit d = Budget.phase_pass_limit budget ~default:d in
@@ -1015,7 +1190,13 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
         if not (skip phase) then begin
           t.cur_phase <- phase;
           guard ~phase ();
-          let r = f ~guard:(guard ~phase) ~max_passes:(limit default_limit) t in
+          let r =
+            timed_phase phase (fun () ->
+                let r = f ~guard:(guard ~phase) ~max_passes:(limit default_limit) t in
+                Obs.Trace.add_attr "reroutes" (Obs.Trace.Int r.reroutes);
+                Obs.Trace.add_attr "passes" (Obs.Trace.Int r.passes);
+                r)
+          in
           trace t "%s: %d reroutes in %d passes" phase r.reroutes r.passes;
           mark phase
         end
@@ -1042,6 +1223,7 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
       (match !last_ck with
       | Some ck when t.deletions <> ck.ck_deletions ->
         trace t "%s: rolling back to the last checkpoint" (stop_reason_string reason);
+        if observing () then Obs.Metrics.inc m_rollbacks;
         restore t ck;
         rolled_back := true
       | Some _ | None -> ());

@@ -1,0 +1,572 @@
+(* Process-global tracer + metrics registry.  See obs.mli for the
+   ownership and failure-policy contract.  The one invariant that
+   matters: nothing in here may influence a routing decision. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock : (unit -> float) option ref = ref None
+
+let clock_mutex = Mutex.create ()
+
+let last_now = ref neg_infinity
+
+let now_s () =
+  match !test_clock with
+  | Some f -> f ()
+  | None ->
+      (* Monotonicize: gettimeofday can step backwards under NTP; a
+         negative span duration would corrupt trace files. *)
+      Mutex.lock clock_mutex;
+      let t = Unix.gettimeofday () in
+      let t = if t > !last_now then ( last_now := t; t ) else !last_now in
+      Mutex.unlock clock_mutex;
+      t
+
+let set_clock_for_tests c = test_clock := c
+
+(* ------------------------------------------------------------------ *)
+(* Global switches                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let worker_probe = ref (fun () -> false)
+
+let set_worker_probe f = worker_probe := f
+
+let in_worker () = !worker_probe ()
+
+(* Drop hot-path records while disabled or on a pool worker. *)
+let skip_record () = (not !enabled_flag) || in_worker ()
+
+let warnings_rev = ref []
+
+let warnings () = List.rev !warnings_rev
+
+let warn fmt =
+  Printf.ksprintf (fun s -> warnings_rev := s :: !warnings_rev) fmt
+
+let assert_orchestrator ~what =
+  if in_worker () then
+    Bgr_error.raise_error Internal
+      "Obs.%s called from inside a pool worker; the tracer and registry belong to the orchestrator"
+      what
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (shared by both sinks and the metrics JSON summary)   *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type attr = Str of string | Int of int | Float of float | Bool of bool
+
+  let attr_to_string = function
+    | Str s -> s
+    | Int i -> string_of_int i
+    | Float f -> json_float f
+    | Bool b -> string_of_bool b
+
+  type span = {
+    sp_name : string;
+    sp_start_us : float;
+    sp_dur_us : float;
+    sp_depth : int;
+    sp_attrs : (string * attr) list;
+  }
+
+  (* Trace epoch: fixed by the first [enable] after a reset. *)
+  let epoch = ref nan
+
+  type scope = {
+    sc_name : string;
+    sc_start : float;  (* absolute seconds *)
+    mutable sc_attrs : (string * attr) list;
+  }
+
+  let stack : scope list ref = ref []
+
+  let retained_cap = 100_000
+
+  let completed_rev = ref []
+
+  let completed_n = ref 0
+
+  let completed () = List.rev !completed_rev
+
+  (* ---- sinks ---- *)
+
+  type sink = {
+    sk_what : string;  (* "chrome" | "jsonl" *)
+    sk_oc : out_channel;
+    mutable sk_first : bool;  (* chrome: no comma before first event *)
+  }
+
+  let chrome_sink : sink option ref = ref None
+
+  let jsonl_sink : sink option ref = ref None
+
+  (* Any failure inside [f] kills the sink: close quietly, warn once,
+     keep routing.  The obs.sink fault plugs in here so the degradation
+     path is testable. *)
+  let sink_guard slot f =
+    match !slot with
+    | None -> ()
+    | Some sk -> (
+        try
+          Fault.check ~phase:"obs" "obs.sink";
+          f sk
+        with e ->
+          slot := None;
+          (try close_out_noerr sk.sk_oc with _ -> ());
+          warn "trace sink (%s) failed and was disabled: %s" sk.sk_what
+            (match e with
+            | Bgr_error.Error err -> err.Bgr_error.message
+            | Sys_error m -> m
+            | e -> Printexc.to_string e))
+
+  let open_sink slot ~what ~path ~header =
+    assert_orchestrator ~what:"Trace.open_sink";
+    (match !slot with
+    | Some sk ->
+        (try close_out_noerr sk.sk_oc with _ -> ());
+        slot := None
+    | None -> ());
+    match open_out path with
+    | oc ->
+        output_string oc header;
+        slot := Some { sk_what = what; sk_oc = oc; sk_first = true }
+    | exception Sys_error m -> warn "cannot open %s trace sink %s: %s" what path m
+
+  let to_chrome_file path = open_sink chrome_sink ~what:"chrome" ~path ~header:"[\n"
+
+  let to_jsonl_file path = open_sink jsonl_sink ~what:"jsonl" ~path ~header:""
+
+  let close_sinks () =
+    (match !chrome_sink with
+    | Some sk ->
+        sink_guard chrome_sink (fun sk -> output_string sk.sk_oc "\n]\n");
+        (match !chrome_sink with
+        | Some _ ->
+            (try close_out sk.sk_oc
+             with Sys_error m -> warn "closing chrome trace sink: %s" m);
+            chrome_sink := None
+        | None -> ())
+    | None -> ());
+    match !jsonl_sink with
+    | Some sk ->
+        (try close_out sk.sk_oc
+         with Sys_error m -> warn "closing jsonl trace sink: %s" m);
+        jsonl_sink := None
+    | None -> ()
+
+  (* ---- event emission ---- *)
+
+  let attr_json (k, v) =
+    Printf.sprintf "\"%s\":%s" (json_escape k)
+      (match v with
+      | Str s -> "\"" ^ json_escape s ^ "\""
+      | Int i -> string_of_int i
+      | Float f -> json_float f
+      | Bool b -> string_of_bool b)
+
+  let args_json attrs =
+    match attrs with
+    | [] -> ""
+    | attrs ->
+        Printf.sprintf ",\"args\":{%s}" (String.concat "," (List.map attr_json attrs))
+
+  let chrome_event ~ph ~extra sp =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"bgr\",\"ph\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f%s%s}"
+      (json_escape sp.sp_name) ph sp.sp_start_us extra (args_json sp.sp_attrs)
+
+  let jsonl_line sp =
+    Printf.sprintf "{\"name\":\"%s\",\"start_us\":%.3f,\"dur_us\":%.3f,\"depth\":%d%s}\n"
+      (json_escape sp.sp_name) sp.sp_start_us sp.sp_dur_us sp.sp_depth
+      (args_json sp.sp_attrs)
+
+  let emit sp =
+    if !completed_n < retained_cap then begin
+      completed_rev := sp :: !completed_rev;
+      incr completed_n
+    end;
+    sink_guard chrome_sink (fun sk ->
+        let ev =
+          if sp.sp_dur_us = 0.0 then chrome_event ~ph:"i" ~extra:",\"s\":\"t\"" sp
+          else chrome_event ~ph:"X" ~extra:(Printf.sprintf ",\"dur\":%.3f" sp.sp_dur_us) sp
+        in
+        if sk.sk_first then sk.sk_first <- false else output_string sk.sk_oc ",\n";
+        output_string sk.sk_oc ev);
+    sink_guard jsonl_sink (fun sk -> output_string sk.sk_oc (jsonl_line sp))
+
+  let rel_us t = (t -. !epoch) *. 1e6
+
+  let span ?(attrs = []) name f =
+    if skip_record () then f ()
+    else begin
+      let sc = { sc_name = name; sc_start = now_s (); sc_attrs = attrs } in
+      let depth = List.length !stack in
+      stack := sc :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          (match !stack with top :: rest when top == sc -> stack := rest | _ -> ());
+          let stop = now_s () in
+          emit
+            {
+              sp_name = name;
+              sp_start_us = rel_us sc.sc_start;
+              sp_dur_us = (stop -. sc.sc_start) *. 1e6;
+              sp_depth = depth;
+              sp_attrs = sc.sc_attrs;
+            })
+        f
+    end
+
+  let instant ?(attrs = []) name =
+    if not (skip_record ()) then
+      emit
+        {
+          sp_name = name;
+          sp_start_us = rel_us (now_s ());
+          sp_dur_us = 0.0;
+          sp_depth = List.length !stack;
+          sp_attrs = attrs;
+        }
+
+  let add_attr k v =
+    if not (skip_record ()) then
+      match !stack with
+      | top :: _ -> top.sc_attrs <- top.sc_attrs @ [ (k, v) ]
+      | [] -> ()
+
+  let reset () =
+    stack := [];
+    completed_rev := [];
+    completed_n := 0;
+    epoch := nan
+end
+
+let enable () =
+  enabled_flag := true;
+  if Float.is_nan !Trace.epoch then Trace.epoch := now_s ()
+
+let disable () = enabled_flag := false
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type kind = Counter | Gauge | Histogram of float array
+
+  type series = {
+    se_labels : (string * string) list;  (* sorted by key *)
+    mutable se_value : float;  (* counter/gauge value; histogram sum *)
+    se_buckets : int array;  (* per-bucket counts, last = +Inf; [||] otherwise *)
+    mutable se_count : int;  (* histogram observation count *)
+  }
+
+  type family = {
+    f_name : string;
+    f_help : string;
+    f_kind : kind;
+    f_labelnames : string list;  (* sorted *)
+    mutable f_series_rev : series list;
+  }
+
+  let registry : (string, family) Hashtbl.t = Hashtbl.create 32
+
+  let order_rev : string list ref = ref []
+
+  let default_buckets =
+    [| 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 |]
+
+  let valid_name n =
+    String.length n > 0
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         n
+
+  let kind_name = function
+    | Counter -> "counter"
+    | Gauge -> "gauge"
+    | Histogram _ -> "histogram"
+
+  let same_kind a b =
+    match (a, b) with
+    | Counter, Counter | Gauge, Gauge -> true
+    | Histogram x, Histogram y -> x = y
+    | _ -> false
+
+  let register ~help ~labels name kind =
+    if not (valid_name name) then
+      Bgr_error.raise_error Internal "invalid metric name %S" name;
+    let sorted_labels = List.sort compare labels in
+    let labels = List.sort_uniq compare labels in
+    if List.length labels <> List.length sorted_labels then
+      Bgr_error.raise_error Internal "duplicate label names on metric %s" name;
+    (match kind with
+    | Histogram bounds ->
+        let rec strictly i =
+          i + 1 >= Array.length bounds || (bounds.(i) < bounds.(i + 1) && strictly (i + 1))
+        in
+        if Array.length bounds = 0 || not (strictly 0) then
+          Bgr_error.raise_error Internal
+            "histogram %s needs strictly increasing, non-empty bucket bounds" name
+    | Counter | Gauge -> ());
+    match Hashtbl.find_opt registry name with
+    | Some f ->
+        if not (same_kind f.f_kind kind) then
+          Bgr_error.raise_error Internal "metric %s re-registered as %s, was %s" name
+            (kind_name kind) (kind_name f.f_kind);
+        if f.f_labelnames <> labels then
+          Bgr_error.raise_error Internal "metric %s re-registered with different labels" name;
+        f
+    | None ->
+        let f = { f_name = name; f_help = help; f_kind = kind; f_labelnames = labels; f_series_rev = [] } in
+        (* Unlabelled families pre-create their single series so a
+           registered-but-quiet metric still renders a zero sample. *)
+        if labels = [] then begin
+          let buckets =
+            match kind with Histogram b -> Array.make (Array.length b + 1) 0 | _ -> [||]
+          in
+          f.f_series_rev <- [ { se_labels = []; se_value = 0.0; se_buckets = buckets; se_count = 0 } ]
+        end;
+        Hashtbl.add registry name f;
+        order_rev := name :: !order_rev;
+        f
+
+  let counter ?(help = "") ?(labels = []) name = register ~help ~labels name Counter
+
+  let gauge ?(help = "") ?(labels = []) name = register ~help ~labels name Gauge
+
+  let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
+    register ~help ~labels name (Histogram (Array.copy buckets))
+
+  let find_series f labels =
+    let labels = List.sort compare labels in
+    match List.find_opt (fun s -> s.se_labels = labels) f.f_series_rev with
+    | Some s -> Some s
+    | None -> None
+
+  let get_series f labels =
+    let labels = List.sort compare labels in
+    match List.find_opt (fun s -> s.se_labels = labels) f.f_series_rev with
+    | Some s -> s
+    | None ->
+        if List.map fst labels <> f.f_labelnames then
+          Bgr_error.raise_error Internal "metric %s expects labels {%s}, got {%s}" f.f_name
+            (String.concat "," f.f_labelnames)
+            (String.concat "," (List.map fst labels));
+        let buckets =
+          match f.f_kind with Histogram b -> Array.make (Array.length b + 1) 0 | _ -> [||]
+        in
+        let s = { se_labels = labels; se_value = 0.0; se_buckets = buckets; se_count = 0 } in
+        f.f_series_rev <- s :: f.f_series_rev;
+        s
+
+  let inc ?(labels = []) ?(by = 1.0) f =
+    if not (skip_record ()) then begin
+      (match f.f_kind with
+      | Counter -> ()
+      | k -> Bgr_error.raise_error Internal "inc on %s metric %s" (kind_name k) f.f_name);
+      if by < 0.0 then
+        Bgr_error.raise_error Internal "counter %s incremented by negative %g" f.f_name by;
+      let s = get_series f labels in
+      s.se_value <- s.se_value +. by
+    end
+
+  let set ?(labels = []) f v =
+    if not (skip_record ()) then begin
+      (match f.f_kind with
+      | Gauge -> ()
+      | k -> Bgr_error.raise_error Internal "set on %s metric %s" (kind_name k) f.f_name);
+      let s = get_series f labels in
+      s.se_value <- v
+    end
+
+  let observe ?(labels = []) f v =
+    if not (skip_record ()) then begin
+      let bounds =
+        match f.f_kind with
+        | Histogram b -> b
+        | k -> Bgr_error.raise_error Internal "observe on %s metric %s" (kind_name k) f.f_name
+      in
+      let s = get_series f labels in
+      let n = Array.length bounds in
+      let i =
+        let rec find i = if i >= n then n else if v <= bounds.(i) then i else find (i + 1) in
+        find 0
+      in
+      s.se_buckets.(i) <- s.se_buckets.(i) + 1;
+      s.se_value <- s.se_value +. v;
+      s.se_count <- s.se_count + 1
+    end
+
+  let value ?(labels = []) f =
+    match find_series f labels with Some s -> Some s.se_value | None -> None
+
+  let histogram_snapshot ?(labels = []) f =
+    match (f.f_kind, find_series f labels) with
+    | Histogram bounds, Some s -> Some (Array.copy bounds, Array.copy s.se_buckets, s.se_value, s.se_count)
+    | _ -> None
+
+  let series f = List.rev_map (fun s -> (s.se_labels, s.se_value)) f.f_series_rev
+
+  let reset_values () =
+    Hashtbl.iter
+      (fun _ f ->
+        let keep_empty = f.f_labelnames = [] in
+        f.f_series_rev <-
+          (if keep_empty then
+             let buckets =
+               match f.f_kind with Histogram b -> Array.make (Array.length b + 1) 0 | _ -> [||]
+             in
+             [ { se_labels = []; se_value = 0.0; se_buckets = buckets; se_count = 0 } ]
+           else []))
+      registry
+
+  (* ---- rendering ---- *)
+
+  let prom_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let label_block ?extra labels =
+    let pairs =
+      List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels
+      @ match extra with None -> [] | Some kv -> [ kv ]
+    in
+    match pairs with [] -> "" | pairs -> "{" ^ String.concat "," pairs ^ "}"
+
+  (* first-registration order *)
+  let families () = List.rev !order_rev |> List.map (Hashtbl.find registry)
+
+  let render_prometheus () =
+    assert_orchestrator ~what:"Metrics.render_prometheus";
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun f ->
+        if f.f_help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" f.f_name (prom_escape f.f_help));
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" f.f_name (kind_name f.f_kind));
+        let rows = List.rev f.f_series_rev in
+        List.iter
+          (fun s ->
+            match f.f_kind with
+            | Counter | Gauge ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %s\n" f.f_name (label_block s.se_labels)
+                     (json_float s.se_value))
+            | Histogram bounds ->
+                let cum = ref 0 in
+                Array.iteri
+                  (fun i le ->
+                    cum := !cum + s.se_buckets.(i);
+                    Buffer.add_string b
+                      (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                         (label_block ~extra:(Printf.sprintf "le=\"%s\"" (json_float le)) s.se_labels)
+                         !cum))
+                  bounds;
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                     (label_block ~extra:"le=\"+Inf\"" s.se_labels)
+                     s.se_count);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_sum%s %s\n" f.f_name (label_block s.se_labels)
+                     (json_float s.se_value));
+                Buffer.add_string b
+                  (Printf.sprintf "%s_count%s %d\n" f.f_name (label_block s.se_labels) s.se_count))
+          rows)
+      (families ());
+    Buffer.contents b
+
+  let render_json () =
+    assert_orchestrator ~what:"Metrics.render_json";
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"metrics\":[";
+    let first_f = ref true in
+    List.iter
+      (fun f ->
+        if !first_f then first_f := false else Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"series\":[" (json_escape f.f_name)
+             (kind_name f.f_kind));
+        let first_s = ref true in
+        List.iter
+          (fun s ->
+            if !first_s then first_s := false else Buffer.add_char b ',';
+            let labels =
+              "{"
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, v) ->
+                       Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                     s.se_labels)
+              ^ "}"
+            in
+            match f.f_kind with
+            | Counter | Gauge ->
+                Buffer.add_string b
+                  (Printf.sprintf "{\"labels\":%s,\"value\":%s}" labels (json_float s.se_value))
+            | Histogram bounds ->
+                let buckets =
+                  String.concat ","
+                    (List.init (Array.length bounds) (fun i ->
+                         Printf.sprintf "[%s,%d]" (json_float bounds.(i)) s.se_buckets.(i)))
+                in
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s],\"overflow\":%d}"
+                     labels s.se_count (json_float s.se_value) buckets
+                     s.se_buckets.(Array.length bounds)))
+          (List.rev f.f_series_rev);
+        Buffer.add_string b "]}")
+      (families ());
+    Buffer.add_string b "]}";
+    Buffer.contents b
+end
+
+let reset () =
+  assert_orchestrator ~what:"reset";
+  Trace.close_sinks ();
+  Trace.reset ();
+  Metrics.reset_values ();
+  warnings_rev := [];
+  if !enabled_flag then Trace.epoch := now_s ()

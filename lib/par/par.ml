@@ -20,6 +20,13 @@ type worker = {
   mutable dead : bool;  (* helper domain exited; mailbox stays empty *)
   mutable respawned : bool;  (* the slot's single respawn is spent *)
   mutable retired : bool;  (* permanently out of service *)
+  mutable busy_s : float;
+      (* Cumulative seconds this helper spent inside jobs.  Written by
+         the helper itself between rounds; the orchestrator reads it
+         only after the barrier (the mailbox handshake orders the
+         accesses), folding the delta since [busy_reported_s] into the
+         metrics registry. *)
+  mutable busy_reported_s : float;
 }
 
 type t = {
@@ -36,6 +43,28 @@ type t = {
 
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get in_worker_key
+
+(* Obs cannot depend on this library (Par already depends on nothing
+   below bgr_resilience, and Router sits on both); the probe injection
+   gives the registry its "drop records from workers" discipline
+   without a cycle. *)
+let () = Obs.set_worker_probe in_worker
+
+let m_busy =
+  Obs.Metrics.counter "bgr_domain_busy_seconds" ~labels:[ "domain" ]
+    ~help:"Seconds each domain spent executing pool chunks (domain 0 is the orchestrator)"
+
+let m_idle =
+  Obs.Metrics.counter "bgr_domain_idle_seconds" ~labels:[ "domain" ]
+    ~help:"Seconds each domain sat idle inside pool rounds it participated in"
+
+let m_rounds = Obs.Metrics.counter "bgr_par_rounds_total" ~help:"Parallel pool rounds dispatched"
+
+let m_chunks =
+  Obs.Metrics.counter "bgr_par_chunks_total" ~help:"Work chunks executed across all pool rounds"
+
+let m_respawns =
+  Obs.Metrics.counter "bgr_par_respawns_total" ~help:"Pool workers respawned after a death"
 
 let assert_orchestrator ~what =
   if in_worker () then
@@ -71,7 +100,10 @@ let worker_loop w =
         (* The job wrapper traps its own exceptions into the round's
            result cell; anything escaping here would kill the helper, so
            swallow defensively. *)
+        let timed = Obs.enabled () in
+        let t0 = if timed then Obs.now_s () else 0.0 in
         (try job () with _ -> ());
+        if timed then w.busy_s <- w.busy_s +. (Obs.now_s () -. t0);
         Mutex.lock w.m;
         w.job <- None;
         Condition.signal w.cv;
@@ -102,7 +134,9 @@ let create ?domains () =
           stop = false;
           dead = false;
           respawned = false;
-          retired = false })
+          retired = false;
+          busy_s = 0.0;
+          busy_reported_s = 0.0 })
   in
   let warnings = ref [] in
   let handles =
@@ -151,6 +185,7 @@ let heal t =
             w.dead <- false;
             w.stop <- false;
             t.handles.(i) <- Some h;
+            Obs.Metrics.inc m_respawns;
             t.warnings_rev <- "a pool worker died mid-run; respawned it" :: t.warnings_rev
           | None ->
             w.retired <- true;
@@ -202,6 +237,8 @@ let run_chunked t ~n_chunks f =
       done
     else begin
       t.in_round <- true;
+      let timed = Obs.enabled () in
+      let t_round0 = if timed then Obs.now_s () else 0.0 in
       let next = Atomic.make 0 in
       let first_exn : exn option Atomic.t = Atomic.make None in
       let body () =
@@ -227,11 +264,13 @@ let run_chunked t ~n_chunks f =
           end;
           Mutex.unlock w.m)
         t.workers;
+      let t_caller0 = if timed then Obs.now_s () else 0.0 in
       (try body ()
        with e ->
          (* [body] traps [f]'s exceptions itself; only truly unexpected
             failures land here, and the barrier must still run. *)
          ignore (Atomic.compare_and_set first_exn None (Some e)));
+      let caller_busy = if timed then Obs.now_s () -. t_caller0 else 0.0 in
       Array.iter
         (fun w ->
           Mutex.lock w.m;
@@ -241,6 +280,23 @@ let run_chunked t ~n_chunks f =
           Mutex.unlock w.m)
         t.workers;
       t.in_round <- false;
+      if timed then begin
+        let round = Obs.now_s () -. t_round0 in
+        Obs.Metrics.inc m_rounds;
+        Obs.Metrics.inc m_chunks ~by:(float_of_int n_chunks);
+        Obs.Metrics.inc m_busy ~labels:[ ("domain", "0") ] ~by:caller_busy;
+        Obs.Metrics.inc m_idle ~labels:[ ("domain", "0") ]
+          ~by:(Float.max 0.0 (round -. caller_busy));
+        Array.iteri
+          (fun i w ->
+            let delta = w.busy_s -. w.busy_reported_s in
+            w.busy_reported_s <- w.busy_s;
+            let d = string_of_int (i + 1) in
+            Obs.Metrics.inc m_busy ~labels:[ ("domain", d) ] ~by:(Float.max 0.0 delta);
+            Obs.Metrics.inc m_idle ~labels:[ ("domain", d) ]
+              ~by:(Float.max 0.0 (round -. delta)))
+          t.workers
+      end;
       heal t;
       match Atomic.get first_exn with Some e -> raise e | None -> ()
     end

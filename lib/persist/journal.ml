@@ -59,6 +59,25 @@ let encode_frame r =
 
 (* --- writing --------------------------------------------------------- *)
 
+(* Registered eagerly at module load so the metric catalogue renders
+   (zero-valued) even on runs that never open a journal. *)
+let m_append =
+  Obs.Metrics.histogram "bgr_journal_append_seconds"
+    ~help:"Latency of one write-ahead journal append (encode + write + flush)"
+
+let m_fsync =
+  Obs.Metrics.histogram "bgr_journal_fsync_seconds"
+    ~help:"Latency of one journal fsync (checkpoint durability barrier)"
+
+let timed fam f =
+  if Obs.enabled () then begin
+    let t0 = Obs.now_s () in
+    let r = f () in
+    Obs.Metrics.observe fam (Obs.now_s () -. t0);
+    r
+  end
+  else f ()
+
 type writer = { w_oc : out_channel; w_path : string; mutable w_closed : bool }
 
 let io_error path e what =
@@ -96,13 +115,15 @@ let reopen ~path ~keep_bytes =
    sequentially); [Persist] asserts this. *)
 let append w r =
   Fault.check ~phase:"persist" "persist.append";
-  output_string w.w_oc (encode_frame r);
-  flush w.w_oc
+  timed m_append (fun () ->
+      output_string w.w_oc (encode_frame r);
+      flush w.w_oc)
 
 let sync w =
   Fault.check ~phase:"persist" "persist.fsync";
-  flush w.w_oc;
-  try Unix.fsync (Unix.descr_of_out_channel w.w_oc) with Unix.Unix_error _ -> ()
+  timed m_fsync (fun () ->
+      flush w.w_oc;
+      try Unix.fsync (Unix.descr_of_out_channel w.w_oc) with Unix.Unix_error _ -> ())
 
 let close w =
   if not w.w_closed then begin

@@ -146,19 +146,32 @@ let of_string ?file s =
   | t -> Ok t
   | exception Bad m -> Error (Bgr_error.make ?file ~phase:"persist" Bgr_error.Parse "%s" m)
 
+let m_bytes =
+  Obs.Metrics.gauge "bgr_snapshot_bytes" ~help:"Size of the most recent snapshot, in bytes"
+
+let m_write =
+  Obs.Metrics.histogram "bgr_snapshot_write_seconds"
+    ~help:"Latency of one atomic snapshot write (serialize + fsync + rename)"
+
 let write ~path t =
   Fault.check ~phase:"persist" "persist.snapshot";
+  Obs.Trace.span "persist:snapshot" @@ fun () ->
+  let t0 = if Obs.enabled () then Obs.now_s () else 0.0 in
   let tmp = path ^ ".tmp" in
   match
+    let s = to_string t in
+    Obs.Metrics.set m_bytes (float_of_int (String.length s));
     let oc = open_out_bin tmp in
-    output_string oc (to_string t);
+    output_string oc s;
     flush oc;
     Fault.check ~phase:"persist" "persist.fsync";
     (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
     close_out oc;
     Sys.rename tmp path
   with
-  | () -> ()
+  | () ->
+    if Obs.enabled () then Obs.Metrics.observe m_write (Obs.now_s () -. t0);
+    Obs.Trace.add_attr "path" (Obs.Trace.Str path)
   | exception Sys_error msg ->
     Bgr_error.raise_error ~phase:"persist" ~file:path Bgr_error.Io_error "%s" msg
 

@@ -1,0 +1,44 @@
+let attrs_string attrs =
+  String.concat " "
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Obs.Trace.attr_to_string v)) attrs)
+
+let slowest_spans ?(n = 10) () =
+  let spans =
+    List.filter (fun sp -> sp.Obs.Trace.sp_dur_us > 0.0) (Obs.Trace.completed ())
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b -> Float.compare b.Obs.Trace.sp_dur_us a.Obs.Trace.sp_dur_us)
+      spans
+  in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "Slowest trace spans (top %d of %d)" n (List.length spans))
+      ~columns:[ "span"; "ms"; "depth"; "attributes" ]
+  in
+  let rec take k = function
+    | sp :: rest when k > 0 ->
+      Table.add_row t
+        [ sp.Obs.Trace.sp_name;
+          Table.f2 (sp.Obs.Trace.sp_dur_us /. 1000.0);
+          Table.fint sp.Obs.Trace.sp_depth;
+          attrs_string sp.Obs.Trace.sp_attrs ];
+      take (k - 1) rest
+    | _ -> ()
+  in
+  take n sorted;
+  t
+
+(* Re-registration returns the family Router registered at load time
+   (kind, labels, and buckets all match); this module never creates a
+   competing definition. *)
+let phase_family = Obs.Metrics.gauge "bgr_phase_duration_seconds" ~labels:[ "phase" ]
+
+let phase_durations () =
+  let t = Table.create ~title:"Phase durations (last run)" ~columns:[ "phase"; "seconds" ] in
+  List.iter
+    (fun (labels, v) ->
+      let phase = match labels with (_, p) :: _ -> p | [] -> "?" in
+      Table.add_row t [ phase; Table.f3 v ])
+    (Obs.Metrics.series phase_family);
+  t

@@ -1,0 +1,10 @@
+(** Human-readable tables over the [Obs] tracer and metrics registry:
+    the [--obs-summary] view of a run. *)
+
+val slowest_spans : ?n:int -> unit -> Table.t
+(** The [n] (default 10) slowest completed spans (instants excluded),
+    with depth and attributes. *)
+
+val phase_durations : unit -> Table.t
+(** Per-phase wall seconds of the most recent run, straight from the
+    [bgr_phase_duration_seconds] gauge. *)

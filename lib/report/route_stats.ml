@@ -1,3 +1,10 @@
+type snapshot = {
+  snap_trunk_um : float array;
+  snap_branch_um : float array;
+  snap_hpwl_um : float array;
+  snap_peak_density : int array;
+}
+
 type t = {
   n_nets : int;
   mean_detour : float;
@@ -14,26 +21,29 @@ let buckets =
      than its nominal position *)
   [ (0.0, 1.0); (1.0, 1.1); (1.1, 1.25); (1.25, 1.5); (1.5, 2.0); (2.0, 3.0); (3.0, infinity) ]
 
-let of_router router =
+(* The one walk over all nets (and all channels).  Everything the
+   reports derive — detour statistics here, the density row in
+   [Signoff] — comes out of this snapshot, so a caller producing a
+   combined report pays for the walk once. *)
+let snapshot router =
   let fp = Router.floorplan router in
   let netlist = Floorplan.netlist fp in
   let dims = Floorplan.dims fp in
-  let detours = ref [] in
-  let trunk_um = ref 0.0 and branch_um = ref 0.0 and hpwl_um = ref 0.0 in
-  for net = 0 to Netlist.n_nets netlist - 1 do
+  let n_nets = Netlist.n_nets netlist in
+  let trunk = Array.make n_nets 0.0 in
+  let branch = Array.make n_nets 0.0 in
+  let hpwl = Array.make n_nets 0.0 in
+  for net = 0 to n_nets - 1 do
     let rg = Router.routing_graph router net in
     let tree = Router.tree_edges router net in
-    let t_um = ref 0.0 and b_um = ref 0.0 in
     List.iter
       (fun eid ->
         let geo = Routing_graph.geometric_length_um rg ~edge_ids:[ eid ] in
         match Routing_graph.edge_kind rg eid with
-        | Routing_graph.Trunk _ -> t_um := !t_um +. geo
-        | Routing_graph.Branch _ -> b_um := !b_um +. geo
+        | Routing_graph.Trunk _ -> trunk.(net) <- trunk.(net) +. geo
+        | Routing_graph.Branch _ -> branch.(net) <- branch.(net) +. geo
         | Routing_graph.Correspondence _ -> ())
       tree;
-    trunk_um := !trunk_um +. !t_um;
-    branch_um := !branch_um +. !b_um;
     (* True geometric floor: bbox width horizontally, and only the rows
        the net *must* cross vertically (adjacent rows share a channel,
        so a row-0-to-row-1 net needs no crossing at all). *)
@@ -49,9 +59,29 @@ let of_router router =
       List.fold_left (fun acc cs -> max acc (List.fold_left min max_int cs)) min_int channel_sets
     in
     let crossings = max 0 (hi - lo) in
-    let hp = Dims.h_um dims (Rect.width bbox) +. Dims.v_um dims ~rows:crossings in
+    hpwl.(net) <- Dims.h_um dims (Rect.width bbox) +. Dims.v_um dims ~rows:crossings
+  done;
+  let dens = Router.density router in
+  { snap_trunk_um = trunk;
+    snap_branch_um = branch;
+    snap_hpwl_um = hpwl;
+    snap_peak_density =
+      Array.init (Density.n_channels dens) (fun channel -> Density.cM dens ~channel) }
+
+let peak_density snap = Array.fold_left max 0 snap.snap_peak_density
+
+let of_router ?snapshot:snap router =
+  let snap = match snap with Some s -> s | None -> snapshot router in
+  let n_nets_total = Array.length snap.snap_hpwl_um in
+  let detours = ref [] in
+  let trunk_um = ref 0.0 and branch_um = ref 0.0 and hpwl_um = ref 0.0 in
+  for net = 0 to n_nets_total - 1 do
+    let t_um = snap.snap_trunk_um.(net) and b_um = snap.snap_branch_um.(net) in
+    let hp = snap.snap_hpwl_um.(net) in
+    trunk_um := !trunk_um +. t_um;
+    branch_um := !branch_um +. b_um;
     hpwl_um := !hpwl_um +. hp;
-    if hp > 1e-9 then detours := ((!t_um +. !b_um) /. hp) :: !detours
+    if hp > 1e-9 then detours := ((t_um +. b_um) /. hp) :: !detours
   done;
   let detours = Array.of_list !detours in
   Array.sort Float.compare detours;

@@ -5,6 +5,21 @@
     row crossings) divided by its HPWL; 1.0 means the tree is as short
     as any route could be. *)
 
+type snapshot = {
+  snap_trunk_um : float array;  (** per-net routed trunk length *)
+  snap_branch_um : float array;  (** per-net row-crossing length *)
+  snap_hpwl_um : float array;  (** per-net half-perimeter floor *)
+  snap_peak_density : int array;  (** per-channel peak density C_M *)
+}
+(** One walk over all nets and channels; every report figure derives
+    from it.  Build it once and hand it to each consumer ({!of_router},
+    {!Signoff.report}) instead of letting them re-walk independently. *)
+
+val snapshot : Router.t -> snapshot
+
+val peak_density : snapshot -> int
+(** Largest per-channel peak density. *)
+
 type t = {
   n_nets : int;
   mean_detour : float;
@@ -17,8 +32,10 @@ type t = {
   total_hpwl_mm : float;
 }
 
-val of_router : Router.t -> t
-(** Statistics over all nets with a nonzero HPWL. *)
+val of_router : ?snapshot:snapshot -> Router.t -> t
+(** Statistics over all nets with a nonzero HPWL.  Pass a pre-built
+    [snapshot] to reuse a walk another report section already paid
+    for; without one, a fresh snapshot is taken internally. *)
 
 val render : t -> string
 (** Plain-text report with an ASCII histogram. *)

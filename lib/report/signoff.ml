@@ -1,6 +1,14 @@
-let report (outcome : Flow.outcome) =
+let report ?snapshot (outcome : Flow.outcome) =
   let buf = Buffer.create 4096 in
   let m = outcome.Flow.o_measurement in
+  (* One net/channel walk feeds both the density row and the
+     route-quality section; callers that already hold a snapshot (the
+     CLI view path) pass it in instead of paying for another walk. *)
+  let snap =
+    match snapshot with
+    | Some s -> s
+    | None -> Route_stats.snapshot outcome.Flow.o_router
+  in
   let t = Table.create ~title:"Sign-off summary" ~columns:[ "metric"; "value" ] in
   let add k v = Table.add_row t [ k; v ] in
   add "critical-path delay (ps)" (Table.f1 m.Flow.m_delay_ps);
@@ -13,6 +21,7 @@ let report (outcome : Flow.outcome) =
   add "total wiring (mm)" (Table.f1 m.Flow.m_length_mm);
   add "chip width (pitches)" (Table.fint m.Flow.m_chip_width);
   add "channel tracks (total)" (Table.fint (Array.fold_left ( + ) 0 m.Flow.m_tracks));
+  add "peak channel density (tracks)" (Table.fint (Route_stats.peak_density snap));
   add "feed-cell insertion rounds" (Table.fint m.Flow.m_insert_rounds);
   add "recognized differential pairs" (Table.fint m.Flow.m_recognized_pairs);
   add "channel doglegs / breaks"
@@ -26,12 +35,14 @@ let report (outcome : Flow.outcome) =
     (fun w -> Buffer.add_string buf (Printf.sprintf "warning: degraded scoring pool: %s\n" w))
     m.Flow.m_par_warnings;
   Buffer.add_char buf '\n';
-  (* Independent verification. *)
+  (* Independent verification (deliberately does its own recount: it is
+     the check on everything else, including the snapshot). *)
   let v = Verify.routed outcome.Flow.o_router in
   Buffer.add_string buf (Format.asprintf "%a" Verify.pp v);
   Buffer.add_char buf '\n';
-  (* Route quality. *)
-  Buffer.add_string buf (Route_stats.render (Route_stats.of_router outcome.Flow.o_router));
+  (* Route quality, from the shared snapshot. *)
+  Buffer.add_string buf
+    (Route_stats.render (Route_stats.of_router ~snapshot:snap outcome.Flow.o_router));
   Buffer.add_char buf '\n';
   (* Timing profile. *)
   (match outcome.Flow.o_sta with
@@ -39,4 +50,4 @@ let report (outcome : Flow.outcome) =
   | None -> Buffer.add_string buf "no timing constraints attached\n");
   Buffer.contents buf
 
-let print outcome = print_string (report outcome)
+let print ?snapshot outcome = print_string (report ?snapshot outcome)

@@ -3,6 +3,10 @@
     independent verification, route quality, and the slack
     distribution. *)
 
-val report : Flow.outcome -> string
+val report : ?snapshot:Route_stats.snapshot -> Flow.outcome -> string
+(** Pass a pre-built {!Route_stats.snapshot} to share one net/channel
+    walk between the summary table and the route-quality section;
+    without one, the snapshot is taken internally (once — the sections
+    still share it). *)
 
-val print : Flow.outcome -> unit
+val print : ?snapshot:Route_stats.snapshot -> Flow.outcome -> unit

@@ -1,7 +1,10 @@
 (** Deterministic fault injection.
 
     The pipeline is sprinkled with named {e injection sites} (e.g.
-    ["io.parse"], ["router.improve"], ["par.worker"], ["par.spawn"]).
+    ["io.parse"], ["router.improve"], ["par.worker"], ["par.spawn"],
+    ["persist.append"], ["persist.snapshot"], ["persist.fsync"], and
+    ["obs.sink"] — the last one fails a trace sink write, which [Obs]
+    must degrade to a warning rather than fail the run).
     Each site calls {!trip} on every pass; with no plan installed the
     call is a few nanoseconds and never fires.  A {e plan} decides
     which hits of which sites fail:

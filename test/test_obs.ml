@@ -1,0 +1,344 @@
+(* The observability subsystem must observe without perturbing: unit
+   tests of span nesting and the registry, golden Chrome-trace / JSONL
+   / Prometheus renderings under an injected clock, a QCheck histogram
+   invariant, sink-fault degradation, and the headline property — a
+   run with tracing enabled produces a deletion hash byte-identical to
+   the same run without it, sequentially and on four domains. *)
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* dune runtest runs in test/; dune exec from the repo root. *)
+let corpus_dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+(* Hand-cranked clock (seconds).  Values are multiples of 0.5 so every
+   subtraction and *1e6 below is exact in binary floating point. *)
+let t_ref = ref 0.0
+
+let with_test_clock f =
+  Obs.set_clock_for_tests (Some (fun () -> !t_ref));
+  t_ref := 100.0;
+  Obs.enable ();
+  Obs.reset ();
+  (* epoch re-stamped from the test clock: 100.0s *)
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Obs.set_clock_for_tests None)
+    f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A fixed scenario used by the nesting and both trace-golden tests:
+   outer [0s..2s] containing inner [0.5s..1s] (one attr at open, one
+   attached later to outer) and an instant at 0.5s. *)
+let record_scenario () =
+  t_ref := 100.0;
+  Obs.Trace.span "outer" (fun () ->
+      t_ref := 100.5;
+      Obs.Trace.span "inner" ~attrs:[ ("k", Obs.Trace.Int 3) ] (fun () ->
+          Obs.Trace.instant "tick";
+          t_ref := 101.0);
+      Obs.Trace.add_attr "note" (Obs.Trace.Str "x");
+      t_ref := 102.0)
+
+(* ---- span nesting and ordering ------------------------------------- *)
+
+let test_span_nesting () =
+  with_test_clock (fun () ->
+      record_scenario ();
+      match Obs.Trace.completed () with
+      | [ tick; inner; outer ] ->
+        (* completion order: children before parents *)
+        check_string "instant first" "tick" tick.Obs.Trace.sp_name;
+        check_string "inner second" "inner" inner.Obs.Trace.sp_name;
+        check_string "outer last" "outer" outer.Obs.Trace.sp_name;
+        check_int "outer depth" 0 outer.Obs.Trace.sp_depth;
+        check_int "inner depth" 1 inner.Obs.Trace.sp_depth;
+        check_int "instant depth (both scopes open)" 2 tick.Obs.Trace.sp_depth;
+        check_string "outer timestamps" "0 2000000"
+          (Printf.sprintf "%.0f %.0f" outer.Obs.Trace.sp_start_us outer.Obs.Trace.sp_dur_us);
+        check_string "inner timestamps" "500000 500000"
+          (Printf.sprintf "%.0f %.0f" inner.Obs.Trace.sp_start_us inner.Obs.Trace.sp_dur_us);
+        check_string "instant is zero-duration" "500000 0"
+          (Printf.sprintf "%.0f %.0f" tick.Obs.Trace.sp_start_us tick.Obs.Trace.sp_dur_us);
+        check_bool "inner keeps its open-time attr" true
+          (inner.Obs.Trace.sp_attrs = [ ("k", Obs.Trace.Int 3) ]);
+        check_bool "add_attr landed on outer" true
+          (outer.Obs.Trace.sp_attrs = [ ("note", Obs.Trace.Str "x") ])
+      | spans -> Alcotest.failf "expected 3 completed spans, got %d" (List.length spans))
+
+let test_span_survives_exception () =
+  with_test_clock (fun () ->
+      t_ref := 10.0;
+      (try
+         Obs.Trace.span "doomed" (fun () ->
+             t_ref := 10.5;
+             failwith "boom")
+       with Failure _ -> ());
+      match Obs.Trace.completed () with
+      | [ sp ] ->
+        check_string "span recorded despite the raise" "doomed" sp.Obs.Trace.sp_name;
+        check_string "duration covers up to the raise" "500000"
+          (Printf.sprintf "%.0f" sp.Obs.Trace.sp_dur_us)
+      | spans -> Alcotest.failf "expected 1 completed span, got %d" (List.length spans))
+
+(* ---- golden renderings --------------------------------------------- *)
+
+let test_chrome_golden () =
+  with_test_clock (fun () ->
+      let path = Filename.temp_file "bgr_obs_chrome" ".json" in
+      Obs.Trace.to_chrome_file path;
+      record_scenario ();
+      Obs.Trace.close_sinks ();
+      let got = read_file path in
+      Sys.remove path;
+      let expected =
+        "[\n\
+         {\"name\":\"tick\",\"cat\":\"bgr\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":500000.000,\"s\":\"t\"},\n\
+         {\"name\":\"inner\",\"cat\":\"bgr\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":500000.000,\"dur\":500000.000,\"args\":{\"k\":3}},\n\
+         {\"name\":\"outer\",\"cat\":\"bgr\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.000,\"dur\":2000000.000,\"args\":{\"note\":\"x\"}}\n\
+         ]\n"
+      in
+      check_string "chrome trace_event golden" expected got)
+
+let test_jsonl_golden () =
+  with_test_clock (fun () ->
+      let path = Filename.temp_file "bgr_obs_jsonl" ".jsonl" in
+      Obs.Trace.to_jsonl_file path;
+      record_scenario ();
+      Obs.Trace.close_sinks ();
+      let got = read_file path in
+      Sys.remove path;
+      let expected =
+        "{\"name\":\"tick\",\"start_us\":500000.000,\"dur_us\":0.000,\"depth\":2}\n\
+         {\"name\":\"inner\",\"start_us\":500000.000,\"dur_us\":500000.000,\"depth\":1,\"args\":{\"k\":3}}\n\
+         {\"name\":\"outer\",\"start_us\":0.000,\"dur_us\":2000000.000,\"depth\":0,\"args\":{\"note\":\"x\"}}\n"
+      in
+      check_string "jsonl golden" expected got)
+
+(* The test executable links the whole pipeline, so the registry holds
+   every built-in family; golden-check the rendering of families this
+   test owns (contiguous per-family blocks) rather than the whole
+   exposition. *)
+(* Unwrapped libraries drop unreferenced modules at link time, and with
+   them the module-load metric registrations; touch the persist modules
+   so their catalogue entries exist, as they do in bgr_run. *)
+let () = ignore Journal.magic
+let () = ignore Snapshot.write
+
+let test_prometheus_golden () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Metrics.counter "test_obs_requests_total" ~help:"Total requests." ~labels:[ "code" ] in
+  let g = Obs.Metrics.gauge "test_obs_temperature" in
+  let h = Obs.Metrics.histogram "test_obs_latency_seconds" ~buckets:[| 0.1; 1.0 |] in
+  Obs.Metrics.inc c ~labels:[ ("code", "200") ] ~by:3.0;
+  Obs.Metrics.inc c ~labels:[ ("code", "500") ];
+  Obs.Metrics.set g 36.5;
+  List.iter (Obs.Metrics.observe h) [ 0.05; 0.5; 5.0 ];
+  let text = Obs.Metrics.render_prometheus () in
+  let contains block =
+    let bl = String.length block and tl = String.length text in
+    let rec scan i = i + bl <= tl && (String.sub text i bl = block || scan (i + 1)) in
+    check_bool (Printf.sprintf "exposition contains %S" block) true (scan 0)
+  in
+  contains
+    "# HELP test_obs_requests_total Total requests.\n\
+     # TYPE test_obs_requests_total counter\n\
+     test_obs_requests_total{code=\"200\"} 3\n\
+     test_obs_requests_total{code=\"500\"} 1\n";
+  contains "# TYPE test_obs_temperature gauge\ntest_obs_temperature 36.5\n";
+  contains
+    "# TYPE test_obs_latency_seconds histogram\n\
+     test_obs_latency_seconds_bucket{le=\"0.1\"} 1\n\
+     test_obs_latency_seconds_bucket{le=\"1\"} 2\n\
+     test_obs_latency_seconds_bucket{le=\"+Inf\"} 3\n\
+     test_obs_latency_seconds_sum 5.55\n\
+     test_obs_latency_seconds_count 3\n";
+  (* promtool-ish shape check over the whole exposition *)
+  let is_name_char ch =
+    (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = ':' || ch = '{' || ch = '}' || ch = '"' || ch = '=' || ch = ','
+    || ch = '.' || ch = '+' || ch = '-' || ch = '/'
+  in
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "# ") then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "sample line has no value: %S" line
+        | Some i ->
+          let name = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          check_bool (Printf.sprintf "sample name well-formed: %S" line) true
+            (name <> "" && String.for_all is_name_char name);
+          check_bool (Printf.sprintf "sample value parses: %S" line) true
+            (float_of_string_opt v <> None)
+      end)
+    (String.split_on_char '\n' text);
+  (* mandatory catalogue names render even on a run that routed nothing *)
+  List.iter
+    (fun m -> contains (Printf.sprintf "# TYPE %s " m))
+    [ "bgr_deletions_total";
+      "bgr_phase_duration_seconds";
+      "bgr_channel_density_peak";
+      "bgr_journal_append_seconds";
+      "bgr_domain_busy_seconds" ];
+  Obs.disable ();
+  Obs.reset ()
+
+(* ---- QCheck: histogram bucket invariant ---------------------------- *)
+
+(* Families persist in the process-global registry, so every property
+   iteration (shrinks included) registers under a fresh name. *)
+let hist_n = ref 0
+
+let prop_histogram_counts =
+  QCheck.Test.make ~name:"bucket counts sum to observation count" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 6) small_nat)
+        (small_list (int_range (-200) 2000)))
+    (fun (raw_bounds, raw_obs) ->
+      let bounds =
+        List.sort_uniq compare (List.map (fun n -> float_of_int (n + 1)) raw_bounds)
+      in
+      QCheck.assume (bounds <> []);
+      incr hist_n;
+      let fam =
+        Obs.Metrics.histogram
+          (Printf.sprintf "test_obs_prop_hist_%d" !hist_n)
+          ~buckets:(Array.of_list bounds)
+      in
+      Obs.enable ();
+      List.iter (fun v -> Obs.Metrics.observe fam (float_of_int v)) raw_obs;
+      match Obs.Metrics.histogram_snapshot fam with
+      | None -> false
+      | Some (bounds', counts, sum, count) ->
+        Array.length counts = Array.length bounds' + 1
+        && Array.fold_left ( + ) 0 counts = count
+        && count = List.length raw_obs
+        (* integer-valued observations: the sum is exact *)
+        && sum = List.fold_left (fun a v -> a +. float_of_int v) 0.0 raw_obs)
+
+(* ---- sink-fault degradation ---------------------------------------- *)
+
+let test_sink_fault_degrades () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  let path = Filename.temp_file "bgr_obs_fault" ".json" in
+  (match Fault.parse_plan "obs.sink:n=1" with
+  | Error m -> Alcotest.failf "fault plan: %s" m
+  | Ok plan ->
+    Fault.with_plan plan (fun () ->
+        Obs.Trace.to_chrome_file path;
+        Obs.Trace.span "first" (fun () -> ());
+        (* the first write tripped *)
+        Obs.Trace.span "second" (fun () -> ());
+        (* sink gone, still no raise *)
+        Obs.Trace.close_sinks ());
+    check_int "both spans still retained in memory" 2 (List.length (Obs.Trace.completed ()));
+    check_bool "degradation left a warning" true (Obs.warnings () <> []));
+  Obs.disable ();
+  Obs.reset ();
+  Sys.remove path
+
+(* ---- the deprecation shim ------------------------------------------ *)
+
+let mini_input () = (Suite.mini ()).Suite.input
+
+let test_trace_shim () =
+  Obs.set_clock_for_tests None;
+  Obs.disable ();
+  Obs.reset ();
+  (* legacy callback keeps working with observability off... *)
+  let lines = ref 0 in
+  let options = { Router.default_options with Router.trace = Some (fun _ -> incr lines) } in
+  ignore (Flow.run ~options (mini_input ()));
+  check_bool "legacy options.trace callback still fires" true (!lines > 0);
+  (* ...and with it on, every line is mirrored as a router.log instant *)
+  Obs.enable ();
+  Obs.reset ();
+  let lines2 = ref 0 in
+  let options2 = { Router.default_options with Router.trace = Some (fun _ -> incr lines2) } in
+  ignore (Flow.run ~options:options2 (mini_input ()));
+  let logs =
+    List.filter (fun sp -> sp.Obs.Trace.sp_name = "router.log") (Obs.Trace.completed ())
+  in
+  check_bool "router.log instants recorded" true (logs <> []);
+  check_int "one instant per legacy line" !lines2 (List.length logs);
+  Obs.disable ();
+  Obs.reset ()
+
+(* ---- bit-identity: observability never changes a routing decision -- *)
+
+let load_corpus name =
+  let path = Filename.concat corpus_dir name in
+  match
+    Result.bind (Design_io.read_result path) Design_check.validate
+    |> Result.map_error (Bgr_error.with_file path)
+  with
+  | Ok bundle -> Design_io.to_flow_input bundle
+  | Error e -> Alcotest.failf "%s: %s" name (Bgr_error.to_string e)
+
+(* Exact fingerprint: floats as hex so the comparison is bitwise, plus
+   the order-sensitive deletion hash (same idiom as test_parallel). *)
+let fingerprint (outcome : Flow.outcome) =
+  let m = outcome.Flow.o_measurement in
+  Printf.sprintf "delay=%h area=%h len=%h viol=%d del=%d tracks=[%s] hash=%d"
+    m.Flow.m_delay_ps m.Flow.m_area_mm2 m.Flow.m_length_mm m.Flow.m_violations
+    m.Flow.m_deletions
+    (String.concat ";" (Array.to_list (Array.map string_of_int m.Flow.m_tracks)))
+    (Router.deletion_hash outcome.Flow.o_router)
+
+let test_bit_identity () =
+  Obs.set_clock_for_tests None;
+  List.iter
+    (fun (name, domains) ->
+      let input = load_corpus name in
+      let options = { Router.default_options with Router.domains } in
+      Obs.disable ();
+      Obs.reset ();
+      let plain = fingerprint (Flow.run ~options input) in
+      let trace_path = Filename.temp_file "bgr_obs_id" ".json" in
+      let jsonl_path = Filename.temp_file "bgr_obs_id" ".jsonl" in
+      Obs.enable ();
+      Obs.Trace.to_chrome_file trace_path;
+      Obs.Trace.to_jsonl_file jsonl_path;
+      let traced = fingerprint (Flow.run ~options input) in
+      Obs.Trace.close_sinks ();
+      check_bool (name ^ ": the traced run actually wrote a trace") true
+        (read_file trace_path <> "");
+      Obs.disable ();
+      Obs.reset ();
+      Sys.remove trace_path;
+      Sys.remove jsonl_path;
+      check_string
+        (Printf.sprintf "%s, %d domain(s): tracing on = tracing off" name domains)
+        plain traced)
+    [ ("valid_mini.bgr", 1); ("valid_mini.bgr", 4); ("valid_gen.bgr", 1); ("valid_gen.bgr", 4) ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "trace",
+        [ Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "span recorded on exception" `Quick test_span_survives_exception;
+          Alcotest.test_case "chrome trace_event golden" `Quick test_chrome_golden;
+          Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden ] );
+      ( "metrics",
+        [ Alcotest.test_case "prometheus golden + shape" `Quick test_prometheus_golden;
+          QCheck_alcotest.to_alcotest prop_histogram_counts ] );
+      ( "resilience",
+        [ Alcotest.test_case "sink fault degrades to warning" `Quick test_sink_fault_degrades;
+          Alcotest.test_case "options.trace deprecation shim" `Quick test_trace_shim ] );
+      ( "determinism",
+        [ Alcotest.test_case "deletion hash identical with tracing on" `Slow test_bit_identity ]
+      ) ]
