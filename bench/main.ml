@@ -229,16 +229,48 @@ let micro () =
       | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
     names
 
+(* Where to persist the metrics payload: --bench-out PATH (or
+   --bench-out=PATH) anywhere on the command line, else the
+   BGR_BENCH_OUT environment variable, else nowhere. *)
+let bench_out_path () =
+  let from_argv = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--bench-out" && i + 1 < Array.length Sys.argv then
+        from_argv := Some Sys.argv.(i + 1)
+      else if String.length a > 12 && String.sub a 0 12 = "--bench-out=" then
+        from_argv := Some (String.sub a 12 (String.length a - 12)))
+    Sys.argv;
+  match !from_argv with Some p -> Some p | None -> Sys.getenv_opt "BGR_BENCH_OUT"
+
 (* Per-suite observability: phase timings of the runs above, plus the
    whole registry on one machine-greppable line so BENCH_*.json
    trajectories can carry phase-level timing alongside wall-clock. *)
 let obs_summary () =
   section "Phase-level metrics (orchestrator-side spans of the runs above)";
   Table.print (Obs_report.phase_durations ());
-  Printf.printf "BENCH_METRICS_JSON %s\n" (Obs.Metrics.render_json ())
+  let payload = Obs.Metrics.render_json () in
+  Printf.printf "BENCH_METRICS_JSON %s\n" payload;
+  match bench_out_path () with
+  | None -> ()
+  | Some path -> (
+    match
+      let oc = open_out path in
+      output_string oc payload;
+      output_char oc '\n';
+      close_out oc
+    with
+    | () -> Printf.printf "wrote metrics payload to %s\n" path
+    | exception Sys_error msg ->
+      Printf.eprintf "warning: cannot write bench metrics to %s: %s\n%!" path msg)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let what =
+    (* the first operand selects the suite; --flags are not a suite name *)
+    if Array.length Sys.argv > 1 && not (String.length Sys.argv.(1) >= 2 && String.sub Sys.argv.(1) 0 2 = "--")
+    then Sys.argv.(1)
+    else "all"
+  in
   Obs.enable ();
   let t0 = Sys.time () in
   if what = "all" || what = "tables" then begin

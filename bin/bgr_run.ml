@@ -136,6 +136,65 @@ let obs_finish o =
     List.iter (fun w -> Printf.eprintf "warning: obs: %s\n%!" w) (Obs.warnings ())
   end
 
+(* --- quality recording (route-file / resume) -------------------------- *)
+
+let quality_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "quality-log" ] ~docv:"FILE.bgrq"
+        ~doc:
+          "Record solution-quality telemetry (margins, violations, channel densities, \
+           deletion-criterion mix) into a CRC-framed .bgrq event log; explore it offline with \
+           $(b,bgr_analyze).  Recording never changes the routing result.  With no value the \
+           log is written next to the journal ($(b,--persist) DIR/quality.bgrq) or to \
+           ./quality.bgrq.")
+
+let quality_path ~persist = function
+  | None -> None
+  | Some "" ->
+    Some
+      (match persist with
+      | Some dir -> Filename.concat dir Qlog.default_filename
+      | None -> Qlog.default_filename)
+  | Some p -> Some p
+
+(* The CLI-side quality sink: a [Qlog] writer wrapped so that any I/O
+   failure degrades to a stderr warning and stops recording — telemetry
+   must never fail (or alter) the run. *)
+let quality_sink = function
+  | None -> (None, fun () -> ())
+  | Some path -> (
+    (* the log may live inside a --persist run directory that the
+       routing entry point has not created yet *)
+    (try
+       let d = Filename.dirname path in
+       if not (Sys.file_exists d) then Unix.mkdir d 0o755
+     with Unix.Unix_error _ -> ());
+    match Qlog.create ~path with
+    | exception Bgr_error.Error e ->
+      Printf.eprintf "warning: quality: %s\n%!" e.Bgr_error.message;
+      (None, fun () -> ())
+    | w ->
+      let dead = ref false in
+      let emit s =
+        if not !dead then
+          try ignore (Qlog.append w s)
+          with e ->
+            dead := true;
+            Qlog.close w;
+            Printf.eprintf "warning: quality: recording stopped: %s\n%!"
+              (match e with
+              | Bgr_error.Error err -> err.Bgr_error.message
+              | e -> Printexc.to_string e)
+      in
+      ( Some emit,
+        fun () ->
+          if not !dead then begin
+            Qlog.close w;
+            Printf.printf "quality log: %s (%d samples)\n" path (Qlog.appended w)
+          end ))
+
 let report_measurement name (m : Flow.measurement) =
   let t = Table.create ~title:(Printf.sprintf "Routing result: %s" name) ~columns:[ "metric"; "value" ] in
   let add k v = Table.add_row t [ k; v ] in
@@ -283,7 +342,7 @@ let route_file_cmd =
             "After routing, sweep the full state-invariant audit (densities, connectivity, \
              pair mirroring, timing staleness) and exit 10 if anything is broken.")
   in
-  let run path unconstrained deadline persist audit obs =
+  let run path unconstrained deadline persist audit obs quality =
     let result =
       match Lineio.read_all path with
       | exception Sys_error msg ->
@@ -300,21 +359,25 @@ let route_file_cmd =
       exit (Bgr_error.exit_code e.Bgr_error.code)
     | Ok (text, bundle) -> (
       obs_setup obs;
+      let on_quality, quality_finish = quality_sink (quality_path ~persist quality) in
       match
         Lineio.protect ~file:path (fun () ->
             let input = Design_io.to_flow_input bundle in
             let timing_driven = not unconstrained in
             let budget = budget_of_deadline deadline in
             match persist with
-            | None -> Flow.run ~timing_driven ~budget input
-            | Some dir -> Persist.route ~timing_driven ~budget ~dir ~design_text:text input)
+            | None -> Flow.run ~timing_driven ~budget ?on_quality input
+            | Some dir ->
+              Persist.route ~timing_driven ~budget ?on_quality ~dir ~design_text:text input)
       with
       | Error e ->
+        quality_finish ();
         obs_finish obs;
         prerr_endline (Bgr_error.to_string e);
         exit (Bgr_error.exit_code e.Bgr_error.code)
       | Ok outcome ->
         report_measurement (Filename.basename path) outcome.Flow.o_measurement;
+        quality_finish ();
         obs_finish obs;
         if audit then run_audit outcome.Flow.o_router)
   in
@@ -327,7 +390,7 @@ let route_file_cmd =
           deadline, 7 I/O, 10 internal).")
     Term.(
       const run $ path_arg $ no_constraints $ deadline_arg $ persist_arg $ audit_flag
-      $ obs_term)
+      $ obs_term $ quality_arg)
 
 let resume_cmd =
   let dir_arg =
@@ -345,10 +408,14 @@ let resume_cmd =
             "Let the audit rebuild derived state (densities, trees, timing) when it finds \
              corruption, instead of failing.")
   in
-  let run dir domains deadline repair obs =
+  let run dir domains deadline repair obs quality =
     obs_setup obs;
-    match Persist.resume ~domains ~budget:(budget_of_deadline deadline) ~dir () with
+    let on_quality, quality_finish =
+      quality_sink (quality_path ~persist:(Some dir) quality)
+    in
+    match Persist.resume ~domains ~budget:(budget_of_deadline deadline) ?on_quality ~dir () with
     | Error e ->
+      quality_finish ();
       obs_finish obs;
       prerr_endline (Bgr_error.to_string e);
       exit (Bgr_error.exit_code e.Bgr_error.code)
@@ -361,6 +428,7 @@ let resume_cmd =
         Printf.printf "resume: replayed %d journaled deletions\n" r.Persist.rr_replayed;
       let outcome = r.Persist.rr_outcome in
       report_measurement (Filename.basename dir ^ " (resumed)") outcome.Flow.o_measurement;
+      quality_finish ();
       obs_finish obs;
       run_audit ~repair outcome.Flow.o_router
   in
@@ -371,7 +439,7 @@ let resume_cmd =
           snapshot, replay the deletion journal (truncating a torn tail with a warning), \
           finish the run and audit the final state.  The result is bit-identical to an \
           uninterrupted run — compare the deletion hash rows.")
-    Term.(const run $ dir_arg $ domains_arg $ deadline_arg $ repair_flag $ obs_term)
+    Term.(const run $ dir_arg $ domains_arg $ deadline_arg $ repair_flag $ obs_term $ quality_arg)
 
 let stats_cmd =
   let run case =
@@ -502,6 +570,12 @@ let signoff_cmd =
     let outcome = Flow.run ~options ~timing_driven:(not unconstrained) case.Suite.input in
     let snap = Route_stats.snapshot outcome.Flow.o_router in
     Signoff.print ~snapshot:snap outcome;
+    (* --obs-summary extends the sign-off with the worst-endpoints
+       table (the slack histogram's per-endpoint companion). *)
+    if obs.ob_summary then
+      Option.iter
+        (fun sta -> Table.print (Slack_profile.worst_endpoints sta))
+        outcome.Flow.o_sta;
     obs_finish obs
   in
   Cmd.v

@@ -1,0 +1,286 @@
+(* Hand-rolled SVG: every chart is a plain string of well-formed XML
+   with no stylesheet, script or external reference, so the output
+   renders identically in a browser, an <img> tag and a CI artifact
+   viewer, and can be checked with any XML parser. *)
+
+let esc s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let f v = Printf.sprintf "%.2f" v
+
+let document ~w ~h body =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d \
+     %d\" font-family=\"sans-serif\">\n\
+     <rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"#ffffff\"/>\n\
+     %s</svg>\n"
+    w h w h w h body
+
+let text ?(anchor = "start") ?(size = 11) ?(fill = "#333333") ?(rotate = None) x y s =
+  let transform =
+    match rotate with
+    | None -> ""
+    | Some deg -> Printf.sprintf " transform=\"rotate(%d %s %s)\"" deg (f x) (f y)
+  in
+  Printf.sprintf
+    "<text x=\"%s\" y=\"%s\" font-size=\"%d\" fill=\"%s\" text-anchor=\"%s\"%s>%s</text>\n"
+    (f x) (f y) size fill anchor transform (esc s)
+
+let line ?(stroke = "#cccccc") ?(width = 1.0) ?(dash = "") x1 y1 x2 y2 =
+  let dash = if dash = "" then "" else Printf.sprintf " stroke-dasharray=\"%s\"" dash in
+  Printf.sprintf
+    "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"%s\"%s/>\n"
+    (f x1) (f y1) (f x2) (f y2) stroke (f width) dash
+
+let rect ?(fill = "#000000") ?(title = "") x y w h =
+  if title = "" then
+    Printf.sprintf "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\"/>\n" (f x)
+      (f y) (f w) (f h) fill
+  else
+    Printf.sprintf
+      "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\"><title>%s</title></rect>\n"
+      (f x) (f y) (f w) (f h) fill (esc title)
+
+let polyline ~stroke pts =
+  match pts with
+  | [] -> ""
+  | _ ->
+    let coords =
+      String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%s,%s" (f x) (f y)) pts)
+    in
+    Printf.sprintf
+      "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n" coords
+      stroke
+
+let empty_chart ~title =
+  document ~w:640 ~h:120
+    (text ~size:14 20.0 40.0 title ^ text ~size:12 ~fill:"#888888" 20.0 70.0 "no samples")
+
+(* Value label for an axis tick: trim trailing noise. *)
+let tick_label v =
+  if Float.abs v >= 1000.0 || Float.is_integer v then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+(* A linear scale [lo, hi] -> pixel range, widened when degenerate. *)
+let scale lo hi plo phi =
+  let lo, hi = if hi -. lo < 1e-9 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+  fun v -> plo +. ((v -. lo) /. (hi -. lo) *. (phi -. plo))
+
+let ticks lo hi n =
+  let lo, hi = if hi -. lo < 1e-9 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+  List.init (n + 1) (fun i -> lo +. (float_of_int i *. (hi -. lo) /. float_of_int n))
+
+(* --- convergence ----------------------------------------------------- *)
+
+(* Two stacked panels over a shared deletion-count axis: margins (worst
+   and total negative, ps) on top, violations and peak density below.
+   Phase-boundary samples draw dashed verticals with the phase name. *)
+let convergence (records : Qlog.record list) =
+  if records = [] then empty_chart ~title:"Convergence"
+  else begin
+    let samples = List.map (fun (r : Qlog.record) -> r.Qlog.q_sample) records in
+    let xs = List.map (fun (s : Router.quality_sample) -> float_of_int s.Router.qs_deletions) samples in
+    let xmin = List.fold_left Float.min infinity xs in
+    let xmax = List.fold_left Float.max neg_infinity xs in
+    let w = 860 and h = 560 in
+    let left = 80.0 and right = 840.0 in
+    let panel1_top = 50.0 and panel1_bot = 270.0 in
+    let panel2_top = 330.0 and panel2_bot = 520.0 in
+    let sx = scale xmin xmax left right in
+    let b = Buffer.create 4096 in
+    let add s = Buffer.add_string b s in
+    add (text ~size:15 left 24.0 "Convergence");
+    (* Panel 1: margins. *)
+    let finite =
+      List.concat_map
+        (fun (s : Router.quality_sample) ->
+          List.filter Float.is_finite [ s.qs_worst_margin_ps; s.qs_total_negative_ps ])
+        samples
+    in
+    (if finite = [] then add (text ~fill:"#888888" left (panel1_top +. 20.0) "no timing data")
+     else begin
+       let ymin = List.fold_left Float.min 0.0 finite in
+       let ymax = List.fold_left Float.max 0.0 finite in
+       let sy = scale ymin ymax panel1_bot panel1_top in
+       List.iter
+         (fun v ->
+           add (line left (sy v) right (sy v));
+           add (text ~anchor:"end" ~size:10 (left -. 6.0) (sy v +. 3.0) (tick_label v)))
+         (ticks ymin ymax 5);
+       add (line ~stroke:"#555555" ~width:1.2 left (sy 0.0) right (sy 0.0));
+       let series get stroke =
+         let pts =
+           List.filter_map
+             (fun (s : Router.quality_sample) ->
+               let v = get s in
+               if Float.is_finite v then Some (sx (float_of_int s.qs_deletions), sy v) else None)
+             samples
+         in
+         add (polyline ~stroke pts)
+       in
+       series (fun s -> s.Router.qs_worst_margin_ps) "#4269d0";
+       series (fun s -> s.Router.qs_total_negative_ps) "#ff725c";
+       add (rect ~fill:"#4269d0" (left +. 10.0) (panel1_top -. 16.0) 10.0 10.0);
+       add (text (left +. 25.0) (panel1_top -. 7.0) "worst margin (ps)");
+       add (rect ~fill:"#ff725c" (left +. 170.0) (panel1_top -. 16.0) 10.0 10.0);
+       add (text (left +. 185.0) (panel1_top -. 7.0) "total negative margin (ps)")
+     end);
+    (* Panel 2: violations and peak density share an integer scale. *)
+    let vio = List.map (fun (s : Router.quality_sample) -> float_of_int s.qs_violations) samples in
+    let den =
+      List.map
+        (fun (s : Router.quality_sample) ->
+          float_of_int (Array.fold_left max 0 s.qs_density))
+        samples
+    in
+    let ymax2 = List.fold_left Float.max 1.0 (vio @ den) in
+    let sy2 = scale 0.0 ymax2 panel2_bot panel2_top in
+    List.iter
+      (fun v ->
+        add (line left (sy2 v) right (sy2 v));
+        add (text ~anchor:"end" ~size:10 (left -. 6.0) (sy2 v +. 3.0) (tick_label v)))
+      (ticks 0.0 ymax2 4);
+    add (polyline ~stroke:"#efb118" (List.map2 (fun x v -> (x, sy2 v)) (List.map sx xs) vio));
+    add (polyline ~stroke:"#3ca951" (List.map2 (fun x v -> (x, sy2 v)) (List.map sx xs) den));
+    add (rect ~fill:"#efb118" (left +. 10.0) (panel2_top -. 16.0) 10.0 10.0);
+    add (text (left +. 25.0) (panel2_top -. 7.0) "violations");
+    add (rect ~fill:"#3ca951" (left +. 120.0) (panel2_top -. 16.0) 10.0 10.0);
+    add (text (left +. 135.0) (panel2_top -. 7.0) "peak density (tracks)");
+    (* Shared x axis and phase boundaries. *)
+    List.iter
+      (fun v ->
+        add (text ~anchor:"middle" ~size:10 (sx v) (panel2_bot +. 16.0) (tick_label v)))
+      (ticks xmin xmax 6);
+    add (text ~anchor:"middle" ((left +. right) /. 2.0) (panel2_bot +. 34.0) "deletions");
+    List.iter
+      (fun (s : Router.quality_sample) ->
+        if s.qs_kind = Router.Q_phase then begin
+          let x = sx (float_of_int s.qs_deletions) in
+          add (line ~stroke:"#aaaaaa" ~dash:"4 3" x panel1_top x panel2_bot);
+          add (text ~anchor:"end" ~size:9 ~fill:"#777777" ~rotate:(Some (-90)) x (panel1_top -. 2.0) s.qs_phase)
+        end)
+      samples;
+    document ~w ~h (Buffer.contents b)
+  end
+
+(* --- density heatmap ------------------------------------------------- *)
+
+let heat_color ~frac =
+  (* white -> blue -> dark navy *)
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let lerp a bch = int_of_float (a +. ((bch -. a) *. frac)) in
+  Printf.sprintf "#%02x%02x%02x" (lerp 255.0 20.0) (lerp 255.0 40.0) (lerp 255.0 120.0)
+
+(* Channels on the y axis, samples in emission order on the x axis,
+   cell colour = that channel's bridge density C_M at that sample. *)
+let density_heatmap (records : Qlog.record list) =
+  let grids =
+    List.filter_map
+      (fun (r : Qlog.record) ->
+        let s = r.Qlog.q_sample in
+        if Array.length s.Router.qs_density > 0 then Some s.Router.qs_density else None)
+      records
+  in
+  if grids = [] then empty_chart ~title:"Channel density"
+  else begin
+    let n_samples = List.length grids in
+    let n_channels = List.fold_left (fun acc d -> max acc (Array.length d)) 0 grids in
+    let dmax = List.fold_left (fun acc d -> Array.fold_left max acc d) 1 grids in
+    let left = 70.0 and top = 40.0 in
+    let plot_w = 700.0 and plot_h = Float.max 80.0 (Float.min 420.0 (float_of_int n_channels *. 22.0)) in
+    let w = 860 and h = int_of_float (top +. plot_h +. 70.0) in
+    let cw = plot_w /. float_of_int n_samples in
+    let ch = plot_h /. float_of_int n_channels in
+    let b = Buffer.create 4096 in
+    let add s = Buffer.add_string b s in
+    add (text ~size:15 left 24.0 (Printf.sprintf "Channel density over the run (max %d tracks)" dmax));
+    List.iteri
+      (fun i d ->
+        Array.iteri
+          (fun c v ->
+            let frac = float_of_int v /. float_of_int dmax in
+            add
+              (rect
+                 ~fill:(heat_color ~frac)
+                 ~title:(Printf.sprintf "sample %d channel %d: %d" i c v)
+                 (left +. (float_of_int i *. cw))
+                 (top +. (float_of_int c *. ch))
+                 (cw +. 0.5) (ch +. 0.5)))
+          d)
+      grids;
+    for c = 0 to n_channels - 1 do
+      if n_channels <= 24 || c mod (n_channels / 12) = 0 then
+        add
+          (text ~anchor:"end" ~size:10 (left -. 6.0)
+             (top +. ((float_of_int c +. 0.5) *. ch) +. 3.0)
+             (string_of_int c))
+    done;
+    add (text ~anchor:"end" ~size:11 (left -. 30.0) (top +. (plot_h /. 2.0)) "ch");
+    add (text ~anchor:"middle" (left +. (plot_w /. 2.0)) (top +. plot_h +. 28.0) "sample (emission order)");
+    (* colour scale *)
+    let sw = 120.0 in
+    for i = 0 to 23 do
+      add
+        (rect
+           ~fill:(heat_color ~frac:(float_of_int i /. 23.0))
+           (left +. plot_w -. sw +. (float_of_int i *. sw /. 24.0))
+           (top +. plot_h +. 38.0) (sw /. 24.0) 10.0)
+    done;
+    add (text ~anchor:"end" ~size:10 (left +. plot_w -. sw -. 6.0) (top +. plot_h +. 47.0) "0");
+    add
+      (text ~size:10 (left +. plot_w +. 4.0) (top +. plot_h +. 47.0) (string_of_int dmax));
+    document ~w ~h (Buffer.contents b)
+  end
+
+(* --- slack waterfall ------------------------------------------------- *)
+
+(* One horizontal bar per path constraint, sorted worst-first; negative
+   margins (violations) in red to the left of the zero line. *)
+let slack_waterfall (s : Quality.summary) =
+  let margins =
+    Array.to_list (Array.mapi (fun i m -> (i, m)) s.Quality.sm_margins)
+    |> List.filter (fun (_, m) -> Float.is_finite m)
+  in
+  if margins = [] then empty_chart ~title:"Slack waterfall"
+  else begin
+    let margins = List.sort (fun (_, a) (_, b) -> Float.compare a b) margins in
+    let n = List.length margins in
+    let vmin = List.fold_left (fun acc (_, m) -> Float.min acc m) 0.0 margins in
+    let vmax = List.fold_left (fun acc (_, m) -> Float.max acc m) 0.0 margins in
+    let left = 90.0 and right = 800.0 and top = 50.0 in
+    let bar_h = 18.0 and gap = 6.0 in
+    let w = 860 and h = int_of_float (top +. (float_of_int n *. (bar_h +. gap)) +. 50.0) in
+    let sx = scale vmin vmax left right in
+    let b = Buffer.create 2048 in
+    let add s = Buffer.add_string b s in
+    add (text ~size:15 left 24.0 "Slack waterfall (final margin per constraint, ps)");
+    List.iter
+      (fun v ->
+        add (line (sx v) top (sx v) (top +. (float_of_int n *. (bar_h +. gap))));
+        add (text ~anchor:"middle" ~size:10 (sx v) (top -. 8.0) (tick_label v)))
+      (ticks vmin vmax 6);
+    add
+      (line ~stroke:"#555555" ~width:1.2 (sx 0.0) top (sx 0.0)
+         (top +. (float_of_int n *. (bar_h +. gap))));
+    List.iteri
+      (fun i (ci, m) ->
+        let y = top +. (float_of_int i *. (bar_h +. gap)) in
+        let x0 = Float.min (sx 0.0) (sx m) and x1 = Float.max (sx 0.0) (sx m) in
+        let fill = if m < 0.0 then "#ff725c" else "#6cc5b0" in
+        add (rect ~fill ~title:(Printf.sprintf "P%d: %.1f ps" ci m) x0 y (Float.max 1.0 (x1 -. x0)) bar_h);
+        add (text ~anchor:"end" ~size:11 (left -. 8.0) (y +. 13.0) (Printf.sprintf "P%d" ci));
+        let lx, anchor = if m < 0.0 then (x0 -. 4.0, "end") else (x1 +. 4.0, "start") in
+        add (text ~anchor ~size:10 lx (y +. 13.0) (Printf.sprintf "%.1f" m)))
+      margins;
+    document ~w ~h (Buffer.contents b)
+  end

@@ -1,0 +1,17 @@
+(** Zero-dependency SVG renderers for the quality explorers.  Every
+    function returns one complete, well-formed, self-contained SVG
+    document string (no stylesheet, script or external reference) —
+    checkable with any XML parser and viewable as a plain file. *)
+
+val convergence : Qlog.record list -> string
+(** Two stacked panels over a shared deletion-count axis: worst and
+    total-negative margin (ps) on top, violation count and peak channel
+    density below, with dashed verticals at phase boundaries. *)
+
+val density_heatmap : Qlog.record list -> string
+(** Channels x samples grid, cell colour = that channel's bridge
+    density [C_M] at that sample, with a colour scale. *)
+
+val slack_waterfall : Quality.summary -> string
+(** One horizontal bar per path constraint (final margins, sorted
+    worst-first); violations extend red past the zero line. *)

@@ -1,0 +1,334 @@
+let schema = "bgr-quality-1"
+
+type phase_stat = {
+  ph_phase : string;
+  ph_passes : int;
+  ph_wall_s : float;
+  ph_deletions : int;  (* cumulative deletions at the phase boundary *)
+  ph_worst_margin_ps : float;
+  ph_violations : int;
+  ph_peak_density : int;
+  ph_criteria : (string * int) list;
+}
+
+type summary = {
+  sm_schema : string;
+  sm_samples : int;
+  sm_wall_s : float;
+  sm_phases : phase_stat list;
+  sm_criteria : (string * int) list;  (* run-total winning-criterion mix *)
+  sm_final_worst_margin_ps : float;
+  sm_final_worst_constraint : int;
+  sm_final_total_negative_ps : float;
+  sm_final_violations : int;
+  sm_final_peak_density : int;
+  sm_final_deletions : int;
+  sm_final_ep_slack_min_ps : float;
+  sm_final_ep_slack_max_ps : float;
+  sm_margins : float array;  (* per-constraint margins of the last phase sample *)
+}
+
+let empty_summary =
+  { sm_schema = schema;
+    sm_samples = 0;
+    sm_wall_s = 0.0;
+    sm_phases = [];
+    sm_criteria = [];
+    sm_final_worst_margin_ps = nan;
+    sm_final_worst_constraint = -1;
+    sm_final_total_negative_ps = nan;
+    sm_final_violations = 0;
+    sm_final_peak_density = 0;
+    sm_final_deletions = 0;
+    sm_final_ep_slack_min_ps = nan;
+    sm_final_ep_slack_max_ps = nan;
+    sm_margins = [||] }
+
+let peak a = Array.fold_left max 0 a
+
+let merge_criteria tbl l =
+  List.iter
+    (fun (k, v) -> Hashtbl.replace tbl k (v + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    l
+
+let dump_criteria tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Fold the record stream into per-phase segments: every [Q_phase]
+   record closes the segment that accumulated since the previous
+   boundary (the final post-metrology sample closes its own "metrology"
+   segment).  Criterion counts are already deltas-since-last-sample at
+   the source, so segment totals are plain sums. *)
+let summarize (records : Qlog.record list) =
+  match records with
+  | [] -> empty_summary
+  | _ ->
+    let phases = ref [] in
+    let seg_crit = Hashtbl.create 16 in
+    let total_crit = Hashtbl.create 16 in
+    let seg_passes = ref 0 in
+    let seg_t0 = ref 0.0 in
+    let last = ref (List.hd records) in
+    let last_margins = ref [||] in
+    List.iter
+      (fun (r : Qlog.record) ->
+        let s = r.Qlog.q_sample in
+        merge_criteria seg_crit s.Router.qs_criteria;
+        merge_criteria total_crit s.Router.qs_criteria;
+        seg_passes := max !seg_passes s.qs_pass;
+        if Array.length s.qs_margins > 0 then last_margins := s.qs_margins;
+        (match s.qs_kind with
+        | Router.Q_phase ->
+          phases :=
+            { ph_phase = s.qs_phase;
+              ph_passes = !seg_passes;
+              ph_wall_s = Float.max 0.0 (r.q_t_s -. !seg_t0);
+              ph_deletions = s.qs_deletions;
+              ph_worst_margin_ps = s.qs_worst_margin_ps;
+              ph_violations = s.qs_violations;
+              ph_peak_density = peak s.qs_density;
+              ph_criteria = dump_criteria seg_crit }
+            :: !phases;
+          Hashtbl.reset seg_crit;
+          seg_passes := 0;
+          seg_t0 := r.q_t_s
+        | Router.Q_cadence | Router.Q_pass -> ());
+        last := r)
+      records;
+    let lr = !last in
+    let ls = lr.Qlog.q_sample in
+    { sm_schema = schema;
+      sm_samples = List.length records;
+      sm_wall_s = lr.q_t_s;
+      sm_phases = List.rev !phases;
+      sm_criteria = dump_criteria total_crit;
+      sm_final_worst_margin_ps = ls.qs_worst_margin_ps;
+      sm_final_worst_constraint = ls.qs_worst_constraint;
+      sm_final_total_negative_ps = ls.qs_total_negative_ps;
+      sm_final_violations = ls.qs_violations;
+      sm_final_peak_density = peak ls.qs_density;
+      sm_final_deletions = ls.qs_deletions;
+      sm_final_ep_slack_min_ps = ls.qs_ep_slack_min_ps;
+      sm_final_ep_slack_max_ps = ls.qs_ep_slack_max_ps;
+      sm_margins = !last_margins }
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let criteria_json l = Qjson.Obj (List.map (fun (k, v) -> (k, Qjson.int v)) l)
+
+let phase_json p =
+  Qjson.Obj
+    [ ("phase", Qjson.Str p.ph_phase);
+      ("passes", Qjson.int p.ph_passes);
+      ("wall_s", Qjson.num p.ph_wall_s);
+      ("deletions", Qjson.int p.ph_deletions);
+      ("worst_margin_ps", Qjson.num p.ph_worst_margin_ps);
+      ("violations", Qjson.int p.ph_violations);
+      ("peak_density", Qjson.int p.ph_peak_density);
+      ("criteria", criteria_json p.ph_criteria) ]
+
+let json_of_summary s =
+  Qjson.Obj
+    [ ("schema", Qjson.Str s.sm_schema);
+      ("samples", Qjson.int s.sm_samples);
+      ("wall_s", Qjson.num s.sm_wall_s);
+      ( "final",
+        Qjson.Obj
+          [ ("worst_margin_ps", Qjson.num s.sm_final_worst_margin_ps);
+            ("worst_constraint", Qjson.int s.sm_final_worst_constraint);
+            ("total_negative_ps", Qjson.num s.sm_final_total_negative_ps);
+            ("violations", Qjson.int s.sm_final_violations);
+            ("peak_density", Qjson.int s.sm_final_peak_density);
+            ("deletions", Qjson.int s.sm_final_deletions);
+            ("ep_slack_min_ps", Qjson.num s.sm_final_ep_slack_min_ps);
+            ("ep_slack_max_ps", Qjson.num s.sm_final_ep_slack_max_ps) ] );
+      ("margins_ps", Qjson.Arr (Array.to_list (Array.map Qjson.num s.sm_margins)));
+      ("criteria", criteria_json s.sm_criteria);
+      ("phases", Qjson.Arr (List.map phase_json s.sm_phases)) ]
+
+let to_json s = Qjson.to_string (json_of_summary s)
+
+exception Bad of string
+
+let of_json_string ?file text =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  match
+    let j =
+      match Qjson.parse text with Ok j -> j | Error m -> fail "%s" m
+    in
+    let mem what k v = match Qjson.member k v with Some x -> x | None -> fail "missing key %S" what in
+    let num what k v = match Qjson.to_float (mem what k v) with Some x -> x | None -> fail "key %S is not a number" what in
+    let int_d what k v ~default =
+      match Qjson.member k v with
+      | None -> default
+      | Some x -> ( match Qjson.to_int x with Some i -> i | None -> fail "key %S is not an integer" what)
+    in
+    let int what k v =
+      match Qjson.to_int (mem what k v) with Some i -> i | None -> fail "key %S is not an integer" what
+    in
+    let str what k v =
+      match Qjson.to_str (mem what k v) with Some s -> s | None -> fail "key %S is not a string" what
+    in
+    let criteria what v =
+      match Qjson.to_obj v with
+      | None -> fail "key %S is not an object" what
+      | Some kvs ->
+        List.map
+          (fun (k, x) ->
+            match Qjson.to_int x with
+            | Some i -> (k, i)
+            | None -> fail "criterion %S count is not an integer" k)
+          kvs
+    in
+    let sm_schema = str "schema" "schema" j in
+    if sm_schema <> schema then fail "unsupported quality schema %S (want %S)" sm_schema schema;
+    let final = mem "final" "final" j in
+    let phases =
+      match Qjson.to_list (mem "phases" "phases" j) with
+      | None -> fail "key \"phases\" is not an array"
+      | Some l ->
+        List.map
+          (fun p ->
+            { ph_phase = str "phases[].phase" "phase" p;
+              ph_passes = int_d "phases[].passes" "passes" p ~default:0;
+              ph_wall_s = num "phases[].wall_s" "wall_s" p;
+              ph_deletions = int_d "phases[].deletions" "deletions" p ~default:0;
+              ph_worst_margin_ps = num "phases[].worst_margin_ps" "worst_margin_ps" p;
+              ph_violations = int_d "phases[].violations" "violations" p ~default:0;
+              ph_peak_density = int_d "phases[].peak_density" "peak_density" p ~default:0;
+              ph_criteria =
+                (match Qjson.member "criteria" p with
+                | None -> []
+                | Some c -> criteria "phases[].criteria" c) })
+          l
+    in
+    let margins =
+      match Qjson.member "margins_ps" j with
+      | None -> [||]
+      | Some m -> (
+        match Qjson.to_list m with
+        | None -> fail "key \"margins_ps\" is not an array"
+        | Some l ->
+          Array.of_list
+            (List.map
+               (fun v ->
+                 match Qjson.to_float v with
+                 | Some f -> f
+                 | None -> fail "margins_ps element is not a number")
+               l))
+    in
+    { sm_schema;
+      sm_samples = int_d "samples" "samples" j ~default:0;
+      sm_wall_s = num "wall_s" "wall_s" j;
+      sm_phases = phases;
+      sm_criteria =
+        (match Qjson.member "criteria" j with None -> [] | Some c -> criteria "criteria" c);
+      sm_final_worst_margin_ps = num "final.worst_margin_ps" "worst_margin_ps" final;
+      sm_final_worst_constraint = int_d "final.worst_constraint" "worst_constraint" final ~default:(-1);
+      sm_final_total_negative_ps = num "final.total_negative_ps" "total_negative_ps" final;
+      sm_final_violations = int "final.violations" "violations" final;
+      sm_final_peak_density = int "final.peak_density" "peak_density" final;
+      sm_final_deletions = int "final.deletions" "deletions" final;
+      sm_final_ep_slack_min_ps = num "final.ep_slack_min_ps" "ep_slack_min_ps" final;
+      sm_final_ep_slack_max_ps = num "final.ep_slack_max_ps" "ep_slack_max_ps" final;
+      sm_margins = margins }
+  with
+  | s -> Ok s
+  | exception Bad m -> Error (Bgr_error.make ?file ~phase:"analyze" Bgr_error.Parse "%s" m)
+
+(* --- A/B diff -------------------------------------------------------- *)
+
+type verdict = Pass | Regressed | Improved | Skipped
+
+let verdict_string = function
+  | Pass -> "PASS"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Skipped -> "skipped"
+
+type check = {
+  ck_metric : string;
+  ck_a : string;
+  ck_b : string;
+  ck_verdict : verdict;
+  ck_note : string;
+}
+
+let fnum v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
+
+(* Quality metrics where *smaller is worse* (margins): B regresses when
+   it drops below A by more than the tolerance. *)
+let higher_better ~tol metric a b =
+  if Float.is_nan a || Float.is_nan b then
+    { ck_metric = metric; ck_a = fnum a; ck_b = fnum b; ck_verdict = Skipped;
+      ck_note = "not measured in both runs" }
+  else if b < a -. tol then
+    { ck_metric = metric; ck_a = fnum a; ck_b = fnum b; ck_verdict = Regressed;
+      ck_note = Printf.sprintf "dropped by %.1f (tolerance %.1f)" (a -. b) tol }
+  else if b > a +. tol then
+    { ck_metric = metric; ck_a = fnum a; ck_b = fnum b; ck_verdict = Improved;
+      ck_note = Printf.sprintf "up by %.1f" (b -. a) }
+  else { ck_metric = metric; ck_a = fnum a; ck_b = fnum b; ck_verdict = Pass; ck_note = "" }
+
+(* Counters where *larger is worse* (violations, density): any increase
+   regresses. *)
+let lower_better_int metric a b =
+  let verdict = if b > a then Regressed else if b < a then Improved else Pass in
+  { ck_metric = metric;
+    ck_a = string_of_int a;
+    ck_b = string_of_int b;
+    ck_verdict = verdict;
+    ck_note =
+      (match verdict with
+      | Regressed -> Printf.sprintf "+%d" (b - a)
+      | Improved -> Printf.sprintf "-%d" (a - b)
+      | _ -> "") }
+
+let wall_check ~factor ~floor metric a b =
+  if Float.is_nan a || Float.is_nan b then
+    { ck_metric = metric; ck_a = fnum a; ck_b = fnum b; ck_verdict = Skipped;
+      ck_note = "not measured in both runs" }
+  else
+    let limit = (a *. factor) +. floor in
+    if b > limit then
+      { ck_metric = metric;
+        ck_a = Printf.sprintf "%.3f" a;
+        ck_b = Printf.sprintf "%.3f" b;
+        ck_verdict = Regressed;
+        ck_note = Printf.sprintf "over %.3f s (%.1fx + %.1f s)" limit factor floor }
+    else
+      { ck_metric = metric;
+        ck_a = Printf.sprintf "%.3f" a;
+        ck_b = Printf.sprintf "%.3f" b;
+        ck_verdict = Pass;
+        ck_note = "" }
+
+let diff ?(margin_tol_ps = 1e-3) ?(wall_factor = 1.5) ?(wall_floor_s = 1.0) a b =
+  let base =
+    [ higher_better ~tol:margin_tol_ps "worst margin (ps)" a.sm_final_worst_margin_ps
+        b.sm_final_worst_margin_ps;
+      higher_better ~tol:margin_tol_ps "total negative margin (ps)"
+        a.sm_final_total_negative_ps b.sm_final_total_negative_ps;
+      lower_better_int "violations" a.sm_final_violations b.sm_final_violations;
+      lower_better_int "peak density (tracks)" a.sm_final_peak_density b.sm_final_peak_density;
+      { ck_metric = "deletions";
+        ck_a = string_of_int a.sm_final_deletions;
+        ck_b = string_of_int b.sm_final_deletions;
+        ck_verdict = Skipped;
+        ck_note = "informational" } ]
+  in
+  let walls =
+    wall_check ~factor:wall_factor ~floor:wall_floor_s "wall: total (s)" a.sm_wall_s b.sm_wall_s
+    :: List.filter_map
+         (fun (pb : phase_stat) ->
+           match List.find_opt (fun pa -> pa.ph_phase = pb.ph_phase) a.sm_phases with
+           | None -> None
+           | Some pa ->
+             Some
+               (wall_check ~factor:wall_factor ~floor:wall_floor_s
+                  (Printf.sprintf "wall: %s (s)" pb.ph_phase)
+                  pa.ph_wall_s pb.ph_wall_s))
+         b.sm_phases
+  in
+  base @ walls
+
+let regressed checks = List.exists (fun c -> c.ck_verdict = Regressed) checks

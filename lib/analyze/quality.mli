@@ -1,0 +1,82 @@
+(** Offline solution-quality analysis over a [.bgrq] event log
+    ({!Qlog}): per-phase aggregation, the machine-readable
+    [quality.json] summary, and the thresholded A/B run diff behind the
+    regression gate. *)
+
+val schema : string
+(** ["bgr-quality-1"] — the [quality.json] schema tag. *)
+
+type phase_stat = {
+  ph_phase : string;
+  ph_passes : int;  (** improvement passes the phase ran (0 for one-shot phases) *)
+  ph_wall_s : float;  (** wall-clock from the previous phase boundary *)
+  ph_deletions : int;  (** cumulative deletions at the phase boundary *)
+  ph_worst_margin_ps : float;  (** worst constraint margin at the boundary *)
+  ph_violations : int;
+  ph_peak_density : int;  (** max per-channel bridge density at the boundary *)
+  ph_criteria : (string * int) list;
+      (** winning-criterion attribution of the phase's deletions *)
+}
+
+type summary = {
+  sm_schema : string;
+  sm_samples : int;
+  sm_wall_s : float;
+  sm_phases : phase_stat list;
+  sm_criteria : (string * int) list;  (** run-total criterion mix *)
+  sm_final_worst_margin_ps : float;
+  sm_final_worst_constraint : int;
+  sm_final_total_negative_ps : float;
+  sm_final_violations : int;
+  sm_final_peak_density : int;
+  sm_final_deletions : int;
+  sm_final_ep_slack_min_ps : float;
+  sm_final_ep_slack_max_ps : float;
+  sm_margins : float array;
+      (** per-constraint margins from the last phase sample *)
+}
+
+val summarize : Qlog.record list -> summary
+(** Fold the record stream into per-phase segments (each [Q_phase]
+    record closes one) and final figures from the last record.  An
+    empty stream yields an all-[nan]/zero summary. *)
+
+val to_json : summary -> string
+(** Render as the [quality.json] document (schema {!schema}).
+    Non-finite floats render as [null]. *)
+
+val of_json_string : ?file:string -> string -> (summary, Bgr_error.t) result
+(** Parse a [quality.json] back; [null] numbers read as [nan].  A
+    missing mandatory key or a wrong schema tag is a [Parse] error. *)
+
+(** {1 A/B diff} *)
+
+type verdict = Pass | Regressed | Improved | Skipped
+
+val verdict_string : verdict -> string
+
+type check = {
+  ck_metric : string;
+  ck_a : string;  (** baseline value, rendered *)
+  ck_b : string;  (** candidate value, rendered *)
+  ck_verdict : verdict;
+  ck_note : string;
+}
+
+val diff :
+  ?margin_tol_ps:float ->
+  ?wall_factor:float ->
+  ?wall_floor_s:float ->
+  summary ->
+  summary ->
+  check list
+(** [diff a b] compares candidate [b] against baseline [a]: worst and
+    total negative margin (regressed when [b] drops below [a] by more
+    than [margin_tol_ps], default 0.001 ps), violation count and peak
+    density (any increase regresses), and wall-clock total plus
+    per-phase (regressed when [b > a * wall_factor + wall_floor_s],
+    defaults 1.5x + 1 s — generous because CI machines are noisy).
+    Metrics absent from either run are [Skipped], never [Regressed]. *)
+
+val regressed : check list -> bool
+(** Whether any check came back [Regressed]. *)

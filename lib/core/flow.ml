@@ -102,8 +102,10 @@ let prepare ?(options = Router.default_options) ?(timing_driven = true) input =
     router )
 
 (* Channel routing and final metrology over whatever trees the router
-   holds. *)
-let finish ?(channel_algorithm = Left_edge) prep router run_report =
+   holds.  [on_quality] receives one final post-metrology sample (phase
+   "metrology") built against the measured timing state, so the quality
+   log's last record matches the signoff margins exactly. *)
+let finish ?(channel_algorithm = Left_edge) ?on_quality prep router run_report =
   let input = prep.p_input in
   let fp = prep.p_fp in
   let dg = prep.p_dg in
@@ -174,6 +176,11 @@ let finish ?(channel_algorithm = Left_edge) prep router run_report =
       Sta.refresh sta;
       (delay, margin, violations, bound)
   in
+  (match on_quality with
+  | None -> ()
+  | Some emit -> (
+    try emit (Router.sample_quality ?sta router ~phase:"metrology")
+    with _ -> () (* degrade like the in-router hook: never fail the run *)));
   let cpu_s = Sys.time () -. t0 in
   let measurement =
     { m_delay_ps = delay_ps;
@@ -207,15 +214,19 @@ let finish ?(channel_algorithm = Left_edge) prep router run_report =
     o_run_report = run_report }
 
 let run ?options ?timing_driven ?(algorithm = Concurrent_edge_deletion)
-    ?(channel_algorithm = Left_edge) ?(budget = Budget.unlimited) input =
+    ?(channel_algorithm = Left_edge) ?(budget = Budget.unlimited) ?on_quality input =
   let prep, router = prepare ?options ?timing_driven input in
+  Router.set_quality_hook router on_quality;
   let run_report =
-    match algorithm with
-    | Concurrent_edge_deletion -> Router.run ~budget router
-    | Sequential_net_at_a_time ->
-      Router.route_sequential ~order:prep.p_order router;
-      { Router.completed_phases = [ "route_sequential" ];
-        stopped_because = Router.Finished;
-        rolled_back = false }
+    Fun.protect
+      ~finally:(fun () -> Router.set_quality_hook router None)
+      (fun () ->
+        match algorithm with
+        | Concurrent_edge_deletion -> Router.run ~budget router
+        | Sequential_net_at_a_time ->
+          Router.route_sequential ~order:prep.p_order router;
+          { Router.completed_phases = [ "route_sequential" ];
+            stopped_because = Router.Finished;
+            rolled_back = false })
   in
-  finish ~channel_algorithm prep router run_report
+  finish ~channel_algorithm ?on_quality prep router run_report

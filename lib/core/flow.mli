@@ -71,13 +71,18 @@ val run :
   ?algorithm:algorithm ->
   ?channel_algorithm:channel_algorithm ->
   ?budget:Budget.t ->
+  ?on_quality:(Router.quality_sample -> unit) ->
   input ->
   outcome
 (** [timing_driven] defaults to [true], [algorithm] to
     [Concurrent_edge_deletion], [channel_algorithm] to [Left_edge].
     [budget] (default unlimited) caps the global-routing improvement
     phases; whatever happens, channel routing and metrology always run
-    on a complete set of net trees (see {!Router.run}). *)
+    on a complete set of net trees (see {!Router.run}).  [on_quality]
+    is installed as the router's quality hook for the duration of the
+    run and additionally receives one final post-metrology sample
+    (phase ["metrology"], measured capacitances) — recording never
+    changes the routing result (see {!Router.set_quality_hook}). *)
 
 val floorplan_of_input : input -> Floorplan.t
 (** The pre-insertion floorplan (for inspection and examples). *)
@@ -101,6 +106,12 @@ val prepare :
     router construction — everything before the first deletion. *)
 
 val finish :
-  ?channel_algorithm:channel_algorithm -> prepared -> Router.t -> Router.run_report -> outcome
+  ?channel_algorithm:channel_algorithm ->
+  ?on_quality:(Router.quality_sample -> unit) ->
+  prepared ->
+  Router.t ->
+  Router.run_report ->
+  outcome
 (** Channel routing and final metrology over the router's current
-    trees. *)
+    trees.  [on_quality] receives the final post-metrology quality
+    sample (phase ["metrology"]); a raising callback is swallowed. *)

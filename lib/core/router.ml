@@ -78,6 +78,32 @@ type deletion_commit = {
   dc_hash_before : int;
 }
 
+(* Solution-quality telemetry (lib/analyze).  A sample is a snapshot of
+   the quality state — margins, violations, per-channel density, the
+   winning-criterion mix since the previous sample — emitted through
+   the orchestrator-installed quality hook at a bounded cadence, at the
+   end of every improvement pass, and at every phase boundary. *)
+type quality_kind = Q_cadence | Q_pass | Q_phase
+
+type quality_sample = {
+  qs_kind : quality_kind;
+  qs_phase : string;
+  qs_pass : int;
+  qs_deletions : int;
+      (* n_deletions at sample time — correlates with the journal's
+         deletions_before chain *)
+  qs_worst_margin_ps : float;  (* nan without timing state *)
+  qs_worst_constraint : int;  (* -1 when none *)
+  qs_total_negative_ps : float;
+  qs_violations : int;
+  qs_ep_slack_min_ps : float;  (* endpoint-slack extremes; nan without sinks *)
+  qs_ep_slack_max_ps : float;
+  qs_density : int array;  (* C_M per channel *)
+  qs_criteria : (string * int) list;
+      (* deletions since the previous sample, by winning criterion *)
+  qs_margins : float array;  (* per-constraint margins; Q_phase only *)
+}
+
 type net_state = {
   mutable rg : Routing_graph.t;
   mutable bridge : bool array;
@@ -115,6 +141,11 @@ type t = {
   mutable cur_phase : string;  (* phase tag stamped on journaled deletions *)
   mutable on_commit : (deletion_commit -> unit) option;
   mutable on_checkpoint : (phase:string -> completed:string list -> checkpoint -> unit) option;
+  mutable on_quality : (quality_sample -> unit) option;
+  q_crit : (string, int) Hashtbl.t;
+      (* committed deletions since the last quality sample, by winning
+         criterion — drained into each sample's qs_criteria *)
+  mutable q_unsampled : int;  (* committed deletions since the last sample *)
 }
 
 let floorplan t = t.fp
@@ -128,6 +159,11 @@ let n_domains t = match t.par with None -> 1 | Some pool -> Par.domains pool
 let pool_warnings t = match t.par with None -> [] | Some pool -> Par.warnings pool
 let set_commit_hook t hook = t.on_commit <- hook
 let set_checkpoint_hook t hook = t.on_checkpoint <- hook
+
+let set_quality_hook t hook =
+  t.on_quality <- hook;
+  Hashtbl.reset t.q_crit;
+  t.q_unsampled <- 0
 
 let n_recognized_pairs t =
   Array.fold_left (fun acc ns -> if Array.length ns.partner_map > 0 then acc + 1 else acc) 0 t.nets
@@ -197,6 +233,111 @@ let trace t fmt =
         if observing () then Obs.Trace.instant "router.log" ~attrs:[ ("msg", Obs.Trace.Str s) ];
         match t.opts.trace with None -> () | Some emit -> emit s)
       fmt
+
+(* --- solution-quality telemetry -------------------------------------- *)
+
+(* Quality recording is hook-driven (no global flag): the orchestrator
+   installs the hook, workers never emit.  Everything a sample reads is
+   a warm-cache or O(channels + sinks) aggregate — building one must
+   never steer a routing decision or change the deletion sequence. *)
+let quality_on t = t.on_quality <> None && not (Par.in_worker ())
+
+(* Committed primary deletions between cadence samples.  Low enough to
+   resolve the initial-route convergence curve, high enough that a
+   sample costs a vanishing fraction of a selection round. *)
+let quality_cadence = 64
+
+let build_quality_sample ?sta_override t ~kind ~phase ~pass ~drain =
+  let density =
+    Array.init (Density.n_channels t.dens) (fun channel -> Density.cM t.dens ~channel)
+  in
+  let sta = match sta_override with Some _ -> sta_override | None -> t.sta in
+  let worst_margin, worst_ci, total_negative, violations, ep_min, ep_max, margins =
+    match sta with
+    | None -> (nan, -1, 0.0, 0, nan, nan, [||])
+    | Some sta ->
+      let margins = Sta.margins sta in
+      let worst_ci = ref (-1) and worst = ref infinity in
+      let total = ref 0.0 and viol = ref 0 in
+      Array.iteri
+        (fun ci m ->
+          if m < !worst then begin
+            worst := m;
+            worst_ci := ci
+          end;
+          if m < 0.0 then begin
+            total := !total +. m;
+            incr viol
+          end)
+        margins;
+      let ep_min, ep_max =
+        match Sta.endpoint_slack_extremes sta with
+        | Some (lo, hi) -> (lo, hi)
+        | None -> (nan, nan)
+      in
+      ( (if Array.length margins = 0 then nan else !worst),
+        !worst_ci,
+        !total,
+        !viol,
+        ep_min,
+        ep_max,
+        (* Per-constraint margins only on phase records: they feed the
+           slack waterfall, and per-cadence copies would bloat the log. *)
+        (match kind with Q_phase -> margins | Q_cadence | Q_pass -> [||]) )
+  in
+  let criteria =
+    if drain then begin
+      let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.q_crit [] in
+      Hashtbl.reset t.q_crit;
+      t.q_unsampled <- 0;
+      List.sort compare l
+    end
+    else []
+  in
+  { qs_kind = kind;
+    qs_phase = phase;
+    qs_pass = pass;
+    qs_deletions = t.deletions;
+    qs_worst_margin_ps = worst_margin;
+    qs_worst_constraint = worst_ci;
+    qs_total_negative_ps = total_negative;
+    qs_violations = violations;
+    qs_ep_slack_min_ps = ep_min;
+    qs_ep_slack_max_ps = ep_max;
+    qs_density = density;
+    qs_criteria = criteria;
+    qs_margins = margins }
+
+(* Public probe for the orchestrator (Flow emits a final post-metrology
+   sample through it).  Does not drain the criterion counts. *)
+let sample_quality ?sta t ~phase =
+  build_quality_sample ?sta_override:sta t ~kind:Q_phase ~phase ~pass:0 ~drain:false
+
+(* A raising hook degrades to a warning and is disabled, like an Obs
+   sink: quality telemetry must never fail (or alter) the run. *)
+let emit_quality t ~kind ~phase ~pass =
+  match t.on_quality with
+  | None -> ()
+  | Some _ when Par.in_worker () -> ()
+  | Some hook -> (
+    let s = build_quality_sample t ~kind ~phase ~pass ~drain:true in
+    try hook s
+    with e ->
+      t.on_quality <- None;
+      Obs.warn "quality hook failed and was disabled: %s"
+        (match e with
+        | Bgr_error.Error err -> err.Bgr_error.message
+        | Sys_error m -> m
+        | e -> Printexc.to_string e))
+
+(* Per-committed-deletion bookkeeping: count the winning criterion and
+   emit a cadence sample every [quality_cadence] commits. *)
+let note_quality_deletion t crit =
+  Hashtbl.replace t.q_crit crit
+    (1 + Option.value (Hashtbl.find_opt t.q_crit crit) ~default:0);
+  t.q_unsampled <- t.q_unsampled + 1;
+  if t.q_unsampled >= quality_cadence then
+    emit_quality t ~kind:Q_cadence ~phase:t.cur_phase ~pass:0
 
 (* --- density bookkeeping ------------------------------------------- *)
 
@@ -619,14 +760,18 @@ let select_observed t cands =
     Some (b, crit)
 
 (* Returns the chosen candidate plus the criterion label for the
-   deletion counter ("" when observability is off: nobody reads it). *)
+   deletion counter and the quality log ("" when neither observability
+   nor quality recording is on: nobody reads it).  [select_observed]
+   picks the identical winner as [select_plain] — the runner-up
+   tracking and the criterion naming are pure warm-cache reads — so
+   turning either consumer on leaves the deletion hash unchanged. *)
 let select_among t net_ids =
   let cands = admissible_candidates t net_ids in
-  if observing () then begin
-    let t0 = Obs.now_s () in
+  if observing () || quality_on t then begin
+    let t0 = if observing () then Obs.now_s () else 0.0 in
     warm_selection_caches t cands;
     let r = select_observed t cands in
-    Obs.Metrics.observe m_batch (Obs.now_s () -. t0);
+    if observing () then Obs.Metrics.observe m_batch (Obs.now_s () -. t0);
     r
   end
   else begin
@@ -781,7 +926,10 @@ let create ?(options = default_options) fp assignment sta =
       par;
       cur_phase = "initial_route";
       on_commit = None;
-      on_checkpoint = None }
+      on_checkpoint = None;
+      on_quality = None;
+      q_crit = Hashtbl.create 8;
+      q_unsampled = 0 }
   in
   Array.iter (fun ns -> register_net_density t ns) t.nets;
   (* Expected final channel depth is roughly half the candidate-graph
@@ -828,6 +976,7 @@ let route_among t net_ids =
             ~by:(float_of_int cascade)
       end
       else commit_deletion t n eid;
+      if quality_on t then note_quality_deletion t crit;
       loop ()
   in
   loop ()
@@ -948,6 +1097,7 @@ let recover_violations ?(guard = no_guard) ?max_passes t =
             (fun () -> List.iter on_constraint violated);
           let after = Sta.worst_path_delay sta in
           trace t "recover pass %d: worst delay %.1f -> %.1f ps" !passes before after;
+          emit_quality t ~kind:Q_pass ~phase:t.cur_phase ~pass:!passes;
           if after < before -. 1e-6 || Sta.violations sta = [] then loop ()
       end
     in
@@ -990,6 +1140,7 @@ let improve_delay ?(guard = no_guard) ?max_passes t =
           (fun () -> List.iter on_constraint order);
         let after = Sta.worst_path_delay sta in
         trace t "delay pass %d: worst delay %.1f -> %.1f ps" !passes before after;
+        emit_quality t ~kind:Q_pass ~phase:t.cur_phase ~pass:!passes;
         if after < before -. 1e-6 then loop ()
       end
     in
@@ -1050,6 +1201,7 @@ let improve_area ?(guard = no_guard) ?max_passes t =
       let after = total_tracks t in
       trace t "area pass %d: total tracks %d -> %d (%d nets)" !passes before after
         (List.length nets);
+      emit_quality t ~kind:Q_pass ~phase:t.cur_phase ~pass:!passes;
       if after < before then loop ()
     end
   in
@@ -1155,6 +1307,7 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
   let rolled_back = ref false in
   let mark phase =
     completed := phase :: !completed;
+    emit_quality t ~kind:Q_phase ~phase ~pass:0;
     let ck = checkpoint t in
     last_ck := Some ck;
     match t.on_checkpoint with

@@ -191,6 +191,55 @@ val set_checkpoint_hook :
 (** Install (or clear) the phase-boundary hook {!run} fires after each
     completed phase, with the full completed list so far. *)
 
+(** {1 Solution-quality telemetry}
+
+    The quality hook is the router side of [lib/analyze]: the
+    orchestrator installs it (never a pool worker), the router pushes
+    {!quality_sample} records through it — every {e quality_cadence}
+    committed deletions, at the end of every improvement pass, and at
+    every phase boundary — and the subscriber persists them (the
+    [.bgrq] event log).  Recording is observational only: building a
+    sample reads warm caches and O(channels + sinks) aggregates, so the
+    deletion sequence (and {!deletion_hash}) is byte-identical with the
+    hook on or off, at any domain count.  A raising hook is disabled
+    with an [Obs] warning, like a failed trace sink. *)
+
+type quality_kind =
+  | Q_cadence  (** bounded-cadence sample inside a phase *)
+  | Q_pass  (** end of one improvement pass *)
+  | Q_phase  (** phase boundary (carries per-constraint margins) *)
+
+type quality_sample = {
+  qs_kind : quality_kind;
+  qs_phase : string;  (** same names as the journal and the span stream *)
+  qs_pass : int;  (** pass number ([0] outside improvement passes) *)
+  qs_deletions : int;
+      (** {!n_deletions} at sample time — correlates with the journal's
+          [deletions_before] chain *)
+  qs_worst_margin_ps : float;  (** [nan] without timing state *)
+  qs_worst_constraint : int;  (** id of the worst constraint; [-1] none *)
+  qs_total_negative_ps : float;  (** sum of negative margins *)
+  qs_violations : int;
+  qs_ep_slack_min_ps : float;  (** endpoint-slack extremes; [nan] without sinks *)
+  qs_ep_slack_max_ps : float;
+  qs_density : int array;  (** bridge density [C_M] per channel *)
+  qs_criteria : (string * int) list;
+      (** committed deletions since the previous sample, by the
+          criterion that separated winner from runner-up (the
+          [bgr_deletions_total] label vocabulary) *)
+  qs_margins : float array;  (** per-constraint margins; [Q_phase] only *)
+}
+
+val set_quality_hook : t -> (quality_sample -> unit) option -> unit
+(** Install (or clear) the quality hook; resets the criterion
+    accumulator. *)
+
+val sample_quality : ?sta:Sta.t -> t -> phase:string -> quality_sample
+(** Build one [Q_phase] sample of the current state without draining
+    the criterion counts — the orchestrator's probe for out-of-router
+    boundaries (e.g. the post-metrology final sample, where [sta]
+    overrides the router's timing state with the measured one). *)
+
 val apply_deletion : t -> net:int -> edge:int -> unit
 (** Replay one journaled primary deletion (cascades and mirroring
     included) without invoking the commit hook.  Raises a structured

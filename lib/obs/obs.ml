@@ -155,6 +155,8 @@ module Trace = struct
     assert_orchestrator ~what:"Trace.open_sink";
     (match !slot with
     | Some sk ->
+        warn "%s trace sink reopened at %s; the previous sink was closed and its tail may be incomplete"
+          what path;
         (try close_out_noerr sk.sk_oc with _ -> ());
         slot := None
     | None -> ());

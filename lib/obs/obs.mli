@@ -101,7 +101,9 @@ module Trace : sig
 
   val to_jsonl_file : string -> unit
   (** Open a line-oriented JSONL sink: one JSON object per completed
-      span.  Failure to open degrades to a warning. *)
+      span.  Failure to open degrades to a warning.  Opening a sink of
+      a kind that is already open closes the previous one and records a
+      warning (its file may end mid-stream). *)
 
   val close_sinks : unit -> unit
   (** Flush and close both sinks (writes the closing ["]"] of the

@@ -38,6 +38,7 @@ val route :
   ?timing_driven:bool ->
   ?channel_algorithm:Flow.channel_algorithm ->
   ?budget:Budget.t ->
+  ?on_quality:(Router.quality_sample -> unit) ->
   dir:string ->
   design_text:string ->
   Flow.input ->
@@ -45,7 +46,9 @@ val route :
 (** Run the full flow with persistence: create [dir] (if needed), store
     [design_text] and the manifest, journal every deletion and snapshot
     every phase boundary.  The routing result is bit-identical to
-    {!Flow.run} with the same options. *)
+    {!Flow.run} with the same options.  [on_quality] is the quality
+    hook of {!Flow.run} — a run recorded into a [.bgrq] log alongside
+    the journal keeps the identical deletion hash. *)
 
 type resume_report = {
   rr_outcome : Flow.outcome;
@@ -65,6 +68,7 @@ val resume :
   ?domains:int ->
   ?channel_algorithm:Flow.channel_algorithm ->
   ?budget:Budget.t ->
+  ?on_quality:(Router.quality_sample -> unit) ->
   dir:string ->
   unit ->
   (resume_report, Bgr_error.t) result

@@ -11,9 +11,9 @@ let bucket_edges = [ neg_infinity; -200.0; -50.0; 0.0; 50.0; 200.0; 500.0; infin
 let of_sta sta =
   let slacks = ref [] in
   for ci = 0 to Sta.n_constraints sta - 1 do
-    List.iter
-      (fun (r : Sta.endpoint_report) -> slacks := r.Sta.ep_slack_ps :: !slacks)
-      (Sta.endpoint_reports sta ci)
+    (* endpoint_slacks gives the same values as endpoint_reports
+       without building the worst path into every sink *)
+    List.iter (fun s -> slacks := s :: !slacks) (Sta.endpoint_slacks sta ci)
   done;
   let slacks = !slacks in
   let worst = List.fold_left min infinity slacks in
@@ -53,3 +53,27 @@ let render t =
            (String.make (count * 40 / biggest) '#')))
     t.buckets;
   Buffer.contents buf
+
+let worst_endpoints ?(n = 8) sta =
+  let dg = Sta.delay_graph sta in
+  let eps = ref [] in
+  for ci = 0 to Sta.n_constraints sta - 1 do
+    List.iter (fun (r : Sta.endpoint_report) -> eps := (ci, r) :: !eps) (Sta.endpoint_reports sta ci)
+  done;
+  let eps =
+    List.sort (fun (_, a) (_, b) -> Float.compare a.Sta.ep_slack_ps b.Sta.ep_slack_ps) !eps
+  in
+  let tbl =
+    Table.create ~title:"Worst endpoints"
+      ~columns:[ "constraint"; "endpoint"; "slack (ps)"; "delay (ps)" ]
+  in
+  List.iteri
+    (fun i (ci, (r : Sta.endpoint_report)) ->
+      if i < n then
+        Table.add_row tbl
+          [ Printf.sprintf "P%d" ci;
+            Format.asprintf "%a" (Delay_graph.pp_node dg) (Delay_graph.node dg r.Sta.ep_vertex);
+            Table.f1 r.Sta.ep_slack_ps;
+            Table.f1 r.Sta.ep_delay_ps ])
+    eps;
+  tbl

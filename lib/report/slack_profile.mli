@@ -16,3 +16,8 @@ val of_sta : Sta.t -> t
 
 val render : t -> string
 (** Plain-text summary with an ASCII histogram. *)
+
+val worst_endpoints : ?n:int -> Sta.t -> Table.t
+(** The [n] (default 8) worst endpoints across every constraint as a
+    table — constraint id, endpoint name, slack and path delay — the
+    signoff companion to the histogram. *)

@@ -216,6 +216,43 @@ let endpoint_reports t ci =
     cs.sink_vertices
   |> List.sort (fun a b -> Float.compare a.ep_slack_ps b.ep_slack_ps)
 
+let margins t = Array.init (Array.length t.cons) (fun ci -> margin t ci)
+
+let total_negative_margin t =
+  Array.fold_left
+    (fun acc cs ->
+      if cs.crit_delay = neg_infinity then acc
+      else begin
+        let m = cs.pc.Path_constraint.limit_ps -. cs.crit_delay in
+        if m < 0.0 then acc +. m else acc
+      end)
+    0.0 t.cons
+
+let endpoint_slacks t ci =
+  let cs = t.cons.(ci) in
+  let limit = cs.pc.Path_constraint.limit_ps in
+  List.filter_map
+    (fun sink ->
+      if cs.arrival.(sink) = neg_infinity then None else Some (limit -. cs.arrival.(sink)))
+    cs.sink_vertices
+
+let endpoint_slack_extremes t =
+  let lo = ref infinity and hi = ref neg_infinity and any = ref false in
+  Array.iter
+    (fun cs ->
+      let limit = cs.pc.Path_constraint.limit_ps in
+      List.iter
+        (fun sink ->
+          if cs.arrival.(sink) > neg_infinity then begin
+            any := true;
+            let s = limit -. cs.arrival.(sink) in
+            if s < !lo then lo := s;
+            if s > !hi then hi := s
+          end)
+        cs.sink_vertices)
+    t.cons;
+  if !any then Some (!lo, !hi) else None
+
 let worst t =
   let best = ref None in
   Array.iteri

@@ -89,6 +89,23 @@ val endpoint_reports : t -> int -> endpoint_report list
 val critical_nets : t -> int -> int list
 (** Nets driven along the current critical path, in path order. *)
 
+val margins : t -> float array
+(** {!margin} of every constraint, indexed by constraint id — a cheap
+    snapshot for quality telemetry (no path walks). *)
+
+val total_negative_margin : t -> float
+(** Sum of the negative margins (a TNS analogue over constraints);
+    [0.0] when every constraint is met. *)
+
+val endpoint_slacks : t -> int -> float list
+(** Slack [tau_P - lp(sink)] of each reachable sink of the constraint,
+    in sink order.  Same values as {!endpoint_reports} but without
+    building the worst paths. *)
+
+val endpoint_slack_extremes : t -> (float * float) option
+(** [(min, max)] endpoint slack over every reachable sink of every
+    constraint; [None] when no sink is reachable.  O(total sinks). *)
+
 val worst : t -> (int * float) option
 (** The constraint with the smallest margin, with that margin. *)
 

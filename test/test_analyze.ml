@@ -1,0 +1,377 @@
+(* Solution-quality telemetry: .bgrq framing round trip and salvage
+   discipline, the summarizer and its quality.json round trip, the A/B
+   diff verdicts, an end-to-end recorded route whose final sample
+   matches the signoff margin, and the headline determinism property —
+   recording quality telemetry leaves the deletion hash byte-identical,
+   sequentially and on four domains. *)
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* dune runtest runs in test/; dune exec from the repo root. *)
+let corpus_dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Bitwise float equality that treats nan = nan (telemetry carries nan
+   for "no timing data"). *)
+let same_float a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let sample ?(kind = Router.Q_cadence) ?(phase = "initial_route") ?(pass = 0) ?(deletions = 0)
+    ?(worst = -12.5) ?(worst_c = 2) ?(total_neg = -40.25) ?(violations = 3)
+    ?(ep = (-33.5, 210.0)) ?(density = [| 4; 7; 2 |]) ?(criteria = [ ("delay", 5); ("density", 2) ])
+    ?(margins = [||]) () =
+  { Router.qs_kind = kind;
+    qs_phase = phase;
+    qs_pass = pass;
+    qs_deletions = deletions;
+    qs_worst_margin_ps = worst;
+    qs_worst_constraint = worst_c;
+    qs_total_negative_ps = total_neg;
+    qs_violations = violations;
+    qs_ep_slack_min_ps = fst ep;
+    qs_ep_slack_max_ps = snd ep;
+    qs_density = density;
+    qs_criteria = criteria;
+    qs_margins = margins }
+
+let same_sample (a : Router.quality_sample) (b : Router.quality_sample) =
+  a.Router.qs_kind = b.Router.qs_kind
+  && a.qs_phase = b.qs_phase
+  && a.qs_pass = b.qs_pass
+  && a.qs_deletions = b.qs_deletions
+  && same_float a.qs_worst_margin_ps b.qs_worst_margin_ps
+  && a.qs_worst_constraint = b.qs_worst_constraint
+  && same_float a.qs_total_negative_ps b.qs_total_negative_ps
+  && a.qs_violations = b.qs_violations
+  && same_float a.qs_ep_slack_min_ps b.qs_ep_slack_min_ps
+  && same_float a.qs_ep_slack_max_ps b.qs_ep_slack_max_ps
+  && a.qs_density = b.qs_density
+  && a.qs_criteria = b.qs_criteria
+  && Array.length a.qs_margins = Array.length b.qs_margins
+  && Array.for_all2 same_float a.qs_margins b.qs_margins
+
+let fixture_samples () =
+  [ sample ~deletions:64 ();
+    sample ~kind:Router.Q_pass ~phase:"recover_violations" ~pass:2 ~deletions:130
+      ~criteria:[ ("delay_count", 1) ] ();
+    (* nan/infinity fields and a no-constraint shape must survive framing *)
+    sample ~kind:Router.Q_phase ~phase:"improve_area" ~deletions:200 ~worst:infinity
+      ~worst_c:(-1) ~total_neg:0.0 ~violations:0 ~ep:(nan, nan) ~criteria:[]
+      ~margins:[| 10.0; nan; -3.5 |] () ]
+
+(* ---- framing round trip -------------------------------------------- *)
+
+let test_qlog_roundtrip () =
+  let path = Filename.temp_file "bgr_qlog" ".bgrq" in
+  let w = Qlog.create ~path in
+  let samples = fixture_samples () in
+  List.iter (fun s -> ignore (Qlog.append w s)) samples;
+  check_int "writer counts appends" (List.length samples) (Qlog.appended w);
+  Qlog.close w;
+  Qlog.close w;
+  (* idempotent *)
+  (match Qlog.read ~path with
+  | Error e -> Alcotest.failf "read: %s" (Bgr_error.to_string e)
+  | Ok r ->
+    check_bool "no torn tail" false r.Qlog.torn;
+    check_bool "no warnings" true (r.Qlog.warnings = []);
+    check_int "all records back" (List.length samples) (List.length r.Qlog.records);
+    List.iter2
+      (fun s (got : Qlog.record) ->
+        check_bool "sample round-trips bit-exactly" true (same_sample s got.Qlog.q_sample);
+        check_bool "timestamp is non-negative" true (got.Qlog.q_t_s >= 0.0))
+      samples r.Qlog.records);
+  Sys.remove path
+
+let test_qlog_torn_tail () =
+  let path = Filename.temp_file "bgr_qlog" ".bgrq" in
+  let w = Qlog.create ~path in
+  List.iter (fun s -> ignore (Qlog.append w s)) (fixture_samples ());
+  Qlog.close w;
+  let whole = read_file path in
+  (* chop bytes off the tail: every cut inside the final frame must
+     salvage the first two records with a warning, never error *)
+  List.iter
+    (fun cut ->
+      write_file path (String.sub whole 0 (String.length whole - cut));
+      match Qlog.read ~path with
+      | Error e -> Alcotest.failf "cut %d: %s" cut (Bgr_error.to_string e)
+      | Ok r ->
+        check_bool (Printf.sprintf "cut %d: torn" cut) true r.Qlog.torn;
+        check_int (Printf.sprintf "cut %d: first records salvaged" cut) 2
+          (List.length r.Qlog.records);
+        check_bool (Printf.sprintf "cut %d: warning recorded" cut) true (r.Qlog.warnings <> []))
+    [ 1; 4; 40 ];
+  Sys.remove path
+
+let test_qlog_corrupt_middle () =
+  let path = Filename.temp_file "bgr_qlog" ".bgrq" in
+  let w = Qlog.create ~path in
+  List.iter (fun s -> ignore (Qlog.append w s)) (fixture_samples ());
+  Qlog.close w;
+  let whole = Bytes.of_string (read_file path) in
+  (* flip a payload byte of the FIRST record: damage before the final
+     frame is corruption, not a torn tail *)
+  let off = String.length Qlog.magic + 8 in
+  Bytes.set whole off (Char.chr (Char.code (Bytes.get whole off) lxor 0xFF));
+  write_file path (Bytes.to_string whole);
+  (match Qlog.read ~path with
+  | Ok _ -> Alcotest.fail "corrupt middle record must not be salvaged"
+  | Error e ->
+    check_bool "structured parse error" true (e.Bgr_error.code = Bgr_error.Parse));
+  (* a non-log file is rejected up front *)
+  write_file path "not a log at all";
+  (match Qlog.read ~path with
+  | Ok _ -> Alcotest.fail "bad magic must be rejected"
+  | Error e -> check_bool "bad magic is a parse error" true (e.Bgr_error.code = Bgr_error.Parse));
+  Sys.remove path
+
+(* ---- summarize + json ---------------------------------------------- *)
+
+let summary_fixture () =
+  let r t s = { Qlog.q_t_s = t; q_sample = s } in
+  Quality.summarize
+    [ r 0.1 (sample ~deletions:64 ());
+      r 0.2 (sample ~deletions:128 ~criteria:[ ("density", 4) ] ());
+      r 0.3
+        (sample ~kind:Router.Q_phase ~phase:"initial_route" ~deletions:150
+           ~criteria:[ ("length", 1) ] ());
+      r 0.5
+        (sample ~kind:Router.Q_pass ~phase:"recover_violations" ~pass:1 ~deletions:160
+           ~criteria:[ ("delay_count", 2) ] ());
+      r 0.9
+        (sample ~kind:Router.Q_phase ~phase:"recover_violations" ~pass:0 ~deletions:161
+           ~worst:(-5.0) ~violations:1 ~density:[| 9; 3; 1 |] ~criteria:[]
+           ~margins:[| -5.0; 40.0 |] ()) ]
+
+let test_summarize () =
+  let s = summary_fixture () in
+  check_int "samples" 5 s.Quality.sm_samples;
+  (match s.Quality.sm_phases with
+  | [ p1; p2 ] ->
+    check_string "phase 1" "initial_route" p1.Quality.ph_phase;
+    check_int "phase 1 deletions" 150 p1.Quality.ph_deletions;
+    check_bool "phase 1 criteria merged" true
+      (p1.Quality.ph_criteria = [ ("delay", 5); ("density", 6); ("length", 1) ]);
+    check_string "phase 2" "recover_violations" p2.Quality.ph_phase;
+    check_int "phase 2 passes" 1 p2.Quality.ph_passes;
+    check_bool "phase 2 wall from deltas" true (Float.abs (p2.Quality.ph_wall_s -. 0.6) < 1e-9);
+    check_int "phase 2 peak density" 9 p2.Quality.ph_peak_density;
+    check_bool "phase 2 criteria" true (p2.Quality.ph_criteria = [ ("delay_count", 2) ])
+  | ps -> Alcotest.failf "expected 2 phase stats, got %d" (List.length ps));
+  check_bool "final worst margin" true (same_float s.Quality.sm_final_worst_margin_ps (-5.0));
+  check_int "final violations" 1 s.Quality.sm_final_violations;
+  check_int "final peak density" 9 s.Quality.sm_final_peak_density;
+  check_int "final deletions" 161 s.Quality.sm_final_deletions;
+  check_bool "margins kept from last phase record" true
+    (s.Quality.sm_margins = [| -5.0; 40.0 |]);
+  check_bool "run-total criteria" true
+    (s.Quality.sm_criteria
+    = [ ("delay", 5); ("delay_count", 2); ("density", 6); ("length", 1) ]);
+  (* empty stream: all-zero summary, and the renderers still produce
+     well-formed documents *)
+  let e = Quality.summarize [] in
+  check_int "empty: no samples" 0 e.Quality.sm_samples;
+  check_bool "empty: convergence svg renders" true
+    (String.length (Qsvg.convergence []) > 0);
+  check_bool "empty: waterfall svg renders" true
+    (String.length (Qsvg.slack_waterfall e) > 0)
+
+let test_json_roundtrip () =
+  let s = summary_fixture () in
+  let text = Quality.to_json s in
+  match Quality.of_json_string text with
+  | Error e -> Alcotest.failf "parse back: %s" (Bgr_error.to_string e)
+  | Ok got ->
+    check_string "schema" Quality.schema got.Quality.sm_schema;
+    check_int "samples" s.Quality.sm_samples got.Quality.sm_samples;
+    check_bool "worst margin" true
+      (same_float s.Quality.sm_final_worst_margin_ps got.Quality.sm_final_worst_margin_ps);
+    check_int "violations" s.Quality.sm_final_violations got.Quality.sm_final_violations;
+    check_int "peak density" s.Quality.sm_final_peak_density got.Quality.sm_final_peak_density;
+    check_bool "criteria" true (s.Quality.sm_criteria = got.Quality.sm_criteria);
+    check_int "phases" (List.length s.Quality.sm_phases) (List.length got.Quality.sm_phases);
+    check_bool "phase fields" true
+      (List.for_all2
+         (fun (a : Quality.phase_stat) (b : Quality.phase_stat) ->
+           a.Quality.ph_phase = b.Quality.ph_phase
+           && a.Quality.ph_passes = b.Quality.ph_passes
+           && a.Quality.ph_deletions = b.Quality.ph_deletions
+           && a.Quality.ph_criteria = b.Quality.ph_criteria)
+         s.Quality.sm_phases got.Quality.sm_phases);
+    check_bool "margins survive (nan-aware)" true
+      (Array.for_all2 same_float s.Quality.sm_margins got.Quality.sm_margins);
+    (* non-finite floats rendered as null must read back as nan *)
+    let inf_s =
+      Quality.summarize
+        [ { Qlog.q_t_s = 0.0;
+            q_sample =
+              sample ~kind:Router.Q_phase ~worst:infinity ~ep:(nan, nan) ~margins:[| nan |] ()
+          } ]
+    in
+    (match Quality.of_json_string (Quality.to_json inf_s) with
+    | Error e -> Alcotest.failf "infinity roundtrip: %s" (Bgr_error.to_string e)
+    | Ok got ->
+      check_bool "infinity reads back as nan (null)" true
+        (Float.is_nan got.Quality.sm_final_worst_margin_ps));
+    (* mandatory keys: dropping "final" must fail *)
+    (match Quality.of_json_string "{\"schema\":\"bgr-quality-1\",\"wall_s\":1,\"phases\":[]}" with
+    | Ok _ -> Alcotest.fail "missing final section must be rejected"
+    | Error e -> check_bool "missing key is a parse error" true (e.Bgr_error.code = Bgr_error.Parse))
+
+(* ---- the A/B diff --------------------------------------------------- *)
+
+let test_diff_verdicts () =
+  let s = summary_fixture () in
+  let self = Quality.diff s s in
+  check_bool "self diff passes" false (Quality.regressed self);
+  (* worse margin and an extra violation: both must trip *)
+  let worse =
+    { s with
+      Quality.sm_final_worst_margin_ps = s.Quality.sm_final_worst_margin_ps -. 100.0;
+      sm_final_violations = s.Quality.sm_final_violations + 1 }
+  in
+  let checks = Quality.diff s worse in
+  check_bool "perturbed run regresses" true (Quality.regressed checks);
+  let verdict_of metric =
+    match List.find_opt (fun (c : Quality.check) -> c.Quality.ck_metric = metric) checks with
+    | Some c -> c.Quality.ck_verdict
+    | None -> Alcotest.failf "no %s check" metric
+  in
+  check_bool "margin check regressed" true (verdict_of "worst margin (ps)" = Quality.Regressed);
+  check_bool "violations check regressed" true (verdict_of "violations" = Quality.Regressed);
+  check_bool "density check unchanged" true
+    (verdict_of "peak density (tracks)" = Quality.Pass);
+  (* an improvement is not a regression *)
+  let better =
+    { s with Quality.sm_final_worst_margin_ps = s.Quality.sm_final_worst_margin_ps +. 50.0 }
+  in
+  check_bool "improvement passes" false (Quality.regressed (Quality.diff s better));
+  (* wall-clock: only beyond factor + floor *)
+  let slow = { s with Quality.sm_wall_s = (s.Quality.sm_wall_s *. 1.4) +. 0.5 } in
+  check_bool "mild slowdown within floor passes" false
+    (Quality.regressed (Quality.diff s slow));
+  let crawl = { s with Quality.sm_wall_s = (s.Quality.sm_wall_s *. 10.0) +. 100.0 } in
+  check_bool "big slowdown regresses" true (Quality.regressed (Quality.diff s crawl));
+  (* a run without timing data never regresses on margin *)
+  let no_sta = { s with Quality.sm_final_worst_margin_ps = nan } in
+  check_bool "nan margin is skipped, not regressed" false
+    (Quality.regressed (Quality.diff s { no_sta with Quality.sm_final_violations = s.Quality.sm_final_violations }))
+
+(* ---- end-to-end: a recorded route ----------------------------------- *)
+
+let load_corpus name =
+  let path = Filename.concat corpus_dir name in
+  match
+    Result.bind (Design_io.read_result path) Design_check.validate
+    |> Result.map_error (Bgr_error.with_file path)
+  with
+  | Ok bundle -> Design_io.to_flow_input bundle
+  | Error e -> Alcotest.failf "%s: %s" name (Bgr_error.to_string e)
+
+let test_recorded_route () =
+  let input = load_corpus "valid_mini.bgr" in
+  let path = Filename.temp_file "bgr_qlog_e2e" ".bgrq" in
+  let w = Qlog.create ~path in
+  let outcome = Flow.run ~on_quality:(fun s -> ignore (Qlog.append w s)) input in
+  Qlog.close w;
+  let records =
+    match Qlog.read ~path with
+    | Ok r ->
+      check_bool "e2e log is clean" true ((not r.Qlog.torn) && r.Qlog.warnings = []);
+      r.Qlog.records
+    | Error e -> Alcotest.failf "e2e read: %s" (Bgr_error.to_string e)
+  in
+  check_bool "samples were recorded" true (records <> []);
+  let s = Quality.summarize records in
+  let last = List.nth records (List.length records - 1) in
+  check_string "last sample is the post-metrology probe" "metrology"
+    last.Qlog.q_sample.Router.qs_phase;
+  (* the acceptance criterion: the log's final worst margin is the
+     signoff margin of the finished route *)
+  check_bool "final worst margin equals the measured margin" true
+    (same_float s.Quality.sm_final_worst_margin_ps outcome.Flow.o_measurement.Flow.m_margin_ps);
+  check_int "final violations match the measurement"
+    outcome.Flow.o_measurement.Flow.m_violations s.Quality.sm_final_violations;
+  check_int "final deletions match the measurement"
+    outcome.Flow.o_measurement.Flow.m_deletions s.Quality.sm_final_deletions;
+  check_bool "phase stats cover the routing phases" true
+    (List.exists
+       (fun (p : Quality.phase_stat) -> p.Quality.ph_phase = "initial_route")
+       s.Quality.sm_phases);
+  check_bool "criterion attribution is non-empty" true
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Quality.sm_criteria > 0);
+  (* the explorers render well-formed-looking documents from real data *)
+  let svg = Qsvg.convergence records in
+  check_bool "convergence svg has the xml namespace" true
+    (String.length svg > 64 && String.sub svg 0 4 = "<svg");
+  check_bool "heatmap renders" true (String.length (Qsvg.density_heatmap records) > 0);
+  check_bool "waterfall renders" true (String.length (Qsvg.slack_waterfall s) > 0);
+  (* self-diff of a real run passes *)
+  check_bool "run diffed against itself passes" false
+    (Quality.regressed (Quality.diff s s));
+  Sys.remove path
+
+(* ---- determinism: recording never changes the routing --------------- *)
+
+(* Exact fingerprint: floats as hex so the comparison is bitwise, plus
+   the order-sensitive deletion hash (same idiom as test_obs). *)
+let fingerprint (outcome : Flow.outcome) =
+  let m = outcome.Flow.o_measurement in
+  Printf.sprintf "delay=%h area=%h len=%h viol=%d del=%d tracks=[%s] hash=%d"
+    m.Flow.m_delay_ps m.Flow.m_area_mm2 m.Flow.m_length_mm m.Flow.m_violations
+    m.Flow.m_deletions
+    (String.concat ";" (Array.to_list (Array.map string_of_int m.Flow.m_tracks)))
+    (Router.deletion_hash outcome.Flow.o_router)
+
+let test_bit_identity () =
+  List.iter
+    (fun (name, domains) ->
+      let input = load_corpus name in
+      let options = { Router.default_options with Router.domains } in
+      let plain = fingerprint (Flow.run ~options input) in
+      let path = Filename.temp_file "bgr_qlog_id" ".bgrq" in
+      let w = Qlog.create ~path in
+      let n = ref 0 in
+      let recorded =
+        fingerprint
+          (Flow.run ~options
+             ~on_quality:(fun s ->
+               incr n;
+               ignore (Qlog.append w s))
+             input)
+      in
+      Qlog.close w;
+      check_bool (name ^ ": the recorded run actually sampled") true (!n > 0);
+      Sys.remove path;
+      check_string
+        (Printf.sprintf "%s, %d domain(s): recording on = recording off" name domains)
+        plain recorded)
+    [ ("valid_mini.bgr", 1); ("valid_mini.bgr", 4); ("valid_gen.bgr", 1); ("valid_gen.bgr", 4) ]
+
+let () =
+  Alcotest.run "analyze"
+    [ ( "qlog",
+        [ Alcotest.test_case "framing round trip" `Quick test_qlog_roundtrip;
+          Alcotest.test_case "torn tail salvage" `Quick test_qlog_torn_tail;
+          Alcotest.test_case "mid-file corruption rejected" `Quick test_qlog_corrupt_middle ] );
+      ( "quality",
+        [ Alcotest.test_case "summarize phases and criteria" `Quick test_summarize;
+          Alcotest.test_case "quality.json round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "diff verdicts" `Quick test_diff_verdicts ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "recorded route matches signoff" `Slow test_recorded_route ] );
+      ( "determinism",
+        [ Alcotest.test_case "deletion hash identical with recording on" `Slow
+            test_bit_identity ] ) ]

@@ -251,6 +251,74 @@ let test_sink_fault_degrades () =
   Obs.reset ();
   Sys.remove path
 
+(* ---- sink replacement warns ---------------------------------------- *)
+
+let test_double_sink_install_warns () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  let p1 = Filename.temp_file "bgr_obs_dbl" ".json" in
+  let p2 = Filename.temp_file "bgr_obs_dbl" ".json" in
+  Obs.Trace.to_chrome_file p1;
+  check_bool "first install is silent" true (Obs.warnings () = []);
+  Obs.Trace.to_chrome_file p2;
+  let warned =
+    List.exists
+      (fun w ->
+        let wl = String.length w in
+        let rec has i = i + 8 <= wl && (String.sub w i 8 = "reopened" || has (i + 1)) in
+        has 0)
+      (Obs.warnings ())
+  in
+  check_bool "replacing an open sink records a warning" true warned;
+  Obs.Trace.span "x" (fun () -> ());
+  Obs.Trace.close_sinks ();
+  (* the replacement sink is the live one: it got the event stream *)
+  check_bool "second sink received the events" true
+    (String.length (read_file p2) > String.length (read_file p1));
+  Obs.disable ();
+  Obs.reset ();
+  Sys.remove p1;
+  Sys.remove p2
+
+(* ---- prometheus edge cases ----------------------------------------- *)
+
+let contains_block text block =
+  let bl = String.length block and tl = String.length text in
+  let rec scan i = i + bl <= tl && (String.sub text i bl = block || scan (i + 1)) in
+  scan 0
+
+let test_prom_label_escaping () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Metrics.counter "test_obs_escape_total" ~labels:[ "path" ] in
+  Obs.Metrics.inc c ~labels:[ ("path", "a\"b\\c\nd") ];
+  let text = Obs.Metrics.render_prometheus () in
+  check_bool "label value is exposition-escaped" true
+    (contains_block text "test_obs_escape_total{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+  check_bool "no raw newline leaks into the sample line" true
+    (not (contains_block text "a\"b\\c\nd"));
+  Obs.disable ();
+  Obs.reset ()
+
+let test_histogram_no_observations () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  ignore (Obs.Metrics.histogram "test_obs_empty_hist_seconds" ~buckets:[| 0.5; 2.0 |]);
+  let text = Obs.Metrics.render_prometheus () in
+  check_bool "zero-observation histogram renders all-zero buckets" true
+    (contains_block text
+       "# TYPE test_obs_empty_hist_seconds histogram\n\
+        test_obs_empty_hist_seconds_bucket{le=\"0.5\"} 0\n\
+        test_obs_empty_hist_seconds_bucket{le=\"2\"} 0\n\
+        test_obs_empty_hist_seconds_bucket{le=\"+Inf\"} 0\n\
+        test_obs_empty_hist_seconds_sum 0\n\
+        test_obs_empty_hist_seconds_count 0\n");
+  Obs.disable ();
+  Obs.reset ()
+
 (* ---- the deprecation shim ------------------------------------------ *)
 
 let mini_input () = (Suite.mini ()).Suite.input
@@ -335,9 +403,13 @@ let () =
           Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden ] );
       ( "metrics",
         [ Alcotest.test_case "prometheus golden + shape" `Quick test_prometheus_golden;
+          Alcotest.test_case "label-value escaping" `Quick test_prom_label_escaping;
+          Alcotest.test_case "histogram with zero observations" `Quick
+            test_histogram_no_observations;
           QCheck_alcotest.to_alcotest prop_histogram_counts ] );
       ( "resilience",
         [ Alcotest.test_case "sink fault degrades to warning" `Quick test_sink_fault_degrades;
+          Alcotest.test_case "double sink install warns" `Quick test_double_sink_install_warns;
           Alcotest.test_case "options.trace deprecation shim" `Quick test_trace_shim ] );
       ( "determinism",
         [ Alcotest.test_case "deletion hash identical with tracing on" `Slow test_bit_identity ]
