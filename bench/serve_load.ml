@@ -1,0 +1,185 @@
+(* Load test for the routing daemon: an in-process server under
+   concurrent closed-loop clients.
+
+     serve_load [--clients K] [--jobs-per-client M] [--cap N] [--bench-out PATH]
+
+   K client domains each submit M routing jobs (the MINI design,
+   wait-mode) over their own connection.  Admission sheds are counted
+   and retried after a short pause, so the drive pushes the daemon into
+   its overload regime without losing work.  The report: throughput,
+   latency percentiles, shed/retry counts, and the registry payload on
+   one BENCH_METRICS_JSON line (persisted via --bench-out /
+   BGR_BENCH_OUT like bench/main.exe).  Every job's deletion hash is
+   checked against the uninterrupted in-process run: load must never
+   change the answer. *)
+
+let arg_int name default =
+  let v = ref default in
+  Array.iteri
+    (fun i a ->
+      if a = name && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with Some n -> v := n | None -> ())
+    Sys.argv;
+  !v
+
+let bench_out_path () =
+  let from_argv = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--bench-out" && i + 1 < Array.length Sys.argv then
+        from_argv := Some Sys.argv.(i + 1)
+      else if String.length a > 12 && String.sub a 0 12 = "--bench-out=" then
+        from_argv := Some (String.sub a 12 (String.length a - 12)))
+    Sys.argv;
+  match !from_argv with Some p -> Some p | None -> Sys.getenv_opt "BGR_BENCH_OUT"
+
+(* load-driver metric families (client-side view of the daemon) *)
+let g_throughput =
+  Obs.Metrics.gauge ~help:"Completed routing jobs per second under load"
+    "serve_load_throughput_jobs_per_s"
+
+let g_latency =
+  Obs.Metrics.gauge ~help:"Client-observed job latency percentiles (ms)"
+    ~labels:[ "quantile" ] "serve_load_latency_ms"
+
+let g_shed =
+  Obs.Metrics.gauge ~help:"Submissions shed by admission control during the drive"
+    "serve_load_shed_total"
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+type client_report = { latencies : float list; shed : int; failures : string list }
+
+let () =
+  let clients = arg_int "--clients" 4 in
+  let jobs_per_client = arg_int "--jobs-per-client" 3 in
+  let cap = arg_int "--cap" 4 in
+  Obs.enable ();
+  let input = (Suite.mini ()).Suite.input in
+  let design =
+    let fp = Flow.floorplan_of_input input in
+    Design_io.to_string ~floorplan:fp ~constraints:input.Flow.constraints input.Flow.netlist
+  in
+  let options = { Router.default_options with Router.domains = 1 } in
+  let reference = (Flow.run ~options input).Flow.o_measurement.Flow.m_deletion_hash in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bgrload%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir root 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let socket_path = Filename.concat root "s.sock" in
+  let cfg =
+    { (Serve.default_config ~socket_path ~spool_root:(Filename.concat root "spool")) with
+      Serve.queue_cap = cap;
+      job_domains = 1 }
+  in
+  let server = Domain.spawn (fun () -> Serve.run cfg) in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists socket_path)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Printf.printf "serve load: %d clients x %d jobs, admission cap %d\n%!" clients
+    jobs_per_client cap;
+  let hash_of json =
+    Result.to_option (Qjson.parse json)
+    |> Fun.flip Option.bind (Qjson.member "deletion_hash")
+    |> Fun.flip Option.bind Qjson.to_str
+    |> Fun.flip Option.bind int_of_string_opt
+  in
+  let t0 = Unix.gettimeofday () in
+  let client k () =
+    match Serve_client.connect socket_path with
+    | Error e -> { latencies = []; shed = 0; failures = [ e.Bgr_error.message ] }
+    | Ok c ->
+      let shed = ref 0 and lats = ref [] and fails = ref [] in
+      for j = 1 to jobs_per_client do
+        let name = Printf.sprintf "c%d-j%d" k j in
+        let rec submit () =
+          let js = Unix.gettimeofday () in
+          match
+            Serve_client.request ~timeout_s:300.0 c
+              (Wire.Route
+                 { wait = true; timing_driven = true; deadline_ms = None;
+                   name = Some name; design })
+          with
+          | Ok (Wire.Overloaded _) ->
+            (* shed: back off briefly, resubmit (closed loop) *)
+            incr shed;
+            Unix.sleepf 0.05;
+            submit ()
+          | Ok (Wire.Accepted _) -> (
+            match Serve_client.next_reply ~timeout_s:300.0 c with
+            | Ok (Wire.Result { ok = true; json; _ }) ->
+              lats := (Unix.gettimeofday () -. js) *. 1000.0 :: !lats;
+              if hash_of json <> Some reference then
+                fails := Printf.sprintf "%s: wrong hash in %s" name json :: !fails
+            | Ok (Wire.Result { ok = false; json; _ }) ->
+              fails := Printf.sprintf "%s: failed: %s" name json :: !fails
+            | Ok _ -> fails := Printf.sprintf "%s: unexpected reply" name :: !fails
+            | Error e -> fails := Printf.sprintf "%s: %s" name e.Bgr_error.message :: !fails)
+          | Ok _ -> fails := Printf.sprintf "%s: unexpected reply" name :: !fails
+          | Error e -> fails := Printf.sprintf "%s: %s" name e.Bgr_error.message :: !fails
+        in
+        submit ()
+      done;
+      Serve_client.close c;
+      { latencies = !lats; shed = !shed; failures = !fails }
+  in
+  let reports =
+    Array.init clients (fun k -> Domain.spawn (client k)) |> Array.map Domain.join
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* drain the daemon *)
+  (match Serve_client.connect socket_path with
+  | Ok c ->
+    ignore (Serve_client.request ~timeout_s:30.0 c Wire.Shutdown);
+    Serve_client.close c
+  | Error _ -> ());
+  let stats = Domain.join server in
+  let lats =
+    Array.of_list (List.concat_map (fun r -> r.latencies) (Array.to_list reports))
+  in
+  Array.sort compare lats;
+  let shed = Array.fold_left (fun a r -> a + r.shed) 0 reports in
+  let failures = List.concat_map (fun r -> r.failures) (Array.to_list reports) in
+  let completed = Array.length lats in
+  let throughput = float_of_int completed /. wall_s in
+  let p50 = percentile lats 0.50 and p90 = percentile lats 0.90 and p99 = percentile lats 0.99 in
+  Obs.Metrics.set g_throughput throughput;
+  Obs.Metrics.set ~labels:[ ("quantile", "0.5") ] g_latency p50;
+  Obs.Metrics.set ~labels:[ ("quantile", "0.9") ] g_latency p90;
+  Obs.Metrics.set ~labels:[ ("quantile", "0.99") ] g_latency p99;
+  Obs.Metrics.set g_shed (float_of_int shed);
+  Printf.printf "completed %d jobs in %.2f s (%.2f jobs/s)\n" completed wall_s throughput;
+  Printf.printf "latency ms: p50 %.0f  p90 %.0f  p99 %.0f\n" p50 p90 p99;
+  Printf.printf "admission sheds: %d (all resubmitted and completed)\n" shed;
+  Printf.printf
+    "daemon stats: accepted %d, completed %d, failed %d, retried %d, rejected %d\n"
+    stats.Serve.s_accepted stats.Serve.s_completed stats.Serve.s_failed
+    stats.Serve.s_retried stats.Serve.s_rejected;
+  List.iter (fun f -> Printf.printf "FAILURE: %s\n" f) failures;
+  if failures <> [] then exit 1;
+  if completed <> clients * jobs_per_client then begin
+    Printf.printf "FAILURE: %d of %d jobs completed\n" completed (clients * jobs_per_client);
+    exit 1
+  end;
+  Printf.printf "determinism: all %d results carry the uninterrupted hash %d\n" completed
+    reference;
+  let payload = Obs.Metrics.render_json () in
+  Printf.printf "BENCH_METRICS_JSON %s\n" payload;
+  (match bench_out_path () with
+  | None -> ()
+  | Some path -> (
+    match
+      let oc = open_out path in
+      output_string oc payload;
+      output_char oc '\n';
+      close_out oc
+    with
+    | () -> Printf.printf "wrote metrics payload to %s\n" path
+    | exception Sys_error msg ->
+      Printf.eprintf "warning: cannot write bench metrics to %s: %s\n%!" path msg))

@@ -1,0 +1,299 @@
+(* CLI for the routing daemon.
+
+     bgr_serve daemon --socket S --spool DIR     serve until drained
+     bgr_serve submit --socket S design.bgr      route a design bundle
+     bgr_serve wait --socket S JOB               block until JOB finishes
+     bgr_serve resume --socket S JOB             revive a dead-lettered job
+     bgr_serve status --socket S [JOB]           daemon or job status
+     bgr_serve analyze --socket S JOB            quality summary of JOB
+     bgr_serve shutdown --socket S               ask the daemon to drain *)
+
+open Cmdliner
+
+let exit_overloaded = 12
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix domain socket the daemon serves on (keep the path short: the OS caps it).")
+
+let fail_error (e : Bgr_error.t) =
+  Printf.eprintf "bgr_serve: %s\n%!" (Bgr_error.to_string e);
+  exit (Bgr_error.exit_code e.Bgr_error.code)
+
+let exit_of_code_name name =
+  let code =
+    List.find_opt
+      (fun c -> Bgr_error.code_name c = name)
+      [ Bgr_error.Parse; Bgr_error.Validate; Bgr_error.Geometry; Bgr_error.Unroutable;
+        Bgr_error.Deadline; Bgr_error.Fault; Bgr_error.Io_error; Bgr_error.Internal ]
+  in
+  match code with Some c -> Bgr_error.exit_code c | None -> exit_overloaded
+
+let fail_reply code message =
+  Printf.eprintf "bgr_serve: daemon refused: [%s] %s\n%!" code message;
+  exit (exit_of_code_name code)
+
+let connect socket =
+  match Serve_client.connect socket with Ok c -> c | Error e -> fail_error e
+
+(* A Result reply carries the job's stored JSON; surface it verbatim
+   plus the grep-friendly hash line the crash-recovery CI keys on. *)
+let print_result_json json =
+  print_endline json;
+  match Qjson.parse json with
+  | Error _ -> ()
+  | Ok j -> (
+    (match
+       Option.bind
+         (Option.bind (Qjson.member "deletion_hash" j) Qjson.to_str)
+         int_of_string_opt
+     with
+    | Some h -> Printf.printf "deletion hash %d\n" h
+    | None -> ());
+    match Option.bind (Qjson.member "ok" j) (function Qjson.Bool b -> Some b | _ -> None) with
+    | Some false ->
+      let code =
+        Option.value ~default:"internal"
+          (Option.bind (Qjson.member "code" j) Qjson.to_str)
+      in
+      exit (exit_of_code_name code)
+    | _ -> ())
+
+let handle_common_reply = function
+  | Wire.Rerror { code; message } -> fail_reply code message
+  | Wire.Overloaded { reason; depth; cap } ->
+    Printf.eprintf "bgr_serve: overloaded (%s): %d of %d slots in use\n%!" reason depth cap;
+    exit exit_overloaded
+  | reply -> reply
+
+(* --- daemon ------------------------------------------------------------ *)
+
+let daemon_cmd =
+  let spool_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR" ~doc:"Spool directory (jobs/ and dead/ live under it).")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "cap" ] ~docv:"N"
+          ~doc:"Admission cap: queued plus running jobs beyond it are refused as overloaded.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Attempts per job before it is retired to the dead-letter directory.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 250.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff; it doubles with every further attempt.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Router scoring domains per job (0 = auto).  Jobs run one at a time either way.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-job wall budget when the submission names none.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the Prometheus metrics exposition there when the daemon drains.")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No operational log lines.") in
+  let run socket spool cap attempts backoff domains deadline metrics quiet =
+    Obs.enable ();
+    let log line = if not quiet then Printf.eprintf "[bgr_serve] %s\n%!" line in
+    let cfg =
+      { (Serve.default_config ~socket_path:socket ~spool_root:spool) with
+        Serve.queue_cap = cap;
+        max_attempts = attempts;
+        backoff_base_ms = backoff;
+        job_domains = domains;
+        default_deadline_ms = deadline;
+        install_signals = true;
+        log }
+    in
+    match Serve.run cfg with
+    | exception Bgr_error.Error e -> fail_error e
+    | stats ->
+      (match metrics with
+      | None -> ()
+      | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc (Obs.Metrics.render_prometheus ());
+          close_out oc
+        with Sys_error msg -> Printf.eprintf "warning: cannot write %s: %s\n%!" path msg));
+      Printf.printf
+        "drained: requeued %d, accepted %d, completed %d, failed %d, retried %d, rejected %d, \
+         protocol errors %d\n"
+        stats.Serve.s_requeued stats.Serve.s_accepted stats.Serve.s_completed
+        stats.Serve.s_failed stats.Serve.s_retried stats.Serve.s_rejected
+        stats.Serve.s_protocol_errors
+  in
+  Cmd.v
+    (Cmd.info "daemon" ~doc:"Serve routing jobs until SIGTERM (or a shutdown request) drains it.")
+    Term.(
+      const run $ socket_arg $ spool_arg $ cap_arg $ attempts_arg $ backoff_arg $ domains_arg
+      $ deadline_arg $ metrics_arg $ quiet_arg)
+
+(* --- submit ------------------------------------------------------------ *)
+
+let submit_cmd =
+  let design_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DESIGN" ~doc:"Design bundle (.bgr) to route.")
+  in
+  let wait_arg =
+    Arg.(value & flag & info [ "wait"; "w" ] ~doc:"Block until the job finishes; print its result.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"ID" ~doc:"Job id to use instead of a generated one.")
+  in
+  let unconstrained_arg =
+    Arg.(value & flag & info [ "no-constraints"; "u" ] ~doc:"Route without timing constraints.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Wall budget for this job's improvement phases.")
+  in
+  let run socket design wait name unconstrained deadline =
+    let text =
+      try Lineio.read_all design
+      with Sys_error msg ->
+        fail_error (Bgr_error.make ~file:design Bgr_error.Io_error "%s" msg)
+    in
+    let c = connect socket in
+    let req =
+      Wire.Route
+        { wait; timing_driven = not unconstrained; deadline_ms = deadline; name; design = text }
+    in
+    (match handle_common_reply (Result.fold ~ok:Fun.id ~error:fail_error (Serve_client.request c req)) with
+    | Wire.Accepted { job } ->
+      Printf.printf "accepted %s\n%!" job;
+      if wait then (
+        match Serve_client.next_reply c with
+        | Error e -> fail_error e
+        | Ok (Wire.Result { json; _ }) -> print_result_json json
+        | Ok reply -> ignore (handle_common_reply reply))
+    | Wire.Result { json; _ } -> print_result_json json
+    | _ -> fail_reply "internal" "unexpected reply to submit");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a design bundle for routing.")
+    Term.(
+      const run $ socket_arg $ design_arg $ wait_arg $ name_arg $ unconstrained_arg
+      $ deadline_arg)
+
+(* --- wait / resume ----------------------------------------------------- *)
+
+let job_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")
+
+let wait_like name ~doc =
+  let run socket job =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Resume { wait = true; job })))
+     with
+    | Wire.Result { json; _ } -> print_result_json json
+    | Wire.Accepted _ -> (
+      match Serve_client.next_reply c with
+      | Error e -> fail_error e
+      | Ok (Wire.Result { json; _ }) -> print_result_json json
+      | Ok reply -> ignore (handle_common_reply reply))
+    | _ -> fail_reply "internal" "unexpected reply");
+    Serve_client.close c
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ job_pos)
+
+let wait_cmd = wait_like "wait" ~doc:"Block until a job finishes; print its result."
+
+let resume_cmd =
+  wait_like "resume"
+    ~doc:
+      "Re-queue a job (reviving it from the dead-letter directory if needed) and wait for the \
+       result."
+
+(* --- status / analyze / shutdown --------------------------------------- *)
+
+let status_cmd =
+  let job_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.") in
+  let run socket job =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Status { job })))
+     with
+    | Wire.Info { json } -> print_endline json
+    | _ -> fail_reply "internal" "unexpected reply");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Daemon status, or one job's state.")
+    Term.(const run $ socket_arg $ job_arg)
+
+let analyze_cmd =
+  let run socket job =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Analyze { job })))
+     with
+    | Wire.Info { json } -> print_endline json
+    | _ -> fail_reply "internal" "unexpected reply");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Solution-quality summary of a job's recorded .bgrq log.")
+    Term.(const run $ socket_arg $ job_pos)
+
+let shutdown_cmd =
+  let run socket =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error (Serve_client.request c Wire.Shutdown))
+     with
+    | Wire.Info { json } -> print_endline json
+    | _ -> fail_reply "internal" "unexpected reply");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to drain: finish the running job, keep the rest spooled.")
+    Term.(const run $ socket_arg)
+
+let main =
+  let doc = "Routing-as-a-service daemon and client for the DAC'94 global router" in
+  Cmd.group (Cmd.info "bgr_serve" ~doc)
+    [ daemon_cmd; submit_cmd; wait_cmd; resume_cmd; status_cmd; analyze_cmd; shutdown_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -43,12 +43,24 @@ let in_worker () = !worker_probe ()
 (* Drop hot-path records while disabled or on a pool worker. *)
 let skip_record () = (not !enabled_flag) || in_worker ()
 
+(* The serving daemon records metrics from two domains (the socket
+   event loop and the job executor), so the warning list and the
+   metrics registry serialize on one coarse mutex.  The tracer's scope
+   stack stays single-domain property of whoever emits spans (the
+   orchestrator / job executor) — only its sink writes run under the
+   lock via [emit]'s caller. *)
+let reg_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
 let warnings_rev = ref []
 
-let warnings () = List.rev !warnings_rev
+let warnings () = locked (fun () -> List.rev !warnings_rev)
 
 let warn fmt =
-  Printf.ksprintf (fun s -> warnings_rev := s :: !warnings_rev) fmt
+  Printf.ksprintf (fun s -> locked (fun () -> warnings_rev := s :: !warnings_rev)) fmt
 
 let assert_orchestrator ~what =
   if in_worker () then
@@ -344,6 +356,7 @@ module Metrics = struct
           Bgr_error.raise_error Internal
             "histogram %s needs strictly increasing, non-empty bucket bounds" name
     | Counter | Gauge -> ());
+    locked @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some f ->
         if not (same_kind f.f_kind kind) then
@@ -402,6 +415,7 @@ module Metrics = struct
       | k -> Bgr_error.raise_error Internal "inc on %s metric %s" (kind_name k) f.f_name);
       if by < 0.0 then
         Bgr_error.raise_error Internal "counter %s incremented by negative %g" f.f_name by;
+      locked @@ fun () ->
       let s = get_series f labels in
       s.se_value <- s.se_value +. by
     end
@@ -411,6 +425,7 @@ module Metrics = struct
       (match f.f_kind with
       | Gauge -> ()
       | k -> Bgr_error.raise_error Internal "set on %s metric %s" (kind_name k) f.f_name);
+      locked @@ fun () ->
       let s = get_series f labels in
       s.se_value <- v
     end
@@ -422,6 +437,7 @@ module Metrics = struct
         | Histogram b -> b
         | k -> Bgr_error.raise_error Internal "observe on %s metric %s" (kind_name k) f.f_name
       in
+      locked @@ fun () ->
       let s = get_series f labels in
       let n = Array.length bounds in
       let i =
@@ -434,16 +450,20 @@ module Metrics = struct
     end
 
   let value ?(labels = []) f =
-    match find_series f labels with Some s -> Some s.se_value | None -> None
+    locked (fun () ->
+        match find_series f labels with Some s -> Some s.se_value | None -> None)
 
   let histogram_snapshot ?(labels = []) f =
+    locked @@ fun () ->
     match (f.f_kind, find_series f labels) with
     | Histogram bounds, Some s -> Some (Array.copy bounds, Array.copy s.se_buckets, s.se_value, s.se_count)
     | _ -> None
 
-  let series f = List.rev_map (fun s -> (s.se_labels, s.se_value)) f.f_series_rev
+  let series f =
+    locked (fun () -> List.rev_map (fun s -> (s.se_labels, s.se_value)) f.f_series_rev)
 
   let reset_values () =
+    locked @@ fun () ->
     Hashtbl.iter
       (fun _ f ->
         let keep_empty = f.f_labelnames = [] in
@@ -482,6 +502,7 @@ module Metrics = struct
 
   let render_prometheus () =
     assert_orchestrator ~what:"Metrics.render_prometheus";
+    locked @@ fun () ->
     let b = Buffer.create 4096 in
     List.iter
       (fun f ->
@@ -521,6 +542,7 @@ module Metrics = struct
 
   let render_json () =
     assert_orchestrator ~what:"Metrics.render_json";
+    locked @@ fun () ->
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\"metrics\":[";
     let first_f = ref true in

@@ -2,6 +2,32 @@ type mode = Nth of int | Prob of float | Always
 
 type plan = { seed : int; rules : (string * mode) list }
 
+(* --- the site registry ------------------------------------------------ *)
+
+(* Every injection site the pipeline actually calls.  A plan naming a
+   site outside this registry would silently never fire — the test it
+   belongs to would pass vacuously — so parse_plan rejects it. *)
+let builtin_sites =
+  [ "io.parse";
+    "router.improve";
+    "par.worker";
+    "par.spawn";
+    "persist.append";
+    "persist.snapshot";
+    "persist.fsync";
+    "obs.sink";
+    "analyze.qlog";
+    "serve.accept";
+    "serve.read";
+    "serve.write";
+    "serve.job" ]
+
+let declared_sites : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let declare_site s = Hashtbl.replace declared_sites s ()
+
+let known_site s = List.mem s builtin_sites || Hashtbl.mem declared_sites s
+
 let parse_entry s =
   match String.index_opt s ':' with
   | None -> Error (Printf.sprintf "fault entry %S has no ':' (want SITE:n=K | SITE:p=F | SITE:always)" s)
@@ -44,6 +70,12 @@ let parse_plan text =
           (* Silently taking the last (or first) clause would make a
              typo'd plan test something other than what it says. *)
           Error (Printf.sprintf "fault plan: duplicate clause for site %S" site)
+        | Ok (site, _) when not (known_site site) ->
+          (* An unknown site would never fire and the plan would test
+             nothing; reject it at the boundary instead. *)
+          Error
+            (Printf.sprintf "fault plan: unknown site %S (known sites: %s)" site
+               (String.concat ", " builtin_sites))
         | Ok r -> go seed (r :: rules) rest
         | Error m -> Error m
       end

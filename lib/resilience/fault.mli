@@ -32,10 +32,30 @@
 
 type plan
 
+val builtin_sites : string list
+(** Every injection site the pipeline calls, the registry
+    {!parse_plan} validates against: ["io.parse"],
+    ["router.improve"], ["par.worker"], ["par.spawn"],
+    ["persist.append"], ["persist.snapshot"], ["persist.fsync"],
+    ["obs.sink"], ["analyze.qlog"], and the serving daemon's
+    ["serve.accept"], ["serve.read"], ["serve.write"],
+    ["serve.job"]. *)
+
+val declare_site : string -> unit
+(** Register an extra site name (idempotent).  Tests exercising the
+    plan machinery with synthetic sites declare them here so
+    {!parse_plan} accepts them. *)
+
+val known_site : string -> bool
+(** The site is in {!builtin_sites} or was {!declare_site}d. *)
+
 val parse_plan : string -> (plan, string) result
 (** Parse the [seed=N; SITE:n=K | SITE:p=F | SITE:always] grammar.
     A plan naming the same site twice is rejected — the clauses would
-    shadow each other and the plan would not test what it says. *)
+    shadow each other and the plan would not test what it says.  A
+    plan naming a site outside the {!builtin_sites} /
+    {!declare_site} registry is rejected too: an unknown site would
+    silently never fire and the plan would test nothing. *)
 
 val with_plan : plan -> (unit -> 'a) -> 'a
 (** Install [plan] with fresh counters, run the thunk, restore the

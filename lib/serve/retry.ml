@@ -1,0 +1,34 @@
+let retryable = function
+  | Bgr_error.Fault | Bgr_error.Io_error -> true
+  | Bgr_error.Parse | Bgr_error.Validate | Bgr_error.Geometry | Bgr_error.Unroutable
+  | Bgr_error.Deadline | Bgr_error.Internal ->
+    false
+
+let backoff_ms ~base_ms ~attempt = base_ms *. (2.0 ** float_of_int (attempt - 1))
+
+type 'a outcome = {
+  result : ('a, Bgr_error.t) result;
+  attempts : int;
+  slept_ms : float list;
+}
+
+let default_sleep ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+
+let run ?(max_attempts = 2) ?(base_ms = 250.0) ?(sleep_ms = default_sleep)
+    ?(on_retry = fun ~attempt:_ _ -> ()) f =
+  let max_attempts = max 1 max_attempts in
+  let slept = ref [] in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok v -> { result = Ok v; attempts = attempt; slept_ms = List.rev !slept }
+    | Error e ->
+      if attempt < max_attempts && retryable e.Bgr_error.code then begin
+        on_retry ~attempt e;
+        let ms = backoff_ms ~base_ms ~attempt in
+        slept := ms :: !slept;
+        sleep_ms ms;
+        go (attempt + 1)
+      end
+      else { result = Error e; attempts = attempt; slept_ms = List.rev !slept }
+  in
+  go 1

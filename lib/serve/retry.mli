@@ -1,0 +1,44 @@
+(** Bounded retry with exponential backoff for service jobs.
+
+    The daemon gives every job a small, fixed number of attempts.
+    Between attempts it sleeps an exponentially growing backoff; which
+    errors earn a retry at all is decided by {!retryable}, so a job
+    that cannot possibly succeed again (malformed design, illegal
+    geometry, unroutable net, exhausted budget) goes straight to the
+    dead-letter directory instead of burning its attempts.
+
+    The schedule is deterministic — no jitter — so tests can assert it
+    exactly under an injected [sleep]. *)
+
+val retryable : Bgr_error.code -> bool
+(** [Fault] (injected faults stand in for any transient environmental
+    failure) and [Io_error] (disk or socket hiccups) are retryable;
+    [Parse], [Validate], [Geometry], [Unroutable], [Deadline] and
+    [Internal] are not — re-running the identical job cannot change
+    those outcomes. *)
+
+val backoff_ms : base_ms:float -> attempt:int -> float
+(** The sleep {e after} failed attempt [attempt] (1-based):
+    [base_ms * 2^(attempt-1)].  So with [base_ms = 250.] the schedule
+    is 250, 500, 1000, ... *)
+
+type 'a outcome = {
+  result : ('a, Bgr_error.t) result;  (** last attempt's result *)
+  attempts : int;  (** attempts actually made (>= 1) *)
+  slept_ms : float list;  (** backoff sleeps taken, in order *)
+}
+
+val run :
+  ?max_attempts:int ->
+  ?base_ms:float ->
+  ?sleep_ms:(float -> unit) ->
+  ?on_retry:(attempt:int -> Bgr_error.t -> unit) ->
+  (attempt:int -> ('a, Bgr_error.t) result) ->
+  'a outcome
+(** [run f] calls [f ~attempt:1], then — while the error is
+    {!retryable} and attempts remain — sleeps the backoff and tries
+    again.  [max_attempts] defaults to 2 (the daemon's "one bounded
+    retry"); [base_ms] to 250.  [sleep_ms] defaults to a real
+    [Unix.sleepf]; tests inject a recorder.  [on_retry] fires before
+    each backoff sleep.  An exception from [f] is not caught: only
+    structured [Error] results participate in the policy. *)

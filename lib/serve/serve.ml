@@ -1,0 +1,776 @@
+(* The daemon.  Two domains: the event loop (this one) and the executor
+   (spawned, the sole routing orchestrator).  See serve.mli. *)
+
+type config = {
+  socket_path : string;
+  spool_root : string;
+  queue_cap : int;
+  max_attempts : int;
+  backoff_base_ms : float;
+  job_domains : int;
+  default_deadline_ms : int option;
+  install_signals : bool;
+  log : string -> unit;
+}
+
+let default_config ~socket_path ~spool_root =
+  { socket_path;
+    spool_root;
+    queue_cap = 16;
+    max_attempts = 2;
+    backoff_base_ms = 250.0;
+    job_domains = 0;
+    default_deadline_ms = None;
+    install_signals = false;
+    log = ignore }
+
+type stats = {
+  s_requeued : int;
+  s_accepted : int;
+  s_completed : int;
+  s_failed : int;
+  s_retried : int;
+  s_rejected : int;
+  s_protocol_errors : int;
+}
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let m_queue_depth = Obs.Metrics.gauge ~help:"Jobs queued or running" "serve_queue_depth"
+
+let m_jobs =
+  Obs.Metrics.counter ~help:"Job admissions and outcomes" ~labels:[ "outcome" ]
+    "serve_jobs_total"
+
+let m_rejections =
+  Obs.Metrics.counter ~help:"Submissions refused by admission control"
+    ~labels:[ "reason" ] "serve_rejections_total"
+
+let m_retries = Obs.Metrics.counter ~help:"Job attempt retries" "serve_retries_total"
+
+let m_latency =
+  Obs.Metrics.histogram ~help:"Queue-to-completion job latency (ms)"
+    ~buckets:[| 10.; 30.; 100.; 300.; 1000.; 3000.; 10000.; 30000. |]
+    "serve_job_latency_ms"
+
+let m_protocol_errors =
+  Obs.Metrics.counter ~help:"Malformed frames or requests answered with an error"
+    "serve_protocol_errors_total"
+
+let m_connections = Obs.Metrics.counter ~help:"Accepted connections" "serve_connections_total"
+
+(* --- shared state between the two domains ------------------------------ *)
+
+type completion = { c_id : string; c_ok : bool; c_json : string; c_latency_ms : float }
+
+type shared = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (** work available, or [stop] *)
+  queue : Spool.job Queue.t;
+  mutable running : string option;
+  mutable stop : bool;  (** drain: executor exits after the current job *)
+  mutable executor_done : bool;
+  mutable completions : completion list;  (** reversed; loop drains it *)
+  mutable retried : int;
+  wake_w : Unix.file_descr;
+}
+
+let locked sh f =
+  Mutex.lock sh.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mutex) f
+
+let wake sh =
+  try ignore (Unix.write_substring sh.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+let depth_unlocked sh = Queue.length sh.queue + match sh.running with Some _ -> 1 | None -> 0
+
+(* --- job results ------------------------------------------------------- *)
+
+let result_json id (m : Flow.measurement) ~attempts =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str id);
+         ("ok", Qjson.Bool true);
+         (* as a string: the hash is a full 63-bit int, which a JSON
+            double would round *)
+         ("deletion_hash", Qjson.Str (string_of_int m.Flow.m_deletion_hash));
+         ("delay_ps", Qjson.num m.Flow.m_delay_ps);
+         ("area_mm2", Qjson.num m.Flow.m_area_mm2);
+         ("length_mm", Qjson.num m.Flow.m_length_mm);
+         ("violations", Qjson.int m.Flow.m_violations);
+         ("stopped_because", Qjson.Str m.Flow.m_stopped_because);
+         ("domains", Qjson.int m.Flow.m_domains);
+         ("attempts", Qjson.int attempts) ])
+
+let error_json id (e : Bgr_error.t) ~attempts =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str id);
+         ("ok", Qjson.Bool false);
+         ("code", Qjson.Str (Bgr_error.code_name e.Bgr_error.code));
+         ("error", Qjson.Str (Bgr_error.to_string e));
+         ("attempts", Qjson.int attempts) ])
+
+(* --- the executor ------------------------------------------------------ *)
+
+(* A quality sink that degrades to a log line: telemetry must never
+   fail the job (same discipline as the CLI's). *)
+let quality_sink cfg path =
+  match Qlog.create ~path with
+  | exception Bgr_error.Error e ->
+    cfg.log (Printf.sprintf "warning: quality: %s" e.Bgr_error.message);
+    (None, fun () -> ())
+  | w ->
+    let dead = ref false in
+    let emit s =
+      if not !dead then
+        try ignore (Qlog.append w s)
+        with _ ->
+          dead := true;
+          Qlog.close w;
+          cfg.log "warning: quality: recording stopped"
+    in
+    (Some emit, fun () -> if not !dead then Qlog.close w)
+
+let budget_of cfg job =
+  match
+    match job.Spool.j_deadline_ms with Some ms -> Some ms | None -> cfg.default_deadline_ms
+  with
+  | None -> Budget.unlimited
+  | Some ms -> Budget.make ~wall_ms:(float_of_int ms) ()
+
+(* One attempt: [Persist.route] the first time, [Persist.resume] once a
+   journal exists (so a retry after a mid-route fault continues the
+   interrupted run instead of starting over). *)
+let run_attempt cfg spool job =
+  let dir = Spool.job_dir spool job.Spool.j_id in
+  try
+    Fault.check ~phase:"serve" "serve.job";
+    let budget = budget_of cfg job in
+    let on_quality, quality_finish =
+      quality_sink cfg (Filename.concat dir Qlog.default_filename)
+    in
+    Fun.protect ~finally:quality_finish @@ fun () ->
+    if Sys.file_exists (Filename.concat dir Persist.journal_file) then
+      Result.map
+        (fun rr -> rr.Persist.rr_outcome)
+        (Persist.resume ~domains:cfg.job_domains ~budget ?on_quality ~dir ())
+    else begin
+      let design_path = Filename.concat dir Persist.design_file in
+      let design_text = Lineio.read_all design_path in
+      match
+        Result.bind (Design_io.of_string_result ~file:design_path design_text)
+          Design_check.validate
+      with
+      | Error e -> Error e
+      | Ok bundle ->
+        let options = { Router.default_options with Router.domains = cfg.job_domains } in
+        Ok
+          (Persist.route ~options ~timing_driven:job.Spool.j_timing_driven ~budget
+             ?on_quality ~dir ~design_text (Design_io.to_flow_input bundle))
+    end
+  with
+  | Bgr_error.Error e -> Error e
+  | Sys_error msg -> Error (Bgr_error.make ~phase:"serve" Bgr_error.Io_error "%s" msg)
+
+let run_job cfg spool sh (job : Spool.job) =
+  let id = job.Spool.j_id in
+  let t0 = Unix.gettimeofday () in
+  let current = ref job in
+  let outcome =
+    Obs.Trace.span ~attrs:[ ("job", Obs.Trace.Str id) ] "serve.job" @@ fun () ->
+    Retry.run ~max_attempts:cfg.max_attempts ~base_ms:cfg.backoff_base_ms
+      ~on_retry:(fun ~attempt e ->
+        Obs.Metrics.inc m_retries;
+        locked sh (fun () -> sh.retried <- sh.retried + 1);
+        cfg.log
+          (Printf.sprintf "job %s: attempt %d failed (%s); retrying" id attempt
+             (Bgr_error.to_string e)))
+      (fun ~attempt:_ ->
+        current := Spool.record_attempt spool !current;
+        run_attempt cfg spool !current)
+  in
+  let attempts = !current.Spool.j_attempts in
+  let latency_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Obs.Metrics.observe m_latency latency_ms;
+  let c_ok, c_json =
+    match outcome.Retry.result with
+    | Ok o ->
+      let json = result_json id o.Flow.o_measurement ~attempts in
+      Spool.mark_done spool id ~json;
+      Obs.Metrics.inc ~labels:[ ("outcome", "completed") ] m_jobs;
+      cfg.log
+        (Printf.sprintf "job %s: done in %.0f ms (hash %d, %d attempt%s)" id latency_ms
+           o.Flow.o_measurement.Flow.m_deletion_hash attempts
+           (if attempts = 1 then "" else "s"));
+      (true, json)
+    | Error e ->
+      let json = error_json id e ~attempts in
+      Spool.retire spool id ~json;
+      Obs.Metrics.inc ~labels:[ ("outcome", "failed") ] m_jobs;
+      cfg.log
+        (Printf.sprintf "job %s: dead-lettered after %d attempt%s: %s" id attempts
+           (if attempts = 1 then "" else "s")
+           (Bgr_error.to_string e));
+      (false, json)
+  in
+  locked sh (fun () ->
+      sh.completions <- { c_id = id; c_ok; c_json; c_latency_ms = latency_ms } :: sh.completions);
+  wake sh
+
+let executor cfg spool sh () =
+  let rec loop () =
+    Mutex.lock sh.mutex;
+    while Queue.is_empty sh.queue && not sh.stop do
+      Condition.wait sh.cond sh.mutex
+    done;
+    if sh.stop then begin
+      sh.executor_done <- true;
+      Mutex.unlock sh.mutex;
+      wake sh
+    end
+    else begin
+      let job = Queue.pop sh.queue in
+      sh.running <- Some job.Spool.j_id;
+      Mutex.unlock sh.mutex;
+      (try run_job cfg spool sh job
+       with e ->
+         (* Last-ditch containment: an unstructured exception must not
+            kill the executor; the job is retired as Internal. *)
+         let err =
+           Bgr_error.make ~phase:"serve" Bgr_error.Internal "unexpected exception: %s"
+             (Printexc.to_string e)
+         in
+         let json = error_json job.Spool.j_id err ~attempts:job.Spool.j_attempts in
+         (try Spool.retire spool job.Spool.j_id ~json with _ -> ());
+         locked sh (fun () ->
+             sh.completions <-
+               { c_id = job.Spool.j_id; c_ok = false; c_json = json; c_latency_ms = 0.0 }
+               :: sh.completions);
+         wake sh);
+      locked sh (fun () -> sh.running <- None);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- connections ------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable rbuf : string;  (** unconsumed input *)
+  mutable wbuf : string;  (** unsent output *)
+  mutable greeted : bool;  (** client magic verified *)
+  mutable closing : bool;  (** close once [wbuf] drains *)
+  mutable waits : string list;  (** job ids this connection waits on *)
+}
+
+type loop_state = {
+  cfg : config;
+  spool : Spool.t;
+  sh : shared;
+  wake_r : Unix.file_descr;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  queued : (string, unit) Hashtbl.t;  (** ids in the queue (not yet popped) *)
+  waiters : (string, conn list) Hashtbl.t;
+  mutable draining : bool;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable rejected : int;
+  mutable protocol_errors : int;
+  requeued : int;
+}
+
+let send st conn reply =
+  ignore st;
+  conn.wbuf <- conn.wbuf ^ Wire.encode_reply reply
+
+let close_conn st conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  conn.waits <- [];
+  st.conns <- List.filter (fun c -> c != conn) st.conns
+
+let protocol_error st conn (e : Bgr_error.t) =
+  st.protocol_errors <- st.protocol_errors + 1;
+  Obs.Metrics.inc m_protocol_errors;
+  st.cfg.log (Printf.sprintf "protocol error: %s" e.Bgr_error.message);
+  send st conn
+    (Wire.Rerror { code = Bgr_error.code_name e.Bgr_error.code; message = e.Bgr_error.message });
+  conn.closing <- true
+
+let set_depth_metric st =
+  let d = locked st.sh (fun () -> depth_unlocked st.sh) in
+  Obs.Metrics.set m_queue_depth (float_of_int d)
+
+let enqueue st job =
+  locked st.sh (fun () ->
+      Queue.add job st.sh.queue;
+      Hashtbl.replace st.queued job.Spool.j_id ();
+      Condition.signal st.sh.cond);
+  set_depth_metric st
+
+let add_waiter st conn id =
+  conn.waits <- id :: conn.waits;
+  let l = Option.value (Hashtbl.find_opt st.waiters id) ~default:[] in
+  Hashtbl.replace st.waiters id (conn :: l)
+
+let overloaded st conn ~reason =
+  st.rejected <- st.rejected + 1;
+  Obs.Metrics.inc ~labels:[ ("reason", reason) ] m_rejections;
+  let depth, cap = (locked st.sh (fun () -> depth_unlocked st.sh), st.cfg.queue_cap) in
+  send st conn (Wire.Overloaded { reason; depth; cap })
+
+let reply_error st conn (e : Bgr_error.t) =
+  send st conn
+    (Wire.Rerror { code = Bgr_error.code_name e.Bgr_error.code; message = Bgr_error.to_string e })
+
+let status_json st =
+  let depth, running = locked st.sh (fun () -> (depth_unlocked st.sh, st.sh.running)) in
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("queue_depth", Qjson.int depth);
+         ("queue_cap", Qjson.int st.cfg.queue_cap);
+         ( "running",
+           match running with None -> Qjson.Null | Some id -> Qjson.Str id );
+         ("draining", Qjson.Bool st.draining);
+         ("requeued", Qjson.int st.requeued);
+         ("accepted", Qjson.int st.accepted);
+         ("completed", Qjson.int st.completed);
+         ("failed", Qjson.int st.failed);
+         ("rejected", Qjson.int st.rejected);
+         ("protocol_errors", Qjson.int st.protocol_errors) ])
+
+let job_state_string st id =
+  match Spool.state_of st.spool id with
+  | None -> None
+  | Some (Spool.Done _) -> Some "done"
+  | Some (Spool.Dead _) -> Some "dead"
+  | Some (Spool.Pending _) ->
+    let running = locked st.sh (fun () -> st.sh.running = Some id) in
+    if running then Some "running"
+    else if Hashtbl.mem st.queued id then Some "queued"
+    else Some "pending"
+
+let start_drain st reason =
+  if not st.draining then begin
+    st.draining <- true;
+    st.cfg.log (Printf.sprintf "draining (%s)" reason);
+    locked st.sh (fun () ->
+        st.sh.stop <- true;
+        Condition.broadcast st.sh.cond)
+  end
+
+let validation_error fmt = Printf.ksprintf (Bgr_error.make ~phase:"serve" Bgr_error.Validate "%s") fmt
+
+let handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design =
+  if st.draining then overloaded st conn ~reason:"draining"
+  else if locked st.sh (fun () -> depth_unlocked st.sh) >= st.cfg.queue_cap then
+    overloaded st conn ~reason:"queue full"
+  else begin
+    match name with
+    | Some n when not (Wire.valid_job_id n) ->
+      reply_error st conn (validation_error "invalid job name %S" n)
+    | Some n when Spool.exists st.spool n ->
+      reply_error st conn (validation_error "job id %S is already taken" n)
+    | _ -> (
+      (* Reject malformed designs at admission, before spooling: the
+         submitter is still connected and a parse error can never
+         succeed on retry anyway. *)
+      match
+        Result.bind (Design_io.of_string_result ~file:"<submission>" design)
+          Design_check.validate
+      with
+      | Error e -> reply_error st conn e
+      | Ok _ ->
+        let id = match name with Some n -> n | None -> Spool.fresh_id st.spool in
+        let job =
+          { Spool.j_id = id;
+            j_timing_driven = timing_driven;
+            j_deadline_ms = deadline_ms;
+            j_attempts = 0 }
+        in
+        (* Durable acceptance before the acknowledgement. *)
+        (match Spool.accept st.spool job ~design_text:design with
+        | exception Bgr_error.Error e ->
+          st.cfg.log (Printf.sprintf "accept of %s failed: %s" id e.Bgr_error.message);
+          reply_error st conn e
+        | () ->
+          st.accepted <- st.accepted + 1;
+          Obs.Metrics.inc ~labels:[ ("outcome", "accepted") ] m_jobs;
+          enqueue st job;
+          send st conn (Wire.Accepted { job = id });
+          if wait then add_waiter st conn id))
+  end
+
+let handle_resume st conn ~wait ~job:id =
+  if not (Wire.valid_job_id id) then
+    reply_error st conn (validation_error "invalid job id %S" id)
+  else
+    match Spool.state_of st.spool id with
+    | None -> reply_error st conn (validation_error "unknown job %S" id)
+    | Some (Spool.Done json) -> send st conn (Wire.Result { job = id; ok = true; json })
+    | Some (Spool.Dead _) ->
+      if st.draining then overloaded st conn ~reason:"draining"
+      else if locked st.sh (fun () -> depth_unlocked st.sh) >= st.cfg.queue_cap then
+        overloaded st conn ~reason:"queue full"
+      else (
+        match Spool.revive st.spool id with
+        | Error e -> reply_error st conn e
+        | Ok job ->
+          st.cfg.log (Printf.sprintf "job %s: revived from the dead-letter dir" id);
+          enqueue st job;
+          send st conn (Wire.Accepted { job = id });
+          if wait then add_waiter st conn id)
+    | Some (Spool.Pending job) ->
+      let live =
+        locked st.sh (fun () -> st.sh.running = Some id) || Hashtbl.mem st.queued id
+      in
+      if st.draining && not live then overloaded st conn ~reason:"draining"
+      else begin
+        (* An accepted job bypasses the admission cap: it was admitted
+           in a previous daemon life. *)
+        if not live then enqueue st job;
+        send st conn (Wire.Accepted { job = id });
+        if wait then add_waiter st conn id
+      end
+
+let handle_analyze st conn ~job:id =
+  if not (Wire.valid_job_id id) then
+    reply_error st conn (validation_error "invalid job id %S" id)
+  else begin
+    let dir =
+      let live = Spool.job_dir st.spool id in
+      if Sys.file_exists live then Some live
+      else begin
+        let dead = Spool.dead_dir st.spool id in
+        if Sys.file_exists dead then Some dead else None
+      end
+    in
+    match dir with
+    | None -> reply_error st conn (validation_error "unknown job %S" id)
+    | Some dir -> (
+      let path = Filename.concat dir Qlog.default_filename in
+      if not (Sys.file_exists path) then
+        reply_error st conn
+          (Bgr_error.make ~phase:"serve" ~file:path Bgr_error.Io_error
+             "job %s recorded no quality log" id)
+      else
+        match Qlog.read ~path with
+        | Error e -> reply_error st conn e
+        | Ok rr ->
+          List.iter (fun w -> st.cfg.log (Printf.sprintf "analyze %s: %s" id w)) rr.Qlog.warnings;
+          send st conn (Wire.Info { json = Quality.to_json (Quality.summarize rr.Qlog.records) }))
+  end
+
+let handle_status st conn = function
+  | None -> send st conn (Wire.Info { json = status_json st })
+  | Some id -> (
+    match job_state_string st id with
+    | None -> reply_error st conn (validation_error "unknown job %S" id)
+    | Some state ->
+      let attempts =
+        match Spool.load_job st.spool id with Ok j -> j.Spool.j_attempts | Error _ -> 0
+      in
+      send st conn
+        (Wire.Info
+           { json =
+               Qjson.to_string
+                 (Qjson.Obj
+                    [ ("job", Qjson.Str id);
+                      ("state", Qjson.Str state);
+                      ("attempts", Qjson.int attempts) ]) }))
+
+let handle_request st conn = function
+  | Wire.Route { wait; timing_driven; deadline_ms; name; design } ->
+    handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design
+  | Wire.Resume { wait; job } -> handle_resume st conn ~wait ~job
+  | Wire.Analyze { job } -> handle_analyze st conn ~job
+  | Wire.Status { job } -> handle_status st conn job
+  | Wire.Shutdown ->
+    start_drain st "shutdown request";
+    send st conn (Wire.Info { json = "{\"draining\":true}" })
+
+(* Parse as much of [conn.rbuf] as possible: the magic greeting first,
+   then complete frames. *)
+let process_input st conn =
+  let magic_len = String.length Wire.magic in
+  if (not conn.greeted) && String.length conn.rbuf >= magic_len then begin
+    if String.sub conn.rbuf 0 magic_len = Wire.magic then begin
+      conn.greeted <- true;
+      conn.rbuf <- String.sub conn.rbuf magic_len (String.length conn.rbuf - magic_len)
+    end
+    else
+      protocol_error st conn
+        (Bgr_error.make ~phase:"serve" Bgr_error.Parse
+           "bad magic: the peer does not speak %s" (String.trim Wire.magic))
+  end;
+  if conn.greeted && not conn.closing then begin
+    let continue = ref true in
+    while !continue do
+      match Wire.extract_frame conn.rbuf ~pos:0 with
+      | Wire.Need _ -> continue := false
+      | Wire.Bad e ->
+        protocol_error st conn e;
+        continue := false
+      | Wire.Frame (payload, used) -> (
+        conn.rbuf <- String.sub conn.rbuf used (String.length conn.rbuf - used);
+        match Wire.decode_request payload with
+        | Error e ->
+          protocol_error st conn e;
+          continue := false
+        | Ok req ->
+          handle_request st conn req;
+          if conn.closing then continue := false)
+    done
+  end
+
+let read_conn st conn =
+  if Fault.trip "serve.read" then begin
+    st.cfg.log "fault: serve.read tripped; dropping connection";
+    close_conn st conn
+  end
+  else begin
+    let buf = Bytes.create 65536 in
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn st conn
+    | n ->
+      conn.rbuf <- conn.rbuf ^ Bytes.sub_string buf 0 n;
+      process_input st conn
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn st conn
+  end
+
+let write_conn st conn =
+  if Fault.trip "serve.write" then begin
+    st.cfg.log "fault: serve.write tripped; dropping connection";
+    close_conn st conn
+  end
+  else if conn.wbuf <> "" then begin
+    match Unix.write_substring conn.fd conn.wbuf 0 (String.length conn.wbuf) with
+    | n ->
+      conn.wbuf <- String.sub conn.wbuf n (String.length conn.wbuf - n);
+      if conn.wbuf = "" && conn.closing then close_conn st conn
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn st conn
+  end
+
+let accept_conn st =
+  match Unix.accept ~cloexec:true st.listen_fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    st.cfg.log (Printf.sprintf "accept failed: %s" (Unix.error_message e))
+  | fd, _ -> (
+    match Fault.check ~phase:"serve" "serve.accept" with
+    | exception Bgr_error.Error e ->
+      st.cfg.log (Printf.sprintf "fault: %s; connection refused" e.Bgr_error.message);
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | () ->
+      Unix.set_nonblock fd;
+      Obs.Metrics.inc m_connections;
+      (* Greet first: the server banner lets clients fail fast when
+         they dialled something that is not a bgr daemon. *)
+      st.conns <-
+        { fd; rbuf = ""; wbuf = Wire.magic; greeted = false; closing = false; waits = [] }
+        :: st.conns)
+
+let deliver_completions st =
+  let completions, executor_done =
+    locked st.sh (fun () ->
+        let cs = List.rev st.sh.completions in
+        st.sh.completions <- [];
+        (cs, st.sh.executor_done))
+  in
+  List.iter
+    (fun c ->
+      Hashtbl.remove st.queued c.c_id;
+      if c.c_ok then st.completed <- st.completed + 1 else st.failed <- st.failed + 1;
+      (match Hashtbl.find_opt st.waiters c.c_id with
+      | None -> ()
+      | Some conns ->
+        Hashtbl.remove st.waiters c.c_id;
+        List.iter
+          (fun conn ->
+            if List.memq conn st.conns then begin
+              conn.waits <- List.filter (fun w -> w <> c.c_id) conn.waits;
+              send st conn (Wire.Result { job = c.c_id; ok = c.c_ok; json = c.c_json })
+            end)
+          conns))
+    completions;
+  if completions <> [] then set_depth_metric st;
+  executor_done
+
+(* --- socket setup ------------------------------------------------------ *)
+
+let bind_socket cfg =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_UNIX cfg.socket_path in
+  let try_bind () = Unix.bind fd addr in
+  (try
+     match try_bind () with
+     | () -> ()
+     | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+       (* A socket file is already there: a live daemon, or a stale
+          corpse after kill -9.  Probe it. *)
+       let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       let live =
+         match Unix.connect probe addr with
+         | () -> true
+         | exception Unix.Unix_error _ -> false
+       in
+       (try Unix.close probe with Unix.Unix_error _ -> ());
+       if live then
+         Bgr_error.raise_error ~phase:"serve" ~file:cfg.socket_path Bgr_error.Io_error
+           "a daemon is already serving this socket";
+       (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+       try_bind ()
+   with
+  | Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Bgr_error.raise_error ~phase:"serve" ~file:cfg.socket_path Bgr_error.Io_error
+      "cannot bind: %s" (Unix.error_message e));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+(* --- the event loop ---------------------------------------------------- *)
+
+let sig_drain = Atomic.make false
+
+let run cfg =
+  (* A peer that vanishes mid-write must cost us an EPIPE, not the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let spool = Spool.open_root cfg.spool_root in
+  let listen_fd = bind_socket cfg in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let sh =
+    { mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      running = None;
+      stop = false;
+      executor_done = false;
+      completions = [];
+      retried = 0;
+      wake_w }
+  in
+  (* Supervisor pass: every accepted-but-unfinished job rides again. *)
+  let pending = Spool.scan spool in
+  List.iter (fun w -> cfg.log (Printf.sprintf "spool: %s" w)) (Spool.scan_warnings spool);
+  List.iter
+    (fun (j : Spool.job) ->
+      cfg.log
+        (Printf.sprintf "requeueing job %s (attempts so far: %d)" j.Spool.j_id
+           j.Spool.j_attempts);
+      Queue.add j sh.queue)
+    pending;
+  let st =
+    { cfg;
+      spool;
+      sh;
+      wake_r;
+      listen_fd;
+      conns = [];
+      queued = Hashtbl.create 16;
+      waiters = Hashtbl.create 16;
+      draining = false;
+      accepted = 0;
+      completed = 0;
+      failed = 0;
+      rejected = 0;
+      protocol_errors = 0;
+      requeued = List.length pending }
+  in
+  List.iter (fun (j : Spool.job) -> Hashtbl.replace st.queued j.Spool.j_id ()) pending;
+  set_depth_metric st;
+  Atomic.set sig_drain false;
+  if cfg.install_signals then begin
+    let request_drain _ =
+      Atomic.set sig_drain true;
+      wake sh
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_drain);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain)
+  end;
+  let exec_domain = Domain.spawn (executor cfg spool sh) in
+  cfg.log
+    (Printf.sprintf "serving on %s (spool %s, cap %d, %d requeued)" cfg.socket_path
+       cfg.spool_root cfg.queue_cap st.requeued);
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get sig_drain then start_drain st "signal";
+    let rfds = st.listen_fd :: st.wake_r :: List.map (fun c -> c.fd) st.conns in
+    let wfds = List.filter_map (fun c -> if c.wbuf <> "" then Some c.fd else None) st.conns in
+    let readable, writable, _ =
+      match Unix.select rfds wfds [] 0.5 with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem st.wake_r readable then begin
+      let buf = Bytes.create 64 in
+      let rec drain_pipe () =
+        match Unix.read st.wake_r buf 0 64 with
+        | 64 -> drain_pipe ()
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain_pipe ()
+    end;
+    if List.mem st.listen_fd readable then accept_conn st;
+    List.iter
+      (fun conn -> if List.mem conn.fd readable then read_conn st conn)
+      (List.filter (fun c -> List.memq c st.conns) st.conns);
+    let executor_done = deliver_completions st in
+    List.iter
+      (fun conn -> if List.mem conn.fd writable || conn.wbuf <> "" then write_conn st conn)
+      (List.filter (fun c -> List.memq c st.conns) st.conns);
+    if st.draining && executor_done && locked sh (fun () -> sh.completions = []) then
+      finished := true
+  done;
+  (* Drained: tell the waiters their jobs stay spooled, flush, leave. *)
+  List.iter
+    (fun conn ->
+      List.iter
+        (fun id ->
+          send st conn
+            (Wire.Rerror
+               { code = "draining";
+                 message =
+                   Printf.sprintf "daemon draining; job %s remains spooled for the next start"
+                     id }))
+        (List.sort_uniq compare conn.waits))
+    st.conns;
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while
+    List.exists (fun c -> c.wbuf <> "") st.conns && Unix.gettimeofday () < deadline
+  do
+    let wfds = List.filter_map (fun c -> if c.wbuf <> "" then Some c.fd else None) st.conns in
+    (match Unix.select [] wfds [] 0.2 with
+    | _, writable, _ ->
+      List.iter
+        (fun conn -> if List.mem conn.fd writable then write_conn st conn)
+        (List.filter (fun c -> List.memq c st.conns) st.conns)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) st.conns;
+  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Domain.join exec_domain;
+  (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close sh.wake_w with Unix.Unix_error _ -> ());
+  let left = locked sh (fun () -> Queue.length sh.queue) in
+  cfg.log
+    (Printf.sprintf "drained: %d completed, %d failed, %d still spooled" st.completed
+       st.failed left);
+  { s_requeued = st.requeued;
+    s_accepted = st.accepted;
+    s_completed = st.completed;
+    s_failed = st.failed;
+    s_retried = locked sh (fun () -> sh.retried);
+    s_rejected = st.rejected;
+    s_protocol_errors = st.protocol_errors }

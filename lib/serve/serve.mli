@@ -1,0 +1,75 @@
+(** The routing daemon: a supervised, crash-safe routing-as-a-service
+    loop over a Unix domain socket.
+
+    One {!run} call is one daemon lifetime.  Inside it live exactly two
+    domains:
+
+    {ul
+    {- the {e event loop} (the calling domain): [Unix.select] over the
+       listening socket, the client connections and a self-pipe.  It
+       frames and decodes requests ({!Wire}), answers cheap operations
+       ([status], [analyze]) inline, and feeds routing work to the
+       executor through a bounded queue.  It never routes and never
+       emits trace spans.}
+    {- the {e executor}: a single spawned domain, the sole routing (and
+       hence {!Par}) orchestrator.  It pops one job at a time, runs it
+       under the retry policy ({!Retry}) with a fresh {!Budget} per
+       attempt, and hands the completion back through the self-pipe.}}
+
+    Crash safety is the {!Spool} contract: a submission is acknowledged
+    only after its job directory is durably on disk, each attempt runs
+    as a {!Persist} run inside that directory, and on startup a
+    supervisor pass re-queues every accepted job that has no RESULT —
+    so [kill -9] at any point loses no accepted job.
+
+    Admission control: when the queue (plus the running job) holds
+    [queue_cap] jobs, new submissions get a structured [overloaded]
+    reply and are {e not} spooled.  Supervisor re-queues bypass the
+    cap — they were already accepted in a previous life.
+
+    Degradation: protocol garbage, oversized frames, bad CRCs, unknown
+    opcodes and mid-request disconnects cost the offending connection
+    only; injected faults at sites ["serve.accept"], ["serve.read"],
+    ["serve.write"] and ["serve.job"] are contained the same way (the
+    last one is retryable and feeds the retry/dead-letter machinery).
+
+    Shutdown: SIGTERM/SIGINT (when [install_signals]) or a [shutdown]
+    request starts a {e drain}: no new admissions, the running job
+    finishes, queued jobs stay spooled for the next start, waiters get
+    a structured error, and {!run} returns. *)
+
+type config = {
+  socket_path : string;
+  spool_root : string;  (** the {!Spool} root directory *)
+  queue_cap : int;  (** max queued + running jobs; beyond it: [overloaded] *)
+  max_attempts : int;  (** attempts per job before dead-lettering *)
+  backoff_base_ms : float;  (** retry backoff base (doubles per attempt) *)
+  job_domains : int;  (** router scoring domains per job ([0] = auto) *)
+  default_deadline_ms : int option;
+      (** per-job wall budget when the submission names none *)
+  install_signals : bool;
+      (** install SIGTERM/SIGINT drain handlers (the CLI daemon does;
+          in-process test servers must not) *)
+  log : string -> unit;  (** line logger for operational events *)
+}
+
+val default_config : socket_path:string -> spool_root:string -> config
+(** [queue_cap = 16], [max_attempts = 2], [backoff_base_ms = 250.],
+    [job_domains = 0], no default deadline, no signal handlers,
+    silent log. *)
+
+type stats = {
+  s_requeued : int;  (** jobs the startup supervisor re-queued *)
+  s_accepted : int;  (** new submissions durably accepted *)
+  s_completed : int;  (** jobs finished with a RESULT *)
+  s_failed : int;  (** jobs retired to the dead-letter dir *)
+  s_retried : int;  (** attempt retries taken *)
+  s_rejected : int;  (** submissions refused (overloaded or draining) *)
+  s_protocol_errors : int;  (** malformed frames/requests answered *)
+}
+
+val run : config -> stats
+(** Bind the socket, re-queue the spool, serve until drained.  Blocks
+    the calling domain (spawn a [Domain] around it for an in-process
+    server).  Structured [Io_error] when the socket cannot be bound.
+    The socket file is unlinked on return. *)

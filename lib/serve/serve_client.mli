@@ -1,0 +1,25 @@
+(** A small blocking client for the {!Serve} daemon: connect, exchange
+    the {!Wire.magic} greeting, then send requests and read framed
+    replies.  One connection, one caller — there is no internal
+    locking.  Used by the CLI ([bgr_serve submit] and friends), the
+    load-test driver and the test suite. *)
+
+type t
+
+val connect : string -> (t, Bgr_error.t) result
+(** Connect to the socket and verify the server banner.  [Io_error]
+    when the dial fails, [Parse] when the peer is not a bgr daemon. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> Wire.request -> (unit, Bgr_error.t) result
+(** Frame and write one request. *)
+
+val next_reply : ?timeout_s:float -> t -> (Wire.reply, Bgr_error.t) result
+(** Block until one complete reply frame arrives.  [timeout_s]
+    (default: none) bounds the wait; expiry is a [Deadline] error.
+    EOF mid-frame and CRC damage are structured [Io_error]/[Parse]. *)
+
+val request : ?timeout_s:float -> t -> Wire.request -> (Wire.reply, Bgr_error.t) result
+(** {!send} then {!next_reply}. *)

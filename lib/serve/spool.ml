@@ -1,0 +1,219 @@
+let job_file = "JOB"
+let result_file = "RESULT"
+let error_file = "ERROR"
+
+let ( / ) = Filename.concat
+
+type job = {
+  j_id : string;
+  j_timing_driven : bool;
+  j_deadline_ms : int option;
+  j_attempts : int;
+}
+
+type t = { t_root : string; mutable t_scan_warnings : string list }
+
+let io_fail path msg =
+  Bgr_error.raise_error ~phase:"serve" ~file:path Bgr_error.Io_error "%s" msg
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) -> io_fail dir (Unix.error_message e)
+
+let open_root root =
+  ensure_dir root;
+  ensure_dir (root / "jobs");
+  ensure_dir (root / "dead");
+  { t_root = root; t_scan_warnings = [] }
+
+let root t = t.t_root
+
+let job_dir t id = t.t_root / "jobs" / id
+
+let dead_dir t id = t.t_root / "dead" / id
+
+(* Atomic durable write, the Persist discipline: temp file, fsync,
+   rename. *)
+let write_file_atomic path s =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    output_string oc s;
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error msg -> io_fail path msg
+
+let read_file path =
+  match Lineio.read_all path with
+  | s -> Ok s
+  | exception Sys_error msg ->
+    Error (Bgr_error.make ~file:path ~phase:"serve" Bgr_error.Io_error "%s" msg)
+
+let list_dir path =
+  match Sys.readdir path with
+  | entries ->
+    let l = Array.to_list entries in
+    List.sort compare l
+  | exception Sys_error _ -> []
+
+let exists t id =
+  Sys.file_exists (job_dir t id) || Sys.file_exists (dead_dir t id)
+
+let fresh_id t =
+  let numeric_suffix name =
+    if String.length name > 4 && String.sub name 0 4 = "job-" then
+      int_of_string_opt (String.sub name 4 (String.length name - 4))
+    else None
+  in
+  let top =
+    List.fold_left
+      (fun acc name -> match numeric_suffix name with Some n -> max acc n | None -> acc)
+      0
+      (list_dir (t.t_root / "jobs") @ list_dir (t.t_root / "dead"))
+  in
+  Printf.sprintf "job-%06d" (top + 1)
+
+(* --- the JOB manifest -------------------------------------------------- *)
+
+let job_string j =
+  Printf.sprintf "bgr-job 1\nid %s\ntiming_driven %b\ndeadline_ms %d\nattempts %d\n"
+    j.j_id j.j_timing_driven
+    (match j.j_deadline_ms with None -> 0 | Some ms -> ms)
+    j.j_attempts
+
+exception Bad of string
+
+let parse_job ?file s =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  match
+    let kv =
+      String.split_on_char '\n' s
+      |> List.filter_map (fun l ->
+             let l = String.trim l in
+             if l = "" then None
+             else
+               match String.index_opt l ' ' with
+               | None -> fail "job manifest line %S has no value" l
+               | Some i ->
+                 Some (String.sub l 0 i, String.trim (String.sub l i (String.length l - i))))
+    in
+    (match kv with
+    | ("bgr-job", "1") :: _ -> ()
+    | _ -> fail "not a bgr job manifest (or unsupported version)");
+    let get k =
+      match List.assoc_opt k kv with
+      | Some v -> v
+      | None -> fail "job manifest is missing the %s field" k
+    in
+    let int_of k =
+      match int_of_string_opt (get k) with
+      | Some v -> v
+      | None -> fail "job manifest field %s wants an integer, got %S" k (get k)
+    in
+    let td =
+      match get "timing_driven" with
+      | "true" -> true
+      | "false" -> false
+      | v -> fail "job manifest field timing_driven wants a boolean, got %S" v
+    in
+    let deadline = int_of "deadline_ms" in
+    { j_id = get "id";
+      j_timing_driven = td;
+      j_deadline_ms = (if deadline = 0 then None else Some deadline);
+      j_attempts = int_of "attempts" }
+  with
+  | j -> Ok j
+  | exception Bad m -> Error (Bgr_error.make ?file ~phase:"serve" Bgr_error.Parse "%s" m)
+
+let accept t j ~design_text =
+  let dir = job_dir t j.j_id in
+  ensure_dir dir;
+  write_file_atomic (dir / Persist.design_file) design_text;
+  write_file_atomic (dir / job_file) (job_string j)
+
+let load_job t id =
+  let live = job_dir t id / job_file in
+  let path = if Sys.file_exists live then live else dead_dir t id / job_file in
+  Result.bind (read_file path) (parse_job ~file:path)
+
+let record_attempt t j =
+  let j = { j with j_attempts = j.j_attempts + 1 } in
+  write_file_atomic (job_dir t j.j_id / job_file) (job_string j);
+  j
+
+let mark_done t id ~json = write_file_atomic (job_dir t id / result_file) (json ^ "\n")
+
+let retire t id ~json =
+  let dir = job_dir t id in
+  write_file_atomic (dir / error_file) (json ^ "\n");
+  match Sys.rename dir (dead_dir t id) with
+  | () -> ()
+  | exception Sys_error msg -> io_fail dir msg
+
+type state = Pending of job | Done of string | Dead of string
+
+let state_of t id =
+  let live = job_dir t id in
+  if Sys.file_exists live then begin
+    let result = live / result_file in
+    if Sys.file_exists result then
+      match read_file result with
+      | Ok s -> Some (Done (String.trim s))
+      | Error _ -> Some (Done "{}")
+    else
+      match load_job t id with
+      | Ok j -> Some (Pending j)
+      | Error _ -> None
+  end
+  else begin
+    let dead = dead_dir t id in
+    if Sys.file_exists dead then
+      match read_file (dead / error_file) with
+      | Ok s -> Some (Dead (String.trim s))
+      | Error _ -> Some (Dead "{}")
+    else None
+  end
+
+let revive t id =
+  let dead = dead_dir t id in
+  if not (Sys.file_exists dead) then
+    Error
+      (Bgr_error.make ~phase:"serve" Bgr_error.Validate "job %s is not in the dead-letter dir"
+         id)
+  else begin
+    match Sys.rename dead (job_dir t id) with
+    | exception Sys_error msg ->
+      Error (Bgr_error.make ~file:dead ~phase:"serve" Bgr_error.Io_error "%s" msg)
+    | () ->
+      (try Sys.remove (job_dir t id / error_file) with Sys_error _ -> ());
+      Result.map
+        (fun j ->
+          let j = { j with j_attempts = 0 } in
+          write_file_atomic (job_dir t id / job_file) (job_string j);
+          j)
+        (load_job t id)
+  end
+
+let scan t =
+  t.t_scan_warnings <- [];
+  List.filter_map
+    (fun id ->
+      let dir = t.t_root / "jobs" / id in
+      if not (Sys.is_directory dir) then None
+      else if Sys.file_exists (dir / result_file) then None
+      else
+        match load_job t id with
+        | Ok j -> Some j
+        | Error e ->
+          t.t_scan_warnings <-
+            t.t_scan_warnings
+            @ [ Printf.sprintf "skipping job %s: %s" id e.Bgr_error.message ];
+          None)
+    (list_dir (t.t_root / "jobs"))
+
+let scan_warnings t = t.t_scan_warnings

@@ -1,0 +1,253 @@
+let magic = "BGRS1\n"
+
+let max_payload = 16 * 1024 * 1024
+
+type request =
+  | Route of {
+      wait : bool;
+      timing_driven : bool;
+      deadline_ms : int option;
+      name : string option;
+      design : string;
+    }
+  | Resume of { wait : bool; job : string }
+  | Analyze of { job : string }
+  | Status of { job : string option }
+  | Shutdown
+
+type reply =
+  | Accepted of { job : string }
+  | Result of { job : string; ok : bool; json : string }
+  | Rerror of { code : string; message : string }
+  | Overloaded of { reason : string; depth : int; cap : int }
+  | Info of { json : string }
+
+(* --- primitive encoders ----------------------------------------------- *)
+
+let u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let lpstr b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  u32 b (String.length payload);
+  Buffer.add_string b payload;
+  u32 b (Crc32.string payload);
+  Buffer.contents b
+
+(* --- primitive decoders ----------------------------------------------- *)
+
+exception Short
+exception Malformed of string
+
+let get_u32 s pos =
+  if pos + 4 > String.length s then raise Short;
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let get_lpstr s pos =
+  let n = get_u32 s pos in
+  if n > max_payload then raise (Malformed "string length exceeds the frame bound");
+  if pos + 4 + n > String.length s then raise Short;
+  (String.sub s (pos + 4) n, pos + 4 + n)
+
+(* --- request bodies --------------------------------------------------- *)
+
+let op_route = 0x01
+let op_resume = 0x02
+let op_analyze = 0x03
+let op_status = 0x04
+let op_shutdown = 0x05
+
+let op_accepted = 0x81
+let op_result = 0x82
+let op_error = 0x83
+let op_overloaded = 0x84
+let op_info = 0x85
+
+let flag_wait = 0x01
+let flag_unconstrained = 0x02
+
+let encode_request r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Route { wait; timing_driven; deadline_ms; name; design } ->
+    Buffer.add_char b (Char.chr op_route);
+    let flags =
+      (if wait then flag_wait else 0) lor if timing_driven then 0 else flag_unconstrained
+    in
+    Buffer.add_char b (Char.chr flags);
+    u32 b (match deadline_ms with None -> 0 | Some ms -> max 1 ms);
+    lpstr b (Option.value name ~default:"");
+    lpstr b design
+  | Resume { wait; job } ->
+    Buffer.add_char b (Char.chr op_resume);
+    Buffer.add_char b (Char.chr (if wait then flag_wait else 0));
+    lpstr b job
+  | Analyze { job } ->
+    Buffer.add_char b (Char.chr op_analyze);
+    lpstr b job
+  | Status { job } ->
+    Buffer.add_char b (Char.chr op_status);
+    lpstr b (Option.value job ~default:"")
+  | Shutdown -> Buffer.add_char b (Char.chr op_shutdown));
+  frame (Buffer.contents b)
+
+let encode_reply r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Accepted { job } ->
+    Buffer.add_char b (Char.chr op_accepted);
+    lpstr b job
+  | Result { job; ok; json } ->
+    Buffer.add_char b (Char.chr op_result);
+    lpstr b job;
+    Buffer.add_char b (if ok then '\001' else '\000');
+    lpstr b json
+  | Rerror { code; message } ->
+    Buffer.add_char b (Char.chr op_error);
+    lpstr b code;
+    lpstr b message
+  | Overloaded { reason; depth; cap } ->
+    Buffer.add_char b (Char.chr op_overloaded);
+    lpstr b reason;
+    u32 b depth;
+    u32 b cap
+  | Info { json } ->
+    Buffer.add_char b (Char.chr op_info);
+    lpstr b json);
+  frame (Buffer.contents b)
+
+(* --- payload decoding -------------------------------------------------- *)
+
+let parse_error ?file fmt =
+  Printf.ksprintf
+    (fun m -> Error (Bgr_error.make ?file ~phase:"serve" Bgr_error.Parse "%s" m))
+    fmt
+
+let finish ?file ~what s pos v =
+  if pos <> String.length s then
+    parse_error ?file "%s message carries %d trailing bytes" what (String.length s - pos)
+  else Ok v
+
+let decode_request ?file s =
+  if s = "" then parse_error ?file "empty request payload"
+  else begin
+    let op = Char.code s.[0] in
+    match
+      if op = op_route then begin
+        if String.length s < 2 then raise Short;
+        let flags = Char.code s.[1] in
+        let deadline = get_u32 s 2 in
+        let name, pos = get_lpstr s 6 in
+        let design, pos = get_lpstr s pos in
+        finish ?file ~what:"route" s pos
+          (Route
+             { wait = flags land flag_wait <> 0;
+               timing_driven = flags land flag_unconstrained = 0;
+               deadline_ms = (if deadline = 0 then None else Some deadline);
+               name = (if name = "" then None else Some name);
+               design })
+      end
+      else if op = op_resume then begin
+        if String.length s < 2 then raise Short;
+        let flags = Char.code s.[1] in
+        let job, pos = get_lpstr s 2 in
+        finish ?file ~what:"resume" s pos (Resume { wait = flags land flag_wait <> 0; job })
+      end
+      else if op = op_analyze then begin
+        let job, pos = get_lpstr s 1 in
+        finish ?file ~what:"analyze" s pos (Analyze { job })
+      end
+      else if op = op_status then begin
+        let job, pos = get_lpstr s 1 in
+        finish ?file ~what:"status" s pos
+          (Status { job = (if job = "" then None else Some job) })
+      end
+      else if op = op_shutdown then finish ?file ~what:"shutdown" s 1 Shutdown
+      else parse_error ?file "unknown request opcode 0x%02x" op
+    with
+    | r -> r
+    | exception Short -> parse_error ?file "request body is truncated (opcode 0x%02x)" op
+    | exception Malformed m -> parse_error ?file "%s" m
+  end
+
+let decode_reply ?file s =
+  if s = "" then parse_error ?file "empty reply payload"
+  else begin
+    let op = Char.code s.[0] in
+    match
+      if op = op_accepted then begin
+        let job, pos = get_lpstr s 1 in
+        finish ?file ~what:"accepted" s pos (Accepted { job })
+      end
+      else if op = op_result then begin
+        let job, pos = get_lpstr s 1 in
+        if pos >= String.length s then raise Short;
+        let ok = s.[pos] <> '\000' in
+        let json, pos = get_lpstr s (pos + 1) in
+        finish ?file ~what:"result" s pos (Result { job; ok; json })
+      end
+      else if op = op_error then begin
+        let code, pos = get_lpstr s 1 in
+        let message, pos = get_lpstr s pos in
+        finish ?file ~what:"error" s pos (Rerror { code; message })
+      end
+      else if op = op_overloaded then begin
+        let reason, pos = get_lpstr s 1 in
+        let depth = get_u32 s pos in
+        let cap = get_u32 s (pos + 4) in
+        finish ?file ~what:"overloaded" s (pos + 8) (Overloaded { reason; depth; cap })
+      end
+      else if op = op_info then begin
+        let json, pos = get_lpstr s 1 in
+        finish ?file ~what:"info" s pos (Info { json })
+      end
+      else parse_error ?file "unknown reply opcode 0x%02x" op
+    with
+    | r -> r
+    | exception Short -> parse_error ?file "reply body is truncated (opcode 0x%02x)" op
+    | exception Malformed m -> parse_error ?file "%s" m
+  end
+
+(* --- incremental frame extraction -------------------------------------- *)
+
+type extract = Need of int | Frame of string * int | Bad of Bgr_error.t
+
+let extract_frame s ~pos =
+  let avail = String.length s - pos in
+  if avail < 4 then Need (4 - avail)
+  else begin
+    let len = get_u32 s pos in
+    if len > max_payload then
+      Bad
+        (Bgr_error.make ~phase:"serve" Bgr_error.Parse
+           "frame declares a %d-byte payload; the protocol caps payloads at %d" len
+           max_payload)
+    else if avail < 4 + len + 4 then Need ((4 + len + 4) - avail)
+    else begin
+      let payload = String.sub s (pos + 4) len in
+      let crc = get_u32 s (pos + 4 + len) in
+      if crc <> Crc32.string payload then
+        Bad
+          (Bgr_error.make ~phase:"serve" Bgr_error.Parse
+             "frame CRC mismatch (recorded %08x, computed %08x)" crc (Crc32.string payload))
+      else Frame (payload, 4 + len + 4)
+    end
+  end
+
+let valid_job_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && (match s.[0] with 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       s

@@ -1,0 +1,75 @@
+(** The `bgr_serve` wire protocol: length-prefixed, CRC-framed request
+    and reply messages over a Unix domain socket, in the house framing
+    style of the deletion journal ([BGRJ1]) and the quality log
+    ([BGRQ1]).
+
+    A connection opens with both sides sending the 6-byte magic
+    ["BGRS1\n"]; every message after that is one frame
+
+    {v [u32 length | payload | u32 CRC-32(payload)] v}
+
+    (integers big-endian).  The payload's first byte is the opcode;
+    strings inside bodies are [u32 length | bytes].  The full frame
+    spec is documented in docs/serving.md.
+
+    Decoding is defensive: a declared length beyond {!max_payload}, a
+    CRC mismatch, a truncated body, an unknown opcode or trailing
+    bytes after a well-formed body all yield a structured [Parse]
+    error — the daemon replies with a protocol error and closes the
+    connection instead of crashing. *)
+
+val magic : string
+(** ["BGRS1\n"]. *)
+
+val max_payload : int
+(** Largest accepted payload (16 MiB) — a declared frame length above
+    this is rejected before any body byte is read, so a hostile or
+    corrupt length prefix cannot make the daemon buffer unbounded
+    data. *)
+
+type request =
+  | Route of {
+      wait : bool;  (** hold the connection and stream the result *)
+      timing_driven : bool;
+      deadline_ms : int option;  (** per-job wall-clock budget *)
+      name : string option;  (** client-chosen job id *)
+      design : string;  (** design-bundle text *)
+    }
+  | Resume of { wait : bool; job : string }
+  | Analyze of { job : string }
+  | Status of { job : string option }  (** [None] = daemon status *)
+  | Shutdown
+
+type reply =
+  | Accepted of { job : string }
+  | Result of { job : string; ok : bool; json : string }
+  | Rerror of { code : string; message : string }
+  | Overloaded of { reason : string; depth : int; cap : int }
+  | Info of { json : string }
+
+val encode_request : request -> string
+(** The complete frame (length, payload, CRC) — not the payload alone. *)
+
+val encode_reply : reply -> string
+
+val decode_request : ?file:string -> string -> (request, Bgr_error.t) result
+(** Decode a frame {e payload} (opcode byte onward). *)
+
+val decode_reply : ?file:string -> string -> (reply, Bgr_error.t) result
+
+(** {1 Incremental frame extraction}
+
+    The daemon's event loop accumulates connection bytes in a buffer
+    and repeatedly asks for the next complete frame. *)
+
+type extract =
+  | Need of int  (** at least this many more bytes required *)
+  | Frame of string * int  (** payload, total frame bytes consumed *)
+  | Bad of Bgr_error.t  (** oversized length or CRC mismatch *)
+
+val extract_frame : string -> pos:int -> extract
+(** Examine [s] from [pos] for one complete frame. *)
+
+val valid_job_id : string -> bool
+(** Job ids are 1..64 chars of [A-Za-z0-9._-] not starting with a dot
+    or dash — safe as directory names in the spool. *)

@@ -5,6 +5,11 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* Synthetic sites the plan-machinery tests fire; real code never
+   calls them, so they must be declared for parse_plan to accept
+   them. *)
+let () = List.iter Fault.declare_site [ "site.a"; "site.b"; "site.x" ]
+
 let plan s =
   match Fault.parse_plan s with
   | Ok p -> p
@@ -31,6 +36,25 @@ let test_parse_plan () =
          wins?) and always a typo in practice — rejected outright. *)
       "par.worker:n=1, par.worker:always";
       "seed=7;persist.append:n=3;io.parse:p=0.5;persist.append:always" ]
+
+(* A site outside the registry would silently never fire; the plan is
+   rejected instead — with a message that names the known sites. *)
+let test_unknown_site_rejected () =
+  List.iter
+    (fun bad ->
+      match Fault.parse_plan bad with
+      | Ok _ -> Alcotest.failf "plan %S names an unknown site and should be rejected" bad
+      | Error m ->
+        check_bool "message says unknown site" true
+          (String.length m >= 12 && String.sub m 12 7 = "unknown"))
+    [ "serve.acept:n=1"; "router.impro:always"; "nosuch.site:p=0.5" ];
+  (* the four serving sites are registered *)
+  ignore (plan "serve.accept:n=1;serve.read:always;serve.write:p=0.5;serve.job:n=2");
+  (* declared synthetic sites are accepted *)
+  Fault.declare_site "site.declared";
+  ignore (plan "site.declared:always");
+  check_bool "known_site sees builtins" true (Fault.known_site "serve.job");
+  check_bool "known_site rejects typos" false (Fault.known_site "serve.jobs")
 
 let test_trip_counts () =
   Fault.with_plan (plan "site.a:n=2") (fun () ->
@@ -129,6 +153,7 @@ let test_routing_survives_worker_death () =
 
 let suite =
   [ Alcotest.test_case "parse_plan grammar" `Quick test_parse_plan;
+    Alcotest.test_case "unknown sites rejected" `Quick test_unknown_site_rejected;
     Alcotest.test_case "n=K counting" `Quick test_trip_counts;
     Alcotest.test_case "always + check" `Quick test_always_and_check;
     Alcotest.test_case "worker death recovers" `Quick test_worker_death_recovers;

@@ -1,0 +1,672 @@
+(* The daemon: wire protocol, retry policy, spool, admission control,
+   supervision, drain.  Real sockets, in-process server (the event loop
+   runs in a spawned domain; jobs route with domains=1). *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- scratch dirs ------------------------------------------------------ *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  (* Keep the path short: the socket lives inside and sun_path is
+     capped around 100 bytes. *)
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bgrsv%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let plan_of s =
+  match Fault.parse_plan s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "parse_plan %S: %s" s m
+
+(* --- the example design ------------------------------------------------ *)
+
+let mini_input = lazy (Suite.mini ()).Suite.input
+
+let mini_text =
+  lazy
+    (let input = Lazy.force mini_input in
+     let fp = Flow.floorplan_of_input input in
+     Design_io.to_string ~floorplan:fp ~constraints:input.Flow.constraints input.Flow.netlist)
+
+let mini_hash =
+  lazy
+    (let options = { Router.default_options with Router.domains = 1 } in
+     (Flow.run ~options (Lazy.force mini_input)).Flow.o_measurement.Flow.m_deletion_hash)
+
+(* --- wire round trips -------------------------------------------------- *)
+
+let roundtrip_request r =
+  let f = Wire.encode_request r in
+  match Wire.extract_frame f ~pos:0 with
+  | Wire.Frame (payload, used) ->
+    checki "whole frame" (String.length f) used;
+    (match Wire.decode_request payload with
+    | Ok r' -> checkb "request round trip" true (r = r')
+    | Error e -> Alcotest.failf "decode: %s" e.Bgr_error.message)
+  | _ -> Alcotest.fail "frame extraction"
+
+let roundtrip_reply r =
+  let f = Wire.encode_reply r in
+  match Wire.extract_frame f ~pos:0 with
+  | Wire.Frame (payload, _) -> (
+    match Wire.decode_reply payload with
+    | Ok r' -> checkb "reply round trip" true (r = r')
+    | Error e -> Alcotest.failf "decode: %s" e.Bgr_error.message)
+  | _ -> Alcotest.fail "frame extraction"
+
+let test_wire_roundtrip () =
+  List.iter roundtrip_request
+    [ Wire.Route
+        { wait = true;
+          timing_driven = false;
+          deadline_ms = Some 1500;
+          name = Some "j1";
+          design = "rows 4\n" };
+      Wire.Route
+        { wait = false; timing_driven = true; deadline_ms = None; name = None; design = "" };
+      Wire.Resume { wait = true; job = "job-000007" };
+      Wire.Analyze { job = "a.b-c_d" };
+      Wire.Status { job = None };
+      Wire.Status { job = Some "x" };
+      Wire.Shutdown ];
+  List.iter roundtrip_reply
+    [ Wire.Accepted { job = "job-000001" };
+      Wire.Result { job = "j"; ok = true; json = "{\"ok\":true}" };
+      Wire.Result { job = "j"; ok = false; json = "{}" };
+      Wire.Rerror { code = "parse"; message = "bad frame" };
+      Wire.Overloaded { reason = "queue full"; depth = 16; cap = 16 };
+      Wire.Info { json = "{}" } ]
+
+let test_wire_malformed () =
+  (* trailing bytes after a well-formed body *)
+  let f = Wire.encode_request Wire.Shutdown in
+  (match Wire.extract_frame f ~pos:0 with
+  | Wire.Frame (payload, _) -> (
+    match Wire.decode_request (payload ^ "x") with
+    | Error e ->
+      checkb "crc fails first on appended garbage... decode rejects trailing" true
+        (e.Bgr_error.code = Bgr_error.Parse)
+    | Ok _ -> Alcotest.fail "trailing bytes accepted")
+  | _ -> Alcotest.fail "frame");
+  (* unknown opcodes, both directions *)
+  (match Wire.decode_request "\x7fjunk" with
+  | Error e -> checkb "unknown request opcode is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "opcode 0x7f accepted");
+  (match Wire.decode_reply "\x10" with
+  | Error e -> checkb "unknown reply opcode is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "reply opcode 0x10 accepted");
+  (* truncated bodies *)
+  match Wire.decode_request "\x01\x00" with
+  | Error e -> checkb "truncated route body is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "truncated body accepted"
+
+let test_extract_frame () =
+  let f = Wire.encode_request (Wire.Status { job = None }) in
+  (* byte-at-a-time: Need until the last byte *)
+  for i = 0 to String.length f - 1 do
+    match Wire.extract_frame (String.sub f 0 i) ~pos:0 with
+    | Wire.Need n -> checkb "need is positive" true (n > 0)
+    | _ -> Alcotest.failf "prefix %d should be Need" i
+  done;
+  (match Wire.extract_frame (f ^ f) ~pos:0 with
+  | Wire.Frame (_, used) -> (
+    match Wire.extract_frame (f ^ f) ~pos:used with
+    | Wire.Frame (_, used') -> checki "second frame" (String.length f) used'
+    | _ -> Alcotest.fail "second frame")
+  | _ -> Alcotest.fail "first frame");
+  (* CRC damage *)
+  let damaged = Bytes.of_string f in
+  Bytes.set damaged (Bytes.length damaged - 1)
+    (Char.chr (Char.code (Bytes.get damaged (Bytes.length damaged - 1)) lxor 0xFF));
+  (match Wire.extract_frame (Bytes.to_string damaged) ~pos:0 with
+  | Wire.Bad e -> checkb "crc damage is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | _ -> Alcotest.fail "damaged CRC accepted");
+  (* oversized declared length rejected before the body arrives *)
+  let oversized = "\x20\x00\x00\x00" in
+  match Wire.extract_frame oversized ~pos:0 with
+  | Wire.Bad e -> checkb "oversized is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | _ -> Alcotest.fail "oversized length accepted"
+
+let test_job_ids () =
+  List.iter
+    (fun id -> checkb id true (Wire.valid_job_id id))
+    [ "job-000001"; "a"; "X9"; "_x"; "a.b-c_d"; String.make 64 'a' ];
+  List.iter
+    (fun id -> checkb ("bad " ^ id) false (Wire.valid_job_id id))
+    [ ""; "-x"; ".x"; "a b"; "a/b"; "../etc"; String.make 65 'a' ]
+
+(* --- retry policy (injected sleep: the schedule must be exact) --------- *)
+
+let test_retry_schedule () =
+  let slept = ref [] in
+  let sleep ms = slept := ms :: !slept in
+  let fail_always ~attempt:_ =
+    Error (Bgr_error.make Bgr_error.Io_error "disk hiccup")
+  in
+  let o = Retry.run ~max_attempts:4 ~base_ms:100.0 ~sleep_ms:sleep fail_always in
+  checki "four attempts" 4 o.Retry.attempts;
+  checkb "still failed" true (Result.is_error o.Retry.result);
+  check
+    Alcotest.(list (float 0.0))
+    "deterministic doubling" [ 100.0; 200.0; 400.0 ] o.Retry.slept_ms;
+  check Alcotest.(list (float 0.0)) "recorder agrees" [ 400.0; 200.0; 100.0 ] !slept;
+  (* second run: identical schedule (no jitter) *)
+  let o2 = Retry.run ~max_attempts:4 ~base_ms:100.0 ~sleep_ms:ignore fail_always in
+  check Alcotest.(list (float 0.0)) "reproducible" o.Retry.slept_ms o2.Retry.slept_ms
+
+let test_retry_success_and_default () =
+  let succeed_on n ~attempt =
+    if attempt >= n then Ok attempt else Error (Bgr_error.make Bgr_error.Fault "injected")
+  in
+  let o = Retry.run ~base_ms:250.0 ~sleep_ms:ignore (succeed_on 2) in
+  checki "default is one bounded retry" 2 o.Retry.attempts;
+  checkb "succeeded" true (o.Retry.result = Ok 2);
+  check Alcotest.(list (float 0.0)) "one backoff" [ 250.0 ] o.Retry.slept_ms;
+  (* default budget refuses a third attempt *)
+  let o = Retry.run ~sleep_ms:ignore (succeed_on 3) in
+  checki "capped at two" 2 o.Retry.attempts;
+  checkb "failed" true (Result.is_error o.Retry.result)
+
+let test_retry_non_retryable () =
+  List.iter
+    (fun code ->
+      let o =
+        Retry.run ~max_attempts:5 ~sleep_ms:(fun _ -> Alcotest.fail "must not sleep")
+          (fun ~attempt:_ -> Error (Bgr_error.make code "hopeless"))
+      in
+      checki (Bgr_error.code_name code ^ " gets one attempt") 1 o.Retry.attempts;
+      check Alcotest.(list (float 0.0)) "no backoff" [] o.Retry.slept_ms)
+    [ Bgr_error.Parse; Bgr_error.Validate; Bgr_error.Geometry; Bgr_error.Unroutable;
+      Bgr_error.Deadline; Bgr_error.Internal ];
+  checkb "fault is retryable" true (Retry.retryable Bgr_error.Fault);
+  checkb "io is retryable" true (Retry.retryable Bgr_error.Io_error);
+  Alcotest.check (Alcotest.float 0.0) "backoff formula" 2000.0
+    (Retry.backoff_ms ~base_ms:250.0 ~attempt:4)
+
+(* --- spool ------------------------------------------------------------- *)
+
+let test_spool_lifecycle () =
+  let root = Filename.concat (fresh_dir ()) "spool" in
+  let sp = Spool.open_root root in
+  check Alcotest.string "first id" "job-000001" (Spool.fresh_id sp);
+  let job =
+    { Spool.j_id = "job-000001"; j_timing_driven = true; j_deadline_ms = Some 900; j_attempts = 0 }
+  in
+  Spool.accept sp job ~design_text:"rows 1\n";
+  checkb "exists" true (Spool.exists sp "job-000001");
+  check Alcotest.string "next id skips it" "job-000002" (Spool.fresh_id sp);
+  (match Spool.load_job sp "job-000001" with
+  | Ok j -> checkb "manifest round trip" true (j = job)
+  | Error e -> Alcotest.failf "load: %s" e.Bgr_error.message);
+  (match Spool.scan sp with
+  | [ j ] -> check Alcotest.string "scan finds it" "job-000001" j.Spool.j_id
+  | l -> Alcotest.failf "scan found %d jobs" (List.length l));
+  let job = Spool.record_attempt sp job in
+  checki "attempt recorded" 1 job.Spool.j_attempts;
+  checkb "attempt persisted" true
+    ((Result.get_ok (Spool.load_job sp "job-000001")).Spool.j_attempts = 1);
+  Spool.mark_done sp "job-000001" ~json:"{\"ok\":true}";
+  (match Spool.state_of sp "job-000001" with
+  | Some (Spool.Done json) -> check Alcotest.string "result json" "{\"ok\":true}" json
+  | _ -> Alcotest.fail "not done");
+  checki "done jobs drop out of scan" 0 (List.length (Spool.scan sp));
+  (* a second job goes to the dead-letter dir and comes back *)
+  let j2 = { job with Spool.j_id = "job-000002"; j_attempts = 2 } in
+  Spool.accept sp j2 ~design_text:"rows 2\n";
+  Spool.retire sp "job-000002" ~json:"{\"ok\":false}";
+  (match Spool.state_of sp "job-000002" with
+  | Some (Spool.Dead json) -> check Alcotest.string "error json" "{\"ok\":false}" json
+  | _ -> Alcotest.fail "not dead");
+  checkb "dead id still taken" true (Spool.exists sp "job-000002");
+  (* attempts stay readable after retirement *)
+  checki "dead manifest readable" 2
+    ((Result.get_ok (Spool.load_job sp "job-000002")).Spool.j_attempts);
+  (match Spool.revive sp "job-000002" with
+  | Ok j -> checki "revive resets attempts" 0 j.Spool.j_attempts
+  | Error e -> Alcotest.failf "revive: %s" e.Bgr_error.message);
+  (match Spool.state_of sp "job-000002" with
+  | Some (Spool.Pending _) -> ()
+  | _ -> Alcotest.fail "revived job not pending");
+  (* corrupt manifests are skipped with a warning, not a crash *)
+  let oc = open_out (Filename.concat (Spool.job_dir sp "job-000002") Spool.job_file) in
+  output_string oc "not a manifest\n";
+  close_out oc;
+  checki "corrupt manifest skipped" 0 (List.length (Spool.scan sp));
+  checki "with a warning" 1 (List.length (Spool.scan_warnings sp))
+
+(* --- in-process servers ------------------------------------------------ *)
+
+type server = { cfg : Serve.config; domain : (Serve.stats, exn) result Domain.t }
+
+let start_server ?(cap = 8) ?(max_attempts = 2) ?(backoff_ms = 30.0) root =
+  let cfg =
+    { (Serve.default_config
+         ~socket_path:(Filename.concat root "s.sock")
+         ~spool_root:(Filename.concat root "spool"))
+      with
+      Serve.queue_cap = cap;
+      max_attempts;
+      backoff_base_ms = backoff_ms;
+      job_domains = 1 }
+  in
+  let domain =
+    Domain.spawn (fun () -> match Serve.run cfg with s -> Ok s | exception e -> Error e)
+  in
+  (* wait for the socket to appear *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists cfg.Serve.socket_path)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  { cfg; domain }
+
+let stop_server srv =
+  (match Serve_client.connect srv.cfg.Serve.socket_path with
+  | Ok c ->
+    ignore (Serve_client.request ~timeout_s:10.0 c Wire.Shutdown);
+    Serve_client.close c
+  | Error _ -> ());
+  match Domain.join srv.domain with
+  | Ok stats -> stats
+  | Error e -> Alcotest.failf "server died: %s" (Printexc.to_string e)
+
+let client srv =
+  match Serve_client.connect srv.cfg.Serve.socket_path with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e.Bgr_error.message
+
+let rq ?(timeout_s = 60.0) c req =
+  match Serve_client.request ~timeout_s c req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request: %s" e.Bgr_error.message
+
+let submit_mini ?name ?(wait = false) () =
+  Wire.Route
+    { wait;
+      timing_driven = true;
+      deadline_ms = None;
+      name;
+      design = Lazy.force mini_text }
+
+let json_field json name =
+  match Qjson.parse json with
+  | Error m -> Alcotest.failf "bad json %s: %s" json m
+  | Ok j -> Qjson.member name j
+
+let hash_of_json json =
+  match Option.bind (json_field json "deletion_hash") Qjson.to_str with
+  | Some s -> int_of_string s
+  | None -> Alcotest.failf "no deletion_hash in %s" json
+
+(* --- end to end -------------------------------------------------------- *)
+
+let test_end_to_end () =
+  let root = fresh_dir () in
+  let srv = start_server root in
+  let c = client srv in
+  (* route, wait, compare against the uninterrupted in-process hash *)
+  (match rq c (submit_mini ~name:"mini" ~wait:true ()) with
+  | Wire.Accepted { job } -> (
+    check Alcotest.string "named job" "mini" job;
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "routed" true ok;
+      checki "daemon hash = direct-run hash" (Lazy.force mini_hash) (hash_of_json json)
+    | other -> Alcotest.failf "no result: %s" (match other with Error e -> e.Bgr_error.message | _ -> "wrong reply"))
+  | _ -> Alcotest.fail "not accepted");
+  (* duplicate name refused *)
+  (match rq c (submit_mini ~name:"mini" ()) with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "duplicate id" "validate" code
+  | _ -> Alcotest.fail "duplicate name accepted");
+  (* malformed design rejected at admission, nothing spooled *)
+  (match
+     rq c
+       (Wire.Route
+          { wait = false;
+            timing_driven = true;
+            deadline_ms = None;
+            name = Some "broken";
+            design = "rows ???\n" })
+   with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "parse reject" "parse" code
+  | _ -> Alcotest.fail "garbage design accepted");
+  checkb "nothing spooled for it" false
+    (Sys.file_exists (Filename.concat srv.cfg.Serve.spool_root "jobs/broken"));
+  (* job status, daemon status, analyze *)
+  (match rq c (Wire.Status { job = Some "mini" }) with
+  | Wire.Info { json } -> (
+    match Option.bind (json_field json "state") Qjson.to_str with
+    | Some s -> check Alcotest.string "state" "done" s
+    | None -> Alcotest.fail "no state")
+  | _ -> Alcotest.fail "status");
+  (match rq c (Wire.Status { job = None }) with
+  | Wire.Info { json } ->
+    checkb "daemon status has depth" true (json_field json "queue_depth" <> None)
+  | _ -> Alcotest.fail "daemon status");
+  (match rq c (Wire.Analyze { job = "mini" }) with
+  | Wire.Info { json } -> (
+    match Option.bind (json_field json "schema") Qjson.to_str with
+    | Some s -> check Alcotest.string "quality schema" Quality.schema s
+    | None -> Alcotest.fail "no schema")
+  | _ -> Alcotest.fail "analyze");
+  (* waiting on a finished job returns its stored result immediately *)
+  (match rq c (Wire.Resume { wait = true; job = "mini" }) with
+  | Wire.Result { ok; json; _ } ->
+    checkb "stored ok" true ok;
+    checki "stored hash" (Lazy.force mini_hash) (hash_of_json json)
+  | _ -> Alcotest.fail "resume of done job");
+  (* unknown job *)
+  (match rq c (Wire.Status { job = Some "nope" }) with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "unknown job" "validate" code
+  | _ -> Alcotest.fail "unknown job accepted");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "accepted" 1 stats.Serve.s_accepted;
+  checki "completed" 1 stats.Serve.s_completed;
+  checki "no failures" 0 stats.Serve.s_failed
+
+(* --- admission control + retry under a transient fault ----------------- *)
+
+let test_overload_and_retry () =
+  let root = fresh_dir () in
+  Fault.with_plan (plan_of "seed=3;serve.job:n=1") @@ fun () ->
+  let srv = start_server ~cap:1 ~backoff_ms:500.0 root in
+  let c = client srv in
+  (* job A: first attempt trips the fault, the retry succeeds *)
+  (match rq c (submit_mini ~name:"a" ~wait:true ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "A not accepted");
+  (* while A retries (500 ms backoff), the queue is full: B is shed *)
+  let c2 = client srv in
+  (match rq c2 (submit_mini ~name:"b" ()) with
+  | Wire.Overloaded { reason; depth; cap } ->
+    check Alcotest.string "reason" "queue full" reason;
+    checki "cap" 1 cap;
+    checkb "depth at cap" true (depth >= 1)
+  | _ -> Alcotest.fail "B was not shed");
+  Serve_client.close c2;
+  (match Serve_client.next_reply ~timeout_s:120.0 c with
+  | Ok (Wire.Result { ok; json; _ }) ->
+    checkb "A routed on retry" true ok;
+    checki "hash still right" (Lazy.force mini_hash) (hash_of_json json);
+    (match Option.bind (json_field json "attempts") Qjson.to_int with
+    | Some a -> checki "two attempts" 2 a
+    | None -> Alcotest.fail "no attempts field")
+  | _ -> Alcotest.fail "A never finished");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "one retry" 1 stats.Serve.s_retried;
+  checki "one rejection" 1 stats.Serve.s_rejected;
+  checki "completed" 1 stats.Serve.s_completed
+
+(* --- dead-letter + revive ---------------------------------------------- *)
+
+let test_dead_letter_and_revive () =
+  let root = fresh_dir () in
+  (* life 1: every snapshot faults mid-route, so both attempts fail
+     AFTER the journal exists — the retirement must keep it *)
+  (Fault.with_plan (plan_of "persist.snapshot:always") @@ fun () ->
+   let srv = start_server ~backoff_ms:10.0 root in
+   let c = client srv in
+   (match rq c (submit_mini ~name:"doomed" ~wait:true ()) with
+   | Wire.Accepted _ -> (
+     match Serve_client.next_reply ~timeout_s:60.0 c with
+     | Ok (Wire.Result { ok; json; _ }) ->
+       checkb "failed" false ok;
+       (match Option.bind (json_field json "code") Qjson.to_str with
+       | Some code -> check Alcotest.string "fault class" "fault" code
+       | None -> Alcotest.fail "no code");
+       (match Option.bind (json_field json "attempts") Qjson.to_int with
+       | Some a -> checki "both attempts burned" 2 a
+       | None -> Alcotest.fail "no attempts")
+     | _ -> Alcotest.fail "no failure result")
+   | _ -> Alcotest.fail "not accepted");
+   Serve_client.close c;
+   let stats = stop_server srv in
+   checki "dead-lettered" 1 stats.Serve.s_failed;
+   checki "retried once" 1 stats.Serve.s_retried);
+  let dead = Filename.concat root "spool/dead/doomed" in
+  checkb "dead dir" true (Sys.file_exists dead);
+  checkb "ERROR recorded" true (Sys.file_exists (Filename.concat dead Spool.error_file));
+  checkb "journal kept for post-mortem" true
+    (Sys.file_exists (Filename.concat dead Persist.journal_file));
+  (* life 2: no faults; resume revives it and it completes *)
+  let srv = start_server root in
+  let c = client srv in
+  (match rq c (Wire.Resume { wait = true; job = "doomed" }) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "revived and routed" true ok;
+      checki "hash right after revival" (Lazy.force mini_hash) (hash_of_json json)
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "revive refused");
+  Serve_client.close c;
+  ignore (stop_server srv)
+
+(* --- supervisor requeue ------------------------------------------------ *)
+
+let test_supervisor_requeue () =
+  let root = fresh_dir () in
+  (* an accepted job from a previous life: spooled, never run *)
+  let sp = Spool.open_root (Filename.concat root "spool") in
+  Spool.accept sp
+    { Spool.j_id = "leftover"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 0 }
+    ~design_text:(Lazy.force mini_text);
+  let srv = start_server root in
+  let c = client srv in
+  (match rq ~timeout_s:120.0 c (Wire.Resume { wait = true; job = "leftover" }) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "leftover completed" true ok;
+      checki "hash" (Lazy.force mini_hash) (hash_of_json json)
+    | _ -> Alcotest.fail "no result")
+  | Wire.Result { ok; json; _ } ->
+    (* the supervisor may already have finished it *)
+    checkb "leftover completed" true ok;
+    checki "hash" (Lazy.force mini_hash) (hash_of_json json)
+  | _ -> Alcotest.fail "leftover unknown to the daemon");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "requeued by the supervisor" 1 stats.Serve.s_requeued;
+  checki "completed" 1 stats.Serve.s_completed
+
+(* --- graceful drain ---------------------------------------------------- *)
+
+let test_drain_keeps_queued_jobs () =
+  let root = fresh_dir () in
+  let stats =
+    Fault.with_plan (plan_of "serve.job:n=1") @@ fun () ->
+    (* the fault makes job A retry with a long backoff, holding the
+       executor busy while B and C queue behind it *)
+    let srv = start_server ~cap:8 ~backoff_ms:1500.0 root in
+    let c = client srv in
+    (match rq c (submit_mini ~name:"a" ~wait:true ()) with
+    | Wire.Accepted _ -> ()
+    | _ -> Alcotest.fail "A not accepted");
+    let cb = client srv in
+    (match rq cb (submit_mini ~name:"b" ~wait:true ()) with
+    | Wire.Accepted _ -> ()
+    | _ -> Alcotest.fail "B not accepted");
+    (match rq cb (submit_mini ~name:"c" ()) with
+    | Wire.Accepted _ -> ()
+    | _ -> Alcotest.fail "C not accepted");
+    (* drain: A (running) finishes; B and C stay spooled; B's waiter
+       is told so *)
+    let cs = client srv in
+    (match rq cs Wire.Shutdown with
+    | Wire.Info _ -> ()
+    | _ -> Alcotest.fail "shutdown refused");
+    (* submissions during a drain are shed, not spooled *)
+    (match rq cs (submit_mini ~name:"late" ()) with
+    | Wire.Overloaded { reason; _ } -> check Alcotest.string "late is shed" "draining" reason
+    | _ -> Alcotest.fail "late submission accepted during drain");
+    Serve_client.close cs;
+    (match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; _ }) -> checkb "A completed during drain" true ok
+    | _ -> Alcotest.fail "A lost");
+    (match Serve_client.next_reply ~timeout_s:30.0 cb with
+    | Ok (Wire.Rerror { code; _ }) -> check Alcotest.string "B's waiter told" "draining" code
+    | _ -> Alcotest.fail "B's waiter not notified");
+    Serve_client.close c;
+    Serve_client.close cb;
+    match Domain.join srv.domain with
+    | Ok stats -> stats
+    | Error e -> Alcotest.failf "server died: %s" (Printexc.to_string e)
+  in
+  checki "only A completed" 1 stats.Serve.s_completed;
+  checki "nothing dead-lettered" 0 stats.Serve.s_failed;
+  (* B and C survive on disk for the next daemon, which finishes them *)
+  let sp = Spool.open_root (Filename.concat root "spool") in
+  checki "two jobs still spooled" 2 (List.length (Spool.scan sp));
+  let srv = start_server root in
+  let c = client srv in
+  (match rq c (Wire.Resume { wait = true; job = "b" }) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; _ }) -> checkb "B finished in life 2" true ok
+    | _ -> Alcotest.fail "B lost in life 2")
+  | Wire.Result { ok; _ } -> checkb "B finished in life 2" true ok
+  | _ -> Alcotest.fail "B unknown in life 2");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "life 2 requeued both" 2 stats.Serve.s_requeued
+
+(* --- protocol robustness: the malformed-request corpus ----------------- *)
+
+let corpus_dir = if Sys.file_exists "corpus/serve" then "corpus/serve" else "test/corpus/serve"
+
+let raw_connect srv =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX srv.cfg.Serve.socket_path);
+  (* greet properly so only the corpus payload is on trial *)
+  ignore (Unix.write_substring fd Wire.magic 0 (String.length Wire.magic));
+  let banner = Bytes.create (String.length Wire.magic) in
+  let got = Unix.read fd banner 0 (Bytes.length banner) in
+  checkb "server banner" true (got > 0);
+  fd
+
+(* Read one framed reply off a raw fd (blocking, bounded). *)
+let raw_reply fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  let buf = Bytes.create 65536 in
+  let acc = ref "" in
+  let rec go () =
+    match Wire.extract_frame !acc ~pos:0 with
+    | Wire.Frame (payload, _) -> Some (Wire.decode_reply payload)
+    | Wire.Bad _ -> None
+    | Wire.Need _ -> (
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> None
+      | n ->
+        acc := !acc ^ Bytes.sub_string buf 0 n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> None)
+  in
+  go ()
+
+let test_malformed_corpus () =
+  let files = Sys.readdir corpus_dir |> Array.to_list |> List.sort compare in
+  checkb "corpus present" true (List.length files >= 4);
+  let root = fresh_dir () in
+  let srv = start_server root in
+  List.iter
+    (fun file ->
+      let bytes =
+        let ic = open_in_bin (Filename.concat corpus_dir file) in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let fd = raw_connect srv in
+      ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+      (match raw_reply fd with
+      | Some (Ok (Wire.Rerror { code; message })) ->
+        check Alcotest.string (file ^ " error class") "parse" code;
+        checkb (file ^ " has a message") true (String.length message > 0)
+      | Some (Ok _) -> Alcotest.failf "%s: daemon accepted garbage" file
+      | Some (Error e) -> Alcotest.failf "%s: unparseable reply: %s" file e.Bgr_error.message
+      | None ->
+        (* a truncated frame draws no reply: the daemon just waits;
+           dropping the connection must not hurt it either *)
+        checkb (file ^ " tolerated silently") true
+          (Filename.check_suffix file "truncated_frame.bin"));
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* the daemon survived: a fresh client still gets status *)
+      let c = client srv in
+      (match rq c (Wire.Status { job = None }) with
+      | Wire.Info _ -> ()
+      | _ -> Alcotest.failf "%s: daemon unhealthy afterwards" file);
+      Serve_client.close c)
+    files;
+  (* bad magic greeting is also answered, then the connection closed *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX srv.cfg.Serve.socket_path);
+  ignore (Unix.write_substring fd "NOTBGR" 0 6);
+  (* swallow the server banner; the error frame follows it *)
+  let banner = Bytes.create (String.length Wire.magic) in
+  ignore (Unix.read fd banner 0 (Bytes.length banner));
+  (match raw_reply fd with
+  | Some (Ok (Wire.Rerror { code; _ })) -> check Alcotest.string "bad magic" "parse" code
+  | _ -> Alcotest.fail "bad magic not answered");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let stats = stop_server srv in
+  checkb "protocol errors counted" true (stats.Serve.s_protocol_errors >= 4);
+  checki "no jobs harmed" 0 stats.Serve.s_failed
+
+(* --- serve.accept fault: refused connection, healthy daemon ------------ *)
+
+let test_accept_fault () =
+  let root = fresh_dir () in
+  Fault.with_plan (plan_of "serve.accept:n=1") @@ fun () ->
+  let srv = start_server root in
+  (* first dial is swallowed by the fault: the daemon accepts and
+     immediately closes; the client sees EOF during the greeting *)
+  (match Serve_client.connect srv.cfg.Serve.socket_path with
+  | Error _ -> ()
+  | Ok c ->
+    (* the close can also surface on first use *)
+    (match Serve_client.request ~timeout_s:10.0 c (Wire.Status { job = None }) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "faulted connection served");
+    Serve_client.close c);
+  (* the daemon itself survived *)
+  let c = client srv in
+  (match rq c (Wire.Status { job = None }) with
+  | Wire.Info _ -> ()
+  | _ -> Alcotest.fail "daemon unhealthy after accept fault");
+  Serve_client.close c;
+  ignore (stop_server srv)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "wire",
+        [ Alcotest.test_case "round trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "malformed payloads" `Quick test_wire_malformed;
+          Alcotest.test_case "incremental frames" `Quick test_extract_frame;
+          Alcotest.test_case "job ids" `Quick test_job_ids ] );
+      ( "retry",
+        [ Alcotest.test_case "deterministic schedule" `Quick test_retry_schedule;
+          Alcotest.test_case "success and default cap" `Quick test_retry_success_and_default;
+          Alcotest.test_case "non-retryable goes straight through" `Quick
+            test_retry_non_retryable ] );
+      ("spool", [ Alcotest.test_case "lifecycle" `Quick test_spool_lifecycle ]);
+      ( "daemon",
+        [ Alcotest.test_case "end to end" `Slow test_end_to_end;
+          Alcotest.test_case "overload + retry" `Slow test_overload_and_retry;
+          Alcotest.test_case "dead-letter + revive" `Slow test_dead_letter_and_revive;
+          Alcotest.test_case "supervisor requeue" `Slow test_supervisor_requeue;
+          Alcotest.test_case "drain keeps queued jobs" `Slow test_drain_keeps_queued_jobs ] );
+      ( "protocol",
+        [ Alcotest.test_case "malformed corpus" `Slow test_malformed_corpus;
+          Alcotest.test_case "accept fault" `Quick test_accept_fault ] ) ]
