@@ -2,6 +2,8 @@
    concurrent closed-loop clients.
 
      serve_load [--clients K] [--jobs-per-client M] [--cap N] [--bench-out PATH]
+                [--worker-exe BGR_SERVE] [--hang-n K] [--kill-n K]
+                [--heartbeat-timeout-ms MS] [--quarantine-kills N]
 
    K client domains each submit M routing jobs (the MINI design,
    wait-mode) over their own connection.  Admission sheds are counted
@@ -11,7 +13,13 @@
    one BENCH_METRICS_JSON line (persisted via --bench-out /
    BGR_BENCH_OUT like bench/main.exe).  Every job's deletion hash is
    checked against the uninterrupted in-process run: load must never
-   change the answer. *)
+   change the answer.
+
+   --worker-exe switches the daemon to worker isolation (the argument
+   is the bgr_serve binary); --hang-n / --kill-n then install a
+   BGR_FAULT_PLAN chaos mix where each job's K-th attempt hangs its
+   worker / SIGKILLs it, so the drive exercises the watchdog and
+   crash-resume machinery under concurrency. *)
 
 let arg_int name default =
   let v = ref default in
@@ -19,6 +27,13 @@ let arg_int name default =
     (fun i a ->
       if a = name && i + 1 < Array.length Sys.argv then
         match int_of_string_opt Sys.argv.(i + 1) with Some n -> v := n | None -> ())
+    Sys.argv;
+  !v
+
+let arg_str name =
+  let v = ref None in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then v := Some Sys.argv.(i + 1))
     Sys.argv;
   !v
 
@@ -57,6 +72,19 @@ let () =
   let clients = arg_int "--clients" 4 in
   let jobs_per_client = arg_int "--jobs-per-client" 3 in
   let cap = arg_int "--cap" 4 in
+  let worker_exe = arg_str "--worker-exe" in
+  let hang_n = arg_int "--hang-n" 0 in
+  let kill_n = arg_int "--kill-n" 0 in
+  let heartbeat_timeout_ms = arg_int "--heartbeat-timeout-ms" 10_000 in
+  let quarantine_kills = arg_int "--quarantine-kills" 3 in
+  (* The plan is read from the environment once per process, so it must
+     be in place before any worker subprocess starts.  Worker fault
+     sites never trip in this process, so loading it here is inert. *)
+  let fault_plan =
+    (if hang_n > 0 then [ Printf.sprintf "serve.worker.hang:n=%d" hang_n ] else [])
+    @ if kill_n > 0 then [ Printf.sprintf "serve.worker.kill:n=%d" kill_n ] else []
+  in
+  if fault_plan <> [] then Unix.putenv "BGR_FAULT_PLAN" (String.concat ";" fault_plan);
   Obs.enable ();
   let input = (Suite.mini ()).Suite.input in
   let design =
@@ -75,7 +103,13 @@ let () =
   let cfg =
     { (Serve.default_config ~socket_path ~spool_root:(Filename.concat root "spool")) with
       Serve.queue_cap = cap;
-      job_domains = 1 }
+      job_domains = 1;
+      isolation =
+        (match worker_exe with
+        | None -> Serve.In_process
+        | Some exe -> Serve.Workers [| exe; "worker" |]);
+      heartbeat_timeout_ms = float_of_int heartbeat_timeout_ms;
+      quarantine_kills }
   in
   let server = Domain.spawn (fun () -> Serve.run cfg) in
   let deadline = Unix.gettimeofday () +. 10.0 in
@@ -158,9 +192,11 @@ let () =
   Printf.printf "latency ms: p50 %.0f  p90 %.0f  p99 %.0f\n" p50 p90 p99;
   Printf.printf "admission sheds: %d (all resubmitted and completed)\n" shed;
   Printf.printf
-    "daemon stats: accepted %d, completed %d, failed %d, retried %d, rejected %d\n"
+    "daemon stats: accepted %d, completed %d, failed %d, retried %d, rejected %d, worker \
+     kills %d, quarantined %d\n"
     stats.Serve.s_accepted stats.Serve.s_completed stats.Serve.s_failed
-    stats.Serve.s_retried stats.Serve.s_rejected;
+    stats.Serve.s_retried stats.Serve.s_rejected stats.Serve.s_killed
+    stats.Serve.s_quarantined;
   List.iter (fun f -> Printf.printf "FAILURE: %s\n" f) failures;
   if failures <> [] then exit 1;
   if completed <> clients * jobs_per_client then begin

@@ -1,9 +1,12 @@
 (* CLI for the routing daemon.
 
      bgr_serve daemon --socket S --spool DIR     serve until drained
+     bgr_serve worker --dir JOBDIR               one isolated routing attempt
      bgr_serve submit --socket S design.bgr      route a design bundle
      bgr_serve wait --socket S JOB               block until JOB finishes
      bgr_serve resume --socket S JOB             revive a dead-lettered job
+     bgr_serve cancel --socket S JOB             cancel a queued or running job
+     bgr_serve revive --socket S [--force] JOB   re-queue a dead or quarantined job
      bgr_serve status --socket S [JOB]           daemon or job status
      bgr_serve analyze --socket S JOB            quality summary of JOB
      bgr_serve shutdown --socket S               ask the daemon to drain *)
@@ -11,6 +14,8 @@
 open Cmdliner
 
 let exit_overloaded = 12
+let exit_canceled = 13
+let exit_quarantined = 14
 
 let socket_arg =
   Arg.(
@@ -24,13 +29,14 @@ let fail_error (e : Bgr_error.t) =
   exit (Bgr_error.exit_code e.Bgr_error.code)
 
 let exit_of_code_name name =
-  let code =
-    List.find_opt
-      (fun c -> Bgr_error.code_name c = name)
-      [ Bgr_error.Parse; Bgr_error.Validate; Bgr_error.Geometry; Bgr_error.Unroutable;
-        Bgr_error.Deadline; Bgr_error.Fault; Bgr_error.Io_error; Bgr_error.Internal ]
-  in
-  match code with Some c -> Bgr_error.exit_code c | None -> exit_overloaded
+  match Bgr_error.code_of_name name with
+  | Some c -> Bgr_error.exit_code c
+  | None -> (
+    (* Daemon verdicts outside the pipeline taxonomy. *)
+    match name with
+    | "canceled" -> exit_canceled
+    | "quarantined" -> exit_quarantined
+    | _ -> exit_overloaded)
 
 let fail_reply code message =
   Printf.eprintf "bgr_serve: daemon refused: [%s] %s\n%!" code message;
@@ -116,18 +122,69 @@ let daemon_cmd =
       & info [ "metrics" ] ~docv:"FILE"
           ~doc:"Write the Prometheus metrics exposition there when the daemon drains.")
   in
+  let backoff_max_arg =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "backoff-max-ms" ] ~docv:"MS" ~doc:"Cap on the (jittered) retry backoff.")
+  in
+  let in_process_arg =
+    Arg.(
+      value & flag
+      & info [ "in-process" ]
+          ~doc:
+            "Run routing attempts on the executor domain instead of isolated worker \
+             subprocesses.  Disables the hang watchdog, cancel-while-running and the memory \
+             ceiling.")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "heartbeat-timeout-ms" ] ~docv:"MS"
+          ~doc:"Watchdog: SIGKILL a worker whose heartbeats go silent this long.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "hard-grace-ms" ] ~docv:"MS"
+          ~doc:"SIGKILL a worker still alive this long past its wall deadline.")
+  in
+  let mem_limit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "mem-limit-mb" ] ~docv:"MB"
+          ~doc:"Address-space ceiling per worker (0 = none).")
+  in
+  let quarantine_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "quarantine-kills" ] ~docv:"N"
+          ~doc:
+            "Quarantine a job after its workers were killed this many times; a quarantined \
+             job only runs again via $(b,revive --force).")
+  in
   let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No operational log lines.") in
-  let run socket spool cap attempts backoff domains deadline metrics quiet =
+  let run socket spool cap attempts backoff backoff_max domains deadline metrics in_process
+      heartbeat grace mem_limit quarantine quiet =
     Obs.enable ();
     let log line = if not quiet then Printf.eprintf "[bgr_serve] %s\n%!" line in
+    let isolation =
+      if in_process then Serve.In_process
+      else Serve.Workers [| Sys.executable_name; "worker" |]
+    in
     let cfg =
       { (Serve.default_config ~socket_path:socket ~spool_root:spool) with
         Serve.queue_cap = cap;
         max_attempts = attempts;
         backoff_base_ms = backoff;
+        backoff_max_ms = backoff_max;
         job_domains = domains;
         default_deadline_ms = deadline;
         install_signals = true;
+        isolation;
+        heartbeat_timeout_ms = heartbeat;
+        hard_deadline_grace_ms = grace;
+        mem_limit_mb = mem_limit;
+        quarantine_kills = quarantine;
         log }
     in
     match Serve.run cfg with
@@ -143,16 +200,56 @@ let daemon_cmd =
         with Sys_error msg -> Printf.eprintf "warning: cannot write %s: %s\n%!" path msg));
       Printf.printf
         "drained: requeued %d, accepted %d, completed %d, failed %d, retried %d, rejected %d, \
-         protocol errors %d\n"
+         protocol errors %d, canceled %d, quarantined %d, worker kills %d\n"
         stats.Serve.s_requeued stats.Serve.s_accepted stats.Serve.s_completed
         stats.Serve.s_failed stats.Serve.s_retried stats.Serve.s_rejected
-        stats.Serve.s_protocol_errors
+        stats.Serve.s_protocol_errors stats.Serve.s_canceled stats.Serve.s_quarantined
+        stats.Serve.s_killed
   in
   Cmd.v
     (Cmd.info "daemon" ~doc:"Serve routing jobs until SIGTERM (or a shutdown request) drains it.")
     Term.(
-      const run $ socket_arg $ spool_arg $ cap_arg $ attempts_arg $ backoff_arg $ domains_arg
-      $ deadline_arg $ metrics_arg $ quiet_arg)
+      const run $ socket_arg $ spool_arg $ cap_arg $ attempts_arg $ backoff_arg
+      $ backoff_max_arg $ domains_arg $ deadline_arg $ metrics_arg $ in_process_arg
+      $ heartbeat_arg $ grace_arg $ mem_limit_arg $ quarantine_arg $ quiet_arg)
+
+(* --- worker ------------------------------------------------------------ *)
+
+(* The subprocess the daemon spawns per routing attempt.  Not meant for
+   interactive use; it reports BGRW1 frames on stdout. *)
+let worker_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Spool job directory (contains JOB and design.bgr).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N" ~doc:"Router scoring domains (0 = auto).")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Wall budget when the job manifest names none.")
+  in
+  let mem_limit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "mem-limit-mb" ] ~docv:"MB" ~doc:"Address-space ceiling (0 = none).")
+  in
+  let run dir domains default_deadline mem_limit =
+    Worker.main ~domains ?default_deadline_ms:default_deadline ~mem_limit_mb:mem_limit ~dir ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run one isolated routing attempt on a spool job directory (spawned by the daemon; \
+          reports over stdout).")
+    Term.(const run $ dir_arg $ domains_arg $ default_deadline_arg $ mem_limit_arg)
 
 (* --- submit ------------------------------------------------------------ *)
 
@@ -241,6 +338,62 @@ let resume_cmd =
       "Re-queue a job (reviving it from the dead-letter directory if needed) and wait for the \
        result."
 
+(* --- cancel / revive --------------------------------------------------- *)
+
+let cancel_cmd =
+  let run socket job =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Cancel { job })))
+     with
+    | Wire.Info { json } -> print_endline json
+    | _ -> fail_reply "internal" "unexpected reply");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a job: drop it from the queue, or kill its running worker.  Its waiters get \
+          a structured canceled error.")
+    Term.(const run $ socket_arg $ job_pos)
+
+let revive_cmd =
+  let wait_arg =
+    Arg.(value & flag & info [ "wait"; "w" ] ~doc:"Block until the revived job finishes.")
+  in
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:"Required for quarantined jobs (ones that repeatedly killed their worker).")
+  in
+  let run socket wait force job =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Revive { wait; force; job })))
+     with
+    | Wire.Result { json; _ } -> print_result_json json
+    | Wire.Accepted { job = id } ->
+      Printf.printf "accepted %s\n%!" id;
+      if wait then (
+        match Serve_client.next_reply c with
+        | Error e -> fail_error e
+        | Ok (Wire.Result { json; _ }) -> print_result_json json
+        | Ok reply -> ignore (handle_common_reply reply))
+    | _ -> fail_reply "internal" "unexpected reply");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "revive"
+       ~doc:
+         "Re-queue a dead-lettered job; with $(b,--force), also a quarantined one (attempt \
+          and kill counters reset).")
+    Term.(const run $ socket_arg $ wait_arg $ force_arg $ job_pos)
+
 (* --- status / analyze / shutdown --------------------------------------- *)
 
 let status_cmd =
@@ -294,6 +447,7 @@ let shutdown_cmd =
 let main =
   let doc = "Routing-as-a-service daemon and client for the DAC'94 global router" in
   Cmd.group (Cmd.info "bgr_serve" ~doc)
-    [ daemon_cmd; submit_cmd; wait_cmd; resume_cmd; status_cmd; analyze_cmd; shutdown_cmd ]
+    [ daemon_cmd; worker_cmd; submit_cmd; wait_cmd; resume_cmd; cancel_cmd; revive_cmd;
+      status_cmd; analyze_cmd; shutdown_cmd ]
 
 let () = exit (Cmd.eval main)

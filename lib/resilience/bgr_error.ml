@@ -36,6 +36,11 @@ let code_name = function
   | Io_error -> "io"
   | Internal -> "internal"
 
+let all_codes =
+  [ Parse; Validate; Geometry; Unroutable; Deadline; Fault; Io_error; Internal ]
+
+let code_of_name name = List.find_opt (fun c -> code_name c = name) all_codes
+
 let exit_code = function
   | Parse -> 2
   | Validate | Geometry -> 3

@@ -41,6 +41,16 @@ val raise_error :
 
 val code_name : code -> string
 
+val all_codes : code list
+(** Every code, in declaration order. *)
+
+val code_of_name : string -> code option
+(** Inverse of {!code_name} — how a code round-trips a process or wire
+    boundary (the daemon's worker pipe, the client CLI's exit-code
+    mapping).  [None] for names outside the taxonomy (e.g. the wire's
+    ["canceled"] and ["quarantined"], which are daemon verdicts, not
+    pipeline errors). *)
+
 val exit_code : code -> int
 (** The documented process exit code for each failure class:
     [Parse] 2, [Validate] 3, [Geometry] 3, [Unroutable] 4, [Fault] 5,

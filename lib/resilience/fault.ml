@@ -20,7 +20,10 @@ let builtin_sites =
     "serve.accept";
     "serve.read";
     "serve.write";
-    "serve.job" ]
+    "serve.job";
+    "serve.worker.spawn";
+    "serve.worker.hang";
+    "serve.worker.kill" ]
 
 let declared_sites : (string, unit) Hashtbl.t = Hashtbl.create 8
 

@@ -38,8 +38,12 @@ val builtin_sites : string list
     ["router.improve"], ["par.worker"], ["par.spawn"],
     ["persist.append"], ["persist.snapshot"], ["persist.fsync"],
     ["obs.sink"], ["analyze.qlog"], and the serving daemon's
-    ["serve.accept"], ["serve.read"], ["serve.write"],
-    ["serve.job"]. *)
+    ["serve.accept"], ["serve.read"], ["serve.write"], ["serve.job"],
+    ["serve.worker.spawn"] (supervisor side, before the worker process
+    is forked), ["serve.worker.hang"] and ["serve.worker.kill"] (both
+    tripped {e inside} the worker subprocess, attempt-gated: with
+    [n=K] the K-th attempt's worker hangs / SIGKILLs itself — see
+    [Worker.main]). *)
 
 val declare_site : string -> unit
 (** Register an extra site name (idempotent).  Tests exercising the

@@ -4,31 +4,64 @@ let retryable = function
   | Bgr_error.Deadline | Bgr_error.Internal ->
     false
 
-let backoff_ms ~base_ms ~attempt = base_ms *. (2.0 ** float_of_int (attempt - 1))
+(* The jitter fraction in [0, 0.25) is a pure hash of (seed, attempt),
+   so a given job's schedule is reproducible while distinct jobs
+   decorrelate. *)
+let jitter_frac seed attempt =
+  let h = Hashtbl.hash (seed, attempt) land 0xFFFF in
+  0.25 *. (float_of_int h /. 65536.0)
+
+let backoff_ms ?max_ms ?jitter_seed ~base_ms ~attempt () =
+  let ms = base_ms *. (2.0 ** float_of_int (attempt - 1)) in
+  let ms =
+    match jitter_seed with
+    | None -> ms
+    | Some seed -> ms *. (1.0 +. jitter_frac seed attempt)
+  in
+  match max_ms with None -> ms | Some cap -> Float.min ms cap
 
 type 'a outcome = {
   result : ('a, Bgr_error.t) result;
   attempts : int;
   slept_ms : float list;
+  gave_up : bool;
 }
 
-let default_sleep ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+(* Sleep in short slices so a shutdown drain (or a cancel) interrupts
+   the backoff within ~50 ms instead of blocking for its full length. *)
+let interruptible_sleep ~giveup ms =
+  let slice = 50.0 in
+  let remaining = ref ms in
+  while !remaining > 0.0 && not (giveup ()) do
+    let step = Float.min slice !remaining in
+    Unix.sleepf (step /. 1000.0);
+    remaining := !remaining -. step
+  done
 
-let run ?(max_attempts = 2) ?(base_ms = 250.0) ?(sleep_ms = default_sleep)
-    ?(on_retry = fun ~attempt:_ _ -> ()) f =
+let run ?(max_attempts = 2) ?(base_ms = 250.0) ?max_ms ?jitter_seed ?sleep_ms
+    ?(giveup = fun () -> false) ?(on_retry = fun ~attempt:_ _ -> ()) f =
+  let sleep =
+    match sleep_ms with Some s -> s | None -> interruptible_sleep ~giveup
+  in
   let max_attempts = max 1 max_attempts in
   let slept = ref [] in
   let rec go attempt =
     match f ~attempt with
-    | Ok v -> { result = Ok v; attempts = attempt; slept_ms = List.rev !slept }
+    | Ok v -> { result = Ok v; attempts = attempt; slept_ms = List.rev !slept; gave_up = false }
     | Error e ->
-      if attempt < max_attempts && retryable e.Bgr_error.code then begin
+      if attempt < max_attempts && retryable e.Bgr_error.code && not (giveup ()) then begin
         on_retry ~attempt e;
-        let ms = backoff_ms ~base_ms ~attempt in
+        let ms = backoff_ms ?max_ms ?jitter_seed ~base_ms ~attempt () in
         slept := ms :: !slept;
-        sleep_ms ms;
-        go (attempt + 1)
+        sleep ms;
+        if giveup () then
+          { result = Error e; attempts = attempt; slept_ms = List.rev !slept; gave_up = true }
+        else go (attempt + 1)
       end
-      else { result = Error e; attempts = attempt; slept_ms = List.rev !slept }
+      else
+        { result = Error e;
+          attempts = attempt;
+          slept_ms = List.rev !slept;
+          gave_up = (retryable e.Bgr_error.code && attempt < max_attempts && giveup ()) }
   in
   go 1

@@ -7,8 +7,13 @@
     geometry, unroutable net, exhausted budget) goes straight to the
     dead-letter directory instead of burning its attempts.
 
-    The schedule is deterministic — no jitter — so tests can assert it
-    exactly under an injected [sleep]. *)
+    The schedule is deterministic by default — no cap, no jitter — so
+    tests can assert it exactly under an injected [sleep].  Production
+    callers pass [?max_ms] (the raw [base * 2^k] is unbounded and
+    would sleep for minutes within a dozen attempts) and
+    [?jitter_seed] (so a thundering herd of jobs retrying the same
+    transient failure decorrelates); both are pure functions of their
+    inputs, so even the jittered schedule is reproducible. *)
 
 val retryable : Bgr_error.code -> bool
 (** [Fault] (injected faults stand in for any transient environmental
@@ -17,28 +22,46 @@ val retryable : Bgr_error.code -> bool
     [Internal] are not — re-running the identical job cannot change
     those outcomes. *)
 
-val backoff_ms : base_ms:float -> attempt:int -> float
+val backoff_ms :
+  ?max_ms:float -> ?jitter_seed:int -> base_ms:float -> attempt:int -> unit -> float
 (** The sleep {e after} failed attempt [attempt] (1-based):
     [base_ms * 2^(attempt-1)].  So with [base_ms = 250.] the schedule
-    is 250, 500, 1000, ... *)
+    is 250, 500, 1000, ...  With [jitter_seed] the raw value is
+    stretched by a deterministic factor in [1, 1.25) drawn from
+    [(seed, attempt)]; with [max_ms] the (jittered) value is clamped
+    to the cap. *)
 
 type 'a outcome = {
   result : ('a, Bgr_error.t) result;  (** last attempt's result *)
   attempts : int;  (** attempts actually made (>= 1) *)
   slept_ms : float list;  (** backoff sleeps taken, in order *)
+  gave_up : bool;
+      (** [giveup] fired while a retry was still owed — the error is
+          {e not} final; the caller should leave the job spooled
+          rather than dead-letter it. *)
 }
 
 val run :
   ?max_attempts:int ->
   ?base_ms:float ->
+  ?max_ms:float ->
+  ?jitter_seed:int ->
   ?sleep_ms:(float -> unit) ->
+  ?giveup:(unit -> bool) ->
   ?on_retry:(attempt:int -> Bgr_error.t -> unit) ->
   (attempt:int -> ('a, Bgr_error.t) result) ->
   'a outcome
 (** [run f] calls [f ~attempt:1], then — while the error is
     {!retryable} and attempts remain — sleeps the backoff and tries
     again.  [max_attempts] defaults to 2 (the daemon's "one bounded
-    retry"); [base_ms] to 250.  [sleep_ms] defaults to a real
-    [Unix.sleepf]; tests inject a recorder.  [on_retry] fires before
-    each backoff sleep.  An exception from [f] is not caught: only
-    structured [Error] results participate in the policy. *)
+    retry"); [base_ms] to 250; [max_ms]/[jitter_seed] shape the
+    schedule as in {!backoff_ms}.  The default sleep is {e
+    interruptible}: it dozes in ~50 ms slices and re-checks [giveup],
+    so a daemon draining on SIGTERM is never stuck behind a multi-second
+    backoff.  When [giveup] returns true before or after a backoff the
+    loop stops with [gave_up = true] instead of burning the remaining
+    attempts.  [sleep_ms] replaces the sleep wholesale (tests inject a
+    recorder; it is called once per backoff with the full duration).
+    [on_retry] fires before each backoff sleep.  An exception from [f]
+    is not caught: only structured [Error] results participate in the
+    policy. *)

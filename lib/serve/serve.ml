@@ -1,5 +1,9 @@
 (* The daemon.  Two domains: the event loop (this one) and the executor
-   (spawned, the sole routing orchestrator).  See serve.mli. *)
+   (spawned, the sole routing orchestrator).  Under [Workers] isolation
+   the executor additionally forks one worker subprocess per routing
+   attempt and supervises it ({!Worker}).  See serve.mli. *)
+
+type isolation = In_process | Workers of string array
 
 type config = {
   socket_path : string;
@@ -7,9 +11,15 @@ type config = {
   queue_cap : int;
   max_attempts : int;
   backoff_base_ms : float;
+  backoff_max_ms : float;
   job_domains : int;
   default_deadline_ms : int option;
   install_signals : bool;
+  isolation : isolation;
+  heartbeat_timeout_ms : float;
+  hard_deadline_grace_ms : float;
+  mem_limit_mb : int;
+  quarantine_kills : int;
   log : string -> unit;
 }
 
@@ -19,9 +29,15 @@ let default_config ~socket_path ~spool_root =
     queue_cap = 16;
     max_attempts = 2;
     backoff_base_ms = 250.0;
+    backoff_max_ms = 30_000.0;
     job_domains = 0;
     default_deadline_ms = None;
     install_signals = false;
+    isolation = In_process;
+    heartbeat_timeout_ms = 10_000.0;
+    hard_deadline_grace_ms = 30_000.0;
+    mem_limit_mb = 0;
+    quarantine_kills = 3;
     log = ignore }
 
 type stats = {
@@ -32,6 +48,9 @@ type stats = {
   s_retried : int;
   s_rejected : int;
   s_protocol_errors : int;
+  s_canceled : int;
+  s_quarantined : int;
+  s_killed : int;
 }
 
 (* --- metrics ----------------------------------------------------------- *)
@@ -59,9 +78,30 @@ let m_protocol_errors =
 
 let m_connections = Obs.Metrics.counter ~help:"Accepted connections" "serve_connections_total"
 
+let m_worker_spawns =
+  Obs.Metrics.counter ~help:"Routing worker subprocesses spawned" "serve_worker_spawns_total"
+
+let m_worker_kills =
+  Obs.Metrics.counter ~help:"Routing workers killed, by watchdog reason"
+    ~labels:[ "reason" ] "serve_worker_kills_total"
+
+let m_worker_heartbeats =
+  Obs.Metrics.counter ~help:"Heartbeat frames received from workers"
+    "serve_worker_heartbeats_total"
+
+let m_cancels =
+  Obs.Metrics.counter ~help:"Cancel requests received" "serve_cancel_requests_total"
+
 (* --- shared state between the two domains ------------------------------ *)
 
-type completion = { c_id : string; c_ok : bool; c_json : string; c_latency_ms : float }
+type completion_kind = K_done | K_failed | K_canceled | K_quarantined | K_interrupted
+
+type completion = {
+  c_id : string;
+  c_kind : completion_kind;
+  c_json : string;
+  c_latency_ms : float;
+}
 
 type shared = {
   mutex : Mutex.t;
@@ -72,6 +112,10 @@ type shared = {
   mutable executor_done : bool;
   mutable completions : completion list;  (** reversed; loop drains it *)
   mutable retried : int;
+  mutable killed : int;  (** worker kills (watchdog or external) *)
+  mutable cancel : string option;  (** kill this job's worker, answer canceled *)
+  mutable progress : (string * int * int) option;
+      (** running job's latest heartbeat: phase, pass, deletions *)
   wake_w : Unix.file_descr;
 }
 
@@ -87,100 +131,71 @@ let depth_unlocked sh = Queue.length sh.queue + match sh.running with Some _ -> 
 
 (* --- job results ------------------------------------------------------- *)
 
-let result_json id (m : Flow.measurement) ~attempts =
-  Qjson.to_string
-    (Qjson.Obj
-       [ ("job", Qjson.Str id);
-         ("ok", Qjson.Bool true);
-         (* as a string: the hash is a full 63-bit int, which a JSON
-            double would round *)
-         ("deletion_hash", Qjson.Str (string_of_int m.Flow.m_deletion_hash));
-         ("delay_ps", Qjson.num m.Flow.m_delay_ps);
-         ("area_mm2", Qjson.num m.Flow.m_area_mm2);
-         ("length_mm", Qjson.num m.Flow.m_length_mm);
-         ("violations", Qjson.int m.Flow.m_violations);
-         ("stopped_because", Qjson.Str m.Flow.m_stopped_because);
-         ("domains", Qjson.int m.Flow.m_domains);
-         ("attempts", Qjson.int attempts) ])
-
-let error_json id (e : Bgr_error.t) ~attempts =
+let canceled_json id ~attempts =
   Qjson.to_string
     (Qjson.Obj
        [ ("job", Qjson.Str id);
          ("ok", Qjson.Bool false);
-         ("code", Qjson.Str (Bgr_error.code_name e.Bgr_error.code));
-         ("error", Qjson.Str (Bgr_error.to_string e));
+         ("code", Qjson.Str "canceled");
+         ("error", Qjson.Str (Printf.sprintf "job %s canceled by operator request" id));
          ("attempts", Qjson.int attempts) ])
+
+let quarantined_json id (e : Bgr_error.t) ~attempts ~kills ~last_kill =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str id);
+         ("ok", Qjson.Bool false);
+         ("code", Qjson.Str "quarantined");
+         ("error", Qjson.Str (Bgr_error.to_string e));
+         ("attempts", Qjson.int attempts);
+         ("kills", Qjson.int kills);
+         ("last_kill", Qjson.Str last_kill) ])
 
 (* --- the executor ------------------------------------------------------ *)
 
-(* A quality sink that degrades to a log line: telemetry must never
-   fail the job (same discipline as the CLI's). *)
-let quality_sink cfg path =
-  match Qlog.create ~path with
-  | exception Bgr_error.Error e ->
-    cfg.log (Printf.sprintf "warning: quality: %s" e.Bgr_error.message);
-    (None, fun () -> ())
-  | w ->
-    let dead = ref false in
-    let emit s =
-      if not !dead then
-        try ignore (Qlog.append w s)
-        with _ ->
-          dead := true;
-          Qlog.close w;
-          cfg.log "warning: quality: recording stopped"
-    in
-    (Some emit, fun () -> if not !dead then Qlog.close w)
+let worker_args cfg dir =
+  [ "--dir"; dir; "--domains"; string_of_int cfg.job_domains ]
+  @ (match cfg.default_deadline_ms with
+    | None -> []
+    | Some ms -> [ "--default-deadline-ms"; string_of_int ms ])
+  @ if cfg.mem_limit_mb > 0 then [ "--mem-limit-mb"; string_of_int cfg.mem_limit_mb ]
+    else []
 
-let budget_of cfg job =
-  match
-    match job.Spool.j_deadline_ms with Some ms -> Some ms | None -> cfg.default_deadline_ms
-  with
-  | None -> Budget.unlimited
-  | Some ms -> Budget.make ~wall_ms:(float_of_int ms) ()
-
-(* One attempt: [Persist.route] the first time, [Persist.resume] once a
-   journal exists (so a retry after a mid-route fault continues the
-   interrupted run instead of starting over). *)
-let run_attempt cfg spool job =
-  let dir = Spool.job_dir spool job.Spool.j_id in
-  try
-    Fault.check ~phase:"serve" "serve.job";
-    let budget = budget_of cfg job in
-    let on_quality, quality_finish =
-      quality_sink cfg (Filename.concat dir Qlog.default_filename)
-    in
-    Fun.protect ~finally:quality_finish @@ fun () ->
-    if Sys.file_exists (Filename.concat dir Persist.journal_file) then
-      Result.map
-        (fun rr -> rr.Persist.rr_outcome)
-        (Persist.resume ~domains:cfg.job_domains ~budget ?on_quality ~dir ())
-    else begin
-      let design_path = Filename.concat dir Persist.design_file in
-      let design_text = Lineio.read_all design_path in
-      match
-        Result.bind (Design_io.of_string_result ~file:design_path design_text)
-          Design_check.validate
-      with
-      | Error e -> Error e
-      | Ok bundle ->
-        let options = { Router.default_options with Router.domains = cfg.job_domains } in
-        Ok
-          (Persist.route ~options ~timing_driven:job.Spool.j_timing_driven ~budget
-             ?on_quality ~dir ~design_text (Design_io.to_flow_input bundle))
-    end
-  with
-  | Bgr_error.Error e -> Error e
-  | Sys_error msg -> Error (Bgr_error.make ~phase:"serve" Bgr_error.Io_error "%s" msg)
+let supervise_attempt cfg sh prefix spool (job : Spool.job) =
+  let id = job.Spool.j_id in
+  let dir = Spool.job_dir spool id in
+  let argv = Array.append prefix (Array.of_list (worker_args cfg dir)) in
+  let hard_deadline_ms =
+    match
+      match job.Spool.j_deadline_ms with
+      | Some ms -> Some ms
+      | None -> cfg.default_deadline_ms
+    with
+    | None -> infinity
+    | Some ms -> float_of_int ms +. cfg.hard_deadline_grace_ms
+  in
+  Obs.Metrics.inc m_worker_spawns;
+  Obs.Trace.span ~attrs:[ ("job", Obs.Trace.Str id) ] "serve.worker" @@ fun () ->
+  Worker.supervise ~heartbeat_timeout_ms:cfg.heartbeat_timeout_ms ~hard_deadline_ms
+    ~canceled:(fun () -> locked sh (fun () -> sh.cancel = Some id))
+    ~on_progress:(fun p ->
+      Obs.Metrics.inc m_worker_heartbeats;
+      locked sh (fun () ->
+          sh.progress <- Some (p.Worker.p_phase, p.Worker.p_pass, p.Worker.p_deletions)))
+    ~on_spawn:(fun pid -> cfg.log (Printf.sprintf "job %s: worker pid %d" id pid))
+    ~log:cfg.log ~argv ()
 
 let run_job cfg spool sh (job : Spool.job) =
   let id = job.Spool.j_id in
   let t0 = Unix.gettimeofday () in
   let current = ref job in
+  let was_canceled = ref false in
+  let quarantine = ref false in
+  let giveup () = locked sh (fun () -> sh.stop || sh.cancel = Some id) in
   let outcome =
     Obs.Trace.span ~attrs:[ ("job", Obs.Trace.Str id) ] "serve.job" @@ fun () ->
     Retry.run ~max_attempts:cfg.max_attempts ~base_ms:cfg.backoff_base_ms
+      ~max_ms:cfg.backoff_max_ms ~jitter_seed:(Hashtbl.hash id) ~giveup
       ~on_retry:(fun ~attempt e ->
         Obs.Metrics.inc m_retries;
         locked sh (fun () -> sh.retried <- sh.retried + 1);
@@ -189,34 +204,118 @@ let run_job cfg spool sh (job : Spool.job) =
              (Bgr_error.to_string e)))
       (fun ~attempt:_ ->
         current := Spool.record_attempt spool !current;
-        run_attempt cfg spool !current)
+        match Fault.check ~phase:"serve" "serve.job" with
+        | exception Bgr_error.Error e -> Error e
+        | () -> (
+          match cfg.isolation with
+          | In_process ->
+            let dir = Spool.job_dir spool id in
+            let budget =
+              Worker.budget_of ?default_deadline_ms:cfg.default_deadline_ms !current
+            in
+            let on_quality, quality_finish =
+              Worker.quality_sink ~log:cfg.log (Filename.concat dir Qlog.default_filename)
+            in
+            Result.map
+              (fun o ->
+                Worker.result_json id o.Flow.o_measurement
+                  ~attempts:(!current).Spool.j_attempts)
+              (Fun.protect ~finally:quality_finish (fun () ->
+                   Worker.attempt ~domains:cfg.job_domains ~budget ?on_quality ~dir
+                     !current))
+          | Workers prefix -> (
+            match supervise_attempt cfg sh prefix spool !current with
+            | Ok json -> Ok json
+            | Error (Worker.Failed { code; message }) ->
+              let code =
+                Option.value (Bgr_error.code_of_name code) ~default:Bgr_error.Internal
+              in
+              Error (Bgr_error.make code "%s" message)
+            | Error (Worker.Spawn_error msg) ->
+              Error
+                (Bgr_error.make ~phase:"serve" Bgr_error.Fault "worker spawn failed: %s"
+                   msg)
+            | Error (Worker.Killed { reason = Worker.Canceled; _ }) ->
+              was_canceled := true;
+              Error (Bgr_error.make ~phase:"serve" Bgr_error.Validate "job %s canceled" id)
+            | Error (Worker.Killed { reason; detail }) ->
+              let reason_s = Worker.kill_reason_string reason in
+              Obs.Metrics.inc ~labels:[ ("reason", reason_s) ] m_worker_kills;
+              locked sh (fun () -> sh.killed <- sh.killed + 1);
+              current := Spool.record_kill spool !current ~reason:reason_s;
+              cfg.log
+                (Printf.sprintf "job %s: worker killed (%s): %s [kill %d, quarantine at %d]"
+                   id reason_s detail (!current).Spool.j_kills cfg.quarantine_kills);
+              if reason = Worker.Hard_deadline then
+                Error
+                  (Bgr_error.make ~phase:"serve" Bgr_error.Deadline
+                     "worker exceeded the hard wall deadline (%s)" detail)
+              else if (!current).Spool.j_kills >= cfg.quarantine_kills then begin
+                quarantine := true;
+                Error
+                  (Bgr_error.make ~phase:"serve" Bgr_error.Internal
+                     "quarantined after %d worker kills (last: %s)"
+                     (!current).Spool.j_kills reason_s)
+              end
+              else
+                Error
+                  (Bgr_error.make ~phase:"serve" Bgr_error.Fault "worker killed (%s): %s"
+                     reason_s detail))))
   in
+  locked sh (fun () -> sh.progress <- None);
   let attempts = !current.Spool.j_attempts in
   let latency_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   Obs.Metrics.observe m_latency latency_ms;
-  let c_ok, c_json =
+  let c_kind, c_json =
     match outcome.Retry.result with
-    | Ok o ->
-      let json = result_json id o.Flow.o_measurement ~attempts in
+    | Ok json ->
       Spool.mark_done spool id ~json;
       Obs.Metrics.inc ~labels:[ ("outcome", "completed") ] m_jobs;
       cfg.log
-        (Printf.sprintf "job %s: done in %.0f ms (hash %d, %d attempt%s)" id latency_ms
-           o.Flow.o_measurement.Flow.m_deletion_hash attempts
+        (Printf.sprintf "job %s: done in %.0f ms (%d attempt%s)" id latency_ms attempts
            (if attempts = 1 then "" else "s"));
-      (true, json)
+      (K_done, json)
     | Error e ->
-      let json = error_json id e ~attempts in
-      Spool.retire spool id ~json;
-      Obs.Metrics.inc ~labels:[ ("outcome", "failed") ] m_jobs;
-      cfg.log
-        (Printf.sprintf "job %s: dead-lettered after %d attempt%s: %s" id attempts
-           (if attempts = 1 then "" else "s")
-           (Bgr_error.to_string e));
-      (false, json)
+      if !was_canceled || (outcome.Retry.gave_up && locked sh (fun () -> sh.cancel = Some id))
+      then begin
+        let json = canceled_json id ~attempts in
+        Spool.retire spool id ~json;
+        Obs.Metrics.inc ~labels:[ ("outcome", "canceled") ] m_jobs;
+        cfg.log (Printf.sprintf "job %s: canceled after %d attempt(s)" id attempts);
+        (K_canceled, json)
+      end
+      else if outcome.Retry.gave_up then begin
+        (* Drain interrupted a still-owed retry: the job is neither
+           done nor dead.  Leave it spooled; the next daemon life's
+           supervisor pass re-queues it. *)
+        cfg.log (Printf.sprintf "job %s: drain interrupted its retry; remains spooled" id);
+        (K_interrupted, "")
+      end
+      else if !quarantine then begin
+        let json =
+          quarantined_json id e ~attempts ~kills:(!current).Spool.j_kills
+            ~last_kill:(!current).Spool.j_last_kill
+        in
+        Spool.quarantine spool id ~json;
+        Obs.Metrics.inc ~labels:[ ("outcome", "quarantined") ] m_jobs;
+        cfg.log
+          (Printf.sprintf "job %s: QUARANTINED after %d worker kills (last: %s)" id
+             (!current).Spool.j_kills (!current).Spool.j_last_kill);
+        (K_quarantined, json)
+      end
+      else begin
+        let json = Worker.error_json id e ~attempts in
+        Spool.retire spool id ~json;
+        Obs.Metrics.inc ~labels:[ ("outcome", "failed") ] m_jobs;
+        cfg.log
+          (Printf.sprintf "job %s: dead-lettered after %d attempt%s: %s" id attempts
+             (if attempts = 1 then "" else "s")
+             (Bgr_error.to_string e));
+        (K_failed, json)
+      end
   in
   locked sh (fun () ->
-      sh.completions <- { c_id = id; c_ok; c_json; c_latency_ms = latency_ms } :: sh.completions);
+      sh.completions <- { c_id = id; c_kind; c_json; c_latency_ms = latency_ms } :: sh.completions);
   wake sh
 
 let executor cfg spool sh () =
@@ -242,14 +341,17 @@ let executor cfg spool sh () =
            Bgr_error.make ~phase:"serve" Bgr_error.Internal "unexpected exception: %s"
              (Printexc.to_string e)
          in
-         let json = error_json job.Spool.j_id err ~attempts:job.Spool.j_attempts in
+         let json = Worker.error_json job.Spool.j_id err ~attempts:job.Spool.j_attempts in
          (try Spool.retire spool job.Spool.j_id ~json with _ -> ());
          locked sh (fun () ->
              sh.completions <-
-               { c_id = job.Spool.j_id; c_ok = false; c_json = json; c_latency_ms = 0.0 }
+               { c_id = job.Spool.j_id; c_kind = K_failed; c_json = json; c_latency_ms = 0.0 }
                :: sh.completions);
          wake sh);
-      locked sh (fun () -> sh.running <- None);
+      locked sh (fun () ->
+          sh.running <- None;
+          sh.progress <- None;
+          if sh.cancel = Some job.Spool.j_id then sh.cancel <- None);
       loop ()
     end
   in
@@ -281,6 +383,8 @@ type loop_state = {
   mutable failed : int;
   mutable rejected : int;
   mutable protocol_errors : int;
+  mutable canceled : int;
+  mutable quarantined : int;
   requeued : int;
 }
 
@@ -317,6 +421,19 @@ let add_waiter st conn id =
   let l = Option.value (Hashtbl.find_opt st.waiters id) ~default:[] in
   Hashtbl.replace st.waiters id (conn :: l)
 
+let answer_waiters st id reply =
+  match Hashtbl.find_opt st.waiters id with
+  | None -> ()
+  | Some conns ->
+    Hashtbl.remove st.waiters id;
+    List.iter
+      (fun conn ->
+        if List.memq conn st.conns then begin
+          conn.waits <- List.filter (fun w -> w <> id) conn.waits;
+          send st conn reply
+        end)
+      conns
+
 let overloaded st conn ~reason =
   st.rejected <- st.rejected + 1;
   Obs.Metrics.inc ~labels:[ ("reason", reason) ] m_rejections;
@@ -336,10 +453,14 @@ let status_json st =
          ( "running",
            match running with None -> Qjson.Null | Some id -> Qjson.Str id );
          ("draining", Qjson.Bool st.draining);
+         ( "isolation",
+           Qjson.Str (match st.cfg.isolation with In_process -> "in-process" | Workers _ -> "workers") );
          ("requeued", Qjson.int st.requeued);
          ("accepted", Qjson.int st.accepted);
          ("completed", Qjson.int st.completed);
          ("failed", Qjson.int st.failed);
+         ("canceled", Qjson.int st.canceled);
+         ("quarantined", Qjson.int st.quarantined);
          ("rejected", Qjson.int st.rejected);
          ("protocol_errors", Qjson.int st.protocol_errors) ])
 
@@ -348,6 +469,7 @@ let job_state_string st id =
   | None -> None
   | Some (Spool.Done _) -> Some "done"
   | Some (Spool.Dead _) -> Some "dead"
+  | Some (Spool.Quarantined _) -> Some "quarantined"
   | Some (Spool.Pending _) ->
     let running = locked st.sh (fun () -> st.sh.running = Some id) in
     if running then Some "running"
@@ -390,7 +512,9 @@ let handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design =
           { Spool.j_id = id;
             j_timing_driven = timing_driven;
             j_deadline_ms = deadline_ms;
-            j_attempts = 0 }
+            j_attempts = 0;
+            j_kills = 0;
+            j_last_kill = "" }
         in
         (* Durable acceptance before the acknowledgement. *)
         (match Spool.accept st.spool job ~design_text:design with
@@ -412,6 +536,12 @@ let handle_resume st conn ~wait ~job:id =
     match Spool.state_of st.spool id with
     | None -> reply_error st conn (validation_error "unknown job %S" id)
     | Some (Spool.Done json) -> send st conn (Wire.Result { job = id; ok = true; json })
+    | Some (Spool.Quarantined _) ->
+      reply_error st conn
+        (validation_error
+           "job %s is quarantined (it repeatedly killed its worker); use revive with force \
+            to retry anyway"
+           id)
     | Some (Spool.Dead _) ->
       if st.draining then overloaded st conn ~reason:"draining"
       else if locked st.sh (fun () -> depth_unlocked st.sh) >= st.cfg.queue_cap then
@@ -437,17 +567,112 @@ let handle_resume st conn ~wait ~job:id =
         if wait then add_waiter st conn id
       end
 
+let handle_cancel st conn ~job:id =
+  if not (Wire.valid_job_id id) then
+    reply_error st conn (validation_error "invalid job id %S" id)
+  else begin
+    Obs.Metrics.inc m_cancels;
+    match Spool.state_of st.spool id with
+    | None -> reply_error st conn (validation_error "unknown job %S" id)
+    | Some (Spool.Done _) ->
+      reply_error st conn (validation_error "job %s already completed" id)
+    | Some (Spool.Dead _) ->
+      reply_error st conn (validation_error "job %s is already dead-lettered" id)
+    | Some (Spool.Quarantined _) ->
+      reply_error st conn (validation_error "job %s is already quarantined" id)
+    | Some (Spool.Pending _) -> (
+      (* Decide under the lock, so the executor cannot pop the job
+         between our check and the queue edit. *)
+      let decision =
+        locked st.sh (fun () ->
+            if st.sh.running = Some id then `Running
+            else begin
+              let keep = Queue.create () in
+              let found = ref false in
+              Queue.iter
+                (fun (j : Spool.job) ->
+                  if j.Spool.j_id = id then found := true else Queue.add j keep)
+                st.sh.queue;
+              Queue.clear st.sh.queue;
+              Queue.transfer keep st.sh.queue;
+              if !found then `Dequeued else `Idle
+            end)
+      in
+      match decision with
+      | `Running -> (
+        match st.cfg.isolation with
+        | In_process ->
+          reply_error st conn
+            (validation_error
+               "job %s is running in-process and cannot be canceled (worker isolation is \
+                off)"
+               id)
+        | Workers _ ->
+          locked st.sh (fun () -> st.sh.cancel <- Some id);
+          st.cfg.log (Printf.sprintf "job %s: cancel requested; killing its worker" id);
+          send st conn
+            (Wire.Info
+               { json =
+                   Qjson.to_string
+                     (Qjson.Obj
+                        [ ("job", Qjson.Str id); ("cancel_requested", Qjson.Bool true) ]) }))
+      | `Dequeued | `Idle -> (
+        Hashtbl.remove st.queued id;
+        let attempts =
+          match Spool.load_job st.spool id with Ok j -> j.Spool.j_attempts | Error _ -> 0
+        in
+        let json = canceled_json id ~attempts in
+        match Spool.retire st.spool id ~json with
+        | exception Bgr_error.Error e -> reply_error st conn e
+        | () ->
+          st.canceled <- st.canceled + 1;
+          Obs.Metrics.inc ~labels:[ ("outcome", "canceled") ] m_jobs;
+          answer_waiters st id
+            (Wire.Rerror
+               { code = "canceled"; message = Printf.sprintf "job %s canceled" id });
+          set_depth_metric st;
+          st.cfg.log (Printf.sprintf "job %s: canceled before it ran" id);
+          send st conn
+            (Wire.Info
+               { json =
+                   Qjson.to_string
+                     (Qjson.Obj [ ("job", Qjson.Str id); ("canceled", Qjson.Bool true) ]) }))
+      )
+  end
+
+let handle_revive st conn ~wait ~force ~job:id =
+  if not (Wire.valid_job_id id) then
+    reply_error st conn (validation_error "invalid job id %S" id)
+  else
+    match Spool.state_of st.spool id with
+    | None -> reply_error st conn (validation_error "unknown job %S" id)
+    | Some (Spool.Done json) -> send st conn (Wire.Result { job = id; ok = true; json })
+    | Some (Spool.Pending _) ->
+      reply_error st conn
+        (validation_error "job %s is not dead-lettered or quarantined (use resume)" id)
+    | Some (Spool.Dead _ | Spool.Quarantined _) ->
+      if st.draining then overloaded st conn ~reason:"draining"
+      else if locked st.sh (fun () -> depth_unlocked st.sh) >= st.cfg.queue_cap then
+        overloaded st conn ~reason:"queue full"
+      else (
+        match Spool.revive ~force st.spool id with
+        | Error e -> reply_error st conn e
+        | Ok job ->
+          st.cfg.log
+            (Printf.sprintf "job %s: revived%s" id
+               (if force then " (forced out of quarantine)" else ""));
+          enqueue st job;
+          send st conn (Wire.Accepted { job = id });
+          if wait then add_waiter st conn id)
+
 let handle_analyze st conn ~job:id =
   if not (Wire.valid_job_id id) then
     reply_error st conn (validation_error "invalid job id %S" id)
   else begin
     let dir =
-      let live = Spool.job_dir st.spool id in
-      if Sys.file_exists live then Some live
-      else begin
-        let dead = Spool.dead_dir st.spool id in
-        if Sys.file_exists dead then Some dead else None
-      end
+      List.find_opt Sys.file_exists
+        [ Spool.job_dir st.spool id; Spool.dead_dir st.spool id;
+          Spool.quarantine_dir st.spool id ]
     in
     match dir with
     | None -> reply_error st conn (validation_error "unknown job %S" id)
@@ -471,22 +696,36 @@ let handle_status st conn = function
     match job_state_string st id with
     | None -> reply_error st conn (validation_error "unknown job %S" id)
     | Some state ->
-      let attempts =
-        match Spool.load_job st.spool id with Ok j -> j.Spool.j_attempts | Error _ -> 0
+      let attempts, kills, last_kill =
+        match Spool.load_job st.spool id with
+        | Ok j -> (j.Spool.j_attempts, j.Spool.j_kills, j.Spool.j_last_kill)
+        | Error _ -> (0, 0, "")
       in
-      send st conn
-        (Wire.Info
-           { json =
-               Qjson.to_string
-                 (Qjson.Obj
-                    [ ("job", Qjson.Str id);
-                      ("state", Qjson.Str state);
-                      ("attempts", Qjson.int attempts) ]) }))
+      let progress =
+        if state = "running" then locked st.sh (fun () -> st.sh.progress) else None
+      in
+      let fields =
+        [ ("job", Qjson.Str id);
+          ("state", Qjson.Str state);
+          ("attempts", Qjson.int attempts);
+          ("kills", Qjson.int kills);
+          ("last_kill", Qjson.Str last_kill) ]
+        @
+        match progress with
+        | None -> []
+        | Some (phase, pass, deletions) ->
+          [ ("phase", Qjson.Str phase);
+            ("pass", Qjson.int pass);
+            ("deletions", Qjson.int deletions) ]
+      in
+      send st conn (Wire.Info { json = Qjson.to_string (Qjson.Obj fields) }))
 
 let handle_request st conn = function
   | Wire.Route { wait; timing_driven; deadline_ms; name; design } ->
     handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design
   | Wire.Resume { wait; job } -> handle_resume st conn ~wait ~job
+  | Wire.Cancel { job } -> handle_cancel st conn ~job
+  | Wire.Revive { wait; force; job } -> handle_revive st conn ~wait ~force ~job
   | Wire.Analyze { job } -> handle_analyze st conn ~job
   | Wire.Status { job } -> handle_status st conn job
   | Wire.Shutdown ->
@@ -586,18 +825,29 @@ let deliver_completions st =
   List.iter
     (fun c ->
       Hashtbl.remove st.queued c.c_id;
-      if c.c_ok then st.completed <- st.completed + 1 else st.failed <- st.failed + 1;
-      (match Hashtbl.find_opt st.waiters c.c_id with
-      | None -> ()
-      | Some conns ->
-        Hashtbl.remove st.waiters c.c_id;
-        List.iter
-          (fun conn ->
-            if List.memq conn st.conns then begin
-              conn.waits <- List.filter (fun w -> w <> c.c_id) conn.waits;
-              send st conn (Wire.Result { job = c.c_id; ok = c.c_ok; json = c.c_json })
-            end)
-          conns))
+      locked st.sh (fun () -> if st.sh.cancel = Some c.c_id then st.sh.cancel <- None);
+      (match c.c_kind with
+      | K_done -> st.completed <- st.completed + 1
+      | K_failed -> st.failed <- st.failed + 1
+      | K_canceled -> st.canceled <- st.canceled + 1
+      | K_quarantined -> st.quarantined <- st.quarantined + 1
+      | K_interrupted -> ());
+      match c.c_kind with
+      | K_interrupted ->
+        (* Still spooled: its waiters get the drain notice at exit. *)
+        ()
+      | K_done -> answer_waiters st c.c_id (Wire.Result { job = c.c_id; ok = true; json = c.c_json })
+      | K_failed ->
+        answer_waiters st c.c_id (Wire.Result { job = c.c_id; ok = false; json = c.c_json })
+      | K_canceled ->
+        answer_waiters st c.c_id
+          (Wire.Rerror { code = "canceled"; message = Printf.sprintf "job %s canceled" c.c_id })
+      | K_quarantined ->
+        answer_waiters st c.c_id
+          (Wire.Rerror
+             { code = "quarantined";
+               message =
+                 Printf.sprintf "job %s quarantined after repeated worker kills" c.c_id }))
     completions;
   if completions <> [] then set_depth_metric st;
   executor_done
@@ -657,9 +907,14 @@ let run cfg =
       executor_done = false;
       completions = [];
       retried = 0;
+      killed = 0;
+      cancel = None;
+      progress = None;
       wake_w }
   in
-  (* Supervisor pass: every accepted-but-unfinished job rides again. *)
+  (* Supervisor pass: every accepted-but-unfinished job rides again.
+     Quarantined jobs are deliberately absent: [Spool.scan] walks
+     jobs/ only. *)
   let pending = Spool.scan spool in
   List.iter (fun w -> cfg.log (Printf.sprintf "spool: %s" w)) (Spool.scan_warnings spool);
   List.iter
@@ -684,6 +939,8 @@ let run cfg =
       failed = 0;
       rejected = 0;
       protocol_errors = 0;
+      canceled = 0;
+      quarantined = 0;
       requeued = List.length pending }
   in
   List.iter (fun (j : Spool.job) -> Hashtbl.replace st.queued j.Spool.j_id ()) pending;
@@ -699,8 +956,10 @@ let run cfg =
   end;
   let exec_domain = Domain.spawn (executor cfg spool sh) in
   cfg.log
-    (Printf.sprintf "serving on %s (spool %s, cap %d, %d requeued)" cfg.socket_path
-       cfg.spool_root cfg.queue_cap st.requeued);
+    (Printf.sprintf "serving on %s (spool %s, cap %d, %s isolation, %d requeued)"
+       cfg.socket_path cfg.spool_root cfg.queue_cap
+       (match cfg.isolation with In_process -> "in-process" | Workers _ -> "worker")
+       st.requeued);
   let finished = ref false in
   while not !finished do
     if Atomic.get sig_drain then start_drain st "signal";
@@ -745,10 +1004,10 @@ let run cfg =
                      id }))
         (List.sort_uniq compare conn.waits))
     st.conns;
-  let deadline = Unix.gettimeofday () +. 2.0 in
-  while
-    List.exists (fun c -> c.wbuf <> "") st.conns && Unix.gettimeofday () < deadline
-  do
+  (* Monotonic flush deadline: a wall-clock step (NTP, suspend) must
+     neither cut the flush short nor wedge it. *)
+  let deadline = Obs.now_s () +. 2.0 in
+  while List.exists (fun c -> c.wbuf <> "") st.conns && Obs.now_s () < deadline do
     let wfds = List.filter_map (fun c -> if c.wbuf <> "" then Some c.fd else None) st.conns in
     (match Unix.select [] wfds [] 0.2 with
     | _, writable, _ ->
@@ -773,4 +1032,7 @@ let run cfg =
     s_failed = st.failed;
     s_retried = locked sh (fun () -> sh.retried);
     s_rejected = st.rejected;
-    s_protocol_errors = st.protocol_errors }
+    s_protocol_errors = st.protocol_errors;
+    s_canceled = st.canceled;
+    s_quarantined = st.quarantined;
+    s_killed = locked sh (fun () -> sh.killed) }

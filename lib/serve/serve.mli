@@ -33,10 +33,28 @@
     ["serve.write"] and ["serve.job"] are contained the same way (the
     last one is retryable and feeds the retry/dead-letter machinery).
 
+    Isolation: under [Workers] each routing attempt runs in a
+    supervised worker subprocess ({!Worker}): a hang (watchdog on
+    heartbeat silence), an OOM, an external [kill -9] or a hard
+    wall-deadline overrun costs that child only — the kill reason is
+    recorded in the job manifest, retryable kills resume the journal
+    bit-identically, and a job that keeps killing its workers is
+    {e quarantined} (excluded from startup re-queue; only a forced
+    [revive] re-runs it).  [In_process] preserves the single-process
+    behavior and keeps tests hermetic.
+
     Shutdown: SIGTERM/SIGINT (when [install_signals]) or a [shutdown]
     request starts a {e drain}: no new admissions, the running job
     finishes, queued jobs stay spooled for the next start, waiters get
-    a structured error, and {!run} returns. *)
+    a structured error, and {!run} returns.  A drain that lands during
+    a backoff sleep interrupts it; the job stays spooled. *)
+
+type isolation =
+  | In_process  (** attempts run on the executor domain (the default) *)
+  | Workers of string array
+      (** argv {e prefix} of the worker command (e.g.
+          [[| "/path/bgr_serve"; "worker" |]]); the daemon appends
+          [--dir] and the per-job options *)
 
 type config = {
   socket_path : string;
@@ -44,19 +62,31 @@ type config = {
   queue_cap : int;  (** max queued + running jobs; beyond it: [overloaded] *)
   max_attempts : int;  (** attempts per job before dead-lettering *)
   backoff_base_ms : float;  (** retry backoff base (doubles per attempt) *)
+  backoff_max_ms : float;  (** retry backoff cap (post-jitter) *)
   job_domains : int;  (** router scoring domains per job ([0] = auto) *)
   default_deadline_ms : int option;
       (** per-job wall budget when the submission names none *)
   install_signals : bool;
       (** install SIGTERM/SIGINT drain handlers (the CLI daemon does;
           in-process test servers must not) *)
+  isolation : isolation;
+  heartbeat_timeout_ms : float;
+      (** watchdog: SIGKILL a worker silent this long ([Workers] only) *)
+  hard_deadline_grace_ms : float;
+      (** SIGKILL a worker still alive this long past its wall budget *)
+  mem_limit_mb : int;  (** worker address-space ceiling; [0] = none *)
+  quarantine_kills : int;  (** worker kills before the job is quarantined *)
   log : string -> unit;  (** line logger for operational events *)
 }
 
 val default_config : socket_path:string -> spool_root:string -> config
 (** [queue_cap = 16], [max_attempts = 2], [backoff_base_ms = 250.],
-    [job_domains = 0], no default deadline, no signal handlers,
-    silent log. *)
+    [backoff_max_ms = 30_000.], [job_domains = 0], no default
+    deadline, no signal handlers, [In_process] isolation (the CLI
+    daemon overrides this to [Workers] on itself),
+    [heartbeat_timeout_ms = 10_000.], [hard_deadline_grace_ms =
+    30_000.], no memory ceiling, [quarantine_kills = 3], silent
+    log. *)
 
 type stats = {
   s_requeued : int;  (** jobs the startup supervisor re-queued *)
@@ -66,6 +96,9 @@ type stats = {
   s_retried : int;  (** attempt retries taken *)
   s_rejected : int;  (** submissions refused (overloaded or draining) *)
   s_protocol_errors : int;  (** malformed frames/requests answered *)
+  s_canceled : int;  (** jobs canceled (queued or running) *)
+  s_quarantined : int;  (** jobs quarantined after repeated worker kills *)
+  s_killed : int;  (** worker processes killed (watchdog or external) *)
 }
 
 val run : config -> stats

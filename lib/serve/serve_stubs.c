@@ -1,0 +1,23 @@
+/* Worker-side resource limits.  The OCaml Unix library exposes no
+   setrlimit binding, so the one call the worker needs — an address
+   space ceiling, turning a runaway allocation into a catchable
+   Out_of_memory instead of an OOM-killer SIGKILL — lives here.
+   libc only, no external dependencies. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+
+#include <sys/resource.h>
+
+/* Returns 0 on success, the errno on failure.  mb <= 0 is a no-op. */
+CAMLprim value bgr_serve_set_mem_limit_mb(value mb)
+{
+  CAMLparam1(mb);
+  long limit_mb = Long_val(mb);
+  if (limit_mb <= 0) CAMLreturn(Val_long(0));
+  struct rlimit rl;
+  rl.rlim_cur = (rlim_t)limit_mb * 1024 * 1024;
+  rl.rlim_max = (rlim_t)limit_mb * 1024 * 1024;
+  if (setrlimit(RLIMIT_AS, &rl) != 0) CAMLreturn(Val_long(1));
+  CAMLreturn(Val_long(0));
+}

@@ -9,6 +9,8 @@ type job = {
   j_timing_driven : bool;
   j_deadline_ms : int option;
   j_attempts : int;
+  j_kills : int;
+  j_last_kill : string;
 }
 
 type t = { t_root : string; mutable t_scan_warnings : string list }
@@ -25,6 +27,7 @@ let open_root root =
   ensure_dir root;
   ensure_dir (root / "jobs");
   ensure_dir (root / "dead");
+  ensure_dir (root / "quarantine");
   { t_root = root; t_scan_warnings = [] }
 
 let root t = t.t_root
@@ -32,6 +35,8 @@ let root t = t.t_root
 let job_dir t id = t.t_root / "jobs" / id
 
 let dead_dir t id = t.t_root / "dead" / id
+
+let quarantine_dir t id = t.t_root / "quarantine" / id
 
 (* Atomic durable write, the Persist discipline: temp file, fsync,
    rename. *)
@@ -62,7 +67,9 @@ let list_dir path =
   | exception Sys_error _ -> []
 
 let exists t id =
-  Sys.file_exists (job_dir t id) || Sys.file_exists (dead_dir t id)
+  Sys.file_exists (job_dir t id)
+  || Sys.file_exists (dead_dir t id)
+  || Sys.file_exists (quarantine_dir t id)
 
 let fresh_id t =
   let numeric_suffix name =
@@ -74,17 +81,26 @@ let fresh_id t =
     List.fold_left
       (fun acc name -> match numeric_suffix name with Some n -> max acc n | None -> acc)
       0
-      (list_dir (t.t_root / "jobs") @ list_dir (t.t_root / "dead"))
+      (list_dir (t.t_root / "jobs")
+      @ list_dir (t.t_root / "dead")
+      @ list_dir (t.t_root / "quarantine"))
   in
   Printf.sprintf "job-%06d" (top + 1)
 
 (* --- the JOB manifest -------------------------------------------------- *)
 
+(* [kills]/[last_kill] were added after manifests already existed on
+   disk, so they are only written when meaningful and are optional on
+   parse — a pre-existing JOB file still loads. *)
 let job_string j =
-  Printf.sprintf "bgr-job 1\nid %s\ntiming_driven %b\ndeadline_ms %d\nattempts %d\n"
-    j.j_id j.j_timing_driven
-    (match j.j_deadline_ms with None -> 0 | Some ms -> ms)
-    j.j_attempts
+  let base =
+    Printf.sprintf "bgr-job 1\nid %s\ntiming_driven %b\ndeadline_ms %d\nattempts %d\n"
+      j.j_id j.j_timing_driven
+      (match j.j_deadline_ms with None -> 0 | Some ms -> ms)
+      j.j_attempts
+  in
+  if j.j_kills = 0 && j.j_last_kill = "" then base
+  else Printf.sprintf "%skills %d\nlast_kill %s\n" base j.j_kills j.j_last_kill
 
 exception Bad of string
 
@@ -122,10 +138,20 @@ let parse_job ?file s =
       | v -> fail "job manifest field timing_driven wants a boolean, got %S" v
     in
     let deadline = int_of "deadline_ms" in
+    let kills =
+      match List.assoc_opt "kills" kv with
+      | None -> 0
+      | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> fail "job manifest field kills wants an integer, got %S" v)
+    in
     { j_id = get "id";
       j_timing_driven = td;
       j_deadline_ms = (if deadline = 0 then None else Some deadline);
-      j_attempts = int_of "attempts" }
+      j_attempts = int_of "attempts";
+      j_kills = kills;
+      j_last_kill = Option.value (List.assoc_opt "last_kill" kv) ~default:"" }
   with
   | j -> Ok j
   | exception Bad m -> Error (Bgr_error.make ?file ~phase:"serve" Bgr_error.Parse "%s" m)
@@ -137,12 +163,23 @@ let accept t j ~design_text =
   write_file_atomic (dir / job_file) (job_string j)
 
 let load_job t id =
-  let live = job_dir t id / job_file in
-  let path = if Sys.file_exists live then live else dead_dir t id / job_file in
+  let candidates = [ job_dir t id; dead_dir t id; quarantine_dir t id ] in
+  let path =
+    match List.find_opt (fun d -> Sys.file_exists (d / job_file)) candidates with
+    | Some d -> d / job_file
+    | None -> job_dir t id / job_file
+  in
   Result.bind (read_file path) (parse_job ~file:path)
+
+let read_manifest dir = Result.bind (read_file (dir / job_file)) (parse_job ~file:(dir / job_file))
 
 let record_attempt t j =
   let j = { j with j_attempts = j.j_attempts + 1 } in
+  write_file_atomic (job_dir t j.j_id / job_file) (job_string j);
+  j
+
+let record_kill t j ~reason =
+  let j = { j with j_kills = j.j_kills + 1; j_last_kill = reason } in
   write_file_atomic (job_dir t j.j_id / job_file) (job_string j);
   j
 
@@ -155,10 +192,22 @@ let retire t id ~json =
   | () -> ()
   | exception Sys_error msg -> io_fail dir msg
 
-type state = Pending of job | Done of string | Dead of string
+let quarantine t id ~json =
+  let dir = job_dir t id in
+  write_file_atomic (dir / error_file) (json ^ "\n");
+  match Sys.rename dir (quarantine_dir t id) with
+  | () -> ()
+  | exception Sys_error msg -> io_fail dir msg
+
+type state = Pending of job | Done of string | Dead of string | Quarantined of string
 
 let state_of t id =
   let live = job_dir t id in
+  let error_json dir fallback =
+    match read_file (dir / error_file) with
+    | Ok s -> String.trim s
+    | Error _ -> fallback
+  in
   if Sys.file_exists live then begin
     let result = live / result_file in
     if Sys.file_exists result then
@@ -170,34 +219,41 @@ let state_of t id =
       | Ok j -> Some (Pending j)
       | Error _ -> None
   end
-  else begin
-    let dead = dead_dir t id in
-    if Sys.file_exists dead then
-      match read_file (dead / error_file) with
-      | Ok s -> Some (Dead (String.trim s))
-      | Error _ -> Some (Dead "{}")
-    else None
-  end
+  else if Sys.file_exists (dead_dir t id) then
+    Some (Dead (error_json (dead_dir t id) "{}"))
+  else if Sys.file_exists (quarantine_dir t id) then
+    Some (Quarantined (error_json (quarantine_dir t id) "{}"))
+  else None
 
-let revive t id =
-  let dead = dead_dir t id in
-  if not (Sys.file_exists dead) then
-    Error
-      (Bgr_error.make ~phase:"serve" Bgr_error.Validate "job %s is not in the dead-letter dir"
-         id)
-  else begin
-    match Sys.rename dead (job_dir t id) with
-    | exception Sys_error msg ->
-      Error (Bgr_error.make ~file:dead ~phase:"serve" Bgr_error.Io_error "%s" msg)
-    | () ->
-      (try Sys.remove (job_dir t id / error_file) with Sys_error _ -> ());
-      Result.map
-        (fun j ->
-          let j = { j with j_attempts = 0 } in
-          write_file_atomic (job_dir t id / job_file) (job_string j);
-          j)
-        (load_job t id)
-  end
+let revive ?(force = false) t id =
+  let dead = dead_dir t id and quarantined = quarantine_dir t id in
+  let from =
+    if Sys.file_exists dead then Ok dead
+    else if Sys.file_exists quarantined then
+      if force then Ok quarantined
+      else
+        Error
+          (Bgr_error.make ~phase:"serve" Bgr_error.Validate
+             "job %s is quarantined (it repeatedly killed its worker); revive it with force \
+              to retry anyway"
+             id)
+    else
+      Error
+        (Bgr_error.make ~phase:"serve" Bgr_error.Validate
+           "job %s is not in the dead-letter or quarantine dir" id)
+  in
+  Result.bind from (fun src ->
+      match Sys.rename src (job_dir t id) with
+      | exception Sys_error msg ->
+        Error (Bgr_error.make ~file:src ~phase:"serve" Bgr_error.Io_error "%s" msg)
+      | () ->
+        (try Sys.remove (job_dir t id / error_file) with Sys_error _ -> ());
+        Result.map
+          (fun j ->
+            let j = { j with j_attempts = 0; j_kills = 0; j_last_kill = "" } in
+            write_file_atomic (job_dir t id / job_file) (job_string j);
+            j)
+          (load_job t id))
 
 let scan t =
   t.t_scan_warnings <- [];

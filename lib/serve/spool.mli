@@ -8,6 +8,8 @@
     ROOT/jobs/<id>/RESULT       one JSON line, written atomically on success
     ROOT/dead/<id>/...          the whole directory, journal intact, after
                                 the job is retired; plus an ERROR json
+    ROOT/quarantine/<id>/...    same shape as dead/, for jobs that
+                                repeatedly killed their worker process
     v}
 
     A job is {e accepted} once [JOB] and [design.bgr] are on disk
@@ -21,6 +23,8 @@ type job = {
   j_timing_driven : bool;
   j_deadline_ms : int option;
   j_attempts : int;  (** attempts already started (across daemon restarts) *)
+  j_kills : int;  (** worker processes killed on this job (hang/OOM/signal) *)
+  j_last_kill : string;  (** latest kill reason, [""] when none *)
 }
 
 val job_file : string
@@ -31,8 +35,9 @@ val error_file : string
 type t
 
 val open_root : string -> t
-(** Create [ROOT], [ROOT/jobs] and [ROOT/dead] as needed.  Structured
-    [Io_error] when a directory cannot be created. *)
+(** Create [ROOT], [ROOT/jobs], [ROOT/dead] and [ROOT/quarantine] as
+    needed.  Structured [Io_error] when a directory cannot be
+    created. *)
 
 val root : t -> string
 
@@ -41,12 +46,14 @@ val job_dir : t -> string -> string
 
 val dead_dir : t -> string -> string
 
+val quarantine_dir : t -> string -> string
+
 val fresh_id : t -> string
-(** The next free generated id ["job-NNNNNN"], scanning both [jobs/]
-    and [dead/] so ids never collide across restarts. *)
+(** The next free generated id ["job-NNNNNN"], scanning [jobs/],
+    [dead/] and [quarantine/] so ids never collide across restarts. *)
 
 val exists : t -> string -> bool
-(** The id names a spooled (live or dead) job. *)
+(** The id names a spooled (live, dead or quarantined) job. *)
 
 val accept : t -> job -> design_text:string -> unit
 (** Durably record an accepted job: create its directory, write
@@ -56,13 +63,25 @@ val accept : t -> job -> design_text:string -> unit
     acknowledged. *)
 
 val load_job : t -> string -> (job, Bgr_error.t) result
-(** Reads the live job's manifest, falling back to the dead-letter
-    copy, so attempt counts stay visible after retirement. *)
+(** Reads the live job's manifest, falling back to the dead-letter and
+    quarantine copies, so attempt counts stay visible after
+    retirement. *)
+
+val read_manifest : string -> (job, Bgr_error.t) result
+(** Read [dir/JOB] directly — how a worker subprocess, handed only a
+    spool job directory, recovers the job it must run. *)
 
 val record_attempt : t -> job -> job
 (** Bump the attempt counter and rewrite [JOB] {e before} the attempt
     runs, so a crash mid-attempt still counts it — a job that crashes
     the daemon cannot crash-loop forever. *)
+
+val record_kill : t -> job -> reason:string -> job
+(** Bump the kill counter and record the reason (["hang"],
+    ["hard-deadline"], ["oom"], ["signal-N"]...) in [JOB], durably,
+    before the job is re-queued — a job that keeps killing its worker
+    accumulates evidence toward {!quarantine} across daemon
+    restarts. *)
 
 val mark_done : t -> string -> json:string -> unit
 (** Write [RESULT] atomically. *)
@@ -72,18 +91,28 @@ val retire : t -> string -> json:string -> unit
     the whole directory (journal and snapshot intact, for post-mortem
     resume) under [dead/]. *)
 
+val quarantine : t -> string -> json:string -> unit
+(** Like {!retire}, but into [quarantine/]: the verdict for a job that
+    repeatedly killed its worker process.  Unlike dead-lettered jobs,
+    the startup {!scan} never re-queues a quarantined job and
+    {!revive} refuses it without [~force] — a poison job must not eat
+    workers forever on the operator's behalf. *)
+
 type state =
   | Pending of job  (** accepted, no RESULT yet *)
   | Done of string  (** RESULT json *)
   | Dead of string  (** ERROR json, directory under dead/ *)
+  | Quarantined of string  (** ERROR json, directory under quarantine/ *)
 
 val state_of : t -> string -> state option
 (** Disk-level state of a job id; [None] when unknown. *)
 
-val revive : t -> string -> (job, Bgr_error.t) result
-(** Move a dead-lettered job back under [jobs/] with its attempt
-    counter reset — the manual [resume] path after the operator fixed
-    whatever killed it. *)
+val revive : ?force:bool -> t -> string -> (job, Bgr_error.t) result
+(** Move a dead-lettered job back under [jobs/] with its attempt and
+    kill counters reset — the manual [resume] path after the operator
+    fixed whatever killed it.  A {e quarantined} job additionally
+    requires [~force:true] (default false); without it the call
+    returns a [Validate] error naming the quarantine. *)
 
 val scan : t -> job list
 (** Every accepted-but-unfinished job (no [RESULT]), oldest id first —

@@ -14,6 +14,8 @@ type request =
   | Analyze of { job : string }
   | Status of { job : string option }
   | Shutdown
+  | Cancel of { job : string }
+  | Revive of { wait : bool; force : bool; job : string }
 
 type reply =
   | Accepted of { job : string }
@@ -66,6 +68,8 @@ let op_resume = 0x02
 let op_analyze = 0x03
 let op_status = 0x04
 let op_shutdown = 0x05
+let op_cancel = 0x06
+let op_revive = 0x07
 
 let op_accepted = 0x81
 let op_result = 0x82
@@ -75,6 +79,7 @@ let op_info = 0x85
 
 let flag_wait = 0x01
 let flag_unconstrained = 0x02
+let flag_force = 0x04
 
 let encode_request r =
   let b = Buffer.create 256 in
@@ -98,7 +103,15 @@ let encode_request r =
   | Status { job } ->
     Buffer.add_char b (Char.chr op_status);
     lpstr b (Option.value job ~default:"")
-  | Shutdown -> Buffer.add_char b (Char.chr op_shutdown));
+  | Shutdown -> Buffer.add_char b (Char.chr op_shutdown)
+  | Cancel { job } ->
+    Buffer.add_char b (Char.chr op_cancel);
+    lpstr b job
+  | Revive { wait; force; job } ->
+    Buffer.add_char b (Char.chr op_revive);
+    Buffer.add_char b
+      (Char.chr ((if wait then flag_wait else 0) lor if force then flag_force else 0));
+    lpstr b job);
   frame (Buffer.contents b)
 
 let encode_reply r =
@@ -173,6 +186,18 @@ let decode_request ?file s =
           (Status { job = (if job = "" then None else Some job) })
       end
       else if op = op_shutdown then finish ?file ~what:"shutdown" s 1 Shutdown
+      else if op = op_cancel then begin
+        let job, pos = get_lpstr s 1 in
+        finish ?file ~what:"cancel" s pos (Cancel { job })
+      end
+      else if op = op_revive then begin
+        if String.length s < 2 then raise Short;
+        let flags = Char.code s.[1] in
+        let job, pos = get_lpstr s 2 in
+        finish ?file ~what:"revive" s pos
+          (Revive
+             { wait = flags land flag_wait <> 0; force = flags land flag_force <> 0; job })
+      end
       else parse_error ?file "unknown request opcode 0x%02x" op
     with
     | r -> r

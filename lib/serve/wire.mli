@@ -39,6 +39,13 @@ type request =
   | Analyze of { job : string }
   | Status of { job : string option }  (** [None] = daemon status *)
   | Shutdown
+  | Cancel of { job : string }
+      (** Kill the job's running worker (or drop it from the queue) and
+          answer its waiters with a structured [canceled] error. *)
+  | Revive of { wait : bool; force : bool; job : string }
+      (** Re-queue a dead-lettered job.  A {e quarantined} job (one
+          that repeatedly killed its worker) is refused unless [force]
+          is set. *)
 
 type reply =
   | Accepted of { job : string }

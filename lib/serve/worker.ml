@@ -1,0 +1,457 @@
+(* Process isolation for routing attempts.
+
+   The daemon side ([supervise]) forks-and-execs a fresh [bgr_serve
+   worker] subprocess per attempt and watches its report pipe; the
+   worker side ([main]) re-opens the job's spool directory, runs the
+   one attempt, and reports heartbeats, progress and the final verdict
+   over stdout in the house CRC framing.  See docs/FORMATS.md for the
+   frame spec. *)
+
+let magic = "BGRW1\n"
+
+type event =
+  | Heartbeat of { phase : string; pass : int; deletions : int }
+  | Done of { json : string }
+  | Fail of { code : string; message : string }
+
+(* --- framing (the BGRS1 discipline, worker-pipe opcodes) --------------- *)
+
+let op_heartbeat = 0xC1
+let op_done = 0xC2
+let op_fail = 0xC3
+
+let u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let lpstr b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_event ev =
+  let b = Buffer.create 64 in
+  (match ev with
+  | Heartbeat { phase; pass; deletions } ->
+    Buffer.add_char b (Char.chr op_heartbeat);
+    lpstr b phase;
+    u32 b pass;
+    u32 b deletions
+  | Done { json } ->
+    Buffer.add_char b (Char.chr op_done);
+    lpstr b json
+  | Fail { code; message } ->
+    Buffer.add_char b (Char.chr op_fail);
+    lpstr b code;
+    lpstr b message);
+  let payload = Buffer.contents b in
+  let f = Buffer.create (String.length payload + 8) in
+  u32 f (String.length payload);
+  Buffer.add_string f payload;
+  u32 f (Crc32.string payload);
+  Buffer.contents f
+
+exception Short
+exception Malformed of string
+
+let get_u32 s pos =
+  if pos + 4 > String.length s then raise Short;
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let get_lpstr s pos =
+  let n = get_u32 s pos in
+  if n > Wire.max_payload then raise (Malformed "string length exceeds the frame bound");
+  if pos + 4 + n > String.length s then raise Short;
+  (String.sub s (pos + 4) n, pos + 4 + n)
+
+let parse_error fmt =
+  Printf.ksprintf
+    (fun m -> Error (Bgr_error.make ~phase:"serve" Bgr_error.Parse "%s" m))
+    fmt
+
+let decode_event s =
+  if s = "" then parse_error "empty worker event payload"
+  else begin
+    let op = Char.code s.[0] in
+    let finish pos v =
+      if pos <> String.length s then
+        parse_error "worker event carries %d trailing bytes" (String.length s - pos)
+      else Ok v
+    in
+    match
+      if op = op_heartbeat then begin
+        let phase, pos = get_lpstr s 1 in
+        let pass = get_u32 s pos in
+        let deletions = get_u32 s (pos + 4) in
+        finish (pos + 8) (Heartbeat { phase; pass; deletions })
+      end
+      else if op = op_done then begin
+        let json, pos = get_lpstr s 1 in
+        finish pos (Done { json })
+      end
+      else if op = op_fail then begin
+        let code, pos = get_lpstr s 1 in
+        let message, pos = get_lpstr s pos in
+        finish pos (Fail { code; message })
+      end
+      else parse_error "unknown worker event opcode 0x%02x" op
+    with
+    | r -> r
+    | exception Short -> parse_error "worker event is truncated (opcode 0x%02x)" op
+    | exception Malformed m -> parse_error "%s" m
+  end
+
+(* --- job result json (shared by daemon and worker) --------------------- *)
+
+let result_json id (m : Flow.measurement) ~attempts =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str id);
+         ("ok", Qjson.Bool true);
+         (* as a string: the hash is a full 63-bit int, which a JSON
+            double would round *)
+         ("deletion_hash", Qjson.Str (string_of_int m.Flow.m_deletion_hash));
+         ("delay_ps", Qjson.num m.Flow.m_delay_ps);
+         ("area_mm2", Qjson.num m.Flow.m_area_mm2);
+         ("length_mm", Qjson.num m.Flow.m_length_mm);
+         ("violations", Qjson.int m.Flow.m_violations);
+         ("stopped_because", Qjson.Str m.Flow.m_stopped_because);
+         ("domains", Qjson.int m.Flow.m_domains);
+         ("attempts", Qjson.int attempts) ])
+
+let error_json id (e : Bgr_error.t) ~attempts =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str id);
+         ("ok", Qjson.Bool false);
+         ("code", Qjson.Str (Bgr_error.code_name e.Bgr_error.code));
+         ("error", Qjson.Str (Bgr_error.to_string e));
+         ("attempts", Qjson.int attempts) ])
+
+(* --- one routing attempt (shared by both isolation modes) -------------- *)
+
+(* A quality sink that degrades to a log line: telemetry must never
+   fail the job (same discipline as the CLI's). *)
+let quality_sink ~log path =
+  match Qlog.create ~path with
+  | exception Bgr_error.Error e ->
+    log (Printf.sprintf "warning: quality: %s" e.Bgr_error.message);
+    (None, fun () -> ())
+  | w ->
+    let dead = ref false in
+    let emit s =
+      if not !dead then
+        try ignore (Qlog.append w s)
+        with _ ->
+          dead := true;
+          Qlog.close w;
+          log "warning: quality: recording stopped"
+    in
+    (Some emit, fun () -> if not !dead then Qlog.close w)
+
+let budget_of ?default_deadline_ms (job : Spool.job) =
+  match
+    match job.Spool.j_deadline_ms with Some ms -> Some ms | None -> default_deadline_ms
+  with
+  | None -> Budget.unlimited
+  | Some ms -> Budget.make ~wall_ms:(float_of_int ms) ()
+
+(* [Persist.route] the first time, [Persist.resume] once a journal
+   exists — so a retry after a mid-route fault (or a killed worker)
+   continues the interrupted run instead of starting over. *)
+let attempt ~domains ~budget ?on_quality ~dir (job : Spool.job) =
+  try
+    if Sys.file_exists (Filename.concat dir Persist.journal_file) then
+      Result.map
+        (fun rr -> rr.Persist.rr_outcome)
+        (Persist.resume ~domains ~budget ?on_quality ~dir ())
+    else begin
+      let design_path = Filename.concat dir Persist.design_file in
+      let design_text = Lineio.read_all design_path in
+      match
+        Result.bind (Design_io.of_string_result ~file:design_path design_text)
+          Design_check.validate
+      with
+      | Error e -> Error e
+      | Ok bundle ->
+        let options = { Router.default_options with Router.domains } in
+        Ok
+          (Persist.route ~options ~timing_driven:job.Spool.j_timing_driven ~budget
+             ?on_quality ~dir ~design_text (Design_io.to_flow_input bundle))
+    end
+  with
+  | Bgr_error.Error e -> Error e
+  | Sys_error msg -> Error (Bgr_error.make ~phase:"serve" Bgr_error.Io_error "%s" msg)
+
+(* --- the worker process ------------------------------------------------ *)
+
+external set_mem_limit_stub : int -> int = "bgr_serve_set_mem_limit_mb"
+
+let set_mem_limit_mb mb = set_mem_limit_stub mb = 0
+
+let oom_exit_code = 70
+
+let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ~dir () =
+  (* The supervisor may vanish (daemon kill -9): a dead report pipe
+     must cost an EPIPE, not the worker. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  set_binary_mode_out stdout true;
+  let send ev =
+    try
+      output_string stdout (encode_event ev);
+      flush stdout
+    with Sys_error _ -> ()
+  in
+  (* Built before routing starts: assembling it after [Out_of_memory]
+     could itself fail. *)
+  let oom_frame = encode_event (Fail { code = "oom"; message = "worker ran out of memory" }) in
+  (try
+     output_string stdout magic;
+     flush stdout
+   with Sys_error _ -> ());
+  match Spool.read_manifest dir with
+  | Error e ->
+    send (Fail { code = Bgr_error.code_name e.Bgr_error.code; message = Bgr_error.to_string e });
+    exit (Bgr_error.exit_code e.Bgr_error.code)
+  | Ok job ->
+    if mem_limit_mb > 0 && not (set_mem_limit_mb mem_limit_mb) then
+      prerr_endline "bgr_serve worker: warning: could not apply the memory ceiling";
+    (* Attempt-gated fault trips: counters are per-process and every
+       attempt is a fresh process, so a plain [trip] would make [n=K]
+       fire in every worker.  Tripping the site [attempts] times and
+       keeping the last answer makes [SITE:n=K] mean "the K-th
+       attempt's worker misbehaves" and [always] mean "every one
+       does". *)
+    let gate site =
+      let fired = ref false in
+      for _ = 1 to max 1 job.Spool.j_attempts do
+        fired := Fault.trip site
+      done;
+      !fired
+    in
+    if gate "serve.worker.kill" then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    let hang = gate "serve.worker.hang" in
+    let progress = ref ("spawn", 0, 0) in
+    let beat () =
+      let phase, pass, deletions = !progress in
+      send (Heartbeat { phase; pass; deletions })
+    in
+    beat ();
+    if hang then
+      (* The injected pathology the watchdog exists for: alive, silent,
+         making no progress. *)
+      while true do
+        Unix.sleep 3600
+      done;
+    let log m = prerr_endline ("bgr_serve worker: " ^ m) in
+    let qlog_emit, qlog_finish =
+      quality_sink ~log (Filename.concat dir Qlog.default_filename)
+    in
+    let on_quality (s : Router.quality_sample) =
+      progress := (s.Router.qs_phase, s.Router.qs_pass, s.Router.qs_deletions);
+      (match qlog_emit with Some emit -> emit s | None -> ());
+      beat ()
+    in
+    let budget = budget_of ?default_deadline_ms job in
+    (match
+       Fun.protect ~finally:qlog_finish (fun () ->
+           attempt ~domains ~budget ~on_quality ~dir job)
+     with
+    | Ok o ->
+      send
+        (Done
+           { json =
+               result_json job.Spool.j_id o.Flow.o_measurement
+                 ~attempts:job.Spool.j_attempts });
+      exit 0
+    | Error e ->
+      send
+        (Fail { code = Bgr_error.code_name e.Bgr_error.code; message = Bgr_error.to_string e });
+      exit (Bgr_error.exit_code e.Bgr_error.code)
+    | exception Out_of_memory ->
+      (try
+         output_string stdout oom_frame;
+         flush stdout
+       with _ -> ());
+      exit oom_exit_code)
+
+(* --- the supervisor (daemon side) -------------------------------------- *)
+
+type kill_reason = Hang | Hard_deadline | Canceled | Signaled of int | Oom
+
+(* [waitpid] reports OCaml's internal signal numbers (negative for the
+   known ones); record the conventional POSIX number instead, so the
+   manifest says "signal-9", not "signal--7". *)
+let os_signal_number s =
+  let known =
+    [ (Sys.sighup, 1); (Sys.sigint, 2); (Sys.sigquit, 3); (Sys.sigill, 4);
+      (Sys.sigabrt, 6); (Sys.sigbus, 7); (Sys.sigfpe, 8); (Sys.sigkill, 9);
+      (Sys.sigsegv, 11); (Sys.sigpipe, 13); (Sys.sigalrm, 14); (Sys.sigterm, 15);
+      (Sys.sigxcpu, 24); (Sys.sigxfsz, 25) ]
+  in
+  match List.assoc_opt s known with Some n -> n | None -> abs s
+
+let kill_reason_string = function
+  | Hang -> "hang"
+  | Hard_deadline -> "hard-deadline"
+  | Canceled -> "canceled"
+  | Signaled s -> Printf.sprintf "signal-%d" (os_signal_number s)
+  | Oom -> "oom"
+
+type failure =
+  | Failed of { code : string; message : string }
+  | Killed of { reason : kill_reason; detail : string }
+  | Spawn_error of string
+
+type progress = { p_phase : string; p_pass : int; p_deletions : int }
+
+let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
+    ?(poll_ms = 50.) ?(canceled = fun () -> false)
+    ?(on_progress = fun (_ : progress) -> ()) ?(on_spawn = fun (_ : int) -> ()) ~log
+    ~argv () =
+  match Fault.check ~phase:"serve" "serve.worker.spawn" with
+  | exception Bgr_error.Error e -> Error (Spawn_error e.Bgr_error.message)
+  | () -> (
+    let spawn () =
+      let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let r, w = Unix.pipe ~cloexec:false () in
+      match Unix.create_process argv.(0) argv dev_null w Unix.stderr with
+      | exception e ->
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          [ dev_null; r; w ];
+        Error (Printexc.to_string e)
+      | pid ->
+        (try Unix.close dev_null with Unix.Unix_error _ -> ());
+        (try Unix.close w with Unix.Unix_error _ -> ());
+        Ok (pid, r)
+    in
+    match spawn () with
+    | Error msg -> Error (Spawn_error msg)
+    | Ok (pid, r) ->
+      on_spawn pid;
+      let started = Obs.now_s () in
+      let last_beat = ref started in
+      let rbuf = ref "" in
+      let greeted = ref false in
+      let result = ref None in
+      let killed = ref None in
+      let eof = ref false in
+      let kill why =
+        if !killed = None then begin
+          killed := Some why;
+          (match why with
+          | `Reason (reason, detail) ->
+            log
+              (Printf.sprintf "worker %d killed (%s): %s" pid (kill_reason_string reason)
+                 detail)
+          | `Protocol msg -> log (Printf.sprintf "worker %d killed (protocol): %s" pid msg));
+          try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+        end
+      in
+      let consume_frames () =
+        if not !greeted then begin
+          let ml = String.length magic in
+          if String.length !rbuf >= ml then begin
+            if String.sub !rbuf 0 ml = magic then begin
+              greeted := true;
+              rbuf := String.sub !rbuf ml (String.length !rbuf - ml)
+            end
+            else kill (`Protocol "bad worker-pipe magic")
+          end
+        end;
+        if !greeted then begin
+          let continue = ref true in
+          while !continue do
+            match Wire.extract_frame !rbuf ~pos:0 with
+            | Wire.Need _ -> continue := false
+            | Wire.Bad e ->
+              kill (`Protocol e.Bgr_error.message);
+              continue := false
+            | Wire.Frame (payload, used) -> (
+              rbuf := String.sub !rbuf used (String.length !rbuf - used);
+              match decode_event payload with
+              | Error e ->
+                kill (`Protocol e.Bgr_error.message);
+                continue := false
+              | Ok ev ->
+                last_beat := Obs.now_s ();
+                (match ev with
+                | Heartbeat { phase; pass; deletions } ->
+                  on_progress { p_phase = phase; p_pass = pass; p_deletions = deletions }
+                | Done { json } -> result := Some (Ok json)
+                | Fail { code; message } -> result := Some (Error (code, message))))
+          done
+        end
+      in
+      while (not !eof) && !result = None && !killed = None do
+        (match Unix.select [ r ] [] [] (poll_ms /. 1000.) with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          let buf = Bytes.create 65536 in
+          match Unix.read r buf 0 (Bytes.length buf) with
+          | 0 -> eof := true
+          | n ->
+            rbuf := !rbuf ^ Bytes.sub_string buf 0 n;
+            consume_frames ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        if (not !eof) && !result = None && !killed = None then begin
+          let now = Obs.now_s () in
+          if canceled () then kill (`Reason (Canceled, "cancel requested"))
+          else if (now -. !last_beat) *. 1000. > heartbeat_timeout_ms then
+            kill
+              (`Reason
+                (Hang, Printf.sprintf "no heartbeat for %.0f ms" ((now -. !last_beat) *. 1000.)))
+          else if (now -. started) *. 1000. > hard_deadline_ms then
+            kill
+              (`Reason
+                ( Hard_deadline,
+                  Printf.sprintf "still running after the hard %.0f ms wall deadline"
+                    hard_deadline_ms ))
+        end
+      done;
+      (* A final frame or a kill ends supervision without waiting for
+         EOF: a child that lingers past its last frame — or leaves an
+         orphaned grandchild holding the pipe's write end open — must
+         not wedge the executor until the pipe drains.  The SIGKILL is
+         a no-op when the child already exited (it is not yet reaped,
+         so the pid cannot have been reused). *)
+      if not !eof then (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      let status =
+        let rec wait () =
+          match Unix.waitpid [] pid with
+          | _, status -> status
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        in
+        wait ()
+      in
+      (match (!killed, !result, status) with
+      | Some (`Protocol msg), _, _ ->
+        Error (Failed { code = "internal"; message = "worker pipe protocol violation: " ^ msg })
+      | Some (`Reason (reason, detail)), _, _ -> Error (Killed { reason; detail })
+      | None, Some (Ok json), _ -> Ok json
+      | None, Some (Error (code, message)), _ ->
+        if code = "oom" then Error (Killed { reason = Oom; detail = message })
+        else Error (Failed { code; message })
+      | None, None, Unix.WSIGNALED s ->
+        Error
+          (Killed
+             { reason = Signaled s;
+               detail = Printf.sprintf "worker killed by signal %d" (os_signal_number s) })
+      | None, None, Unix.WEXITED n when n = oom_exit_code ->
+        Error (Killed { reason = Oom; detail = "worker exited with the OOM code" })
+      | None, None, Unix.WEXITED n ->
+        Error
+          (Failed
+             { code = "internal";
+               message = Printf.sprintf "worker exited with code %d without a result" n })
+      | None, None, Unix.WSTOPPED s ->
+        Error
+          (Failed
+             { code = "internal";
+               message = Printf.sprintf "worker stopped by signal %d unexpectedly" s })))

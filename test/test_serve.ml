@@ -6,6 +6,11 @@ let check = Alcotest.check
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 (* --- scratch dirs ------------------------------------------------------ *)
 
 let dir_counter = ref 0
@@ -77,7 +82,10 @@ let test_wire_roundtrip () =
       Wire.Analyze { job = "a.b-c_d" };
       Wire.Status { job = None };
       Wire.Status { job = Some "x" };
-      Wire.Shutdown ];
+      Wire.Shutdown;
+      Wire.Cancel { job = "job-000009" };
+      Wire.Revive { wait = true; force = false; job = "doomed" };
+      Wire.Revive { wait = false; force = true; job = "poison" } ];
   List.iter roundtrip_reply
     [ Wire.Accepted { job = "job-000001" };
       Wire.Result { job = "j"; ok = true; json = "{\"ok\":true}" };
@@ -136,6 +144,147 @@ let test_extract_frame () =
   | Wire.Bad e -> checkb "oversized is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
   | _ -> Alcotest.fail "oversized length accepted"
 
+(* QCheck: encode/decode is the identity over generated messages (the
+   generators emit only normalized values — no [Some ""] name, no
+   [Some 0] deadline — because decoding normalizes those). *)
+
+let gen_small_string = QCheck.Gen.(string_size ~gen:printable (int_range 0 24))
+
+let gen_id =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'z'; 'A'; '0'; '9'; '_'; '-'; '.' ]) (int_range 1 12))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [ (fun st ->
+          let wait = bool st and timing_driven = bool st in
+          let deadline_ms = (oneof [ return None; map Option.some (int_range 1 1_000_000) ]) st in
+          let name = (oneof [ return None; map Option.some gen_id ]) st in
+          let design = gen_small_string st in
+          Wire.Route { wait; timing_driven; deadline_ms; name; design });
+        (fun st -> Wire.Resume { wait = bool st; job = gen_id st });
+        (fun st -> Wire.Analyze { job = gen_id st });
+        (fun st ->
+          Wire.Status { job = (oneof [ return None; map Option.some gen_id ]) st });
+        return Wire.Shutdown;
+        (fun st -> Wire.Cancel { job = gen_id st });
+        (fun st -> Wire.Revive { wait = bool st; force = bool st; job = gen_id st }) ])
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [ (fun st -> Wire.Accepted { job = gen_id st });
+        (fun st -> Wire.Result { job = gen_id st; ok = bool st; json = gen_small_string st });
+        (fun st -> Wire.Rerror { code = gen_id st; message = gen_small_string st });
+        (fun st ->
+          Wire.Overloaded
+            { reason = gen_small_string st;
+              depth = int_range 0 0xFFFFFF st;
+              cap = int_range 0 0xFFFFFF st });
+        (fun st -> Wire.Info { json = gen_small_string st }) ])
+
+let gen_event =
+  QCheck.Gen.(
+    oneof
+      [ (fun st ->
+          Worker.Heartbeat
+            { phase = gen_small_string st;
+              pass = int_range 0 0xFFFFFF st;
+              deletions = int_range 0 0xFFFFFF st });
+        (fun st -> Worker.Done { json = gen_small_string st });
+        (fun st -> Worker.Fail { code = gen_id st; message = gen_small_string st }) ])
+
+let frame_roundtrip_ok encode extract_decode v =
+  let f = encode v in
+  match Wire.extract_frame f ~pos:0 with
+  | Wire.Frame (payload, used) -> used = String.length f && extract_decode payload = Ok v
+  | _ -> false
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode round trip" ~count:500
+    (QCheck.make gen_request)
+    (frame_roundtrip_ok Wire.encode_request (fun p ->
+         Result.map_error (fun _ -> ()) (Wire.decode_request p)))
+
+let prop_reply_roundtrip =
+  QCheck.Test.make ~name:"reply encode/decode round trip" ~count:500 (QCheck.make gen_reply)
+    (frame_roundtrip_ok Wire.encode_reply (fun p ->
+         Result.map_error (fun _ -> ()) (Wire.decode_reply p)))
+
+let prop_event_roundtrip =
+  QCheck.Test.make ~name:"worker event encode/decode round trip" ~count:500
+    (QCheck.make gen_event)
+    (frame_roundtrip_ok Worker.encode_event (fun p ->
+         Result.map_error (fun _ -> ()) (Worker.decode_event p)))
+
+(* worker pipe frames: fixed cases plus defensive decoding *)
+
+let test_worker_event_cases () =
+  List.iter
+    (fun ev ->
+      let f = Worker.encode_event ev in
+      match Wire.extract_frame f ~pos:0 with
+      | Wire.Frame (payload, used) ->
+        checki "whole frame" (String.length f) used;
+        (match Worker.decode_event payload with
+        | Ok ev' -> checkb "event round trip" true (ev = ev')
+        | Error e -> Alcotest.failf "decode: %s" e.Bgr_error.message)
+      | _ -> Alcotest.fail "frame extraction")
+    [ Worker.Heartbeat { phase = ""; pass = 0; deletions = 0 };
+      Worker.Heartbeat { phase = "reroute"; pass = 12; deletions = 123456 };
+      Worker.Done { json = "{}" };
+      Worker.Done { json = String.make 4096 'x' };
+      Worker.Fail { code = "oom"; message = "worker ran out of memory" };
+      Worker.Fail { code = ""; message = "" } ];
+  (match Worker.decode_event "" with
+  | Error e -> checkb "empty event is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "empty event accepted");
+  (match Worker.decode_event "\x7f" with
+  | Error e -> checkb "unknown event opcode is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "unknown event opcode accepted");
+  match Worker.decode_event "\xc2\x00\x00\x00" with
+  | Error e -> checkb "truncated event is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "truncated event accepted"
+
+(* frame length cap: exactly-at-cap accepted, one past rejected *)
+
+let be32 v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (v land 0xFF));
+  Bytes.to_string b
+
+let test_frame_cap_edges () =
+  (* a header declaring exactly the cap asks for more bytes... *)
+  (match Wire.extract_frame (be32 Wire.max_payload) ~pos:0 with
+  | Wire.Need n -> checki "needs payload + crc" (Wire.max_payload + 4) n
+  | _ -> Alcotest.fail "at-cap header rejected");
+  (* ...and the complete at-cap frame decodes *)
+  let payload = String.make Wire.max_payload 'a' in
+  let frame = be32 Wire.max_payload ^ payload ^ be32 (Crc32.string payload) in
+  (match Wire.extract_frame frame ~pos:0 with
+  | Wire.Frame (p, used) ->
+    checki "used the whole frame" (String.length frame) used;
+    checki "payload intact" Wire.max_payload (String.length p)
+  | _ -> Alcotest.fail "at-cap frame rejected");
+  (* one byte past the cap is refused from the header alone *)
+  (match Wire.extract_frame (be32 (Wire.max_payload + 1)) ~pos:0 with
+  | Wire.Bad e -> checkb "over-cap is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | _ -> Alcotest.fail "over-cap header accepted");
+  (* the zero-length payload is a frame, not a protocol error... *)
+  match Wire.extract_frame (be32 0 ^ be32 (Crc32.string "")) ~pos:0 with
+  | Wire.Frame (p, used) ->
+    checki "empty frame used" 8 used;
+    checki "empty payload" 0 (String.length p);
+    (* ...and the decoder refuses the empty body downstream *)
+    (match Wire.decode_request p with
+    | Error e -> checkb "empty body is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+    | Ok _ -> Alcotest.fail "empty request body accepted")
+  | _ -> Alcotest.fail "empty frame rejected"
+
 let test_job_ids () =
   List.iter
     (fun id -> checkb id true (Wire.valid_job_id id))
@@ -190,7 +339,49 @@ let test_retry_non_retryable () =
   checkb "fault is retryable" true (Retry.retryable Bgr_error.Fault);
   checkb "io is retryable" true (Retry.retryable Bgr_error.Io_error);
   Alcotest.check (Alcotest.float 0.0) "backoff formula" 2000.0
-    (Retry.backoff_ms ~base_ms:250.0 ~attempt:4)
+    (Retry.backoff_ms ~base_ms:250.0 ~attempt:4 ())
+
+let test_retry_cap_and_jitter () =
+  Alcotest.check (Alcotest.float 0.0) "cap bounds the doubling" 500.0
+    (Retry.backoff_ms ~max_ms:500.0 ~base_ms:250.0 ~attempt:4 ());
+  Alcotest.check (Alcotest.float 0.0) "cap leaves small backoffs alone" 250.0
+    (Retry.backoff_ms ~max_ms:30_000.0 ~base_ms:250.0 ~attempt:1 ());
+  let j = Retry.backoff_ms ~jitter_seed:42 ~base_ms:100.0 ~attempt:1 () in
+  Alcotest.check (Alcotest.float 0.0) "jitter is deterministic" j
+    (Retry.backoff_ms ~jitter_seed:42 ~base_ms:100.0 ~attempt:1 ());
+  checkb "jitter within [base, 1.25*base)" true (j >= 100.0 && j < 125.0);
+  Alcotest.check (Alcotest.float 0.0) "cap applies after jitter" 100.0
+    (Retry.backoff_ms ~max_ms:100.0 ~jitter_seed:42 ~base_ms:100.0 ~attempt:1 ());
+  let js =
+    List.init 16 (fun s -> Retry.backoff_ms ~jitter_seed:s ~base_ms:100.0 ~attempt:1 ())
+  in
+  checkb "distinct seeds decorrelate" true (List.length (List.sort_uniq compare js) > 1)
+
+let test_retry_giveup () =
+  let fail ~attempt:_ = Error (Bgr_error.make Bgr_error.Fault "injected") in
+  (* giveup lands during the backoff sleep: no further attempt *)
+  let checks = ref 0 in
+  let giveup () =
+    incr checks;
+    !checks >= 2
+  in
+  let o = Retry.run ~max_attempts:3 ~sleep_ms:ignore ~giveup fail in
+  checki "stopped after the first backoff" 1 o.Retry.attempts;
+  checkb "flagged as given up" true o.Retry.gave_up;
+  checkb "still failed" true (Result.is_error o.Retry.result);
+  (* giveup already pending before any retry *)
+  let o = Retry.run ~max_attempts:3 ~sleep_ms:ignore ~giveup:(fun () -> true) fail in
+  checki "one attempt" 1 o.Retry.attempts;
+  checkb "gave up without sleeping" true o.Retry.gave_up;
+  (* a success never reports gave_up, even with giveup pending *)
+  let o = Retry.run ~max_attempts:3 ~sleep_ms:ignore ~giveup:(fun () -> true) (fun ~attempt -> Ok attempt) in
+  checkb "success is success" true (o.Retry.result = Ok 1 && not o.Retry.gave_up);
+  (* the default sleep is interruptible: giveup bounds a 60 s backoff *)
+  let t0 = Unix.gettimeofday () in
+  let giveup () = Unix.gettimeofday () -. t0 > 0.15 in
+  let o = Retry.run ~max_attempts:2 ~base_ms:60_000.0 ~giveup fail in
+  checkb "interrupted the 60 s backoff" true (Unix.gettimeofday () -. t0 < 10.0);
+  checkb "gave up" true o.Retry.gave_up
 
 (* --- spool ------------------------------------------------------------- *)
 
@@ -199,7 +390,8 @@ let test_spool_lifecycle () =
   let sp = Spool.open_root root in
   check Alcotest.string "first id" "job-000001" (Spool.fresh_id sp);
   let job =
-    { Spool.j_id = "job-000001"; j_timing_driven = true; j_deadline_ms = Some 900; j_attempts = 0 }
+    { Spool.j_id = "job-000001"; j_timing_driven = true; j_deadline_ms = Some 900;
+      j_attempts = 0; j_kills = 0; j_last_kill = "" }
   in
   Spool.accept sp job ~design_text:"rows 1\n";
   checkb "exists" true (Spool.exists sp "job-000001");
@@ -243,20 +435,95 @@ let test_spool_lifecycle () =
   checki "corrupt manifest skipped" 0 (List.length (Spool.scan sp));
   checki "with a warning" 1 (List.length (Spool.scan_warnings sp))
 
+let test_spool_kills_and_quarantine () =
+  let root = Filename.concat (fresh_dir ()) "spool" in
+  let sp = Spool.open_root root in
+  let job =
+    { Spool.j_id = "victim"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 1;
+      j_kills = 0; j_last_kill = "" }
+  in
+  Spool.accept sp job ~design_text:"rows 1\n";
+  let job = Spool.record_kill sp job ~reason:"hang" in
+  checki "kill counted" 1 job.Spool.j_kills;
+  check Alcotest.string "reason kept" "hang" job.Spool.j_last_kill;
+  (match Spool.load_job sp "victim" with
+  | Ok j -> checkb "kill persisted" true (j.Spool.j_kills = 1 && j.Spool.j_last_kill = "hang")
+  | Error e -> Alcotest.failf "load: %s" e.Bgr_error.message);
+  let job = Spool.record_kill sp job ~reason:"signal-9" in
+  checki "kills accumulate" 2 job.Spool.j_kills;
+  Spool.quarantine sp "victim" ~json:"{\"code\":\"quarantined\"}";
+  (match Spool.state_of sp "victim" with
+  | Some (Spool.Quarantined json) ->
+    check Alcotest.string "error json" "{\"code\":\"quarantined\"}" json
+  | _ -> Alcotest.fail "not quarantined");
+  checkb "id still taken" true (Spool.exists sp "victim");
+  checki "the startup scan never requeues it" 0 (List.length (Spool.scan sp));
+  (match Spool.load_job sp "victim" with
+  | Ok j -> checkb "manifest readable from quarantine/" true (j.Spool.j_kills = 2)
+  | Error e -> Alcotest.failf "load from quarantine: %s" e.Bgr_error.message);
+  (match Spool.revive sp "victim" with
+  | Error e ->
+    checkb "unforced revive is Validate" true (e.Bgr_error.code = Bgr_error.Validate);
+    checkb "and names the quarantine" true (contains e.Bgr_error.message "quarantine")
+  | Ok _ -> Alcotest.fail "unforced revive of a quarantined job accepted");
+  (match Spool.revive ~force:true sp "victim" with
+  | Ok j ->
+    checkb "forced revive resets all counters" true
+      (j.Spool.j_attempts = 0 && j.Spool.j_kills = 0 && j.Spool.j_last_kill = "")
+  | Error e -> Alcotest.failf "forced revive: %s" e.Bgr_error.message);
+  match Spool.state_of sp "victim" with
+  | Some (Spool.Pending _) -> ()
+  | _ -> Alcotest.fail "revived job not pending"
+
+let test_spool_manifest_compat () =
+  (* a manifest from before the kill counters existed still parses... *)
+  let dir = fresh_dir () in
+  let oc = open_out (Filename.concat dir "JOB") in
+  output_string oc "bgr-job 1\nid old\ntiming_driven true\ndeadline_ms 0\nattempts 1\n";
+  close_out oc;
+  (match Spool.read_manifest dir with
+  | Ok j ->
+    checki "attempts read" 1 j.Spool.j_attempts;
+    checki "kills default to zero" 0 j.Spool.j_kills;
+    check Alcotest.string "no last kill" "" j.Spool.j_last_kill
+  | Error e -> Alcotest.failf "old manifest rejected: %s" e.Bgr_error.message);
+  (* ...and a job that was never killed writes that identical old shape
+     back, so a downgraded daemon can still read the spool *)
+  let sp = Spool.open_root (Filename.concat dir "spool") in
+  Spool.accept sp
+    { Spool.j_id = "clean"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 0;
+      j_kills = 0; j_last_kill = "" }
+    ~design_text:"rows 1\n";
+  let text =
+    let ic = open_in (Filename.concat (Spool.job_dir sp "clean") Spool.job_file) in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  checkb "clean manifest has no kill lines" false (contains text "kills")
+
 (* --- in-process servers ------------------------------------------------ *)
 
 type server = { cfg : Serve.config; domain : (Serve.stats, exn) result Domain.t }
 
-let start_server ?(cap = 8) ?(max_attempts = 2) ?(backoff_ms = 30.0) root =
+let start_server ?(cap = 8) ?(max_attempts = 2) ?(backoff_ms = 30.0) ?isolation
+    ?heartbeat_timeout_ms ?(quarantine_kills = 3) ?(log = ignore) root =
+  let base =
+    Serve.default_config
+      ~socket_path:(Filename.concat root "s.sock")
+      ~spool_root:(Filename.concat root "spool")
+  in
   let cfg =
-    { (Serve.default_config
-         ~socket_path:(Filename.concat root "s.sock")
-         ~spool_root:(Filename.concat root "spool"))
-      with
+    { base with
       Serve.queue_cap = cap;
       max_attempts;
       backoff_base_ms = backoff_ms;
-      job_domains = 1 }
+      job_domains = 1;
+      isolation = Option.value isolation ~default:base.Serve.isolation;
+      heartbeat_timeout_ms =
+        Option.value heartbeat_timeout_ms ~default:base.Serve.heartbeat_timeout_ms;
+      quarantine_kills;
+      log }
   in
   let domain =
     Domain.spawn (fun () -> match Serve.run cfg with s -> Ok s | exception e -> Error e)
@@ -295,6 +562,28 @@ let submit_mini ?name ?(wait = false) () =
       deadline_ms = None;
       name;
       design = Lazy.force mini_text }
+
+(* --- worker isolation plumbing ----------------------------------------- *)
+
+let serve_exe =
+  lazy
+    (let candidates =
+       [ "../bin/bgr_serve.exe"; "_build/default/bin/bgr_serve.exe"; "bin/bgr_serve.exe" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some p -> if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+     | None -> Alcotest.fail "bgr_serve.exe not found (build bin/ first)")
+
+let workers_isolation () = Serve.Workers [| Lazy.force serve_exe; "worker" |]
+
+(* Chaos plans reach worker subprocesses through the environment (each
+   is a fresh process that loads BGR_FAULT_PLAN on first use).  The
+   test process pins its own env-plan load first — [Fault.active]
+   forces it — so only the workers see the plan. *)
+let with_worker_fault_plan plan f =
+  ignore (Fault.active ());
+  Unix.putenv "BGR_FAULT_PLAN" plan;
+  Fun.protect ~finally:(fun () -> Unix.putenv "BGR_FAULT_PLAN" "") f
 
 let json_field json name =
   match Qjson.parse json with
@@ -459,7 +748,8 @@ let test_supervisor_requeue () =
   (* an accepted job from a previous life: spooled, never run *)
   let sp = Spool.open_root (Filename.concat root "spool") in
   Spool.accept sp
-    { Spool.j_id = "leftover"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 0 }
+    { Spool.j_id = "leftover"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 0;
+      j_kills = 0; j_last_kill = "" }
     ~design_text:(Lazy.force mini_text);
   let srv = start_server root in
   let c = client srv in
@@ -500,8 +790,8 @@ let test_drain_keeps_queued_jobs () =
     (match rq cb (submit_mini ~name:"c" ()) with
     | Wire.Accepted _ -> ()
     | _ -> Alcotest.fail "C not accepted");
-    (* drain: A (running) finishes; B and C stay spooled; B's waiter
-       is told so *)
+    (* drain: A is mid-backoff, so the drain interrupts the sleep and
+       A stays spooled alongside B and C; both waiters are told so *)
     let cs = client srv in
     (match rq cs Wire.Shutdown with
     | Wire.Info _ -> ()
@@ -512,8 +802,8 @@ let test_drain_keeps_queued_jobs () =
     | _ -> Alcotest.fail "late submission accepted during drain");
     Serve_client.close cs;
     (match Serve_client.next_reply ~timeout_s:120.0 c with
-    | Ok (Wire.Result { ok; _ }) -> checkb "A completed during drain" true ok
-    | _ -> Alcotest.fail "A lost");
+    | Ok (Wire.Rerror { code; _ }) -> check Alcotest.string "A's waiter told" "draining" code
+    | _ -> Alcotest.fail "A's waiter not notified");
     (match Serve_client.next_reply ~timeout_s:30.0 cb with
     | Ok (Wire.Rerror { code; _ }) -> check Alcotest.string "B's waiter told" "draining" code
     | _ -> Alcotest.fail "B's waiter not notified");
@@ -523,11 +813,11 @@ let test_drain_keeps_queued_jobs () =
     | Ok stats -> stats
     | Error e -> Alcotest.failf "server died: %s" (Printexc.to_string e)
   in
-  checki "only A completed" 1 stats.Serve.s_completed;
+  checki "nothing completed during drain" 0 stats.Serve.s_completed;
   checki "nothing dead-lettered" 0 stats.Serve.s_failed;
-  (* B and C survive on disk for the next daemon, which finishes them *)
+  (* all three survive on disk for the next daemon, which finishes them *)
   let sp = Spool.open_root (Filename.concat root "spool") in
-  checki "two jobs still spooled" 2 (List.length (Spool.scan sp));
+  checki "three jobs still spooled" 3 (List.length (Spool.scan sp));
   let srv = start_server root in
   let c = client srv in
   (match rq c (Wire.Resume { wait = true; job = "b" }) with
@@ -539,7 +829,372 @@ let test_drain_keeps_queued_jobs () =
   | _ -> Alcotest.fail "B unknown in life 2");
   Serve_client.close c;
   let stats = stop_server srv in
-  checki "life 2 requeued both" 2 stats.Serve.s_requeued
+  checki "life 2 requeued all three" 3 stats.Serve.s_requeued
+
+(* --- the worker supervisor, against scripted fake workers -------------- *)
+
+let write_feed dir name events =
+  let path = Filename.concat dir name in
+  let oc = open_out_bin path in
+  output_string oc Worker.magic;
+  List.iter (fun e -> output_string oc (Worker.encode_event e)) events;
+  close_out oc;
+  Filename.quote path
+
+let sh script = [| "/bin/sh"; "-c"; script |]
+
+let test_supervise_well_behaved () =
+  let dir = fresh_dir () in
+  let feed =
+    write_feed dir "ok"
+      [ Worker.Heartbeat { phase = "route"; pass = 1; deletions = 7 };
+        Worker.Done { json = "{\"ok\":true}" } ]
+  in
+  let beats = ref [] in
+  (match
+     Worker.supervise ~log:ignore
+       ~on_progress:(fun p -> beats := p :: !beats)
+       ~argv:(sh ("cat " ^ feed)) ()
+   with
+  | Ok json -> check Alcotest.string "done json" "{\"ok\":true}" json
+  | Error _ -> Alcotest.fail "well-behaved worker misclassified");
+  (match !beats with
+  | [ p ] ->
+    check Alcotest.string "phase" "route" p.Worker.p_phase;
+    checki "pass" 1 p.Worker.p_pass;
+    checki "deletions" 7 p.Worker.p_deletions
+  | l -> Alcotest.failf "saw %d heartbeats" (List.length l));
+  (* structured failure passes through verbatim *)
+  let feed = write_feed dir "fail" [ Worker.Fail { code = "unroutable"; message = "no tracks" } ] in
+  match Worker.supervise ~log:ignore ~argv:(sh ("cat " ^ feed)) () with
+  | Error (Worker.Failed { code; message }) ->
+    check Alcotest.string "code" "unroutable" code;
+    check Alcotest.string "message" "no tracks" message
+  | _ -> Alcotest.fail "structured failure misclassified"
+
+let test_supervise_kills_and_exits () =
+  let dir = fresh_dir () in
+  let greeting = write_feed dir "greet" [] in
+  (* exit without a result *)
+  (match Worker.supervise ~log:ignore ~argv:(sh ("cat " ^ greeting ^ "; exit 3")) () with
+  | Error (Worker.Failed { code; message }) ->
+    check Alcotest.string "internal" "internal" code;
+    checkb "names the exit code" true (contains message "code 3")
+  | _ -> Alcotest.fail "silent exit misclassified");
+  (* the OOM exit code classifies as an OOM kill even with no frame *)
+  (match
+     Worker.supervise ~log:ignore
+       ~argv:(sh (Printf.sprintf "cat %s; exit %d" greeting Worker.oom_exit_code))
+       ()
+   with
+  | Error (Worker.Killed { reason = Worker.Oom; _ }) -> ()
+  | _ -> Alcotest.fail "oom exit misclassified");
+  (* ...as does a reported oom frame *)
+  let oom = write_feed dir "oom" [ Worker.Fail { code = "oom"; message = "out of memory" } ] in
+  (match Worker.supervise ~log:ignore ~argv:(sh ("cat " ^ oom)) () with
+  | Error (Worker.Killed { reason = Worker.Oom; _ }) -> ()
+  | _ -> Alcotest.fail "oom frame misclassified");
+  (* death by external signal *)
+  (match Worker.supervise ~log:ignore ~argv:(sh ("cat " ^ greeting ^ "; kill -KILL $$")) () with
+  | Error (Worker.Killed { reason = Worker.Signaled s; _ }) ->
+    check Alcotest.string "posix signal number" "signal-9"
+      (Worker.kill_reason_string (Worker.Signaled s))
+  | _ -> Alcotest.fail "signal death misclassified");
+  (* heartbeat silence: the watchdog kills within its timeout *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Worker.supervise ~heartbeat_timeout_ms:300.0 ~log:ignore
+       ~argv:(sh ("cat " ^ greeting ^ "; sleep 60")) ()
+   with
+  | Error (Worker.Killed { reason = Worker.Hang; _ }) ->
+    checkb "killed promptly, not after 60 s" true (Unix.gettimeofday () -. t0 < 30.0)
+  | _ -> Alcotest.fail "hang misclassified");
+  (* hard wall deadline, heartbeats notwithstanding *)
+  (match
+     Worker.supervise ~heartbeat_timeout_ms:600_000.0 ~hard_deadline_ms:300.0 ~log:ignore
+       ~argv:(sh ("cat " ^ greeting ^ "; sleep 60")) ()
+   with
+  | Error (Worker.Killed { reason = Worker.Hard_deadline; _ }) -> ()
+  | _ -> Alcotest.fail "hard deadline misclassified");
+  (* cancel request *)
+  (match
+     Worker.supervise ~canceled:(fun () -> true) ~log:ignore
+       ~argv:(sh ("cat " ^ greeting ^ "; sleep 60")) ()
+   with
+  | Error (Worker.Killed { reason = Worker.Canceled; _ }) -> ()
+  | _ -> Alcotest.fail "cancel misclassified");
+  (* protocol garbage: killed, surfaced as an internal failure *)
+  (match Worker.supervise ~log:ignore ~argv:(sh "printf 'GARBAGE!'; sleep 60") () with
+  | Error (Worker.Failed { code; message }) ->
+    check Alcotest.string "internal" "internal" code;
+    checkb "says protocol" true (contains message "protocol")
+  | _ -> Alcotest.fail "protocol garbage misclassified");
+  (* a spawn fault surfaces as Spawn_error, not an exception *)
+  Fault.with_plan (plan_of "serve.worker.spawn:always") @@ fun () ->
+  match Worker.supervise ~log:ignore ~argv:(sh "true") () with
+  | Error (Worker.Spawn_error _) -> ()
+  | _ -> Alcotest.fail "spawn fault misclassified"
+
+(* --- worker isolation, end to end -------------------------------------- *)
+
+let test_worker_isolation_e2e () =
+  let root = fresh_dir () in
+  let srv = start_server ~isolation:(workers_isolation ()) root in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"w" ~wait:true ()) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "routed in a worker" true ok;
+      checki "worker hash = in-process hash" (Lazy.force mini_hash) (hash_of_json json);
+      (match Option.bind (json_field json "attempts") Qjson.to_int with
+      | Some a -> checki "one attempt" 1 a
+      | None -> Alcotest.fail "no attempts field")
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "not accepted");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "no kills" 0 stats.Serve.s_killed;
+  checki "completed" 1 stats.Serve.s_completed
+
+let test_worker_hang_watchdog () =
+  let root = fresh_dir () in
+  with_worker_fault_plan "serve.worker.hang:n=1" @@ fun () ->
+  let srv =
+    start_server ~isolation:(workers_isolation ()) ~heartbeat_timeout_ms:1000.0 root
+  in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"hangs" ~wait:true ()) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "routed after the watchdog kill" true ok;
+      checki "kill + resume left the hash alone" (Lazy.force mini_hash) (hash_of_json json);
+      (match Option.bind (json_field json "attempts") Qjson.to_int with
+      | Some a -> checki "the second attempt won" 2 a
+      | None -> Alcotest.fail "no attempts field")
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "not accepted");
+  (* the kill is on the job's record *)
+  (match rq c (Wire.Status { job = Some "hangs" }) with
+  | Wire.Info { json } ->
+    (match Option.bind (json_field json "kills") Qjson.to_int with
+    | Some k -> checki "one kill recorded" 1 k
+    | None -> Alcotest.fail "no kills field");
+    (match Option.bind (json_field json "last_kill") Qjson.to_str with
+    | Some r -> check Alcotest.string "reason" "hang" r
+    | None -> Alcotest.fail "no last_kill field")
+  | _ -> Alcotest.fail "status");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "one worker killed" 1 stats.Serve.s_killed;
+  checki "one retry" 1 stats.Serve.s_retried;
+  checki "completed anyway" 1 stats.Serve.s_completed
+
+let test_worker_external_kill () =
+  let root = fresh_dir () in
+  with_worker_fault_plan "serve.worker.hang:n=1" @@ fun () ->
+  (* the worker hangs (600 s watchdog): we kill -9 it from outside,
+     like the OOM killer or an operator would *)
+  let pid_box = ref None in
+  let pid_mutex = Mutex.create () in
+  let prefix = "job ext: worker pid " in
+  let log line =
+    if String.length line > String.length prefix
+       && String.sub line 0 (String.length prefix) = prefix
+    then begin
+      let pid =
+        int_of_string
+          (String.sub line (String.length prefix) (String.length line - String.length prefix))
+      in
+      Mutex.lock pid_mutex;
+      if !pid_box = None then pid_box := Some pid;
+      Mutex.unlock pid_mutex
+    end
+  in
+  let srv =
+    start_server ~isolation:(workers_isolation ()) ~heartbeat_timeout_ms:600_000.0 ~log root
+  in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"ext" ~wait:true ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "not accepted");
+  let rec get_pid n =
+    if n = 0 then Alcotest.fail "no worker pid logged";
+    Mutex.lock pid_mutex;
+    let p = !pid_box in
+    Mutex.unlock pid_mutex;
+    match p with
+    | Some pid -> pid
+    | None ->
+      Unix.sleepf 0.05;
+      get_pid (n - 1)
+  in
+  Unix.kill (get_pid 400) Sys.sigkill;
+  (match Serve_client.next_reply ~timeout_s:120.0 c with
+  | Ok (Wire.Result { ok; json; _ }) ->
+    checkb "survived the murder" true ok;
+    checki "hash intact" (Lazy.force mini_hash) (hash_of_json json);
+    (match Option.bind (json_field json "attempts") Qjson.to_int with
+    | Some a -> checki "second attempt" 2 a
+    | None -> Alcotest.fail "no attempts field")
+  | _ -> Alcotest.fail "no result");
+  (match rq c (Wire.Status { job = Some "ext" }) with
+  | Wire.Info { json } -> (
+    match Option.bind (json_field json "last_kill") Qjson.to_str with
+    | Some r -> check Alcotest.string "kill reason" "signal-9" r
+    | None -> Alcotest.fail "no last_kill field")
+  | _ -> Alcotest.fail "status");
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "one kill" 1 stats.Serve.s_killed;
+  checki "completed" 1 stats.Serve.s_completed
+
+let test_worker_quarantine () =
+  let root = fresh_dir () in
+  let stats =
+    with_worker_fault_plan "serve.worker.kill:always" @@ fun () ->
+    let srv =
+      start_server ~isolation:(workers_isolation ()) ~max_attempts:5 ~quarantine_kills:2 root
+    in
+    let c = client srv in
+    (match rq c (submit_mini ~name:"poison" ~wait:true ()) with
+    | Wire.Accepted _ -> (
+      match Serve_client.next_reply ~timeout_s:120.0 c with
+      | Ok (Wire.Rerror { code; _ }) ->
+        check Alcotest.string "waiter told quarantined" "quarantined" code
+      | _ -> Alcotest.fail "no quarantine notice")
+    | _ -> Alcotest.fail "not accepted");
+    (match rq c (Wire.Status { job = Some "poison" }) with
+    | Wire.Info { json } -> (
+      match Option.bind (json_field json "state") Qjson.to_str with
+      | Some s -> check Alcotest.string "state" "quarantined" s
+      | None -> Alcotest.fail "no state")
+    | _ -> Alcotest.fail "status");
+    (* resume refuses; an unforced revive refuses *)
+    (match rq c (Wire.Resume { wait = false; job = "poison" }) with
+    | Wire.Rerror { code; message } ->
+      check Alcotest.string "resume refused" "validate" code;
+      checkb "points at revive" true (contains message "revive")
+    | _ -> Alcotest.fail "resume of a quarantined job accepted");
+    (match rq c (Wire.Revive { wait = false; force = false; job = "poison" }) with
+    | Wire.Rerror { code; _ } -> check Alcotest.string "unforced revive refused" "validate" code
+    | _ -> Alcotest.fail "unforced revive accepted");
+    Serve_client.close c;
+    stop_server srv
+  in
+  checki "quarantined" 1 stats.Serve.s_quarantined;
+  checki "two worker kills" 2 stats.Serve.s_killed;
+  checki "not counted as dead-lettered" 0 stats.Serve.s_failed;
+  (* life 2, chaos gone: the quarantined job is NOT auto-requeued, and
+     a forced revive completes it with the reference hash *)
+  let srv = start_server ~isolation:(workers_isolation ()) root in
+  let c = client srv in
+  (match rq c (Wire.Revive { wait = true; force = true; job = "poison" }) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "revived and routed" true ok;
+      checki "hash" (Lazy.force mini_hash) (hash_of_json json)
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "forced revive refused");
+  Serve_client.close c;
+  let stats2 = stop_server srv in
+  checki "quarantine excluded from the supervisor requeue" 0 stats2.Serve.s_requeued;
+  checki "completed on forced revive" 1 stats2.Serve.s_completed
+
+(* --- cancellation ------------------------------------------------------ *)
+
+let test_cancel_running_worker () =
+  let root = fresh_dir () in
+  with_worker_fault_plan "serve.worker.hang:always" @@ fun () ->
+  let srv =
+    start_server ~isolation:(workers_isolation ()) ~heartbeat_timeout_ms:600_000.0 root
+  in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"stuck" ~wait:true ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "not accepted");
+  let c2 = client srv in
+  let rec wait_running n =
+    if n = 0 then Alcotest.fail "job never started running";
+    match rq c2 (Wire.Status { job = Some "stuck" }) with
+    | Wire.Info { json }
+      when Option.bind (json_field json "state") Qjson.to_str = Some "running" ->
+      ()
+    | _ ->
+      Unix.sleepf 0.05;
+      wait_running (n - 1)
+  in
+  wait_running 400;
+  (match rq c2 (Wire.Cancel { job = "stuck" }) with
+  | Wire.Info { json } ->
+    checkb "cancel acknowledged" true (json_field json "cancel_requested" = Some (Qjson.Bool true))
+  | _ -> Alcotest.fail "cancel refused");
+  (match Serve_client.next_reply ~timeout_s:60.0 c with
+  | Ok (Wire.Rerror { code; _ }) -> check Alcotest.string "waiter told canceled" "canceled" code
+  | _ -> Alcotest.fail "waiter not told");
+  (* the canceled job is retired with a structured canceled json *)
+  (match rq c2 (Wire.Status { job = Some "stuck" }) with
+  | Wire.Info { json } -> (
+    match Option.bind (json_field json "state") Qjson.to_str with
+    | Some s -> check Alcotest.string "retired" "dead" s
+    | None -> Alcotest.fail "no state")
+  | _ -> Alcotest.fail "status after cancel");
+  (match rq c2 (Wire.Cancel { job = "nope" }) with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "unknown job" "validate" code
+  | _ -> Alcotest.fail "cancel of unknown job accepted");
+  Serve_client.close c;
+  Serve_client.close c2;
+  let stats = stop_server srv in
+  checki "one canceled" 1 stats.Serve.s_canceled;
+  checki "not a failure" 0 stats.Serve.s_failed
+
+let test_cancel_queued_job () =
+  let root = fresh_dir () in
+  Fault.with_plan (plan_of "serve.job:n=1") @@ fun () ->
+  (* A's first attempt faults; during its 2 s backoff B sits queued *)
+  let srv = start_server ~cap:8 ~backoff_ms:2000.0 root in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"a" ~wait:true ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "A not accepted");
+  (* B's waiter sits on its own connection: the cancel ack and the
+     waiter's notice are separate replies, possibly interleaved when
+     they share a socket *)
+  let cw = client srv in
+  (match rq cw (submit_mini ~name:"b" ~wait:true ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "B not accepted");
+  let cb = client srv in
+  (match rq cb (Wire.Cancel { job = "b" }) with
+  | Wire.Info { json } ->
+    checkb "B canceled from the queue" true (json_field json "canceled" = Some (Qjson.Bool true))
+  | Wire.Rerror { message; _ } -> Alcotest.failf "cancel refused: %s" message
+  | _ -> Alcotest.fail "cancel reply");
+  (match Serve_client.next_reply ~timeout_s:30.0 cw with
+  | Ok (Wire.Rerror { code; _ }) -> check Alcotest.string "B's waiter told" "canceled" code
+  | _ -> Alcotest.fail "B's waiter not told");
+  Serve_client.close cw;
+  (* the running in-process job cannot be canceled — only workers can *)
+  (match rq cb (Wire.Cancel { job = "a" }) with
+  | Wire.Rerror { code; message } ->
+    check Alcotest.string "in-process cancel refused" "validate" code;
+    checkb "blames the isolation mode" true (contains message "isolation")
+  | _ -> Alcotest.fail "running in-process cancel accepted");
+  (match Serve_client.next_reply ~timeout_s:120.0 c with
+  | Ok (Wire.Result { ok; _ }) -> checkb "A completed" true ok
+  | _ -> Alcotest.fail "A lost");
+  (* canceling a completed job is refused *)
+  (match rq cb (Wire.Cancel { job = "a" }) with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "done cancel refused" "validate" code
+  | _ -> Alcotest.fail "cancel of a done job accepted");
+  Serve_client.close c;
+  Serve_client.close cb;
+  let stats = stop_server srv in
+  checki "one canceled" 1 stats.Serve.s_canceled;
+  checki "B was not dead-lettered" 0 stats.Serve.s_failed;
+  checki "A completed" 1 stats.Serve.s_completed
 
 (* --- protocol robustness: the malformed-request corpus ----------------- *)
 
@@ -576,7 +1231,7 @@ let raw_reply fd =
 
 let test_malformed_corpus () =
   let files = Sys.readdir corpus_dir |> Array.to_list |> List.sort compare in
-  checkb "corpus present" true (List.length files >= 4);
+  checkb "corpus present" true (List.length files >= 6);
   let root = fresh_dir () in
   let srv = start_server root in
   List.iter
@@ -597,10 +1252,12 @@ let test_malformed_corpus () =
       | Some (Ok _) -> Alcotest.failf "%s: daemon accepted garbage" file
       | Some (Error e) -> Alcotest.failf "%s: unparseable reply: %s" file e.Bgr_error.message
       | None ->
-        (* a truncated frame draws no reply: the daemon just waits;
+        (* an incomplete frame draws no reply: the daemon just waits
+           (truncated_frame is short a few bytes; at_cap_length
+           declares a legal 16 MiB payload that never arrives);
            dropping the connection must not hurt it either *)
         checkb (file ^ " tolerated silently") true
-          (Filename.check_suffix file "truncated_frame.bin"));
+          (List.mem file [ "truncated_frame.bin"; "at_cap_length.bin" ]));
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (* the daemon survived: a fresh client still gets status *)
       let c = client srv in
@@ -654,19 +1311,40 @@ let () =
         [ Alcotest.test_case "round trips" `Quick test_wire_roundtrip;
           Alcotest.test_case "malformed payloads" `Quick test_wire_malformed;
           Alcotest.test_case "incremental frames" `Quick test_extract_frame;
+          Alcotest.test_case "frame cap edges" `Quick test_frame_cap_edges;
+          Alcotest.test_case "worker event frames" `Quick test_worker_event_cases;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_reply_roundtrip;
+          QCheck_alcotest.to_alcotest prop_event_roundtrip;
           Alcotest.test_case "job ids" `Quick test_job_ids ] );
       ( "retry",
         [ Alcotest.test_case "deterministic schedule" `Quick test_retry_schedule;
           Alcotest.test_case "success and default cap" `Quick test_retry_success_and_default;
           Alcotest.test_case "non-retryable goes straight through" `Quick
-            test_retry_non_retryable ] );
-      ("spool", [ Alcotest.test_case "lifecycle" `Quick test_spool_lifecycle ]);
+            test_retry_non_retryable;
+          Alcotest.test_case "backoff cap and jitter" `Quick test_retry_cap_and_jitter;
+          Alcotest.test_case "giveup interrupts" `Quick test_retry_giveup ] );
+      ( "spool",
+        [ Alcotest.test_case "lifecycle" `Quick test_spool_lifecycle;
+          Alcotest.test_case "kills + quarantine" `Quick test_spool_kills_and_quarantine;
+          Alcotest.test_case "manifest compatibility" `Quick test_spool_manifest_compat ] );
+      ( "worker",
+        [ Alcotest.test_case "supervises a well-behaved worker" `Quick
+            test_supervise_well_behaved;
+          Alcotest.test_case "classifies kills and exits" `Slow test_supervise_kills_and_exits ] );
       ( "daemon",
         [ Alcotest.test_case "end to end" `Slow test_end_to_end;
           Alcotest.test_case "overload + retry" `Slow test_overload_and_retry;
           Alcotest.test_case "dead-letter + revive" `Slow test_dead_letter_and_revive;
           Alcotest.test_case "supervisor requeue" `Slow test_supervisor_requeue;
           Alcotest.test_case "drain keeps queued jobs" `Slow test_drain_keeps_queued_jobs ] );
+      ( "isolation",
+        [ Alcotest.test_case "worker end to end" `Slow test_worker_isolation_e2e;
+          Alcotest.test_case "hang watchdog + resume" `Slow test_worker_hang_watchdog;
+          Alcotest.test_case "external kill -9 + resume" `Slow test_worker_external_kill;
+          Alcotest.test_case "crash loop quarantine" `Slow test_worker_quarantine;
+          Alcotest.test_case "cancel a running worker" `Slow test_cancel_running_worker;
+          Alcotest.test_case "cancel a queued job" `Slow test_cancel_queued_job ] );
       ( "protocol",
         [ Alcotest.test_case "malformed corpus" `Slow test_malformed_corpus;
           Alcotest.test_case "accept fault" `Quick test_accept_fault ] ) ]
