@@ -4,6 +4,7 @@
      serve_load [--clients K] [--jobs-per-client M] [--cap N] [--bench-out PATH]
                 [--worker-exe BGR_SERVE] [--hang-n K] [--kill-n K]
                 [--heartbeat-timeout-ms MS] [--quarantine-kills N]
+                [--scrape-ms MS]
 
    K client domains each submit M routing jobs (the MINI design,
    wait-mode) over their own connection.  Admission sheds are counted
@@ -19,7 +20,13 @@
    is the bgr_serve binary); --hang-n / --kill-n then install a
    BGR_FAULT_PLAN chaos mix where each job's K-th attempt hangs its
    worker / SIGKILLs it, so the drive exercises the watchdog and
-   crash-resume machinery under concurrency. *)
+   crash-resume machinery under concurrency.
+
+   --scrape-ms adds a scraping client: its own connection polling the
+   stats opcode (alternating json and Prometheus text) every MS
+   milliseconds for the whole drive, asserting mid-run freshness — the
+   exposition must be well-formed and its job counters must advance
+   while jobs are still completing, i.e. without any drain. *)
 
 let arg_int name default =
   let v = ref default in
@@ -77,6 +84,7 @@ let () =
   let kill_n = arg_int "--kill-n" 0 in
   let heartbeat_timeout_ms = arg_int "--heartbeat-timeout-ms" 10_000 in
   let quarantine_kills = arg_int "--quarantine-kills" 3 in
+  let scrape_ms = arg_int "--scrape-ms" 0 in
   (* The plan is read from the environment once per process, so it must
      be in place before any worker subprocess starts.  Worker fault
      sites never trip in this process, so loading it here is inert. *)
@@ -125,6 +133,66 @@ let () =
     |> Fun.flip Option.bind int_of_string_opt
   in
   let t0 = Unix.gettimeofday () in
+  (* The scraping client: proof the stats plane answers mid-run.  It
+     keeps polling on its own connection until the drive ends, so every
+     sample lands while the daemon is busy, not after the drain. *)
+  let scrape_stop = Atomic.make false in
+  let scraper () =
+    if scrape_ms <= 0 then (0, 0, [])
+    else
+      match Serve_client.connect socket_path with
+      | Error e -> (0, 0, [ Printf.sprintf "scraper: %s" e.Bgr_error.message ])
+      | Ok c ->
+        let scrapes = ref 0 and fresh = ref 0 and fails = ref [] in
+        let jobs_total body =
+          (* sum of serve_jobs_total series in the Prometheus text *)
+          List.fold_left
+            (fun acc line ->
+              if String.length line > 16 && String.sub line 0 16 = "serve_jobs_total" then
+                match String.rindex_opt line ' ' with
+                | None -> acc
+                | Some i -> (
+                  match
+                    float_of_string_opt
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                  with
+                  | Some v -> acc +. v
+                  | None -> acc)
+              else acc)
+            0.0
+            (String.split_on_char '\n' body)
+        in
+        let last_total = ref (-1.0) in
+        while not (Atomic.get scrape_stop) do
+          let prom = !scrapes mod 2 = 1 in
+          (match Serve_client.request ~timeout_s:30.0 c (Wire.Stats { prom }) with
+          | Ok (Wire.Rstats { body; prom = p }) ->
+            incr scrapes;
+            if p <> prom || body = "" then
+              fails := Printf.sprintf "scraper: bad rstats (prom %b)" prom :: !fails
+            else if prom then begin
+              if not (String.length body > 0 && body.[0] = '#') then
+                fails := "scraper: prom exposition lacks # comments" :: !fails;
+              let total = jobs_total body in
+              if total > !last_total then begin
+                incr fresh;
+                last_total := total
+              end
+            end
+            else (
+              match Qjson.parse body with
+              | Ok _ -> ()
+              | Error m -> fails := Printf.sprintf "scraper: json scrape: %s" m :: !fails)
+          | Ok _ -> fails := "scraper: unexpected reply to stats" :: !fails
+          | Error e ->
+            fails := Printf.sprintf "scraper: %s" e.Bgr_error.message :: !fails;
+            Atomic.set scrape_stop true);
+          Unix.sleepf (float_of_int scrape_ms /. 1000.0)
+        done;
+        Serve_client.close c;
+        (!scrapes, !fresh, !fails)
+  in
+  let scraper_domain = Domain.spawn scraper in
   let client k () =
     match Serve_client.connect socket_path with
     | Error e -> { latencies = []; shed = 0; failures = [ e.Bgr_error.message ] }
@@ -137,7 +205,7 @@ let () =
           match
             Serve_client.request ~timeout_s:300.0 c
               (Wire.Route
-                 { wait = true; timing_driven = true; deadline_ms = None;
+                 { wait = true; progress = false; timing_driven = true; deadline_ms = None;
                    name = Some name; design })
           with
           | Ok (Wire.Overloaded _) ->
@@ -167,6 +235,10 @@ let () =
     Array.init clients (fun k -> Domain.spawn (client k)) |> Array.map Domain.join
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  (* Stop the scraper before the drain: every counted sample was
+     answered by a busy daemon. *)
+  Atomic.set scrape_stop true;
+  let scrapes, fresh_scrapes, scrape_fails = Domain.join scraper_domain in
   (* drain the daemon *)
   (match Serve_client.connect socket_path with
   | Ok c ->
@@ -197,6 +269,14 @@ let () =
     stats.Serve.s_accepted stats.Serve.s_completed stats.Serve.s_failed
     stats.Serve.s_retried stats.Serve.s_rejected stats.Serve.s_killed
     stats.Serve.s_quarantined;
+  if scrape_ms > 0 then begin
+    Printf.printf "SERVE_LOAD_SCRAPES total=%d fresh=%d\n" scrapes fresh_scrapes;
+    if scrapes = 0 then Printf.printf "FAILURE: scraper took no samples\n";
+    if fresh_scrapes < 2 then
+      Printf.printf "FAILURE: stats plane never advanced mid-run (fresh=%d)\n" fresh_scrapes;
+    if scrapes = 0 || fresh_scrapes < 2 then exit 1
+  end;
+  let failures = failures @ scrape_fails in
   List.iter (fun f -> Printf.printf "FAILURE: %s\n" f) failures;
   if failures <> [] then exit 1;
   if completed <> clients * jobs_per_client then begin

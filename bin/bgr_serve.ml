@@ -8,6 +8,8 @@
      bgr_serve cancel --socket S JOB             cancel a queued or running job
      bgr_serve revive --socket S [--force] JOB   re-queue a dead or quarantined job
      bgr_serve status --socket S [JOB]           daemon or job status
+     bgr_serve watch --socket S JOB              live progress tail of JOB
+     bgr_serve stats --socket S [--prom]         live metrics snapshot
      bgr_serve analyze --socket S JOB            quality summary of JOB
      bgr_serve shutdown --socket S               ask the daemon to drain *)
 
@@ -75,6 +77,18 @@ let handle_common_reply = function
     exit exit_overloaded
   | reply -> reply
 
+(* Read replies until the final Result, echoing any progress frames
+   (one json line each) as they arrive. *)
+let rec await_result c =
+  match Serve_client.next_reply c with
+  | Error e -> fail_error e
+  | Ok (Wire.Progress { json; _ }) ->
+    print_endline json;
+    flush stdout;
+    await_result c
+  | Ok (Wire.Result { json; _ }) -> print_result_json json
+  | Ok reply -> ignore (handle_common_reply reply)
+
 (* --- daemon ------------------------------------------------------------ *)
 
 let daemon_cmd =
@@ -120,7 +134,26 @@ let daemon_cmd =
       value
       & opt (some string) None
       & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"Write the Prometheus metrics exposition there when the daemon drains.")
+          ~doc:
+            "Rewrite the Prometheus metrics exposition there atomically: at startup, on \
+             SIGUSR1, every $(b,--metrics-interval-s), and when the daemon drains.")
+  in
+  let metrics_interval_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "metrics-interval-s" ] ~docv:"S"
+          ~doc:
+            "Also rewrite the $(b,--metrics) file every S seconds, so kill -9 loses at most \
+             one interval of counters (0 = only startup/SIGUSR1/drain writes).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.json"
+          ~doc:
+            "Record the daemon's spans as a Chrome trace_event file and stitch each worker's \
+             spans and metrics back in (one Perfetto timeline across processes).")
   in
   let backoff_max_arg =
     Arg.(
@@ -163,9 +196,11 @@ let daemon_cmd =
              job only runs again via $(b,revive --force).")
   in
   let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No operational log lines.") in
-  let run socket spool cap attempts backoff backoff_max domains deadline metrics in_process
-      heartbeat grace mem_limit quarantine quiet =
+  let run socket spool cap attempts backoff backoff_max domains deadline metrics
+      metrics_interval trace in_process heartbeat grace mem_limit quarantine quiet =
     Obs.enable ();
+    Obs.Trace.set_pid (Unix.getpid ());
+    Option.iter Obs.Trace.to_chrome_file trace;
     let log line = if not quiet then Printf.eprintf "[bgr_serve] %s\n%!" line in
     let isolation =
       if in_process then Serve.In_process
@@ -185,19 +220,16 @@ let daemon_cmd =
         hard_deadline_grace_ms = grace;
         mem_limit_mb = mem_limit;
         quarantine_kills = quarantine;
+        stitch_workers = (trace <> None && not in_process);
+        metrics_path = metrics;
+        metrics_interval_s = metrics_interval;
         log }
     in
     match Serve.run cfg with
     | exception Bgr_error.Error e -> fail_error e
     | stats ->
-      (match metrics with
-      | None -> ()
-      | Some path -> (
-        try
-          let oc = open_out path in
-          output_string oc (Obs.Metrics.render_prometheus ());
-          close_out oc
-        with Sys_error msg -> Printf.eprintf "warning: cannot write %s: %s\n%!" path msg));
+      Obs.Trace.close_sinks ();
+      List.iter (fun w -> log (Printf.sprintf "obs: %s" w)) (Obs.warnings ());
       Printf.printf
         "drained: requeued %d, accepted %d, completed %d, failed %d, retried %d, rejected %d, \
          protocol errors %d, canceled %d, quarantined %d, worker kills %d\n"
@@ -210,8 +242,9 @@ let daemon_cmd =
     (Cmd.info "daemon" ~doc:"Serve routing jobs until SIGTERM (or a shutdown request) drains it.")
     Term.(
       const run $ socket_arg $ spool_arg $ cap_arg $ attempts_arg $ backoff_arg
-      $ backoff_max_arg $ domains_arg $ deadline_arg $ metrics_arg $ in_process_arg
-      $ heartbeat_arg $ grace_arg $ mem_limit_arg $ quarantine_arg $ quiet_arg)
+      $ backoff_max_arg $ domains_arg $ deadline_arg $ metrics_arg $ metrics_interval_arg
+      $ trace_arg $ in_process_arg $ heartbeat_arg $ grace_arg $ mem_limit_arg
+      $ quarantine_arg $ quiet_arg)
 
 (* --- worker ------------------------------------------------------------ *)
 
@@ -241,15 +274,39 @@ let worker_cmd =
       value & opt int 0
       & info [ "mem-limit-mb" ] ~docv:"MB" ~doc:"Address-space ceiling (0 = none).")
   in
-  let run dir domains default_deadline mem_limit =
-    Worker.main ~domains ?default_deadline_ms:default_deadline ~mem_limit_mb:mem_limit ~dir ()
+  let obs_arg =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Record this attempt's spans and metrics into per-attempt files in the job \
+             directory and report an obs summary frame (the daemon's stitch handshake).")
+  in
+  let trace_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID" ~doc:"Trace id to stamp on every recorded span.")
+  in
+  let parent_span_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "parent-span" ] ~docv:"N"
+          ~doc:"Daemon span id this attempt's top-level spans hang off in the merged trace.")
+  in
+  let run dir domains default_deadline mem_limit obs trace_id parent_span =
+    Worker.main ~domains ?default_deadline_ms:default_deadline ~mem_limit_mb:mem_limit
+      ?trace_id ?parent_span ~obs ~dir ()
   in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
          "Run one isolated routing attempt on a spool job directory (spawned by the daemon; \
           reports over stdout).")
-    Term.(const run $ dir_arg $ domains_arg $ default_deadline_arg $ mem_limit_arg)
+    Term.(
+      const run $ dir_arg $ domains_arg $ default_deadline_arg $ mem_limit_arg $ obs_arg
+      $ trace_id_arg $ parent_span_arg)
 
 (* --- submit ------------------------------------------------------------ *)
 
@@ -278,25 +335,33 @@ let submit_cmd =
       & opt (some int) None
       & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Wall budget for this job's improvement phases.")
   in
-  let run socket design wait name unconstrained deadline =
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"With $(b,--wait): also print each progress frame (one json line) as it arrives.")
+  in
+  let run socket design wait name unconstrained deadline progress =
     let text =
       try Lineio.read_all design
       with Sys_error msg ->
         fail_error (Bgr_error.make ~file:design Bgr_error.Io_error "%s" msg)
     in
+    let wait = wait || progress in
     let c = connect socket in
     let req =
       Wire.Route
-        { wait; timing_driven = not unconstrained; deadline_ms = deadline; name; design = text }
+        { wait;
+          progress;
+          timing_driven = not unconstrained;
+          deadline_ms = deadline;
+          name;
+          design = text }
     in
     (match handle_common_reply (Result.fold ~ok:Fun.id ~error:fail_error (Serve_client.request c req)) with
     | Wire.Accepted { job } ->
       Printf.printf "accepted %s\n%!" job;
-      if wait then (
-        match Serve_client.next_reply c with
-        | Error e -> fail_error e
-        | Ok (Wire.Result { json; _ }) -> print_result_json json
-        | Ok reply -> ignore (handle_common_reply reply))
+      if wait then await_result c
     | Wire.Result { json; _ } -> print_result_json json
     | _ -> fail_reply "internal" "unexpected reply to submit");
     Serve_client.close c
@@ -305,30 +370,32 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"Submit a design bundle for routing.")
     Term.(
       const run $ socket_arg $ design_arg $ wait_arg $ name_arg $ unconstrained_arg
-      $ deadline_arg)
+      $ deadline_arg $ progress_arg)
 
 (* --- wait / resume ----------------------------------------------------- *)
 
 let job_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")
 
 let wait_like name ~doc =
-  let run socket job =
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Also print each progress frame (one json line) while the job runs.")
+  in
+  let run socket progress job =
     let c = connect socket in
     (match
        handle_common_reply
          (Result.fold ~ok:Fun.id ~error:fail_error
-            (Serve_client.request c (Wire.Resume { wait = true; job })))
+            (Serve_client.request c (Wire.Resume { wait = true; progress; job })))
      with
     | Wire.Result { json; _ } -> print_result_json json
-    | Wire.Accepted _ -> (
-      match Serve_client.next_reply c with
-      | Error e -> fail_error e
-      | Ok (Wire.Result { json; _ }) -> print_result_json json
-      | Ok reply -> ignore (handle_common_reply reply))
+    | Wire.Accepted _ -> await_result c
     | _ -> fail_reply "internal" "unexpected reply");
     Serve_client.close c
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ job_pos)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ progress_arg $ job_pos)
 
 let wait_cmd = wait_like "wait" ~doc:"Block until a job finishes; print its result."
 
@@ -379,11 +446,7 @@ let revive_cmd =
     | Wire.Result { json; _ } -> print_result_json json
     | Wire.Accepted { job = id } ->
       Printf.printf "accepted %s\n%!" id;
-      if wait then (
-        match Serve_client.next_reply c with
-        | Error e -> fail_error e
-        | Ok (Wire.Result { json; _ }) -> print_result_json json
-        | Ok reply -> ignore (handle_common_reply reply))
+      if wait then await_result c
     | _ -> fail_reply "internal" "unexpected reply");
     Serve_client.close c
   in
@@ -412,6 +475,55 @@ let status_cmd =
   Cmd.v
     (Cmd.info "status" ~doc:"Daemon status, or one job's state.")
     Term.(const run $ socket_arg $ job_arg)
+
+let watch_cmd =
+  let run socket job =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Watch { job })))
+     with
+    | Wire.Result { json; _ } ->
+      (* Already finished: the stored verdict is the whole story. *)
+      print_result_json json
+    | Wire.Info { json } ->
+      print_endline json;
+      flush stdout;
+      await_result c
+    | _ -> fail_reply "internal" "unexpected reply to watch");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Tail a job's live progress: one json line per worker heartbeat (phase, pass, \
+          deletions, worst margin), then the final result.")
+    Term.(const run $ socket_arg $ job_pos)
+
+let stats_cmd =
+  let prom_arg =
+    Arg.(
+      value & flag
+      & info [ "prom" ] ~doc:"Prometheus text exposition instead of the json snapshot.")
+  in
+  let run socket prom =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error
+            (Serve_client.request c (Wire.Stats { prom })))
+     with
+    | Wire.Rstats { body; _ } -> print_string body
+    | _ -> fail_reply "internal" "unexpected reply to stats");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape the daemon's live metrics registry (no drain needed): json by default, \
+          Prometheus text with $(b,--prom).")
+    Term.(const run $ socket_arg $ prom_arg)
 
 let analyze_cmd =
   let run socket job =
@@ -448,6 +560,6 @@ let main =
   let doc = "Routing-as-a-service daemon and client for the DAC'94 global router" in
   Cmd.group (Cmd.info "bgr_serve" ~doc)
     [ daemon_cmd; worker_cmd; submit_cmd; wait_cmd; resume_cmd; cancel_cmd; revive_cmd;
-      status_cmd; analyze_cmd; shutdown_cmd ]
+      status_cmd; watch_cmd; stats_cmd; analyze_cmd; shutdown_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -110,19 +110,53 @@ module Trace = struct
     sp_start_us : float;
     sp_dur_us : float;
     sp_depth : int;
+    sp_id : int;
+    sp_parent : int;
+    sp_pid : int;
     sp_attrs : (string * attr) list;
   }
 
   (* Trace epoch: fixed by the first [enable] after a reset. *)
   let epoch = ref nan
 
+  let epoch_s () = !epoch
+
   type scope = {
     sc_name : string;
     sc_start : float;  (* absolute seconds *)
+    sc_id : int;
     mutable sc_attrs : (string * attr) list;
   }
 
   let stack : scope list ref = ref []
+
+  (* Span ids are process-local ordinals; a merged multi-process
+     timeline keys spans by (pid, id).  [foreign_parent] links a
+     process's depth-0 spans under a span of another process (the
+     supervisor hands its serve.worker span id to the worker). *)
+  let span_seq = ref 0
+
+  let process_pid = ref 1
+
+  let set_pid pid = process_pid := pid
+
+  let trace_ident : string option ref = ref None
+
+  let set_trace_id tid = trace_ident := tid
+
+  let trace_id () = !trace_ident
+
+  let foreign_parent : int option ref = ref None
+
+  let set_parent_span p = foreign_parent := p
+
+  let current_span_id () =
+    match !stack with top :: _ -> Some top.sc_id | [] -> None
+
+  let parent_of_stack () =
+    match !stack with
+    | top :: _ -> top.sc_id
+    | [] -> ( match !foreign_parent with Some p -> p | None -> 0 )
 
   let retained_cap = 100_000
 
@@ -218,12 +252,14 @@ module Trace = struct
 
   let chrome_event ~ph ~extra sp =
     Printf.sprintf
-      "{\"name\":\"%s\",\"cat\":\"bgr\",\"ph\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f%s%s}"
-      (json_escape sp.sp_name) ph sp.sp_start_us extra (args_json sp.sp_attrs)
+      "{\"name\":\"%s\",\"cat\":\"bgr\",\"ph\":\"%s\",\"pid\":%d,\"tid\":1,\"ts\":%.3f%s%s}"
+      (json_escape sp.sp_name) ph sp.sp_pid sp.sp_start_us extra (args_json sp.sp_attrs)
 
   let jsonl_line sp =
-    Printf.sprintf "{\"name\":\"%s\",\"start_us\":%.3f,\"dur_us\":%.3f,\"depth\":%d%s}\n"
-      (json_escape sp.sp_name) sp.sp_start_us sp.sp_dur_us sp.sp_depth
+    Printf.sprintf
+      "{\"name\":\"%s\",\"start_us\":%.3f,\"dur_us\":%.3f,\"depth\":%d,\"id\":%d,\"parent\":%d,\"pid\":%d%s}\n"
+      (json_escape sp.sp_name) sp.sp_start_us sp.sp_dur_us sp.sp_depth sp.sp_id
+      sp.sp_parent sp.sp_pid
       (args_json sp.sp_attrs)
 
   let emit sp =
@@ -242,10 +278,21 @@ module Trace = struct
 
   let rel_us t = (t -. !epoch) *. 1e6
 
+  (* Bake the ambient trace id into the span's attributes so every
+     sink (and the retained list) carries the correlation key. *)
+  let with_trace_id attrs =
+    match !trace_ident with
+    | None -> attrs
+    | Some tid ->
+        if List.mem_assoc "trace_id" attrs then attrs
+        else attrs @ [ ("trace_id", Str tid) ]
+
   let span ?(attrs = []) name f =
     if skip_record () then f ()
     else begin
-      let sc = { sc_name = name; sc_start = now_s (); sc_attrs = attrs } in
+      let parent = parent_of_stack () in
+      incr span_seq;
+      let sc = { sc_name = name; sc_start = now_s (); sc_id = !span_seq; sc_attrs = attrs } in
       let depth = List.length !stack in
       stack := sc :: !stack;
       Fun.protect
@@ -258,21 +305,36 @@ module Trace = struct
               sp_start_us = rel_us sc.sc_start;
               sp_dur_us = (stop -. sc.sc_start) *. 1e6;
               sp_depth = depth;
-              sp_attrs = sc.sc_attrs;
+              sp_id = sc.sc_id;
+              sp_parent = parent;
+              sp_pid = !process_pid;
+              sp_attrs = with_trace_id sc.sc_attrs;
             })
         f
     end
 
   let instant ?(attrs = []) name =
-    if not (skip_record ()) then
+    if not (skip_record ()) then begin
+      let parent = parent_of_stack () in
+      incr span_seq;
       emit
         {
           sp_name = name;
           sp_start_us = rel_us (now_s ());
           sp_dur_us = 0.0;
           sp_depth = List.length !stack;
-          sp_attrs = attrs;
+          sp_id = !span_seq;
+          sp_parent = parent;
+          sp_pid = !process_pid;
+          sp_attrs = with_trace_id attrs;
         }
+    end
+
+  (* A span recorded by another process (already carrying its own id,
+     parent and pid), re-emitted into this process's retained list and
+     sinks.  Timestamps must already be re-based onto this process's
+     epoch by the caller.  No-op while disabled. *)
+  let emit_foreign sp = if !enabled_flag then emit sp
 
   let add_attr k v =
     if not (skip_record ()) then
@@ -284,6 +346,9 @@ module Trace = struct
     stack := [];
     completed_rev := [];
     completed_n := 0;
+    span_seq := 0;
+    trace_ident := None;
+    foreign_parent := None;
     epoch := nan
 end
 
@@ -585,6 +650,284 @@ module Metrics = struct
       (families ());
     Buffer.add_string b "]}";
     Buffer.contents b
+
+  (* ---- snapshot codec (`bgr-metrics 1`) ----
+
+     A line-oriented dump of the whole registry, written by a worker
+     process just before it exits and merged back into the supervising
+     daemon's registry (counters/histograms add, gauges last-write).
+     Values use %.17g so a snapshot → merge round trip is exact. *)
+
+  let snap_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | ',' -> Buffer.add_string b "\\c"
+        | '=' -> Buffer.add_string b "\\e"
+        | ' ' -> Buffer.add_string b "\\s"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let snap_unescape s =
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        if s.[i] = '\\' && i + 1 < n then begin
+          (match s.[i + 1] with
+          | '\\' -> Buffer.add_char b '\\'
+          | 'c' -> Buffer.add_char b ','
+          | 'e' -> Buffer.add_char b '='
+          | 's' -> Buffer.add_char b ' '
+          | 'n' -> Buffer.add_char b '\n'
+          | c -> Buffer.add_char b c);
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char b s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents b
+
+  let snap_float v = Printf.sprintf "%.17g" v
+
+  let snap_labelblock labels =
+    match labels with
+    | [] -> "-"
+    | labels ->
+        String.concat ","
+          (List.map (fun (k, v) -> snap_escape k ^ "=" ^ snap_escape v) labels)
+
+  let snapshot () =
+    assert_orchestrator ~what:"Metrics.snapshot";
+    locked @@ fun () ->
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "bgr-metrics 1\n";
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (Printf.sprintf "family %s %s\n" (kind_name f.f_kind) f.f_name);
+        if f.f_help <> "" then
+          Buffer.add_string b ("help " ^ snap_escape f.f_help ^ "\n");
+        if f.f_labelnames <> [] then
+          Buffer.add_string b
+            ("labels " ^ String.concat "," (List.map snap_escape f.f_labelnames) ^ "\n");
+        (match f.f_kind with
+        | Histogram bounds ->
+            Buffer.add_string b
+              ("buckets "
+              ^ String.concat "," (Array.to_list (Array.map snap_float bounds))
+              ^ "\n")
+        | Counter | Gauge -> ());
+        List.iter
+          (fun s ->
+            match f.f_kind with
+            | Counter | Gauge ->
+                Buffer.add_string b
+                  (Printf.sprintf "series %s %s\n" (snap_labelblock s.se_labels)
+                     (snap_float s.se_value))
+            | Histogram _ ->
+                Buffer.add_string b
+                  (Printf.sprintf "hseries %s %d %s %s\n" (snap_labelblock s.se_labels)
+                     s.se_count (snap_float s.se_value)
+                     (String.concat " "
+                        (Array.to_list (Array.map string_of_int s.se_buckets)))))
+          (List.rev f.f_series_rev))
+      (families ());
+    Buffer.add_string b "end\n";
+    Buffer.contents b
+
+  (* Parsed form of one family block of a snapshot. *)
+  type snap_family = {
+    sn_kind : string;
+    sn_name : string;
+    mutable sn_help : string;
+    mutable sn_labels : string list;
+    mutable sn_buckets : float array;
+    mutable sn_series_rev : ((string * string) list * float * int * int array) list;
+        (* labels, value/sum, count, buckets *)
+  }
+
+  let parse_labelblock s =
+    if s = "-" then Some []
+    else
+      let pairs = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            (* split on the first unescaped '=' *)
+            let n = String.length p in
+            let rec find i =
+              if i >= n then None
+              else if p.[i] = '\\' then find (i + 2)
+              else if p.[i] = '=' then Some i
+              else find (i + 1)
+            in
+            match find 0 with
+            | None -> None
+            | Some i ->
+                go
+                  ((snap_unescape (String.sub p 0 i),
+                    snap_unescape (String.sub p (i + 1) (n - i - 1)))
+                  :: acc)
+                  rest)
+      in
+      go [] pairs
+
+  let merge_snapshot ?(source = "worker") text =
+    assert_orchestrator ~what:"Metrics.merge_snapshot";
+    let bad fmt = Printf.ksprintf (fun m -> warn "metrics merge (%s): %s" source m) fmt in
+    let lines = String.split_on_char '\n' text in
+    match lines with
+    | first :: rest when String.trim first = "bgr-metrics 1" ->
+        let fams_rev = ref [] in
+        let cur : snap_family option ref = ref None in
+        let flush () =
+          match !cur with
+          | Some f ->
+              fams_rev := f :: !fams_rev;
+              cur := None
+          | None -> ()
+        in
+        let ok = ref true in
+        List.iter
+          (fun line ->
+            if !ok && String.trim line <> "" && String.trim line <> "end" then
+              let words = String.split_on_char ' ' line in
+              match (words, !cur) with
+              | "family" :: kind :: name :: [], _ ->
+                  flush ();
+                  cur :=
+                    Some
+                      {
+                        sn_kind = kind;
+                        sn_name = name;
+                        sn_help = "";
+                        sn_labels = [];
+                        sn_buckets = [||];
+                        sn_series_rev = [];
+                      }
+              | "help" :: _, Some f ->
+                  f.sn_help <-
+                    snap_unescape (String.sub line 5 (String.length line - 5))
+              | [ "labels"; ls ], Some f ->
+                  f.sn_labels <- List.map snap_unescape (String.split_on_char ',' ls)
+              | [ "buckets"; bs ], Some f -> (
+                  let floats =
+                    List.fold_left
+                      (fun acc x ->
+                        match (acc, float_of_string_opt x) with
+                        | Some acc, Some v -> Some (v :: acc)
+                        | _ -> None)
+                      (Some []) (String.split_on_char ',' bs)
+                  in
+                  match floats with
+                  | Some fs -> f.sn_buckets <- Array.of_list (List.rev fs)
+                  | None ->
+                      bad "unparsable bucket bounds for %s" f.sn_name;
+                      ok := false)
+              | [ "series"; lb; v ], Some f -> (
+                  match (parse_labelblock lb, float_of_string_opt v) with
+                  | Some labels, Some v ->
+                      f.sn_series_rev <- (labels, v, 0, [||]) :: f.sn_series_rev
+                  | _ ->
+                      bad "unparsable series line for %s" f.sn_name;
+                      ok := false)
+              | "hseries" :: lb :: count :: sum :: buckets, Some f -> (
+                  let bk =
+                    List.fold_left
+                      (fun acc x ->
+                        match (acc, int_of_string_opt x) with
+                        | Some acc, Some v -> Some (v :: acc)
+                        | _ -> None)
+                      (Some []) buckets
+                  in
+                  match
+                    (parse_labelblock lb, int_of_string_opt count, float_of_string_opt sum, bk)
+                  with
+                  | Some labels, Some c, Some s, Some bk ->
+                      f.sn_series_rev <-
+                        (labels, s, c, Array.of_list (List.rev bk)) :: f.sn_series_rev
+                  | _ ->
+                      bad "unparsable hseries line for %s" f.sn_name;
+                      ok := false)
+              | _ ->
+                  bad "unrecognized line %S" line;
+                  ok := false)
+          rest;
+        flush ();
+        if not !ok then 0
+        else begin
+          let merged = ref 0 in
+          List.iter
+            (fun sn ->
+              let fam =
+                try
+                  match sn.sn_kind with
+                  | "counter" ->
+                      Some (counter ~help:sn.sn_help ~labels:sn.sn_labels sn.sn_name)
+                  | "gauge" ->
+                      Some (gauge ~help:sn.sn_help ~labels:sn.sn_labels sn.sn_name)
+                  | "histogram" ->
+                      Some
+                        (histogram ~help:sn.sn_help ~labels:sn.sn_labels
+                           ~buckets:sn.sn_buckets sn.sn_name)
+                  | k ->
+                      bad "unknown family kind %S for %s" k sn.sn_name;
+                      None
+                with Bgr_error.Error e ->
+                  bad "family %s incompatible with registry: %s" sn.sn_name
+                    e.Bgr_error.message;
+                  None
+              in
+              match fam with
+              | None -> ()
+              | Some f ->
+                  List.iter
+                    (fun (labels, v, count, bk) ->
+                      let applied =
+                        locked @@ fun () ->
+                        match
+                          if List.sort compare (List.map fst labels) <> f.f_labelnames
+                          then None
+                          else Some (get_series f labels)
+                        with
+                        | None -> false
+                        | Some s -> (
+                            match f.f_kind with
+                            | Counter ->
+                                s.se_value <- s.se_value +. v;
+                                true
+                            | Gauge ->
+                                s.se_value <- v;
+                                true
+                            | Histogram _ ->
+                                if Array.length bk <> Array.length s.se_buckets then
+                                  false
+                                else begin
+                                  Array.iteri
+                                    (fun i c -> s.se_buckets.(i) <- s.se_buckets.(i) + c)
+                                    bk;
+                                  s.se_value <- s.se_value +. v;
+                                  s.se_count <- s.se_count + count;
+                                  true
+                                end)
+                      in
+                      if applied then incr merged
+                      else bad "series of %s skipped (label or bucket mismatch)" sn.sn_name)
+                    (List.rev sn.sn_series_rev))
+            (List.rev !fams_rev);
+          !merged
+        end
+    | _ ->
+        bad "missing bgr-metrics 1 header";
+        0
 end
 
 let reset () =

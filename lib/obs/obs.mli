@@ -74,6 +74,9 @@ module Trace : sig
     sp_start_us : float;  (** microseconds since the trace epoch *)
     sp_dur_us : float;  (** 0 for instant events *)
     sp_depth : int;  (** nesting depth at the time the span opened *)
+    sp_id : int;  (** process-local span ordinal, 1-based *)
+    sp_parent : int;  (** enclosing span's id, 0 for roots *)
+    sp_pid : int;  (** recording process, see {!set_pid} (default 1) *)
     sp_attrs : (string * attr) list;
   }
 
@@ -108,6 +111,44 @@ module Trace : sig
   val close_sinks : unit -> unit
   (** Flush and close both sinks (writes the closing ["]"] of the
       Chrome array).  Idempotent. *)
+
+  (** {2 Cross-process stitching}
+
+      A merged multi-process timeline keys spans by [(pid, id)].  The
+      supervising daemon hands each worker a trace id and the id of its
+      own [serve.worker] span; the worker records with its real pid and
+      links its roots under that parent, and the daemon re-emits the
+      worker's spans through {!emit_foreign}. *)
+
+  val set_pid : int -> unit
+  (** Set the pid recorded on subsequently emitted spans.  Defaults to
+      1 (deterministic for golden tests); daemons and workers set their
+      real [Unix.getpid ()] when stitching is on. *)
+
+  val set_trace_id : string option -> unit
+  (** Set (or clear) the ambient trace id.  While set, every emitted
+      span carries a [trace_id] attribute; the daemon scopes it per
+      job, the worker inherits it via argv. *)
+
+  val trace_id : unit -> string option
+
+  val set_parent_span : int option -> unit
+  (** Link subsequently opened depth-0 spans under a span of another
+      process (by that span's id).  Nested spans are unaffected. *)
+
+  val current_span_id : unit -> int option
+  (** Id of the innermost open span, if any (the supervisor captures
+      its [serve.worker] span id here to hand to the worker). *)
+
+  val epoch_s : unit -> float
+  (** Absolute wall-clock seconds of the trace epoch ([nan] before the
+      first {!Obs.enable}).  Epoch deltas re-base foreign span
+      timestamps during stitching. *)
+
+  val emit_foreign : span -> unit
+  (** Record a span captured by another process as-is: its id, parent,
+      pid and (already re-based) timestamps are preserved.  No-op while
+      disabled. *)
 end
 
 module Metrics : sig
@@ -165,4 +206,19 @@ module Metrics : sig
   val render_json : unit -> string
   (** The whole registry as one compact JSON object (single line),
       suitable for embedding in benchmark trajectory files. *)
+
+  val snapshot : unit -> string
+  (** The whole registry in the line-oriented [bgr-metrics 1] snapshot
+      format (see docs/FORMATS.md): every family with its kind, help,
+      label names and bucket bounds, then one line per live series.
+      Written by a worker just before exit; exact under
+      {!merge_snapshot} (values carry full float precision). *)
+
+  val merge_snapshot : ?source:string -> string -> int
+  (** Merge a [bgr-metrics 1] snapshot into this registry: counter
+      series and histogram buckets/sums/counts {e add}, gauges take the
+      snapshot's value, unknown families are registered on the fly.
+      Returns the number of series merged.  Never raises: malformed
+      input, kind/label/bucket mismatches degrade to {!Obs.warnings}
+      (tagged with [source]) and the offending part is skipped. *)
 end

@@ -20,6 +20,9 @@ type config = {
   hard_deadline_grace_ms : float;
   mem_limit_mb : int;
   quarantine_kills : int;
+  stitch_workers : bool;
+  metrics_path : string option;
+  metrics_interval_s : float;
   log : string -> unit;
 }
 
@@ -38,6 +41,9 @@ let default_config ~socket_path ~spool_root =
     hard_deadline_grace_ms = 30_000.0;
     mem_limit_mb = 0;
     quarantine_kills = 3;
+    stitch_workers = false;
+    metrics_path = None;
+    metrics_interval_s = 0.0;
     log = ignore }
 
 type stats = {
@@ -92,6 +98,18 @@ let m_worker_heartbeats =
 let m_cancels =
   Obs.Metrics.counter ~help:"Cancel requests received" "serve_cancel_requests_total"
 
+let m_progress_frames =
+  Obs.Metrics.counter ~help:"Progress frames fanned out to watch subscribers"
+    "serve_progress_frames_total"
+
+let m_watch_shed =
+  Obs.Metrics.counter
+    ~help:"Watch subscriptions shed because the subscriber read too slowly"
+    "serve_watch_shed_total"
+
+let m_stats_requests =
+  Obs.Metrics.counter ~help:"Live stats snapshots served" "serve_stats_requests_total"
+
 (* --- shared state between the two domains ------------------------------ *)
 
 type completion_kind = K_done | K_failed | K_canceled | K_quarantined | K_interrupted
@@ -114,10 +132,20 @@ type shared = {
   mutable retried : int;
   mutable killed : int;  (** worker kills (watchdog or external) *)
   mutable cancel : string option;  (** kill this job's worker, answer canceled *)
-  mutable progress : (string * int * int) option;
-      (** running job's latest heartbeat: phase, pass, deletions *)
+  mutable progress : Worker.progress option;
+      (** running job's latest heartbeat *)
+  mutable progress_events : (string * Worker.progress) list;
+      (** reversed; the loop fans these out to watch subscribers *)
+  mutable progress_pending : int;  (** length of [progress_events] *)
+  mutable progress_dropped : int;  (** events dropped at the bound *)
   wake_w : Unix.file_descr;
 }
+
+(* The executor (or an in-process quality hook) publishes one progress
+   event.  Bounded: the event list is transient UI fan-out, so when
+   the loop falls behind we drop rather than grow — the final result
+   is never carried this way. *)
+let progress_bound = 1024
 
 let locked sh f =
   Mutex.lock sh.mutex;
@@ -128,6 +156,17 @@ let wake sh =
   with Unix.Unix_error _ -> ()
 
 let depth_unlocked sh = Queue.length sh.queue + match sh.running with Some _ -> 1 | None -> 0
+
+let push_progress sh id (p : Worker.progress) =
+  locked sh (fun () ->
+      sh.progress <- Some p;
+      if sh.progress_pending >= progress_bound then
+        sh.progress_dropped <- sh.progress_dropped + 1
+      else begin
+        sh.progress_events <- (id, p) :: sh.progress_events;
+        sh.progress_pending <- sh.progress_pending + 1
+      end);
+  wake sh
 
 (* --- job results ------------------------------------------------------- *)
 
@@ -176,14 +215,41 @@ let supervise_attempt cfg sh prefix spool (job : Spool.job) =
   in
   Obs.Metrics.inc m_worker_spawns;
   Obs.Trace.span ~attrs:[ ("job", Obs.Trace.Str id) ] "serve.worker" @@ fun () ->
-  Worker.supervise ~heartbeat_timeout_ms:cfg.heartbeat_timeout_ms ~hard_deadline_ms
-    ~canceled:(fun () -> locked sh (fun () -> sh.cancel = Some id))
-    ~on_progress:(fun p ->
-      Obs.Metrics.inc m_worker_heartbeats;
-      locked sh (fun () ->
-          sh.progress <- Some (p.Worker.p_phase, p.Worker.p_pass, p.Worker.p_deletions)))
-    ~on_spawn:(fun pid -> cfg.log (Printf.sprintf "job %s: worker pid %d" id pid))
-    ~log:cfg.log ~argv ()
+  (* The stitch handshake is decided here, inside the serve.worker
+     span, so the worker's depth-0 spans hang off exactly this span in
+     the merged timeline. *)
+  let stitch_args =
+    if not cfg.stitch_workers then []
+    else
+      [ "--obs" ]
+      @ (match Obs.Trace.trace_id () with
+        | None -> []
+        | Some tid -> [ "--trace-id"; tid ])
+      @
+      match Obs.Trace.current_span_id () with
+      | None -> []
+      | Some n -> [ "--parent-span"; string_of_int n ]
+  in
+  let argv = Array.append argv (Array.of_list stitch_args) in
+  let obs_summary = ref None in
+  let result =
+    Worker.supervise ~heartbeat_timeout_ms:cfg.heartbeat_timeout_ms ~hard_deadline_ms
+      ~canceled:(fun () -> locked sh (fun () -> sh.cancel = Some id))
+      ~on_progress:(fun p ->
+        Obs.Metrics.inc m_worker_heartbeats;
+        push_progress sh id p)
+      ~on_obs:(fun json -> obs_summary := Some json)
+      ~on_spawn:(fun pid -> cfg.log (Printf.sprintf "job %s: worker pid %d" id pid))
+      ~log:cfg.log ~argv ()
+  in
+  (match !obs_summary with
+  | Some summary_json when cfg.stitch_workers ->
+    let r = Stitch.merge ~dir ~summary_json () in
+    cfg.log
+      (Printf.sprintf "job %s: stitched %d worker spans, %d metric series" id r.Stitch.st_spans
+         r.Stitch.st_series)
+  | _ -> ());
+  result
 
 let run_job cfg spool sh (job : Spool.job) =
   let id = job.Spool.j_id in
@@ -192,7 +258,12 @@ let run_job cfg spool sh (job : Spool.job) =
   let was_canceled = ref false in
   let quarantine = ref false in
   let giveup () = locked sh (fun () -> sh.stop || sh.cancel = Some id) in
+  (* One trace id per job: the daemon's serve.job/serve.worker spans
+     and (under stitching) the worker's own spans all carry it, so a
+     single id query in the merged trace selects the whole job. *)
+  Obs.Trace.set_trace_id (Some ("job-" ^ id));
   let outcome =
+    Fun.protect ~finally:(fun () -> Obs.Trace.set_trace_id None) @@ fun () ->
     Obs.Trace.span ~attrs:[ ("job", Obs.Trace.Str id) ] "serve.job" @@ fun () ->
     Retry.run ~max_attempts:cfg.max_attempts ~base_ms:cfg.backoff_base_ms
       ~max_ms:cfg.backoff_max_ms ~jitter_seed:(Hashtbl.hash id) ~giveup
@@ -216,12 +287,22 @@ let run_job cfg spool sh (job : Spool.job) =
             let on_quality, quality_finish =
               Worker.quality_sink ~log:cfg.log (Filename.concat dir Qlog.default_filename)
             in
+            (* In-process attempts have no heartbeat stream; quality
+               samples stand in so [watch] works under both isolations. *)
+            let on_quality s =
+              push_progress sh id
+                { Worker.p_phase = s.Router.qs_phase;
+                  p_pass = s.Router.qs_pass;
+                  p_deletions = s.Router.qs_deletions;
+                  p_worst_margin_ps = s.Router.qs_worst_margin_ps };
+              match on_quality with Some f -> f s | None -> ()
+            in
             Result.map
               (fun o ->
                 Worker.result_json id o.Flow.o_measurement
                   ~attempts:(!current).Spool.j_attempts)
               (Fun.protect ~finally:quality_finish (fun () ->
-                   Worker.attempt ~domains:cfg.job_domains ~budget ?on_quality ~dir
+                   Worker.attempt ~domains:cfg.job_domains ~budget ~on_quality ~dir
                      !current))
           | Workers prefix -> (
             match supervise_attempt cfg sh prefix spool !current with
@@ -377,6 +458,10 @@ type loop_state = {
   mutable conns : conn list;
   queued : (string, unit) Hashtbl.t;  (** ids in the queue (not yet popped) *)
   waiters : (string, conn list) Hashtbl.t;
+  watchers : (string, conn list) Hashtbl.t;
+      (** progress subscribers; a watcher is also a waiter, so it gets
+          the final [Result] through the waiter path *)
+  watch_seq : (string, int) Hashtbl.t;  (** per-job progress sequence *)
   mutable draining : bool;
   mutable accepted : int;
   mutable completed : int;
@@ -421,7 +506,73 @@ let add_waiter st conn id =
   let l = Option.value (Hashtbl.find_opt st.waiters id) ~default:[] in
   Hashtbl.replace st.waiters id (conn :: l)
 
+let add_watcher st conn id =
+  let l = Option.value (Hashtbl.find_opt st.watchers id) ~default:[] in
+  if not (List.memq conn l) then Hashtbl.replace st.watchers id (conn :: l)
+
+(* A subscriber that stops reading must not grow the daemon's write
+   buffer forever: past this bound its subscription is shed (the final
+   result, carried by the waiter path, is still owed). *)
+let watch_buffer_cap = 1 lsl 20
+
+let progress_json id seq (p : Worker.progress) =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str id);
+         ("seq", Qjson.int seq);
+         ("phase", Qjson.Str p.Worker.p_phase);
+         ("pass", Qjson.int p.Worker.p_pass);
+         ("deletions", Qjson.int p.Worker.p_deletions);
+         ("worst_margin_ps", Qjson.num p.Worker.p_worst_margin_ps) ])
+
+(* Fan queued progress events out to each job's watchers.  Events the
+   executor pushed before the completion are drained first in the same
+   loop iteration, so progress frames always precede the result frame
+   on the wire. *)
+let deliver_progress st =
+  let events, dropped =
+    locked st.sh (fun () ->
+        let evs = List.rev st.sh.progress_events in
+        let d = st.sh.progress_dropped in
+        st.sh.progress_events <- [];
+        st.sh.progress_pending <- 0;
+        st.sh.progress_dropped <- 0;
+        (evs, d))
+  in
+  if dropped > 0 then
+    st.cfg.log (Printf.sprintf "progress: %d events dropped (loop behind)" dropped);
+  List.iter
+    (fun (id, p) ->
+      let seq = 1 + Option.value (Hashtbl.find_opt st.watch_seq id) ~default:0 in
+      Hashtbl.replace st.watch_seq id seq;
+      match Hashtbl.find_opt st.watchers id with
+      | None | Some [] -> ()
+      | Some conns ->
+        let frame = Wire.Progress { job = id; seq; json = progress_json id seq p } in
+        let keep =
+          List.filter
+            (fun conn ->
+              if not (List.memq conn st.conns) then false
+              else if String.length conn.wbuf > watch_buffer_cap then begin
+                Obs.Metrics.inc m_watch_shed;
+                st.cfg.log
+                  (Printf.sprintf "watch: subscriber of %s reads too slowly; shedding" id);
+                false
+              end
+              else begin
+                Obs.Metrics.inc m_progress_frames;
+                send st conn frame;
+                true
+              end)
+            conns
+        in
+        if keep = [] then Hashtbl.remove st.watchers id
+        else Hashtbl.replace st.watchers id keep)
+    events
+
 let answer_waiters st id reply =
+  Hashtbl.remove st.watchers id;
+  Hashtbl.remove st.watch_seq id;
   match Hashtbl.find_opt st.waiters id with
   | None -> ()
   | Some conns ->
@@ -445,7 +596,9 @@ let reply_error st conn (e : Bgr_error.t) =
     (Wire.Rerror { code = Bgr_error.code_name e.Bgr_error.code; message = Bgr_error.to_string e })
 
 let status_json st =
-  let depth, running = locked st.sh (fun () -> (depth_unlocked st.sh, st.sh.running)) in
+  let depth, running, retried, killed =
+    locked st.sh (fun () -> (depth_unlocked st.sh, st.sh.running, st.sh.retried, st.sh.killed))
+  in
   Qjson.to_string
     (Qjson.Obj
        [ ("queue_depth", Qjson.int depth);
@@ -462,7 +615,11 @@ let status_json st =
          ("canceled", Qjson.int st.canceled);
          ("quarantined", Qjson.int st.quarantined);
          ("rejected", Qjson.int st.rejected);
-         ("protocol_errors", Qjson.int st.protocol_errors) ])
+         ("protocol_errors", Qjson.int st.protocol_errors);
+         ("retried", Qjson.int retried);
+         ("worker_kills", Qjson.int killed);
+         ( "obs_warnings",
+           Qjson.Arr (List.map (fun w -> Qjson.Str w) (Obs.warnings ())) ) ])
 
 let job_state_string st id =
   match Spool.state_of st.spool id with
@@ -487,7 +644,7 @@ let start_drain st reason =
 
 let validation_error fmt = Printf.ksprintf (Bgr_error.make ~phase:"serve" Bgr_error.Validate "%s") fmt
 
-let handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design =
+let handle_route st conn ~wait ~progress ~timing_driven ~deadline_ms ~name ~design =
   if st.draining then overloaded st conn ~reason:"draining"
   else if locked st.sh (fun () -> depth_unlocked st.sh) >= st.cfg.queue_cap then
     overloaded st conn ~reason:"queue full"
@@ -514,7 +671,8 @@ let handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design =
             j_deadline_ms = deadline_ms;
             j_attempts = 0;
             j_kills = 0;
-            j_last_kill = "" }
+            j_last_kill = "";
+            j_kill_history = [] }
         in
         (* Durable acceptance before the acknowledgement. *)
         (match Spool.accept st.spool job ~design_text:design with
@@ -526,10 +684,19 @@ let handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design =
           Obs.Metrics.inc ~labels:[ ("outcome", "accepted") ] m_jobs;
           enqueue st job;
           send st conn (Wire.Accepted { job = id });
-          if wait then add_waiter st conn id))
+          if wait then begin
+            add_waiter st conn id;
+            if progress then add_watcher st conn id
+          end))
   end
 
-let handle_resume st conn ~wait ~job:id =
+let handle_resume st conn ~wait ~progress ~job:id =
+  let subscribe conn id =
+    if wait then begin
+      add_waiter st conn id;
+      if progress then add_watcher st conn id
+    end
+  in
   if not (Wire.valid_job_id id) then
     reply_error st conn (validation_error "invalid job id %S" id)
   else
@@ -553,7 +720,7 @@ let handle_resume st conn ~wait ~job:id =
           st.cfg.log (Printf.sprintf "job %s: revived from the dead-letter dir" id);
           enqueue st job;
           send st conn (Wire.Accepted { job = id });
-          if wait then add_waiter st conn id)
+          subscribe conn id)
     | Some (Spool.Pending job) ->
       let live =
         locked st.sh (fun () -> st.sh.running = Some id) || Hashtbl.mem st.queued id
@@ -564,7 +731,7 @@ let handle_resume st conn ~wait ~job:id =
            in a previous daemon life. *)
         if not live then enqueue st job;
         send st conn (Wire.Accepted { job = id });
-        if wait then add_waiter st conn id
+        subscribe conn id
       end
 
 let handle_cancel st conn ~job:id =
@@ -696,10 +863,10 @@ let handle_status st conn = function
     match job_state_string st id with
     | None -> reply_error st conn (validation_error "unknown job %S" id)
     | Some state ->
-      let attempts, kills, last_kill =
+      let attempts, kills, last_kill, kill_history =
         match Spool.load_job st.spool id with
-        | Ok j -> (j.Spool.j_attempts, j.Spool.j_kills, j.Spool.j_last_kill)
-        | Error _ -> (0, 0, "")
+        | Ok j -> (j.Spool.j_attempts, j.Spool.j_kills, j.Spool.j_last_kill, j.Spool.j_kill_history)
+        | Error _ -> (0, 0, "", [])
       in
       let progress =
         if state = "running" then locked st.sh (fun () -> st.sh.progress) else None
@@ -709,25 +876,61 @@ let handle_status st conn = function
           ("state", Qjson.Str state);
           ("attempts", Qjson.int attempts);
           ("kills", Qjson.int kills);
-          ("last_kill", Qjson.Str last_kill) ]
+          ("last_kill", Qjson.Str last_kill);
+          ("kill_history", Qjson.Arr (List.map (fun r -> Qjson.Str r) kill_history)) ]
         @
         match progress with
         | None -> []
-        | Some (phase, pass, deletions) ->
-          [ ("phase", Qjson.Str phase);
-            ("pass", Qjson.int pass);
-            ("deletions", Qjson.int deletions) ]
+        | Some p ->
+          [ ("phase", Qjson.Str p.Worker.p_phase);
+            ("pass", Qjson.int p.Worker.p_pass);
+            ("deletions", Qjson.int p.Worker.p_deletions);
+            ("worst_margin_ps", Qjson.num p.Worker.p_worst_margin_ps) ]
       in
       send st conn (Wire.Info { json = Qjson.to_string (Qjson.Obj fields) }))
 
+let handle_watch st conn ~job:id =
+  if not (Wire.valid_job_id id) then
+    reply_error st conn (validation_error "invalid job id %S" id)
+  else
+    match Spool.state_of st.spool id with
+    | None -> reply_error st conn (validation_error "unknown job %S" id)
+    | Some (Spool.Done json) -> send st conn (Wire.Result { job = id; ok = true; json })
+    | Some (Spool.Dead json) -> send st conn (Wire.Result { job = id; ok = false; json })
+    | Some (Spool.Quarantined json) ->
+      send st conn (Wire.Result { job = id; ok = false; json })
+    | Some (Spool.Pending _) ->
+      let state = Option.value (job_state_string st id) ~default:"pending" in
+      send st conn
+        (Wire.Info
+           { json =
+               Qjson.to_string
+                 (Qjson.Obj
+                    [ ("job", Qjson.Str id);
+                      ("watching", Qjson.Bool true);
+                      ("state", Qjson.Str state) ]) });
+      add_waiter st conn id;
+      add_watcher st conn id
+
+(* Served from the event loop, straight out of the live registry: no
+   drain, no file, no executor involvement. *)
+let handle_stats st conn ~prom =
+  Obs.Metrics.inc m_stats_requests;
+  let body =
+    if prom then Obs.Metrics.render_prometheus () else Obs.Metrics.render_json ()
+  in
+  send st conn (Wire.Rstats { prom; body })
+
 let handle_request st conn = function
-  | Wire.Route { wait; timing_driven; deadline_ms; name; design } ->
-    handle_route st conn ~wait ~timing_driven ~deadline_ms ~name ~design
-  | Wire.Resume { wait; job } -> handle_resume st conn ~wait ~job
+  | Wire.Route { wait; progress; timing_driven; deadline_ms; name; design } ->
+    handle_route st conn ~wait ~progress ~timing_driven ~deadline_ms ~name ~design
+  | Wire.Resume { wait; progress; job } -> handle_resume st conn ~wait ~progress ~job
   | Wire.Cancel { job } -> handle_cancel st conn ~job
   | Wire.Revive { wait; force; job } -> handle_revive st conn ~wait ~force ~job
   | Wire.Analyze { job } -> handle_analyze st conn ~job
   | Wire.Status { job } -> handle_status st conn job
+  | Wire.Watch { job } -> handle_watch st conn ~job
+  | Wire.Stats { prom } -> handle_stats st conn ~prom
   | Wire.Shutdown ->
     start_drain st "shutdown request";
     send st conn (Wire.Info { json = "{\"draining\":true}" })
@@ -889,6 +1092,20 @@ let bind_socket cfg =
 
 let sig_drain = Atomic.make false
 
+let sig_metrics = Atomic.make false
+
+(* Atomic rewrite of the Prometheus textfile: a scraper (or kill -9)
+   sees either the previous complete snapshot or the new one, never a
+   torn file. *)
+let write_metrics_file cfg =
+  match cfg.metrics_path with
+  | None -> ()
+  | Some path -> (
+    match Spool.write_file_atomic path (Obs.Metrics.render_prometheus ()) with
+    | () -> ()
+    | exception Bgr_error.Error e ->
+      cfg.log (Printf.sprintf "metrics: cannot write %s: %s" path e.Bgr_error.message))
+
 let run cfg =
   (* A peer that vanishes mid-write must cost us an EPIPE, not the
      process. *)
@@ -910,6 +1127,9 @@ let run cfg =
       killed = 0;
       cancel = None;
       progress = None;
+      progress_events = [];
+      progress_pending = 0;
+      progress_dropped = 0;
       wake_w }
   in
   (* Supervisor pass: every accepted-but-unfinished job rides again.
@@ -933,6 +1153,8 @@ let run cfg =
       conns = [];
       queued = Hashtbl.create 16;
       waiters = Hashtbl.create 16;
+      watchers = Hashtbl.create 16;
+      watch_seq = Hashtbl.create 16;
       draining = false;
       accepted = 0;
       completed = 0;
@@ -946,13 +1168,20 @@ let run cfg =
   List.iter (fun (j : Spool.job) -> Hashtbl.replace st.queued j.Spool.j_id ()) pending;
   set_depth_metric st;
   Atomic.set sig_drain false;
+  Atomic.set sig_metrics false;
   if cfg.install_signals then begin
     let request_drain _ =
       Atomic.set sig_drain true;
       wake sh
     in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_drain);
-    Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain)
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain);
+    (* SIGUSR1: flush the metrics file on demand, without draining. *)
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+           Atomic.set sig_metrics true;
+           wake sh))
   end;
   let exec_domain = Domain.spawn (executor cfg spool sh) in
   cfg.log
@@ -960,9 +1189,19 @@ let run cfg =
        cfg.socket_path cfg.spool_root cfg.queue_cap
        (match cfg.isolation with In_process -> "in-process" | Workers _ -> "worker")
        st.requeued);
+  write_metrics_file cfg;
+  let last_metrics_write = ref (Obs.now_s ()) in
   let finished = ref false in
   while not !finished do
     if Atomic.get sig_drain then start_drain st "signal";
+    if
+      Atomic.compare_and_set sig_metrics true false
+      || cfg.metrics_interval_s > 0.0
+         && Obs.now_s () -. !last_metrics_write >= cfg.metrics_interval_s
+    then begin
+      write_metrics_file cfg;
+      last_metrics_write := Obs.now_s ()
+    end;
     let rfds = st.listen_fd :: st.wake_r :: List.map (fun c -> c.fd) st.conns in
     let wfds = List.filter_map (fun c -> if c.wbuf <> "" then Some c.fd else None) st.conns in
     let readable, writable, _ =
@@ -984,6 +1223,7 @@ let run cfg =
     List.iter
       (fun conn -> if List.mem conn.fd readable then read_conn st conn)
       (List.filter (fun c -> List.memq c st.conns) st.conns);
+    deliver_progress st;
     let executor_done = deliver_completions st in
     List.iter
       (fun conn -> if List.mem conn.fd writable || conn.wbuf <> "" then write_conn st conn)
@@ -1022,6 +1262,9 @@ let run cfg =
   Domain.join exec_domain;
   (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close sh.wake_w with Unix.Unix_error _ -> ());
+  (* Final flush after the executor joined: the file carries the whole
+     life's counters even when nothing ever scraped the stats plane. *)
+  write_metrics_file cfg;
   let left = locked sh (fun () -> Queue.length sh.queue) in
   cfg.log
     (Printf.sprintf "drained: %d completed, %d failed, %d still spooled" st.completed

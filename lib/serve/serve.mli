@@ -8,9 +8,10 @@
     {- the {e event loop} (the calling domain): [Unix.select] over the
        listening socket, the client connections and a self-pipe.  It
        frames and decodes requests ({!Wire}), answers cheap operations
-       ([status], [analyze]) inline, and feeds routing work to the
-       executor through a bounded queue.  It never routes and never
-       emits trace spans.}
+       ([status], [analyze], [stats]) inline, fans worker progress out
+       to [watch] subscribers, and feeds routing work to the executor
+       through a bounded queue.  It never routes and never emits trace
+       spans.}
     {- the {e executor}: a single spawned domain, the sole routing (and
        hence {!Par}) orchestrator.  It pops one job at a time, runs it
        under the retry policy ({!Retry}) with a fresh {!Budget} per
@@ -42,6 +43,19 @@
     {e quarantined} (excluded from startup re-queue; only a forced
     [revive] re-runs it).  [In_process] preserves the single-process
     behavior and keeps tests hermetic.
+
+    Observability: a [watch] request (or [wait] with the progress
+    flag) subscribes the connection to a job's live progress — worker
+    heartbeats (or in-process quality samples) become [Progress] info
+    frames, strictly increasing per-job sequence, until the final
+    [Result]; a subscriber that stops reading is shed once the
+    daemon's write buffer for it passes 1 MiB (the final result is
+    still delivered).  A [stats] request answers with a live registry
+    snapshot (Prometheus text or JSON) straight from the event loop.
+    Under [stitch_workers] the worker's spans and counters are folded
+    back into this process after every attempt, so traces and stats
+    cover both sides of the fork.  None of this changes routing:
+    deletion hashes are bit-identical with and without it.
 
     Shutdown: SIGTERM/SIGINT (when [install_signals]) or a [shutdown]
     request starts a {e drain}: no new admissions, the running job
@@ -76,6 +90,18 @@ type config = {
       (** SIGKILL a worker still alive this long past its wall budget *)
   mem_limit_mb : int;  (** worker address-space ceiling; [0] = none *)
   quarantine_kills : int;  (** worker kills before the job is quarantined *)
+  stitch_workers : bool;
+      (** hand each worker [--obs]/[--trace-id]/[--parent-span] and
+          fold its recorded spans and metrics back into this process
+          ({!Stitch}) when the attempt ends ([Workers] only) *)
+  metrics_path : string option;
+      (** Prometheus textfile to rewrite atomically: once at startup,
+          on SIGUSR1 (when [install_signals]), every
+          [metrics_interval_s], and finally after the drain — so
+          [kill -9] loses at most one interval of counters *)
+  metrics_interval_s : float;
+      (** period of the [metrics_path] rewrite; [0.] = only
+          startup/SIGUSR1/drain writes *)
   log : string -> unit;  (** line logger for operational events *)
 }
 
@@ -85,8 +111,8 @@ val default_config : socket_path:string -> spool_root:string -> config
     deadline, no signal handlers, [In_process] isolation (the CLI
     daemon overrides this to [Workers] on itself),
     [heartbeat_timeout_ms = 10_000.], [hard_deadline_grace_ms =
-    30_000.], no memory ceiling, [quarantine_kills = 3], silent
-    log. *)
+    30_000.], no memory ceiling, [quarantine_kills = 3], no worker
+    stitching, no metrics file, silent log. *)
 
 type stats = {
   s_requeued : int;  (** jobs the startup supervisor re-queued *)

@@ -11,6 +11,7 @@ type job = {
   j_attempts : int;
   j_kills : int;
   j_last_kill : string;
+  j_kill_history : string list;
 }
 
 type t = { t_root : string; mutable t_scan_warnings : string list }
@@ -100,7 +101,13 @@ let job_string j =
       j.j_attempts
   in
   if j.j_kills = 0 && j.j_last_kill = "" then base
-  else Printf.sprintf "%skills %d\nlast_kill %s\n" base j.j_kills j.j_last_kill
+  else
+    Printf.sprintf "%skills %d\nlast_kill %s\n%s" base j.j_kills j.j_last_kill
+      (* the full reason sequence; reasons come from the kill_reason
+         vocabulary (no commas or spaces), joined oldest first *)
+      (match j.j_kill_history with
+      | [] -> ""
+      | h -> Printf.sprintf "kill_history %s\n" (String.concat "," h))
 
 exception Bad of string
 
@@ -151,7 +158,11 @@ let parse_job ?file s =
       j_deadline_ms = (if deadline = 0 then None else Some deadline);
       j_attempts = int_of "attempts";
       j_kills = kills;
-      j_last_kill = Option.value (List.assoc_opt "last_kill" kv) ~default:"" }
+      j_last_kill = Option.value (List.assoc_opt "last_kill" kv) ~default:"";
+      j_kill_history =
+        (match List.assoc_opt "kill_history" kv with
+        | None | Some "" -> []
+        | Some h -> String.split_on_char ',' h) }
   with
   | j -> Ok j
   | exception Bad m -> Error (Bgr_error.make ?file ~phase:"serve" Bgr_error.Parse "%s" m)
@@ -179,7 +190,12 @@ let record_attempt t j =
   j
 
 let record_kill t j ~reason =
-  let j = { j with j_kills = j.j_kills + 1; j_last_kill = reason } in
+  let j =
+    { j with
+      j_kills = j.j_kills + 1;
+      j_last_kill = reason;
+      j_kill_history = j.j_kill_history @ [ reason ] }
+  in
   write_file_atomic (job_dir t j.j_id / job_file) (job_string j);
   j
 
@@ -250,7 +266,9 @@ let revive ?(force = false) t id =
         (try Sys.remove (job_dir t id / error_file) with Sys_error _ -> ());
         Result.map
           (fun j ->
-            let j = { j with j_attempts = 0; j_kills = 0; j_last_kill = "" } in
+            let j =
+              { j with j_attempts = 0; j_kills = 0; j_last_kill = ""; j_kill_history = [] }
+            in
             write_file_atomic (job_dir t id / job_file) (job_string j);
             j)
           (load_job t id))

@@ -25,12 +25,22 @@ type job = {
   j_attempts : int;  (** attempts already started (across daemon restarts) *)
   j_kills : int;  (** worker processes killed on this job (hang/OOM/signal) *)
   j_last_kill : string;  (** latest kill reason, [""] when none *)
+  j_kill_history : string list;
+      (** every kill reason in order, oldest first ([j_last_kill] is
+          its last element); persisted in the manifest's optional
+          [kill_history] line, reset by {!revive} *)
 }
 
 val job_file : string
 val result_file : string
 val error_file : string
 (** ["JOB"], ["RESULT"], ["ERROR"]. *)
+
+val write_file_atomic : string -> string -> unit
+(** Atomic durable write (temp file, fsync, rename) — the discipline
+    every spool mutation uses, exported for the daemon's periodic
+    metrics-file rewrite.  Raises a structured [Io_error] on
+    failure. *)
 
 type t
 

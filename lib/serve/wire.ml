@@ -5,17 +5,20 @@ let max_payload = 16 * 1024 * 1024
 type request =
   | Route of {
       wait : bool;
+      progress : bool;
       timing_driven : bool;
       deadline_ms : int option;
       name : string option;
       design : string;
     }
-  | Resume of { wait : bool; job : string }
+  | Resume of { wait : bool; progress : bool; job : string }
   | Analyze of { job : string }
   | Status of { job : string option }
   | Shutdown
   | Cancel of { job : string }
   | Revive of { wait : bool; force : bool; job : string }
+  | Watch of { job : string }
+  | Stats of { prom : bool }
 
 type reply =
   | Accepted of { job : string }
@@ -23,6 +26,8 @@ type reply =
   | Rerror of { code : string; message : string }
   | Overloaded of { reason : string; depth : int; cap : int }
   | Info of { json : string }
+  | Progress of { job : string; seq : int; json : string }
+  | Rstats of { prom : bool; body : string }
 
 (* --- primitive encoders ----------------------------------------------- *)
 
@@ -70,32 +75,41 @@ let op_status = 0x04
 let op_shutdown = 0x05
 let op_cancel = 0x06
 let op_revive = 0x07
+let op_watch = 0x08
+let op_stats = 0x09
 
 let op_accepted = 0x81
 let op_result = 0x82
 let op_error = 0x83
 let op_overloaded = 0x84
 let op_info = 0x85
+let op_progress = 0x86
+let op_rstats = 0x87
 
 let flag_wait = 0x01
 let flag_unconstrained = 0x02
 let flag_force = 0x04
+let flag_progress = 0x08
+let flag_prom = 0x01
 
 let encode_request r =
   let b = Buffer.create 256 in
   (match r with
-  | Route { wait; timing_driven; deadline_ms; name; design } ->
+  | Route { wait; progress; timing_driven; deadline_ms; name; design } ->
     Buffer.add_char b (Char.chr op_route);
     let flags =
-      (if wait then flag_wait else 0) lor if timing_driven then 0 else flag_unconstrained
+      (if wait then flag_wait else 0)
+      lor (if timing_driven then 0 else flag_unconstrained)
+      lor if progress then flag_progress else 0
     in
     Buffer.add_char b (Char.chr flags);
     u32 b (match deadline_ms with None -> 0 | Some ms -> max 1 ms);
     lpstr b (Option.value name ~default:"");
     lpstr b design
-  | Resume { wait; job } ->
+  | Resume { wait; progress; job } ->
     Buffer.add_char b (Char.chr op_resume);
-    Buffer.add_char b (Char.chr (if wait then flag_wait else 0));
+    Buffer.add_char b
+      (Char.chr ((if wait then flag_wait else 0) lor if progress then flag_progress else 0));
     lpstr b job
   | Analyze { job } ->
     Buffer.add_char b (Char.chr op_analyze);
@@ -111,7 +125,13 @@ let encode_request r =
     Buffer.add_char b (Char.chr op_revive);
     Buffer.add_char b
       (Char.chr ((if wait then flag_wait else 0) lor if force then flag_force else 0));
-    lpstr b job);
+    lpstr b job
+  | Watch { job } ->
+    Buffer.add_char b (Char.chr op_watch);
+    lpstr b job
+  | Stats { prom } ->
+    Buffer.add_char b (Char.chr op_stats);
+    Buffer.add_char b (Char.chr (if prom then flag_prom else 0)));
   frame (Buffer.contents b)
 
 let encode_reply r =
@@ -136,7 +156,16 @@ let encode_reply r =
     u32 b cap
   | Info { json } ->
     Buffer.add_char b (Char.chr op_info);
-    lpstr b json);
+    lpstr b json
+  | Progress { job; seq; json } ->
+    Buffer.add_char b (Char.chr op_progress);
+    lpstr b job;
+    u32 b seq;
+    lpstr b json
+  | Rstats { prom; body } ->
+    Buffer.add_char b (Char.chr op_rstats);
+    Buffer.add_char b (Char.chr (if prom then flag_prom else 0));
+    lpstr b body);
   frame (Buffer.contents b)
 
 (* --- payload decoding -------------------------------------------------- *)
@@ -165,6 +194,7 @@ let decode_request ?file s =
         finish ?file ~what:"route" s pos
           (Route
              { wait = flags land flag_wait <> 0;
+               progress = flags land flag_progress <> 0;
                timing_driven = flags land flag_unconstrained = 0;
                deadline_ms = (if deadline = 0 then None else Some deadline);
                name = (if name = "" then None else Some name);
@@ -174,7 +204,11 @@ let decode_request ?file s =
         if String.length s < 2 then raise Short;
         let flags = Char.code s.[1] in
         let job, pos = get_lpstr s 2 in
-        finish ?file ~what:"resume" s pos (Resume { wait = flags land flag_wait <> 0; job })
+        finish ?file ~what:"resume" s pos
+          (Resume
+             { wait = flags land flag_wait <> 0;
+               progress = flags land flag_progress <> 0;
+               job })
       end
       else if op = op_analyze then begin
         let job, pos = get_lpstr s 1 in
@@ -197,6 +231,15 @@ let decode_request ?file s =
         finish ?file ~what:"revive" s pos
           (Revive
              { wait = flags land flag_wait <> 0; force = flags land flag_force <> 0; job })
+      end
+      else if op = op_watch then begin
+        let job, pos = get_lpstr s 1 in
+        finish ?file ~what:"watch" s pos (Watch { job })
+      end
+      else if op = op_stats then begin
+        if String.length s < 2 then raise Short;
+        let flags = Char.code s.[1] in
+        finish ?file ~what:"stats" s 2 (Stats { prom = flags land flag_prom <> 0 })
       end
       else parse_error ?file "unknown request opcode 0x%02x" op
     with
@@ -235,6 +278,18 @@ let decode_reply ?file s =
       else if op = op_info then begin
         let json, pos = get_lpstr s 1 in
         finish ?file ~what:"info" s pos (Info { json })
+      end
+      else if op = op_progress then begin
+        let job, pos = get_lpstr s 1 in
+        let seq = get_u32 s pos in
+        let json, pos = get_lpstr s (pos + 4) in
+        finish ?file ~what:"progress" s pos (Progress { job; seq; json })
+      end
+      else if op = op_rstats then begin
+        if String.length s < 2 then raise Short;
+        let flags = Char.code s.[1] in
+        let body, pos = get_lpstr s 2 in
+        finish ?file ~what:"stats" s pos (Rstats { prom = flags land flag_prom <> 0; body })
       end
       else parse_error ?file "unknown reply opcode 0x%02x" op
     with

@@ -30,12 +30,13 @@ val max_payload : int
 type request =
   | Route of {
       wait : bool;  (** hold the connection and stream the result *)
+      progress : bool;  (** with [wait]: also stream progress frames *)
       timing_driven : bool;
       deadline_ms : int option;  (** per-job wall-clock budget *)
       name : string option;  (** client-chosen job id *)
       design : string;  (** design-bundle text *)
     }
-  | Resume of { wait : bool; job : string }
+  | Resume of { wait : bool; progress : bool; job : string }
   | Analyze of { job : string }
   | Status of { job : string option }  (** [None] = daemon status *)
   | Shutdown
@@ -46,6 +47,15 @@ type request =
       (** Re-queue a dead-lettered job.  A {e quarantined} job (one
           that repeatedly killed its worker) is refused unless [force]
           is set. *)
+  | Watch of { job : string }
+      (** Subscribe to a pending job's progress stream: an [Info] ack,
+          then [Progress] frames as the job advances, then its final
+          [Result].  A finished job answers with its stored result
+          immediately. *)
+  | Stats of { prom : bool }
+      (** Snapshot the live metrics registry: Prometheus text when
+          [prom], the registry JSON otherwise.  Served by the event
+          loop without draining the daemon. *)
 
 type reply =
   | Accepted of { job : string }
@@ -53,6 +63,11 @@ type reply =
   | Rerror of { code : string; message : string }
   | Overloaded of { reason : string; depth : int; cap : int }
   | Info of { json : string }
+  | Progress of { job : string; seq : int; json : string }
+      (** One progress event.  [seq] is per-job, starts at 1 and is
+          strictly increasing on a connection; frames may be dropped
+          (never reordered) when a subscriber reads too slowly. *)
+  | Rstats of { prom : bool; body : string }
 
 val encode_request : request -> string
 (** The complete frame (length, payload, CRC) — not the payload alone. *)

@@ -10,21 +10,30 @@
 let magic = "BGRW1\n"
 
 type event =
-  | Heartbeat of { phase : string; pass : int; deletions : int }
+  | Heartbeat of { phase : string; pass : int; deletions : int; worst_margin_ps : float }
   | Done of { json : string }
   | Fail of { code : string; message : string }
+  | Obs_summary of { json : string }
 
 (* --- framing (the BGRS1 discipline, worker-pipe opcodes) --------------- *)
 
 let op_heartbeat = 0xC1
 let op_done = 0xC2
 let op_fail = 0xC3
+let op_obs_summary = 0xC4
 
 let u32 b v =
   Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
   Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
   Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
   Buffer.add_char b (Char.chr (v land 0xFF))
+
+let f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL)))
+  done
 
 let lpstr b s =
   u32 b (String.length s);
@@ -33,18 +42,22 @@ let lpstr b s =
 let encode_event ev =
   let b = Buffer.create 64 in
   (match ev with
-  | Heartbeat { phase; pass; deletions } ->
+  | Heartbeat { phase; pass; deletions; worst_margin_ps } ->
     Buffer.add_char b (Char.chr op_heartbeat);
     lpstr b phase;
     u32 b pass;
-    u32 b deletions
+    u32 b deletions;
+    f64 b worst_margin_ps
   | Done { json } ->
     Buffer.add_char b (Char.chr op_done);
     lpstr b json
   | Fail { code; message } ->
     Buffer.add_char b (Char.chr op_fail);
     lpstr b code;
-    lpstr b message);
+    lpstr b message
+  | Obs_summary { json } ->
+    Buffer.add_char b (Char.chr op_obs_summary);
+    lpstr b json);
   let payload = Buffer.contents b in
   let f = Buffer.create (String.length payload + 8) in
   u32 f (String.length payload);
@@ -68,6 +81,14 @@ let get_lpstr s pos =
   if pos + 4 + n > String.length s then raise Short;
   (String.sub s (pos + 4) n, pos + 4 + n)
 
+let get_f64 s pos =
+  if pos + 8 > String.length s then raise Short;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  Int64.float_of_bits !bits
+
 let parse_error fmt =
   Printf.ksprintf
     (fun m -> Error (Bgr_error.make ~phase:"serve" Bgr_error.Parse "%s" m))
@@ -87,7 +108,8 @@ let decode_event s =
         let phase, pos = get_lpstr s 1 in
         let pass = get_u32 s pos in
         let deletions = get_u32 s (pos + 4) in
-        finish (pos + 8) (Heartbeat { phase; pass; deletions })
+        let worst_margin_ps = get_f64 s (pos + 8) in
+        finish (pos + 16) (Heartbeat { phase; pass; deletions; worst_margin_ps })
       end
       else if op = op_done then begin
         let json, pos = get_lpstr s 1 in
@@ -97,6 +119,10 @@ let decode_event s =
         let code, pos = get_lpstr s 1 in
         let message, pos = get_lpstr s pos in
         finish pos (Fail { code; message })
+      end
+      else if op = op_obs_summary then begin
+        let json, pos = get_lpstr s 1 in
+        finish pos (Obs_summary { json })
       end
       else parse_error "unknown worker event opcode 0x%02x" op
     with
@@ -195,7 +221,32 @@ let set_mem_limit_mb mb = set_mem_limit_stub mb = 0
 
 let oom_exit_code = 70
 
-let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ~dir () =
+(* Per-attempt observability artifacts, named after the attempt
+   ordinal so retries never clobber each other. *)
+let trace_chrome_file ~attempt = Printf.sprintf "trace-a%d.json" attempt
+
+let trace_jsonl_file ~attempt = Printf.sprintf "trace-a%d.jsonl" attempt
+
+let metrics_file ~attempt = Printf.sprintf "metrics-a%d.bgrm" attempt
+
+let obs_summary_file ~attempt = Printf.sprintf "obs-a%d.json" attempt
+
+let obs_summary_json ~job ~attempt ~pid ~epoch_s ~trace_id ~spans =
+  Qjson.to_string
+    (Qjson.Obj
+       [ ("job", Qjson.Str job);
+         ("attempt", Qjson.int attempt);
+         ("pid", Qjson.int pid);
+         ("epoch_s", Qjson.num epoch_s);
+         ("trace_id", Qjson.Str (Option.value trace_id ~default:""));
+         ("chrome", Qjson.Str (trace_chrome_file ~attempt));
+         ("jsonl", Qjson.Str (trace_jsonl_file ~attempt));
+         ("metrics", Qjson.Str (metrics_file ~attempt));
+         ("spans", Qjson.int spans);
+         ("warnings", Qjson.Arr (List.map (fun w -> Qjson.Str w) (Obs.warnings ()))) ])
+
+let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ?trace_id ?parent_span
+    ?(obs = false) ~dir () =
   (* The supervisor may vanish (daemon kill -9): a dead report pipe
      must cost an EPIPE, not the worker. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -235,10 +286,19 @@ let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ~dir () =
     in
     if gate "serve.worker.kill" then Unix.kill (Unix.getpid ()) Sys.sigkill;
     let hang = gate "serve.worker.hang" in
-    let progress = ref ("spawn", 0, 0) in
+    let attempt_no = max 1 job.Spool.j_attempts in
+    if obs then begin
+      Obs.enable ();
+      Obs.Trace.set_pid (Unix.getpid ());
+      Obs.Trace.set_trace_id trace_id;
+      Obs.Trace.set_parent_span parent_span;
+      Obs.Trace.to_chrome_file (Filename.concat dir (trace_chrome_file ~attempt:attempt_no));
+      Obs.Trace.to_jsonl_file (Filename.concat dir (trace_jsonl_file ~attempt:attempt_no))
+    end;
+    let progress = ref ("spawn", 0, 0, nan) in
     let beat () =
-      let phase, pass, deletions = !progress in
-      send (Heartbeat { phase; pass; deletions })
+      let phase, pass, deletions, worst_margin_ps = !progress in
+      send (Heartbeat { phase; pass; deletions; worst_margin_ps })
     in
     beat ();
     if hang then
@@ -252,16 +312,53 @@ let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ~dir () =
       quality_sink ~log (Filename.concat dir Qlog.default_filename)
     in
     let on_quality (s : Router.quality_sample) =
-      progress := (s.Router.qs_phase, s.Router.qs_pass, s.Router.qs_deletions);
+      progress :=
+        (s.Router.qs_phase, s.Router.qs_pass, s.Router.qs_deletions,
+         s.Router.qs_worst_margin_ps);
       (match qlog_emit with Some emit -> emit s | None -> ());
       beat ()
     in
     let budget = budget_of ?default_deadline_ms job in
+    (* Close the sinks, snapshot the registry, and hand the daemon the
+       obs summary *before* the terminal frame — the supervisor stops
+       reading at Done/Fail.  Best-effort: a full disk must cost a
+       warning, never the attempt's verdict. *)
+    let finish_obs () =
+      if obs then begin
+        try
+          Obs.Trace.close_sinks ();
+          let write_file path contents =
+            let oc = open_out path in
+            Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+                output_string oc contents)
+          in
+          write_file
+            (Filename.concat dir (metrics_file ~attempt:attempt_no))
+            (Obs.Metrics.snapshot ());
+          let summary =
+            obs_summary_json ~job:job.Spool.j_id ~attempt:attempt_no
+              ~pid:(Unix.getpid ()) ~epoch_s:(Obs.Trace.epoch_s ()) ~trace_id
+              ~spans:(List.length (Obs.Trace.completed ()))
+          in
+          write_file (Filename.concat dir (obs_summary_file ~attempt:attempt_no)) summary;
+          send (Obs_summary { json = summary })
+        with e ->
+          prerr_endline ("bgr_serve worker: warning: obs finalize: " ^ Printexc.to_string e)
+      end
+    in
     (match
        Fun.protect ~finally:qlog_finish (fun () ->
-           attempt ~domains ~budget ~on_quality ~dir job)
+           let run () = attempt ~domains ~budget ~on_quality ~dir job in
+           if obs then
+             Obs.Trace.span
+               ~attrs:
+                 [ ("job", Obs.Trace.Str job.Spool.j_id);
+                   ("attempt", Obs.Trace.Int attempt_no) ]
+               "worker.attempt" run
+           else run ())
      with
     | Ok o ->
+      finish_obs ();
       send
         (Done
            { json =
@@ -269,6 +366,7 @@ let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ~dir () =
                  ~attempts:job.Spool.j_attempts });
       exit 0
     | Error e ->
+      finish_obs ();
       send
         (Fail { code = Bgr_error.code_name e.Bgr_error.code; message = Bgr_error.to_string e });
       exit (Bgr_error.exit_code e.Bgr_error.code)
@@ -307,12 +405,38 @@ type failure =
   | Killed of { reason : kill_reason; detail : string }
   | Spawn_error of string
 
-type progress = { p_phase : string; p_pass : int; p_deletions : int }
+type progress = {
+  p_phase : string;
+  p_pass : int;
+  p_deletions : int;
+  p_worst_margin_ps : float;
+}
+
+type verdict = V_ok | V_kill of kill_reason * string
+
+(* The watchdog decision, extracted pure so the silence-vs-slow
+   distinction is testable under an injected clock: a worker that
+   heartbeats (however slowly) within the timeout is left alone; one
+   that goes silent past it is hung; one that outlives the hard wall
+   deadline is killed regardless of liveness. *)
+let watchdog_verdict ~now_s ~started_s ~last_beat_s ~heartbeat_timeout_ms
+    ~hard_deadline_ms ~canceled =
+  if canceled then V_kill (Canceled, "cancel requested")
+  else if (now_s -. last_beat_s) *. 1000. > heartbeat_timeout_ms then
+    V_kill
+      ( Hang,
+        Printf.sprintf "no heartbeat for %.0f ms" ((now_s -. last_beat_s) *. 1000.) )
+  else if (now_s -. started_s) *. 1000. > hard_deadline_ms then
+    V_kill
+      ( Hard_deadline,
+        Printf.sprintf "still running after the hard %.0f ms wall deadline"
+          hard_deadline_ms )
+  else V_ok
 
 let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
     ?(poll_ms = 50.) ?(canceled = fun () -> false)
-    ?(on_progress = fun (_ : progress) -> ()) ?(on_spawn = fun (_ : int) -> ()) ~log
-    ~argv () =
+    ?(on_progress = fun (_ : progress) -> ()) ?(on_spawn = fun (_ : int) -> ())
+    ?(on_obs = fun (_ : string) -> ()) ~log ~argv () =
   match Fault.check ~phase:"serve" "serve.worker.spawn" with
   | exception Bgr_error.Error e -> Error (Spawn_error e.Bgr_error.message)
   | () -> (
@@ -380,10 +504,15 @@ let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
               | Ok ev ->
                 last_beat := Obs.now_s ();
                 (match ev with
-                | Heartbeat { phase; pass; deletions } ->
-                  on_progress { p_phase = phase; p_pass = pass; p_deletions = deletions }
+                | Heartbeat { phase; pass; deletions; worst_margin_ps } ->
+                  on_progress
+                    { p_phase = phase;
+                      p_pass = pass;
+                      p_deletions = deletions;
+                      p_worst_margin_ps = worst_margin_ps }
                 | Done { json } -> result := Some (Ok json)
-                | Fail { code; message } -> result := Some (Error (code, message))))
+                | Fail { code; message } -> result := Some (Error (code, message))
+                | Obs_summary { json } -> on_obs json))
           done
         end
       in
@@ -399,20 +528,14 @@ let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
             consume_frames ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-        if (not !eof) && !result = None && !killed = None then begin
-          let now = Obs.now_s () in
-          if canceled () then kill (`Reason (Canceled, "cancel requested"))
-          else if (now -. !last_beat) *. 1000. > heartbeat_timeout_ms then
-            kill
-              (`Reason
-                (Hang, Printf.sprintf "no heartbeat for %.0f ms" ((now -. !last_beat) *. 1000.)))
-          else if (now -. started) *. 1000. > hard_deadline_ms then
-            kill
-              (`Reason
-                ( Hard_deadline,
-                  Printf.sprintf "still running after the hard %.0f ms wall deadline"
-                    hard_deadline_ms ))
-        end
+        if (not !eof) && !result = None && !killed = None then
+          match
+            watchdog_verdict ~now_s:(Obs.now_s ()) ~started_s:started
+              ~last_beat_s:!last_beat ~heartbeat_timeout_ms ~hard_deadline_ms
+              ~canceled:(canceled ())
+          with
+          | V_ok -> ()
+          | V_kill (reason, detail) -> kill (`Reason (reason, detail))
       done;
       (* A final frame or a kill ends supervision without waiting for
          EOF: a child that lingers past its last frame — or leaves an

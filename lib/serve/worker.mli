@@ -26,13 +26,20 @@ val magic : string
 (** ["BGRW1\n"], sent by the worker before its first frame. *)
 
 type event =
-  | Heartbeat of { phase : string; pass : int; deletions : int }
+  | Heartbeat of { phase : string; pass : int; deletions : int; worst_margin_ps : float }
       (** liveness plus progress; emitted at spawn and then once per
-          router quality sample *)
+          router quality sample.  [worst_margin_ps] is the sample's
+          worst constraint margin ([nan] before the first sample or on
+          unconstrained runs). *)
   | Done of { json : string }  (** the complete RESULT json *)
   | Fail of { code : string; message : string }
       (** structured failure: [code] is a {!Bgr_error.code_name} (or
           ["oom"]), [message] its rendering *)
+  | Obs_summary of { json : string }
+      (** the worker's observability summary (pid, trace epoch, span
+          count, artifact file names — see docs/FORMATS.md), sent just
+          before the terminal frame when the worker runs with [~obs];
+          the daemon stitches the attempt's spans and metrics from it *)
 
 val encode_event : event -> string
 (** The complete frame (length, payload, CRC). *)
@@ -79,10 +86,31 @@ val oom_exit_code : int
 (** [70] — the worker's exit code after [Out_of_memory], recognized by
     the supervisor even when the OOM frame itself failed to flush. *)
 
+val trace_chrome_file : attempt:int -> string
+val trace_jsonl_file : attempt:int -> string
+val metrics_file : attempt:int -> string
+val obs_summary_file : attempt:int -> string
+(** Per-attempt observability artifact names inside the job's spool
+    directory ([trace-aN.json], [trace-aN.jsonl], [metrics-aN.bgrm],
+    [obs-aN.json]), keyed by the attempt ordinal so retries never
+    clobber an earlier attempt's trace. *)
+
 val main :
-  ?domains:int -> ?default_deadline_ms:int -> ?mem_limit_mb:int -> dir:string -> unit -> 'a
+  ?domains:int ->
+  ?default_deadline_ms:int ->
+  ?mem_limit_mb:int ->
+  ?trace_id:string ->
+  ?parent_span:int ->
+  ?obs:bool ->
+  dir:string ->
+  unit ->
+  'a
 (** Run the worker process on spool job directory [dir]; never
-    returns.  Fault sites ["serve.worker.hang"] and
+    returns.  With [~obs:true] the worker records its own spans and
+    metrics: it adopts [trace_id], parents its root span under the
+    supervisor's [parent_span], writes the four per-attempt artifact
+    files into [dir], and sends an [Obs_summary] frame before the
+    terminal one.  Fault sites ["serve.worker.hang"] and
     ["serve.worker.kill"] are tripped here, {e attempt-gated}: each
     site is tripped once per attempt already recorded in the manifest
     and only the last answer acts, so [SITE:n=K] means "the K-th
@@ -112,7 +140,29 @@ type failure =
       (** the watchdog (or the outside world) killed the worker *)
   | Spawn_error of string  (** the child could not be started at all *)
 
-type progress = { p_phase : string; p_pass : int; p_deletions : int }
+type progress = {
+  p_phase : string;
+  p_pass : int;
+  p_deletions : int;
+  p_worst_margin_ps : float;
+}
+
+type verdict = V_ok | V_kill of kill_reason * string
+
+val watchdog_verdict :
+  now_s:float ->
+  started_s:float ->
+  last_beat_s:float ->
+  heartbeat_timeout_ms:float ->
+  hard_deadline_ms:float ->
+  canceled:bool ->
+  verdict
+(** The supervisor's per-poll watchdog decision, pure and
+    clock-injectable: cancel wins, then heartbeat silence beyond
+    [heartbeat_timeout_ms] ([Hang]), then total runtime beyond
+    [hard_deadline_ms] ([Hard_deadline]).  A slow-but-alive worker —
+    beats arriving within the timeout, however sparse — is never
+    killed before the hard deadline. *)
 
 val supervise :
   ?heartbeat_timeout_ms:float ->
@@ -121,6 +171,7 @@ val supervise :
   ?canceled:(unit -> bool) ->
   ?on_progress:(progress -> unit) ->
   ?on_spawn:(int -> unit) ->
+  ?on_obs:(string -> unit) ->
   log:(string -> unit) ->
   argv:string array ->
   unit ->
@@ -131,7 +182,8 @@ val supervise :
     10 000) arms the hang watchdog; [hard_deadline_ms] (default none)
     the wall ceiling; [canceled] is polled every [poll_ms] (default
     50).  [on_spawn] receives the child pid (the cancel path and the
-    chaos tests need it); [on_progress] each heartbeat.  Trips
+    chaos tests need it); [on_progress] each heartbeat; [on_obs] the
+    [Obs_summary] json when the worker sends one.  Trips
     ["serve.worker.spawn"] before forking, surfacing as
     [Spawn_error].  Never raises on child misbehavior: every outcome
     is classified into the {!failure} taxonomy. *)

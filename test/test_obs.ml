@@ -89,6 +89,105 @@ let test_span_survives_exception () =
           (Printf.sprintf "%.0f" sp.Obs.Trace.sp_dur_us)
       | spans -> Alcotest.failf "expected 1 completed span, got %d" (List.length spans))
 
+(* ---- cross-process stitching primitives ---------------------------- *)
+
+let test_span_ids_and_foreign () =
+  with_test_clock (fun () ->
+      Obs.Trace.set_trace_id (Some "job-42");
+      let captured = ref None in
+      record_scenario ();
+      Obs.Trace.set_trace_id None;
+      Obs.Trace.span "probe" (fun () -> captured := Obs.Trace.current_span_id ());
+      let spans = Obs.Trace.completed () in
+      (* ids are 1-based ordinals in open order; parents link correctly *)
+      let by_name n = List.find (fun s -> s.Obs.Trace.sp_name = n) spans in
+      let outer = by_name "outer" and inner = by_name "inner" and tick = by_name "tick" in
+      check_int "outer is span 1" 1 outer.Obs.Trace.sp_id;
+      check_int "inner is span 2" 2 inner.Obs.Trace.sp_id;
+      check_int "outer is a root" 0 outer.Obs.Trace.sp_parent;
+      check_int "inner hangs off outer" 1 inner.Obs.Trace.sp_parent;
+      check_int "the instant hangs off inner" 2 tick.Obs.Trace.sp_parent;
+      check_int "default pid" 1 outer.Obs.Trace.sp_pid;
+      check_bool "current_span_id sees the open span" true
+        (!captured = Some (by_name "probe").Obs.Trace.sp_id);
+      check_bool "ambient trace id lands in attrs" true
+        (List.assoc_opt "trace_id" outer.Obs.Trace.sp_attrs = Some (Obs.Trace.Str "job-42"));
+      check_bool "probe opened after the id was cleared" true
+        (List.assoc_opt "trace_id" (by_name "probe").Obs.Trace.sp_attrs = None);
+      (* foreign spans keep their pid/id/parent verbatim *)
+      let foreign =
+        { Obs.Trace.sp_name = "phase:route"; sp_start_us = 10.0; sp_dur_us = 20.0;
+          sp_depth = 0; sp_id = 7; sp_parent = outer.Obs.Trace.sp_id; sp_pid = 4242;
+          sp_attrs = [ ("trace_id", Obs.Trace.Str "job-42") ] }
+      in
+      Obs.Trace.emit_foreign foreign;
+      match List.rev (Obs.Trace.completed ()) with
+      | last :: _ ->
+        check_string "foreign span retained" "phase:route" last.Obs.Trace.sp_name;
+        check_int "foreign pid preserved" 4242 last.Obs.Trace.sp_pid;
+        check_int "foreign id preserved" 7 last.Obs.Trace.sp_id;
+        check_int "foreign parent preserved" outer.Obs.Trace.sp_id last.Obs.Trace.sp_parent
+      | [] -> Alcotest.fail "no spans retained")
+
+let test_parent_span_links_roots () =
+  with_test_clock (fun () ->
+      Obs.Trace.set_parent_span (Some 99);
+      Obs.Trace.span "root" (fun () -> Obs.Trace.span "child" (fun () -> ()));
+      Obs.Trace.set_parent_span None;
+      Obs.Trace.span "after" (fun () -> ());
+      let by_name n =
+        List.find (fun s -> s.Obs.Trace.sp_name = n) (Obs.Trace.completed ())
+      in
+      check_int "depth-0 span adopts the foreign parent" 99 (by_name "root").Obs.Trace.sp_parent;
+      check_int "nested spans keep their local parent" (by_name "root").Obs.Trace.sp_id
+        (by_name "child").Obs.Trace.sp_parent;
+      check_int "cleared: roots are roots again" 0 (by_name "after").Obs.Trace.sp_parent)
+
+(* ---- metrics snapshot codec ---------------------------------------- *)
+
+let snap_counter = Obs.Metrics.counter ~labels:[ "k" ] "test_snapshot_ops_total"
+let snap_gauge = Obs.Metrics.gauge "test_snapshot_level"
+
+let snap_hist =
+  Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test_snapshot_lat_seconds"
+
+let test_snapshot_roundtrip () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ())
+  @@ fun () ->
+  Obs.Metrics.inc ~labels:[ ("k", "a") ] ~by:3.0 snap_counter;
+  Obs.Metrics.inc ~labels:[ ("k", "b") ] snap_counter;
+  Obs.Metrics.set snap_gauge 17.5;
+  Obs.Metrics.observe snap_hist 0.5;
+  Obs.Metrics.observe snap_hist 99.0;
+  let snap = Obs.Metrics.snapshot () in
+  check_bool "snapshot has the magic line" true
+    (String.length snap >= 13 && String.sub snap 0 13 = "bgr-metrics 1");
+  (* merging a registry's own snapshot doubles counters and histogram
+     tallies and leaves gauges at their (last-write) value *)
+  let merged = Obs.Metrics.merge_snapshot ~source:"self" snap in
+  check_bool "merged several series" true (merged >= 4);
+  check_bool "counter doubled" true
+    (Obs.Metrics.value ~labels:[ ("k", "a") ] snap_counter = Some 6.0);
+  check_bool "other series too" true
+    (Obs.Metrics.value ~labels:[ ("k", "b") ] snap_counter = Some 2.0);
+  check_bool "gauge takes the snapshot value" true
+    (Obs.Metrics.value snap_gauge = Some 17.5);
+  (match Obs.Metrics.histogram_snapshot snap_hist with
+  | Some (bounds, counts, sum, count) ->
+    check_bool "bucket bounds intact" true (bounds = [| 1.0; 10.0 |]);
+    check_bool "per-bucket counts doubled" true (counts = [| 2; 0; 2 |]);
+    check_bool "sum doubled" true (Float.abs (sum -. 199.0) < 1e-9);
+    check_int "count doubled" 4 count
+  | None -> Alcotest.fail "histogram series vanished");
+  (* garbage degrades to a warning, not an exception *)
+  let before = List.length (Obs.warnings ()) in
+  check_int "garbage merges zero series" 0
+    (Obs.Metrics.merge_snapshot ~source:"junk" "not a snapshot\n");
+  check_bool "and warns" true (List.length (Obs.warnings ()) > before)
+
 (* ---- golden renderings --------------------------------------------- *)
 
 let test_chrome_golden () =
@@ -117,9 +216,9 @@ let test_jsonl_golden () =
       let got = read_file path in
       Sys.remove path;
       let expected =
-        "{\"name\":\"tick\",\"start_us\":500000.000,\"dur_us\":0.000,\"depth\":2}\n\
-         {\"name\":\"inner\",\"start_us\":500000.000,\"dur_us\":500000.000,\"depth\":1,\"args\":{\"k\":3}}\n\
-         {\"name\":\"outer\",\"start_us\":0.000,\"dur_us\":2000000.000,\"depth\":0,\"args\":{\"note\":\"x\"}}\n"
+        "{\"name\":\"tick\",\"start_us\":500000.000,\"dur_us\":0.000,\"depth\":2,\"id\":3,\"parent\":2,\"pid\":1}\n\
+         {\"name\":\"inner\",\"start_us\":500000.000,\"dur_us\":500000.000,\"depth\":1,\"id\":2,\"parent\":1,\"pid\":1,\"args\":{\"k\":3}}\n\
+         {\"name\":\"outer\",\"start_us\":0.000,\"dur_us\":2000000.000,\"depth\":0,\"id\":1,\"parent\":0,\"pid\":1,\"args\":{\"note\":\"x\"}}\n"
       in
       check_string "jsonl golden" expected got)
 
@@ -400,9 +499,15 @@ let () =
         [ Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
           Alcotest.test_case "span recorded on exception" `Quick test_span_survives_exception;
           Alcotest.test_case "chrome trace_event golden" `Quick test_chrome_golden;
-          Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden ] );
+          Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+          Alcotest.test_case "span ids, trace ids, foreign spans" `Quick
+            test_span_ids_and_foreign;
+          Alcotest.test_case "foreign parent links depth-0 spans" `Quick
+            test_parent_span_links_roots ] );
       ( "metrics",
         [ Alcotest.test_case "prometheus golden + shape" `Quick test_prometheus_golden;
+          Alcotest.test_case "snapshot codec round trip + merge" `Quick
+            test_snapshot_roundtrip;
           Alcotest.test_case "label-value escaping" `Quick test_prom_label_escaping;
           Alcotest.test_case "histogram with zero observations" `Quick
             test_histogram_no_observations;

@@ -72,27 +72,41 @@ let test_wire_roundtrip () =
   List.iter roundtrip_request
     [ Wire.Route
         { wait = true;
+          progress = false;
           timing_driven = false;
           deadline_ms = Some 1500;
           name = Some "j1";
           design = "rows 4\n" };
       Wire.Route
-        { wait = false; timing_driven = true; deadline_ms = None; name = None; design = "" };
-      Wire.Resume { wait = true; job = "job-000007" };
+        { wait = true;
+          progress = true;
+          timing_driven = true;
+          deadline_ms = None;
+          name = None;
+          design = "" };
+      Wire.Resume { wait = true; progress = false; job = "job-000007" };
+      Wire.Resume { wait = true; progress = true; job = "job-000008" };
       Wire.Analyze { job = "a.b-c_d" };
       Wire.Status { job = None };
       Wire.Status { job = Some "x" };
       Wire.Shutdown;
       Wire.Cancel { job = "job-000009" };
       Wire.Revive { wait = true; force = false; job = "doomed" };
-      Wire.Revive { wait = false; force = true; job = "poison" } ];
+      Wire.Revive { wait = false; force = true; job = "poison" };
+      Wire.Watch { job = "job-000010" };
+      Wire.Stats { prom = false };
+      Wire.Stats { prom = true } ];
   List.iter roundtrip_reply
     [ Wire.Accepted { job = "job-000001" };
       Wire.Result { job = "j"; ok = true; json = "{\"ok\":true}" };
       Wire.Result { job = "j"; ok = false; json = "{}" };
       Wire.Rerror { code = "parse"; message = "bad frame" };
       Wire.Overloaded { reason = "queue full"; depth = 16; cap = 16 };
-      Wire.Info { json = "{}" } ]
+      Wire.Info { json = "{}" };
+      Wire.Progress { job = "j"; seq = 1; json = "{\"phase\":\"route\"}" };
+      Wire.Progress { job = "j"; seq = 0xFFFFFF; json = "" };
+      Wire.Rstats { prom = true; body = "# TYPE x counter\nx 1\n" };
+      Wire.Rstats { prom = false; body = "{}" } ]
 
 let test_wire_malformed () =
   (* trailing bytes after a well-formed body *)
@@ -113,9 +127,28 @@ let test_wire_malformed () =
   | Error e -> checkb "unknown reply opcode is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
   | Ok _ -> Alcotest.fail "reply opcode 0x10 accepted");
   (* truncated bodies *)
-  match Wire.decode_request "\x01\x00" with
+  (match Wire.decode_request "\x01\x00" with
   | Error e -> checkb "truncated route body is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
-  | Ok _ -> Alcotest.fail "truncated body accepted"
+  | Ok _ -> Alcotest.fail "truncated body accepted");
+  (* watch with a job length that overruns the payload *)
+  (match Wire.decode_request "\x08\x00\x00\x00\x10abc" with
+  | Error e -> checkb "truncated watch is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "truncated watch accepted");
+  (* stats with a missing flag byte, and with trailing bytes *)
+  (match Wire.decode_request "\x09" with
+  | Error e -> checkb "flagless stats is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "flagless stats accepted");
+  (match Wire.decode_request "\x09\x01zzz" with
+  | Error e -> checkb "stats trailing bytes is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "stats trailing bytes accepted");
+  (* a truncated progress frame on the reply side: the seq/json are cut *)
+  (match Wire.decode_reply "\x86\x00\x00\x00\x01j\x00\x00" with
+  | Error e -> checkb "truncated progress is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "truncated progress accepted");
+  (* rstats with the body length overrunning the payload *)
+  match Wire.decode_reply "\x87\x01\x00\x00\x00\x40x" with
+  | Error e -> checkb "truncated rstats is Parse" true (e.Bgr_error.code = Bgr_error.Parse)
+  | Ok _ -> Alcotest.fail "truncated rstats accepted"
 
 let test_extract_frame () =
   let f = Wire.encode_request (Wire.Status { job = None }) in
@@ -162,14 +195,19 @@ let gen_request =
           let deadline_ms = (oneof [ return None; map Option.some (int_range 1 1_000_000) ]) st in
           let name = (oneof [ return None; map Option.some gen_id ]) st in
           let design = gen_small_string st in
-          Wire.Route { wait; timing_driven; deadline_ms; name; design });
-        (fun st -> Wire.Resume { wait = bool st; job = gen_id st });
+          let progress = wait && bool st in
+          Wire.Route { wait; progress; timing_driven; deadline_ms; name; design });
+        (fun st ->
+          let wait = bool st in
+          Wire.Resume { wait; progress = (wait && bool st); job = gen_id st });
         (fun st -> Wire.Analyze { job = gen_id st });
         (fun st ->
           Wire.Status { job = (oneof [ return None; map Option.some gen_id ]) st });
         return Wire.Shutdown;
         (fun st -> Wire.Cancel { job = gen_id st });
-        (fun st -> Wire.Revive { wait = bool st; force = bool st; job = gen_id st }) ])
+        (fun st -> Wire.Revive { wait = bool st; force = bool st; job = gen_id st });
+        (fun st -> Wire.Watch { job = gen_id st });
+        (fun st -> Wire.Stats { prom = bool st }) ])
 
 let gen_reply =
   QCheck.Gen.(
@@ -182,7 +220,15 @@ let gen_reply =
             { reason = gen_small_string st;
               depth = int_range 0 0xFFFFFF st;
               cap = int_range 0 0xFFFFFF st });
-        (fun st -> Wire.Info { json = gen_small_string st }) ])
+        (fun st -> Wire.Info { json = gen_small_string st });
+        (fun st ->
+          Wire.Progress
+            { job = gen_id st; seq = int_range 0 0xFFFFFF st; json = gen_small_string st });
+        (fun st -> Wire.Rstats { prom = bool st; body = gen_small_string st }) ])
+
+let gen_margin =
+  QCheck.Gen.(
+    oneofl [ 0.0; -12.5; 3.25; 1e9; -1e9; Float.nan; Float.infinity; Float.neg_infinity ])
 
 let gen_event =
   QCheck.Gen.(
@@ -191,15 +237,33 @@ let gen_event =
           Worker.Heartbeat
             { phase = gen_small_string st;
               pass = int_range 0 0xFFFFFF st;
-              deletions = int_range 0 0xFFFFFF st });
+              deletions = int_range 0 0xFFFFFF st;
+              worst_margin_ps = gen_margin st });
         (fun st -> Worker.Done { json = gen_small_string st });
-        (fun st -> Worker.Fail { code = gen_id st; message = gen_small_string st }) ])
+        (fun st -> Worker.Fail { code = gen_id st; message = gen_small_string st });
+        (fun st -> Worker.Obs_summary { json = gen_small_string st }) ])
 
-let frame_roundtrip_ok encode extract_decode v =
+(* Structural [=] is wrong for events carrying a float (nan <> nan);
+   compare margins by bit pattern instead. *)
+let event_eq a b =
+  match (a, b) with
+  | ( Worker.Heartbeat { phase; pass; deletions; worst_margin_ps },
+      Worker.Heartbeat
+        { phase = phase'; pass = pass'; deletions = deletions'; worst_margin_ps = m' } ) ->
+    phase = phase' && pass = pass' && deletions = deletions'
+    && Int64.equal (Int64.bits_of_float worst_margin_ps) (Int64.bits_of_float m')
+  | a, b -> a = b
+
+let frame_roundtrip_with ~eq encode extract_decode v =
   let f = encode v in
   match Wire.extract_frame f ~pos:0 with
-  | Wire.Frame (payload, used) -> used = String.length f && extract_decode payload = Ok v
+  | Wire.Frame (payload, used) -> (
+    used = String.length f
+    && match extract_decode payload with Ok v' -> eq v v' | Error _ -> false)
   | _ -> false
+
+let frame_roundtrip_ok encode extract_decode v =
+  frame_roundtrip_with ~eq:( = ) encode extract_decode v
 
 let prop_request_roundtrip =
   QCheck.Test.make ~name:"request encode/decode round trip" ~count:500
@@ -215,7 +279,7 @@ let prop_reply_roundtrip =
 let prop_event_roundtrip =
   QCheck.Test.make ~name:"worker event encode/decode round trip" ~count:500
     (QCheck.make gen_event)
-    (frame_roundtrip_ok Worker.encode_event (fun p ->
+    (frame_roundtrip_with ~eq:event_eq Worker.encode_event (fun p ->
          Result.map_error (fun _ -> ()) (Worker.decode_event p)))
 
 (* worker pipe frames: fixed cases plus defensive decoding *)
@@ -228,11 +292,15 @@ let test_worker_event_cases () =
       | Wire.Frame (payload, used) ->
         checki "whole frame" (String.length f) used;
         (match Worker.decode_event payload with
-        | Ok ev' -> checkb "event round trip" true (ev = ev')
+        | Ok ev' -> checkb "event round trip" true (event_eq ev ev')
         | Error e -> Alcotest.failf "decode: %s" e.Bgr_error.message)
       | _ -> Alcotest.fail "frame extraction")
-    [ Worker.Heartbeat { phase = ""; pass = 0; deletions = 0 };
-      Worker.Heartbeat { phase = "reroute"; pass = 12; deletions = 123456 };
+    [ Worker.Heartbeat { phase = ""; pass = 0; deletions = 0; worst_margin_ps = 0.0 };
+      Worker.Heartbeat
+        { phase = "reroute"; pass = 12; deletions = 123456; worst_margin_ps = -42.75 };
+      Worker.Heartbeat
+        { phase = "route"; pass = 1; deletions = 0; worst_margin_ps = Float.nan };
+      Worker.Obs_summary { json = "{\"spans\":[]}" };
       Worker.Done { json = "{}" };
       Worker.Done { json = String.make 4096 'x' };
       Worker.Fail { code = "oom"; message = "worker ran out of memory" };
@@ -391,7 +459,7 @@ let test_spool_lifecycle () =
   check Alcotest.string "first id" "job-000001" (Spool.fresh_id sp);
   let job =
     { Spool.j_id = "job-000001"; j_timing_driven = true; j_deadline_ms = Some 900;
-      j_attempts = 0; j_kills = 0; j_last_kill = "" }
+      j_attempts = 0; j_kills = 0; j_last_kill = ""; j_kill_history = [] }
   in
   Spool.accept sp job ~design_text:"rows 1\n";
   checkb "exists" true (Spool.exists sp "job-000001");
@@ -440,7 +508,7 @@ let test_spool_kills_and_quarantine () =
   let sp = Spool.open_root root in
   let job =
     { Spool.j_id = "victim"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 1;
-      j_kills = 0; j_last_kill = "" }
+      j_kills = 0; j_last_kill = ""; j_kill_history = [] }
   in
   Spool.accept sp job ~design_text:"rows 1\n";
   let job = Spool.record_kill sp job ~reason:"hang" in
@@ -451,6 +519,11 @@ let test_spool_kills_and_quarantine () =
   | Error e -> Alcotest.failf "load: %s" e.Bgr_error.message);
   let job = Spool.record_kill sp job ~reason:"signal-9" in
   checki "kills accumulate" 2 job.Spool.j_kills;
+  checkb "kill history in order" true (job.Spool.j_kill_history = [ "hang"; "signal-9" ]);
+  (match Spool.load_job sp "victim" with
+  | Ok j ->
+    checkb "kill history persisted" true (j.Spool.j_kill_history = [ "hang"; "signal-9" ])
+  | Error e -> Alcotest.failf "load: %s" e.Bgr_error.message);
   Spool.quarantine sp "victim" ~json:"{\"code\":\"quarantined\"}";
   (match Spool.state_of sp "victim" with
   | Some (Spool.Quarantined json) ->
@@ -469,7 +542,8 @@ let test_spool_kills_and_quarantine () =
   (match Spool.revive ~force:true sp "victim" with
   | Ok j ->
     checkb "forced revive resets all counters" true
-      (j.Spool.j_attempts = 0 && j.Spool.j_kills = 0 && j.Spool.j_last_kill = "")
+      (j.Spool.j_attempts = 0 && j.Spool.j_kills = 0 && j.Spool.j_last_kill = ""
+      && j.Spool.j_kill_history = [])
   | Error e -> Alcotest.failf "forced revive: %s" e.Bgr_error.message);
   match Spool.state_of sp "victim" with
   | Some (Spool.Pending _) -> ()
@@ -492,7 +566,7 @@ let test_spool_manifest_compat () =
   let sp = Spool.open_root (Filename.concat dir "spool") in
   Spool.accept sp
     { Spool.j_id = "clean"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 0;
-      j_kills = 0; j_last_kill = "" }
+      j_kills = 0; j_last_kill = ""; j_kill_history = [] }
     ~design_text:"rows 1\n";
   let text =
     let ic = open_in (Filename.concat (Spool.job_dir sp "clean") Spool.job_file) in
@@ -507,7 +581,7 @@ let test_spool_manifest_compat () =
 type server = { cfg : Serve.config; domain : (Serve.stats, exn) result Domain.t }
 
 let start_server ?(cap = 8) ?(max_attempts = 2) ?(backoff_ms = 30.0) ?isolation
-    ?heartbeat_timeout_ms ?(quarantine_kills = 3) ?(log = ignore) root =
+    ?heartbeat_timeout_ms ?(quarantine_kills = 3) ?(log = ignore) ?(tweak = Fun.id) root =
   let base =
     Serve.default_config
       ~socket_path:(Filename.concat root "s.sock")
@@ -525,6 +599,7 @@ let start_server ?(cap = 8) ?(max_attempts = 2) ?(backoff_ms = 30.0) ?isolation
       quarantine_kills;
       log }
   in
+  let cfg = tweak cfg in
   let domain =
     Domain.spawn (fun () -> match Serve.run cfg with s -> Ok s | exception e -> Error e)
   in
@@ -546,18 +621,29 @@ let stop_server srv =
   | Error e -> Alcotest.failf "server died: %s" (Printexc.to_string e)
 
 let client srv =
-  match Serve_client.connect srv.cfg.Serve.socket_path with
-  | Ok c -> c
-  | Error e -> Alcotest.failf "connect: %s" e.Bgr_error.message
+  (* the socket file appears at bind, a hair before listen: retry the
+     refused-connection window instead of racing it *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match Serve_client.connect srv.cfg.Serve.socket_path with
+    | Ok c -> c
+    | Error e when Unix.gettimeofday () < deadline ->
+      ignore e;
+      Unix.sleepf 0.02;
+      go ()
+    | Error e -> Alcotest.failf "connect: %s" e.Bgr_error.message
+  in
+  go ()
 
 let rq ?(timeout_s = 60.0) c req =
   match Serve_client.request ~timeout_s c req with
   | Ok r -> r
   | Error e -> Alcotest.failf "request: %s" e.Bgr_error.message
 
-let submit_mini ?name ?(wait = false) () =
+let submit_mini ?name ?(wait = false) ?(progress = false) () =
   Wire.Route
     { wait;
+      progress;
       timing_driven = true;
       deadline_ms = None;
       name;
@@ -620,6 +706,7 @@ let test_end_to_end () =
      rq c
        (Wire.Route
           { wait = false;
+            progress = false;
             timing_driven = true;
             deadline_ms = None;
             name = Some "broken";
@@ -638,7 +725,10 @@ let test_end_to_end () =
   | _ -> Alcotest.fail "status");
   (match rq c (Wire.Status { job = None }) with
   | Wire.Info { json } ->
-    checkb "daemon status has depth" true (json_field json "queue_depth" <> None)
+    checkb "daemon status has depth" true (json_field json "queue_depth" <> None);
+    checkb "daemon status counts worker kills" true (json_field json "worker_kills" <> None);
+    checkb "daemon status carries obs warnings" true
+      (match json_field json "obs_warnings" with Some (Qjson.Arr _) -> true | _ -> false)
   | _ -> Alcotest.fail "daemon status");
   (match rq c (Wire.Analyze { job = "mini" }) with
   | Wire.Info { json } -> (
@@ -647,7 +737,7 @@ let test_end_to_end () =
     | None -> Alcotest.fail "no schema")
   | _ -> Alcotest.fail "analyze");
   (* waiting on a finished job returns its stored result immediately *)
-  (match rq c (Wire.Resume { wait = true; job = "mini" }) with
+  (match rq c (Wire.Resume { wait = true; progress = false; job = "mini" }) with
   | Wire.Result { ok; json; _ } ->
     checkb "stored ok" true ok;
     checki "stored hash" (Lazy.force mini_hash) (hash_of_json json)
@@ -730,7 +820,7 @@ let test_dead_letter_and_revive () =
   (* life 2: no faults; resume revives it and it completes *)
   let srv = start_server root in
   let c = client srv in
-  (match rq c (Wire.Resume { wait = true; job = "doomed" }) with
+  (match rq c (Wire.Resume { wait = true; progress = false; job = "doomed" }) with
   | Wire.Accepted _ -> (
     match Serve_client.next_reply ~timeout_s:120.0 c with
     | Ok (Wire.Result { ok; json; _ }) ->
@@ -749,11 +839,11 @@ let test_supervisor_requeue () =
   let sp = Spool.open_root (Filename.concat root "spool") in
   Spool.accept sp
     { Spool.j_id = "leftover"; j_timing_driven = true; j_deadline_ms = None; j_attempts = 0;
-      j_kills = 0; j_last_kill = "" }
+      j_kills = 0; j_last_kill = ""; j_kill_history = [] }
     ~design_text:(Lazy.force mini_text);
   let srv = start_server root in
   let c = client srv in
-  (match rq ~timeout_s:120.0 c (Wire.Resume { wait = true; job = "leftover" }) with
+  (match rq ~timeout_s:120.0 c (Wire.Resume { wait = true; progress = false; job = "leftover" }) with
   | Wire.Accepted _ -> (
     match Serve_client.next_reply ~timeout_s:120.0 c with
     | Ok (Wire.Result { ok; json; _ }) ->
@@ -820,7 +910,7 @@ let test_drain_keeps_queued_jobs () =
   checki "three jobs still spooled" 3 (List.length (Spool.scan sp));
   let srv = start_server root in
   let c = client srv in
-  (match rq c (Wire.Resume { wait = true; job = "b" }) with
+  (match rq c (Wire.Resume { wait = true; progress = false; job = "b" }) with
   | Wire.Accepted _ -> (
     match Serve_client.next_reply ~timeout_s:120.0 c with
     | Ok (Wire.Result { ok; _ }) -> checkb "B finished in life 2" true ok
@@ -847,13 +937,15 @@ let test_supervise_well_behaved () =
   let dir = fresh_dir () in
   let feed =
     write_feed dir "ok"
-      [ Worker.Heartbeat { phase = "route"; pass = 1; deletions = 7 };
+      [ Worker.Heartbeat { phase = "route"; pass = 1; deletions = 7; worst_margin_ps = -3.5 };
         Worker.Done { json = "{\"ok\":true}" } ]
   in
   let beats = ref [] in
+  let summary = ref None in
   (match
      Worker.supervise ~log:ignore
        ~on_progress:(fun p -> beats := p :: !beats)
+       ~on_obs:(fun j -> summary := Some j)
        ~argv:(sh ("cat " ^ feed)) ()
    with
   | Ok json -> check Alcotest.string "done json" "{\"ok\":true}" json
@@ -862,8 +954,22 @@ let test_supervise_well_behaved () =
   | [ p ] ->
     check Alcotest.string "phase" "route" p.Worker.p_phase;
     checki "pass" 1 p.Worker.p_pass;
-    checki "deletions" 7 p.Worker.p_deletions
+    checki "deletions" 7 p.Worker.p_deletions;
+    checkb "margin carried" true (p.Worker.p_worst_margin_ps = -3.5)
   | l -> Alcotest.failf "saw %d heartbeats" (List.length l));
+  checkb "no obs summary from a plain worker" true (!summary = None);
+  (* an obs summary frame reaches the supervisor's callback *)
+  let feed =
+    write_feed dir "obs"
+      [ Worker.Obs_summary { json = "{\"spans\":[]}" }; Worker.Done { json = "{}" } ]
+  in
+  (match
+     Worker.supervise ~log:ignore ~on_obs:(fun j -> summary := Some j)
+       ~argv:(sh ("cat " ^ feed)) ()
+   with
+  | Ok _ -> check Alcotest.string "summary delivered" "{\"spans\":[]}"
+              (Option.value !summary ~default:"<none>")
+  | Error _ -> Alcotest.fail "obs-reporting worker misclassified");
   (* structured failure passes through verbatim *)
   let feed = write_feed dir "fail" [ Worker.Fail { code = "unroutable"; message = "no tracks" } ] in
   match Worker.supervise ~log:ignore ~argv:(sh ("cat " ^ feed)) () with
@@ -983,7 +1089,10 @@ let test_worker_hang_watchdog () =
     | None -> Alcotest.fail "no kills field");
     (match Option.bind (json_field json "last_kill") Qjson.to_str with
     | Some r -> check Alcotest.string "reason" "hang" r
-    | None -> Alcotest.fail "no last_kill field")
+    | None -> Alcotest.fail "no last_kill field");
+    (match json_field json "kill_history" with
+    | Some (Qjson.Arr [ Qjson.Str r ]) -> check Alcotest.string "history entry" "hang" r
+    | _ -> Alcotest.fail "no kill_history field")
   | _ -> Alcotest.fail "status");
   Serve_client.close c;
   let stats = stop_server srv in
@@ -1072,7 +1181,7 @@ let test_worker_quarantine () =
       | None -> Alcotest.fail "no state")
     | _ -> Alcotest.fail "status");
     (* resume refuses; an unforced revive refuses *)
-    (match rq c (Wire.Resume { wait = false; job = "poison" }) with
+    (match rq c (Wire.Resume { wait = false; progress = false; job = "poison" }) with
     | Wire.Rerror { code; message } ->
       check Alcotest.string "resume refused" "validate" code;
       checkb "points at revive" true (contains message "revive")
@@ -1196,6 +1305,256 @@ let test_cancel_queued_job () =
   checki "B was not dead-lettered" 0 stats.Serve.s_failed;
   checki "A completed" 1 stats.Serve.s_completed
 
+(* --- the watchdog's pure clock ----------------------------------------- *)
+
+let test_watchdog_verdict () =
+  let v ?(canceled = false) ?(hb = 1000.0) ?(hard = infinity) ~now ~beat () =
+    Worker.watchdog_verdict ~now_s:now ~started_s:0.0 ~last_beat_s:beat
+      ~heartbeat_timeout_ms:hb ~hard_deadline_ms:hard ~canceled
+  in
+  (* a fresh beat: alive *)
+  (match v ~now:10.0 ~beat:9.5 () with
+  | Worker.V_ok -> ()
+  | Worker.V_kill _ -> Alcotest.fail "fresh beat killed");
+  (* exactly at the silence threshold: still alive (strictly greater) *)
+  (match v ~now:10.0 ~beat:9.0 () with
+  | Worker.V_ok -> ()
+  | Worker.V_kill _ -> Alcotest.fail "at-threshold beat killed");
+  (* silence past the threshold: a hang, and the detail says how long *)
+  (match v ~now:10.0 ~beat:8.9 () with
+  | Worker.V_kill (Worker.Hang, d) -> checkb "names the silence" true (contains d "no heartbeat")
+  | _ -> Alcotest.fail "silent worker not killed");
+  (* slow but alive: sparse beats inside the timeout, hours into the
+     run, are never killed before the hard deadline *)
+  (match v ~now:7200.0 ~beat:7199.2 () with
+  | Worker.V_ok -> ()
+  | Worker.V_kill _ -> Alcotest.fail "slow-but-alive worker killed");
+  (* the hard wall deadline kills despite a perfectly fresh beat *)
+  (match v ~now:10.0 ~beat:9.9 ~hard:5000.0 () with
+  | Worker.V_kill (Worker.Hard_deadline, _) -> ()
+  | _ -> Alcotest.fail "hard deadline ignored");
+  (* cancel outranks both kill causes *)
+  match v ~canceled:true ~now:10.0 ~beat:0.0 ~hard:5000.0 () with
+  | Worker.V_kill (Worker.Canceled, _) -> ()
+  | _ -> Alcotest.fail "cancel not prioritized"
+
+(* --- heartbeat cadence: one supervisor callback per beat, in order ----- *)
+
+let test_heartbeat_cadence () =
+  let dir = fresh_dir () in
+  let script =
+    [ ("improve", 1, 12, -5.0); ("improve", 2, 40, 3.5); ("metrology", 2, 44, Float.nan) ]
+  in
+  let feed =
+    write_feed dir "cadence"
+      (List.map
+         (fun (phase, pass, deletions, worst_margin_ps) ->
+           Worker.Heartbeat { phase; pass; deletions; worst_margin_ps })
+         script
+      @ [ Worker.Done { json = "{}" } ])
+  in
+  let seen = ref [] in
+  (match
+     Worker.supervise ~log:ignore
+       ~on_progress:(fun p -> seen := p :: !seen)
+       ~argv:(sh ("cat " ^ feed)) ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "cadenced worker misclassified");
+  let got = List.rev !seen in
+  checki "one progress callback per heartbeat" (List.length script) (List.length got);
+  List.iter2
+    (fun (phase, pass, deletions, margin) p ->
+      check Alcotest.string "phase in order" phase p.Worker.p_phase;
+      checki "pass in order" pass p.Worker.p_pass;
+      checki "deletions in order" deletions p.Worker.p_deletions;
+      checkb "margin carried bit-exactly (nan included)" true
+        (Int64.equal (Int64.bits_of_float margin)
+           (Int64.bits_of_float p.Worker.p_worst_margin_ps)))
+    script got
+
+(* --- watch: streamed job progress -------------------------------------- *)
+
+(* Drain a watching connection: Progress* then the final Result. *)
+let drain_watch c ~job =
+  let rec go acc =
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Progress { job = j; seq; json }) ->
+      check Alcotest.string "frames name the job" job j;
+      go ((seq, json) :: acc)
+    | Ok (Wire.Result { ok; json; _ }) -> (List.rev acc, ok, json)
+    | Ok _ -> Alcotest.fail "unexpected reply while watching"
+    | Error e -> Alcotest.failf "watch read: %s" e.Bgr_error.message
+  in
+  go []
+
+let check_progress_frames frames ~at_least =
+  checkb
+    (Printf.sprintf "at least %d progress frames (got %d)" at_least (List.length frames))
+    true
+    (List.length frames >= at_least);
+  ignore
+    (List.fold_left
+       (fun prev (seq, json) ->
+         checkb "seq strictly increasing" true (seq > prev);
+         checkb "frame json has a phase" true
+           (Option.bind (json_field json "phase") Qjson.to_str <> None);
+         checkb "frame json has deletions" true (json_field json "deletions" <> None);
+         seq)
+       0 frames)
+
+let test_watch_streams_progress () =
+  let root = fresh_dir () in
+  let srv = start_server ~isolation:(workers_isolation ()) root in
+  let c = client srv in
+  (* two jobs: A occupies the single executor while we subscribe to B,
+     so B's whole stream is observed *)
+  (match rq c (submit_mini ~name:"a" ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "A not accepted");
+  (match rq c (submit_mini ~name:"b" ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "B not accepted");
+  let cw = client srv in
+  (match rq cw (Wire.Watch { job = "b" }) with
+  | Wire.Info { json } ->
+    checkb "subscribed" true (json_field json "watching" = Some (Qjson.Bool true))
+  | _ -> Alcotest.fail "watch refused");
+  let frames, ok, json = drain_watch cw ~job:"b" in
+  checkb "B routed" true ok;
+  checki "watching left the hash alone" (Lazy.force mini_hash) (hash_of_json json);
+  check_progress_frames frames ~at_least:2;
+  Serve_client.close cw;
+  (* a watch of a finished job returns its stored result immediately *)
+  (match rq c (Wire.Watch { job = "b" }) with
+  | Wire.Result { ok; _ } -> checkb "stored result" true ok
+  | _ -> Alcotest.fail "watch of a done job");
+  (* watch of an unknown job: validate *)
+  (match rq c (Wire.Watch { job = "nope" }) with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "unknown watch" "validate" code
+  | _ -> Alcotest.fail "unknown watch accepted");
+  Serve_client.close c;
+  ignore (stop_server srv)
+
+let test_submit_progress_flag () =
+  let root = fresh_dir () in
+  (* in-process at 4 domains: frames come from quality samples, and the
+     hash must still match the 1-domain un-watched reference *)
+  let srv = start_server ~tweak:(fun cfg -> { cfg with Serve.job_domains = 4 }) root in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"p" ~wait:true ~progress:true ()) with
+  | Wire.Accepted _ -> ()
+  | _ -> Alcotest.fail "not accepted");
+  let frames, ok, json = drain_watch c ~job:"p" in
+  checkb "routed" true ok;
+  checki "progress + 4 domains left the hash alone" (Lazy.force mini_hash)
+    (hash_of_json json);
+  check_progress_frames frames ~at_least:1;
+  Serve_client.close c;
+  ignore (stop_server srv)
+
+(* --- stats: the scrapeable registry ------------------------------------ *)
+
+let test_stats_opcode () =
+  let root = fresh_dir () in
+  let srv = start_server root in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"s" ~wait:true ()) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; _ }) -> checkb "routed" true ok
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "not accepted");
+  (match rq c (Wire.Stats { prom = false }) with
+  | Wire.Rstats { prom; body } ->
+    checkb "json flag echoed" false prom;
+    (match Qjson.parse body with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "stats json does not parse: %s" m)
+  | _ -> Alcotest.fail "stats json refused");
+  (match rq c (Wire.Stats { prom = true }) with
+  | Wire.Rstats { prom; body } ->
+    checkb "prom flag echoed" true prom;
+    checkb "text exposition shape" true
+      (String.length body > 0 && body.[0] = '#' && contains body "# TYPE")
+  | _ -> Alcotest.fail "stats prom refused");
+  Serve_client.close c;
+  ignore (stop_server srv)
+
+(* --- cross-process trace stitching ------------------------------------- *)
+
+let test_worker_stitching () =
+  let root = fresh_dir () in
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+  @@ fun () ->
+  let srv =
+    start_server ~isolation:(workers_isolation ())
+      ~tweak:(fun cfg -> { cfg with Serve.stitch_workers = true })
+      root
+  in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"st" ~wait:true ()) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "routed" true ok;
+      checki "stitching left the hash alone" (Lazy.force mini_hash) (hash_of_json json)
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "not accepted");
+  (* the stats opcode serves the very registry the drain would write *)
+  (match rq c (Wire.Stats { prom = true }) with
+  | Wire.Rstats { body; _ } ->
+    let serve_lines s =
+      String.split_on_char '\n' s
+      |> List.filter (fun l -> String.length l > 6 && String.sub l 0 6 = "serve_")
+    in
+    check
+      Alcotest.(list string)
+      "socket stats = registry render"
+      (serve_lines (Obs.Metrics.render_prometheus ()))
+      (serve_lines body)
+  | _ -> Alcotest.fail "stats refused");
+  Serve_client.close c;
+  ignore (stop_server srv);
+  (* the worker left its per-attempt artifacts in the job's spool dir *)
+  let jdir = Filename.concat root "spool/jobs/st" in
+  List.iter
+    (fun f ->
+      checkb (f ^ " written") true (Sys.file_exists (Filename.concat jdir f)))
+    [ "trace-a1.json"; "trace-a1.jsonl"; "metrics-a1.bgrm"; "obs-a1.json" ];
+  (* one merged timeline: the daemon's serve.job/serve.worker spans plus
+     the worker's own spans, different pids, one trace id *)
+  let spans = Obs.Trace.completed () in
+  let by_name n = List.filter (fun s -> s.Obs.Trace.sp_name = n) spans in
+  let job_spans = by_name "serve.job" and sup_spans = by_name "serve.worker" in
+  checki "one serve.job span" 1 (List.length job_spans);
+  checki "one serve.worker span" 1 (List.length sup_spans);
+  let tid s = List.assoc_opt "trace_id" s.Obs.Trace.sp_attrs in
+  checkb "serve.job carries the per-job trace id" true
+    (tid (List.hd job_spans) = Some (Obs.Trace.Str "job-st"));
+  let worker_spans = List.filter (fun s -> s.Obs.Trace.sp_pid <> 1) spans in
+  checkb "worker spans merged into the daemon timeline" true (worker_spans <> []);
+  (match by_name "worker.attempt" with
+  | [ att ] ->
+    checkb "worker root recorded with the worker's pid" true (att.Obs.Trace.sp_pid <> 1);
+    checki "worker root hangs off the daemon's serve.worker span"
+      (List.hd sup_spans).Obs.Trace.sp_id att.Obs.Trace.sp_parent;
+    checkb "worker carries the job's trace id" true
+      (tid att = Some (Obs.Trace.Str "job-st"))
+  | l -> Alcotest.failf "expected 1 worker.attempt span, got %d" (List.length l));
+  checkb "the worker's inner phase spans came along" true
+    (List.exists
+       (fun s ->
+         let n = s.Obs.Trace.sp_name in
+         String.length n > 5 && (String.sub n 0 5 = "pass:" || String.sub n 0 5 = "flow:"))
+       worker_spans)
+
 (* --- protocol robustness: the malformed-request corpus ----------------- *)
 
 let corpus_dir = if Sys.file_exists "corpus/serve" then "corpus/serve" else "test/corpus/serve"
@@ -1231,7 +1590,7 @@ let raw_reply fd =
 
 let test_malformed_corpus () =
   let files = Sys.readdir corpus_dir |> Array.to_list |> List.sort compare in
-  checkb "corpus present" true (List.length files >= 6);
+  checkb "corpus present" true (List.length files >= 9);
   let root = fresh_dir () in
   let srv = start_server root in
   List.iter
@@ -1331,7 +1690,10 @@ let () =
       ( "worker",
         [ Alcotest.test_case "supervises a well-behaved worker" `Quick
             test_supervise_well_behaved;
-          Alcotest.test_case "classifies kills and exits" `Slow test_supervise_kills_and_exits ] );
+          Alcotest.test_case "classifies kills and exits" `Slow test_supervise_kills_and_exits;
+          Alcotest.test_case "watchdog verdict under an injected clock" `Quick
+            test_watchdog_verdict;
+          Alcotest.test_case "heartbeat cadence" `Quick test_heartbeat_cadence ] );
       ( "daemon",
         [ Alcotest.test_case "end to end" `Slow test_end_to_end;
           Alcotest.test_case "overload + retry" `Slow test_overload_and_retry;
@@ -1345,6 +1707,13 @@ let () =
           Alcotest.test_case "crash loop quarantine" `Slow test_worker_quarantine;
           Alcotest.test_case "cancel a running worker" `Slow test_cancel_running_worker;
           Alcotest.test_case "cancel a queued job" `Slow test_cancel_queued_job ] );
+      ( "observability",
+        [ Alcotest.test_case "watch streams worker progress" `Slow
+            test_watch_streams_progress;
+          Alcotest.test_case "submit --progress piggybacks on wait" `Slow
+            test_submit_progress_flag;
+          Alcotest.test_case "stats opcode" `Slow test_stats_opcode;
+          Alcotest.test_case "cross-process trace stitching" `Slow test_worker_stitching ] );
       ( "protocol",
         [ Alcotest.test_case "malformed corpus" `Slow test_malformed_corpus;
           Alcotest.test_case "accept fault" `Quick test_accept_fault ] ) ]
