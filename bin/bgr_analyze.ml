@@ -1,7 +1,8 @@
 (* Offline explorer for solution-quality event logs (.bgrq).
 
      bgr_analyze report RUN [--out DIR]   convergence/density/slack SVGs + quality.json
-     bgr_analyze diff A B                 thresholded A/B regression gate *)
+     bgr_analyze diff A B                 thresholded A/B regression gate
+     bgr_analyze postmortem DIR           crash forensics: verdict + postmortem.json + SVG *)
 
 open Cmdliner
 
@@ -213,8 +214,111 @@ let diff_cmd =
           gate.")
     Term.(const run $ a_arg $ b_arg $ tol_arg $ wall_factor_arg $ wall_floor_arg)
 
+(* --- crash forensics --------------------------------------------------- *)
+
+let verdict_table (r : Postmortem.report) =
+  let t = Table.create ~title:"Postmortem" ~columns:[ "fact"; "value" ] in
+  let add k v = Table.add_row t [ k; v ] in
+  add "directory" r.Postmortem.p_dir;
+  add "verdict" r.Postmortem.p_verdict;
+  add "last phase"
+    (if r.Postmortem.p_last_phase = "" then "-" else r.Postmortem.p_last_phase);
+  add "last pass" (Table.fint r.Postmortem.p_last_pass);
+  add "deletions"
+    (if r.Postmortem.p_deletions < 0 then "-" else Table.fint r.Postmortem.p_deletions);
+  add "worst margin (ps)" (Table.f1 r.Postmortem.p_worst_margin_ps);
+  (match r.Postmortem.p_flight with
+  | None -> add "flight record" "-"
+  | Some d ->
+    add "flight record"
+      (Printf.sprintf "%s (reason: %s, pid %d)" r.Postmortem.p_flight_file
+         d.Flight.f_reason d.Flight.f_pid));
+  (match r.Postmortem.p_job with
+  | None -> ()
+  | Some j ->
+    add "job" j.Postmortem.j_id;
+    add "attempts" (Table.fint j.Postmortem.j_attempts);
+    add "kills"
+      (if j.Postmortem.j_kills = 0 then "0"
+       else
+         Printf.sprintf "%d (%s)" j.Postmortem.j_kills
+           (String.concat ", " j.Postmortem.j_kill_history)));
+  if r.Postmortem.p_error_code <> "" then add "error code" r.Postmortem.p_error_code;
+  add "RESULT present" (if r.Postmortem.p_has_result then "yes" else "no");
+  t
+
+let artifact_table (r : Postmortem.report) =
+  let t =
+    Table.create ~title:"Artifact survey" ~columns:[ "file"; "kind"; "bytes"; "note" ]
+  in
+  List.iter
+    (fun (a : Postmortem.artifact) ->
+      Table.add_row t
+        [ a.Postmortem.a_file; a.Postmortem.a_kind;
+          (if a.Postmortem.a_present then Table.fint a.Postmortem.a_bytes else "-");
+          (if a.Postmortem.a_note <> "" then a.Postmortem.a_note
+           else if a.Postmortem.a_present then ""
+           else "absent") ])
+    r.Postmortem.p_artifacts;
+  t
+
+let postmortem_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "A run directory ($(b,bgr_run --persist)) or a spool job directory \
+             (jobs/NAME, dead/NAME or quarantine/NAME).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Where to write postmortem.json and timeline.svg (default: $(i,DIR) itself).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "window-s" ] ~docv:"S" ~doc:"Timeline SVG span: the last $(i,S) seconds.")
+  in
+  let run dir out window_s =
+    match Postmortem.analyze ~dir with
+    | Error e -> fail_with e
+    | Ok r ->
+      let out = match out with Some d -> d | None -> dir in
+      (try if not (Sys.file_exists out) then Unix.mkdir out 0o755
+       with Unix.Unix_error (e, _, _) ->
+         fail_with
+           (Bgr_error.make ~file:out ~phase:"analyze" Bgr_error.Io_error "%s"
+              (Unix.error_message e)));
+      Table.print (verdict_table r);
+      Table.print (artifact_table r);
+      if r.Postmortem.p_findings <> [] then begin
+        print_endline "Findings:";
+        List.iter (fun f -> Printf.printf "  - %s\n" f) r.Postmortem.p_findings
+      end;
+      let ( / ) = Filename.concat in
+      write_file (out / "postmortem.json")
+        (Qjson.to_string (Postmortem.to_json r) ^ "\n");
+      write_file (out / "timeline.svg") (Postmortem.timeline_svg ~window_s r);
+      (* the one-line answer, last, where a scrollback lands *)
+      Printf.printf "verdict: %s — %s\n" r.Postmortem.p_verdict r.Postmortem.p_headline
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Assemble a crash-forensics bundle from a run or spool-job directory: correlate \
+          the flight record with the journal tail, quality-log tail, kill history and \
+          RESULT/ERROR verdicts into one classifying verdict line, a machine-readable \
+          postmortem.json and a last-seconds timeline SVG.")
+    Term.(const run $ dir_arg $ out_arg $ window_arg)
+
 let main =
   let doc = "Offline solution-quality analytics for bgr_run --quality-log event logs" in
-  Cmd.group (Cmd.info "bgr_analyze" ~doc) [ report_cmd; diff_cmd ]
+  Cmd.group (Cmd.info "bgr_analyze" ~doc) [ report_cmd; diff_cmd; postmortem_cmd ]
 
 let () = exit (Cmd.eval main)

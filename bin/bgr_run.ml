@@ -65,6 +65,8 @@ type obs_opts = {
   ob_jsonl : string option;
   ob_metrics : string option;
   ob_summary : bool;
+  ob_flight : string option;
+  ob_no_flight : bool;
 }
 
 let obs_term =
@@ -102,9 +104,30 @@ let obs_term =
       & info [ "obs-summary" ]
           ~doc:"Print per-phase durations and the slowest trace spans after the run.")
   in
+  let flight =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "flight" ] ~docv:"FILE.bgrf"
+          ~doc:
+            "Where to dump the black-box flight recorder on an abnormal exit (error, deadline \
+             stop, SIGQUIT).  With no value it lands next to the journal ($(b,--persist) \
+             DIR/flight.bgrf) or at ./flight.bgrf; without this flag, $(b,--persist) runs \
+             still dump into their run directory.  Read it with $(b,bgr_analyze postmortem).")
+  in
+  let no_flight =
+    Arg.(
+      value & flag
+      & info [ "no-flight" ]
+          ~doc:
+            "Disable the flight recorder entirely (it is on by default and costs a few \
+             nanoseconds per recorded event; this switch exists for overhead measurements).")
+  in
   Term.(
-    const (fun t j m s -> { ob_trace = t; ob_jsonl = j; ob_metrics = m; ob_summary = s })
-    $ trace $ jsonl $ metrics $ summary)
+    const (fun t j m s f nf ->
+        { ob_trace = t; ob_jsonl = j; ob_metrics = m; ob_summary = s; ob_flight = f;
+          ob_no_flight = nf })
+    $ trace $ jsonl $ metrics $ summary $ flight $ no_flight)
 
 let obs_active o =
   o.ob_trace <> None || o.ob_jsonl <> None || o.ob_metrics <> None || o.ob_summary
@@ -117,17 +140,16 @@ let obs_setup o =
   end
 
 (* Observability must never fail the run: an unwritable metrics path
-   degrades to a warning, exactly like a failed trace sink. *)
+   degrades to a warning, exactly like a failed trace sink.  The write
+   is atomic and durable (temp + fsync + rename), so a scrape target
+   pointed at the file can never observe it torn or zero-length. *)
 let obs_finish o =
   if obs_active o then begin
     Obs.Trace.close_sinks ();
     (match o.ob_metrics with
     | None -> ()
     | Some path -> (
-      try
-        let oc = open_out path in
-        output_string oc (Obs.Metrics.render_prometheus ());
-        close_out oc
+      try Obs.write_file_atomic path (Obs.Metrics.render_prometheus ())
       with Sys_error msg -> Obs.warn "cannot write metrics file %s: %s" path msg));
     if o.ob_summary then begin
       Table.print (Obs_report.phase_durations ());
@@ -158,6 +180,54 @@ let quality_path ~persist = function
       | Some dir -> Filename.concat dir Qlog.default_filename
       | None -> Qlog.default_filename)
   | Some p -> Some p
+
+(* --- black-box flight recorder (route-file / resume) ------------------ *)
+
+(* Where an abnormal exit dumps the flight record: an explicit
+   --flight path wins; otherwise --persist runs dump into their run
+   directory (a crash there is exactly what the postmortem pipeline
+   exists for), and plain runs only dump when asked. *)
+let flight_path ~persist o =
+  if o.ob_no_flight then None
+  else
+    match o.ob_flight with
+    | Some "" ->
+      Some
+        (match persist with
+        | Some dir -> Filename.concat dir Flight.default_filename
+        | None -> Flight.default_filename)
+    | Some p -> Some p
+    | None -> Option.map (fun dir -> Filename.concat dir Flight.default_filename) persist
+
+(* Arm the recorder for one command: honour --no-flight and make
+   SIGQUIT dump to the resolved path on demand. *)
+let flight_setup ~persist o =
+  if o.ob_no_flight then Flight.set_enabled false;
+  let path = flight_path ~persist o in
+  (match path with
+  | Some p -> Flight.install_sigquit_dump ~path:(fun () -> p) ()
+  | None -> ());
+  path
+
+(* The Bgr_error escalation path: record the failure, dump, and tell
+   the operator where the black box landed. *)
+let flight_on_error path (e : Bgr_error.t) =
+  Flight.record Flight.k_error ~a:(Bgr_error.exit_code e.Bgr_error.code) ~b:0 ~c:0 ~d:0;
+  match path with
+  | None -> ()
+  | Some p ->
+    if Flight.dump_file ~reason:("error:" ^ Bgr_error.code_name e.Bgr_error.code) p then
+      Printf.eprintf "flight record: %s (read it with bgr_analyze postmortem)\n%!" p
+
+(* A deadline (or injected-fault) stop is an abnormal exit too, even
+   though the run still reports a verifiable routing. *)
+let flight_on_outcome path (m : Flow.measurement) =
+  if m.Flow.m_stopped_because <> "finished" then
+    match path with
+    | None -> ()
+    | Some p ->
+      if Flight.dump_file ~trigger:4 ~reason:("stop:" ^ m.Flow.m_stopped_because) p then
+        Printf.printf "flight record: %s (%s)\n" p m.Flow.m_stopped_because
 
 (* The CLI-side quality sink: a [Qlog] writer wrapped so that any I/O
    failure degrades to a stderr warning and stops recording — telemetry
@@ -359,6 +429,7 @@ let route_file_cmd =
       exit (Bgr_error.exit_code e.Bgr_error.code)
     | Ok (text, bundle) -> (
       obs_setup obs;
+      let flight = flight_setup ~persist obs in
       let on_quality, quality_finish = quality_sink (quality_path ~persist quality) in
       match
         Lineio.protect ~file:path (fun () ->
@@ -373,12 +444,14 @@ let route_file_cmd =
       | Error e ->
         quality_finish ();
         obs_finish obs;
+        flight_on_error flight e;
         prerr_endline (Bgr_error.to_string e);
         exit (Bgr_error.exit_code e.Bgr_error.code)
       | Ok outcome ->
         report_measurement (Filename.basename path) outcome.Flow.o_measurement;
         quality_finish ();
         obs_finish obs;
+        flight_on_outcome flight outcome.Flow.o_measurement;
         if audit then run_audit outcome.Flow.o_router)
   in
   Cmd.v
@@ -410,6 +483,7 @@ let resume_cmd =
   in
   let run dir domains deadline repair obs quality =
     obs_setup obs;
+    let flight = flight_setup ~persist:(Some dir) obs in
     let on_quality, quality_finish =
       quality_sink (quality_path ~persist:(Some dir) quality)
     in
@@ -417,6 +491,7 @@ let resume_cmd =
     | Error e ->
       quality_finish ();
       obs_finish obs;
+      flight_on_error flight e;
       prerr_endline (Bgr_error.to_string e);
       exit (Bgr_error.exit_code e.Bgr_error.code)
     | Ok r ->
@@ -430,6 +505,7 @@ let resume_cmd =
       report_measurement (Filename.basename dir ^ " (resumed)") outcome.Flow.o_measurement;
       quality_finish ();
       obs_finish obs;
+      flight_on_outcome flight outcome.Flow.o_measurement;
       run_audit ~repair outcome.Flow.o_router
   in
   Cmd.v

@@ -11,6 +11,7 @@
      bgr_serve watch --socket S JOB              live progress tail of JOB
      bgr_serve stats --socket S [--prom]         live metrics snapshot
      bgr_serve analyze --socket S JOB            quality summary of JOB
+     bgr_serve dump --socket S                   flight-recorder snapshot
      bgr_serve shutdown --socket S               ask the daemon to drain *)
 
 open Cmdliner
@@ -541,6 +542,25 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Solution-quality summary of a job's recorded .bgrq log.")
     Term.(const run $ socket_arg $ job_pos)
 
+let dump_cmd =
+  let run socket =
+    let c = connect socket in
+    (match
+       handle_common_reply
+         (Result.fold ~ok:Fun.id ~error:fail_error (Serve_client.request c Wire.Dump))
+     with
+    | Wire.Info { json } -> print_endline json
+    | _ -> fail_reply "internal" "unexpected reply to dump");
+    Serve_client.close c
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Snapshot the daemon's flight recorder into the spool root (flight.bgrf) and ask \
+          the running worker, if any, to dump its own; feed the files to $(b,bgr_analyze \
+          postmortem).")
+    Term.(const run $ socket_arg)
+
 let shutdown_cmd =
   let run socket =
     let c = connect socket in
@@ -560,6 +580,6 @@ let main =
   let doc = "Routing-as-a-service daemon and client for the DAC'94 global router" in
   Cmd.group (Cmd.info "bgr_serve" ~doc)
     [ daemon_cmd; worker_cmd; submit_cmd; wait_cmd; resume_cmd; cancel_cmd; revive_cmd;
-      status_cmd; watch_cmd; stats_cmd; analyze_cmd; shutdown_cmd ]
+      status_cmd; watch_cmd; stats_cmd; analyze_cmd; dump_cmd; shutdown_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -316,6 +316,13 @@ let sample_quality ?sta t ~phase =
 (* A raising hook degrades to a warning and is disabled, like an Obs
    sink: quality telemetry must never fail (or alter) the run. *)
 let emit_quality t ~kind ~phase ~pass =
+  (* Pass boundaries reach the flight recorder even when no quality
+     hook is installed: the black box must not depend on telemetry
+     being asked for. *)
+  (match kind with
+  | Q_pass ->
+    Flight.record Flight.k_pass ~a:(Flight.phase_code phase) ~b:pass ~c:0 ~d:t.deletions
+  | Q_cadence | Q_phase -> ());
   match t.on_quality with
   | None -> ()
   | Some _ when Par.in_worker () -> ()
@@ -962,12 +969,12 @@ let route_among t net_ids =
     match select_among t net_ids with
     | None -> ()
     | Some ((n, eid), crit) ->
+      let before = t.deletions in
       if observing () then begin
         (* delay_key only re-reads the eval cache the selection scan
            just warmed; the LM(e,P) value was computed either way. *)
         let ev = delay_key t t.nets.(n) eid in
         if ev.ev_lm_min < infinity then Obs.Metrics.observe m_lm ev.ev_lm_min;
-        let before = t.deletions in
         commit_deletion t n eid;
         Obs.Metrics.inc m_deletions ~labels:[ ("criterion", crit); ("phase", t.cur_phase) ];
         let cascade = t.deletions - before - 1 in
@@ -976,6 +983,9 @@ let route_among t net_ids =
             ~by:(float_of_int cascade)
       end
       else commit_deletion t n eid;
+      Flight.record Flight.k_deletion ~a:(Flight.phase_code t.cur_phase)
+        ~b:(Flight.criterion_code crit) ~c:n
+        ~d:((eid lsl 32) lor (before land 0xFFFFFFFF));
       if quality_on t then note_quality_deletion t crit;
       loop ()
   in
@@ -1307,6 +1317,7 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
   let rolled_back = ref false in
   let mark phase =
     completed := phase :: !completed;
+    Flight.record Flight.k_phase ~a:(Flight.phase_code phase) ~b:1 ~c:0 ~d:t.deletions;
     emit_quality t ~kind:Q_phase ~phase ~pass:0;
     let ck = checkpoint t in
     last_ck := Some ck;
@@ -1335,6 +1346,8 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
          guarantees a verifiable spanning tree for every net, so the
          budget is only consulted from the first checkpoint on. *)
       if not (skip "initial_route") then begin
+        Flight.record Flight.k_phase ~a:(Flight.phase_code "initial_route") ~b:0 ~c:0
+          ~d:t.deletions;
         timed_phase "initial_route" (fun () -> initial_route t);
         mark "initial_route"
       end;
@@ -1342,6 +1355,7 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
       let improvement phase default_limit f =
         if not (skip phase) then begin
           t.cur_phase <- phase;
+          Flight.record Flight.k_phase ~a:(Flight.phase_code phase) ~b:0 ~c:0 ~d:t.deletions;
           guard ~phase ();
           let r =
             timed_phase phase (fun () ->
@@ -1372,6 +1386,12 @@ let run ?(budget = Budget.unlimited) ?(completed = []) t =
             improve_delay ~guard ~max_passes t));
       Finished
     with Stop_run reason ->
+      (match reason with
+      | Deadline { phase } ->
+        Flight.record Flight.k_stop ~a:(Flight.phase_code phase) ~b:1 ~c:0 ~d:t.deletions
+      | Fault_stop { phase; _ } ->
+        Flight.record Flight.k_stop ~a:(Flight.phase_code phase) ~b:2 ~c:0 ~d:t.deletions
+      | Finished -> ());
       set_area_mode t saved_mode;
       (match !last_ck with
       | Some ck when t.deletions <> ck.ck_deletions ->

@@ -62,6 +62,24 @@ let warnings () = locked (fun () -> List.rev !warnings_rev)
 let warn fmt =
   Printf.ksprintf (fun s -> locked (fun () -> warnings_rev := s :: !warnings_rev)) fmt
 
+(* Atomic durable rewrite (temp + fsync + rename): a scrape target or
+   a flight-record dump must never be observable as zero-length, even
+   across a power loss — the fsync of the temp file *before* the
+   rename is what makes the rename a real commit point. *)
+let write_file_atomic path s =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     output_string oc s;
+     flush oc;
+     try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    raise e);
+  Sys.rename tmp path
+
 let assert_orchestrator ~what =
   if in_worker () then
     Bgr_error.raise_error Internal

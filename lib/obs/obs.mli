@@ -56,6 +56,14 @@ val warnings : unit -> string list
 (** Degradation warnings (failed sinks, unwritable metric files), in
     the order they occurred. *)
 
+val write_file_atomic : string -> string -> unit
+(** Atomic durable rewrite in the Persist discipline: write
+    [path ^ ".tmp"], flush, [fsync] the temp file, rename.  A reader
+    (or a post-power-loss boot) observes either the previous content
+    or the new one, never a zero-length or partial file.  Used by the
+    [--metrics] scrape-target rewrites and the flight-recorder dump.
+    Raises [Sys_error] when the file cannot be written. *)
+
 val warn : ('a, unit, string, unit) format4 -> 'a
 (** Append to {!warnings}. *)
 

@@ -224,6 +224,10 @@ let get ?domains:want () =
     global := Some p;
     p
 
+(* Round ordinal for the flight recorder: only the orchestrating
+   domain dispatches rounds, so a plain ref suffices. *)
+let round_ordinal = ref 0
+
 (* Run [n_chunks] work items, each exactly once, across the helpers and
    the caller; re-raise the first exception after the barrier. *)
 let run_chunked t ~n_chunks f =
@@ -237,6 +241,8 @@ let run_chunked t ~n_chunks f =
       done
     else begin
       t.in_round <- true;
+      round_ordinal := !round_ordinal + 1;
+      Flight.record Flight.k_pool_round ~a:0 ~b:0 ~c:!round_ordinal ~d:n_chunks;
       let timed = Obs.enabled () in
       let t_round0 = if timed then Obs.now_s () else 0.0 in
       let next = Atomic.make 0 in
@@ -280,6 +286,7 @@ let run_chunked t ~n_chunks f =
           Mutex.unlock w.m)
         t.workers;
       t.in_round <- false;
+      Flight.record Flight.k_pool_round ~a:0 ~b:1 ~c:!round_ordinal ~d:n_chunks;
       if timed then begin
         let round = Obs.now_s () -. t_round0 in
         Obs.Metrics.inc m_rounds;

@@ -123,7 +123,8 @@ let sync w =
   Fault.check ~phase:"persist" "persist.fsync";
   timed m_fsync (fun () ->
       flush w.w_oc;
-      try Unix.fsync (Unix.descr_of_out_channel w.w_oc) with Unix.Unix_error _ -> ())
+      (try Unix.fsync (Unix.descr_of_out_channel w.w_oc) with Unix.Unix_error _ -> ());
+      Flight.record Flight.k_journal_sync ~a:0 ~b:0 ~c:0 ~d:(pos_out w.w_oc))
 
 let close w =
   if not w.w_closed then begin

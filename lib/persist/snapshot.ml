@@ -167,7 +167,8 @@ let write ~path t =
     Fault.check ~phase:"persist" "persist.fsync";
     (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
     close_out oc;
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    Flight.record Flight.k_snapshot ~a:0 ~b:0 ~c:0 ~d:(String.length s)
   with
   | () ->
     if Obs.enabled () then Obs.Metrics.observe m_write (Obs.now_s () -. t0);

@@ -132,6 +132,9 @@ type shared = {
   mutable retried : int;
   mutable killed : int;  (** worker kills (watchdog or external) *)
   mutable cancel : string option;  (** kill this job's worker, answer canceled *)
+  mutable worker_pid : int option;
+      (** the running attempt's worker pid — the [dump] opcode's
+          SIGQUIT target *)
   mutable progress : Worker.progress option;
       (** running job's latest heartbeat *)
   mutable progress_events : (string * Worker.progress) list;
@@ -237,11 +240,18 @@ let supervise_attempt cfg sh prefix spool (job : Spool.job) =
       ~canceled:(fun () -> locked sh (fun () -> sh.cancel = Some id))
       ~on_progress:(fun p ->
         Obs.Metrics.inc m_worker_heartbeats;
+        Flight.record Flight.k_heartbeat ~a:(Flight.phase_code p.Worker.p_phase)
+          ~b:p.Worker.p_pass ~c:p.Worker.p_deletions
+          ~d:(Flight.margin_encode p.Worker.p_worst_margin_ps);
         push_progress sh id p)
       ~on_obs:(fun json -> obs_summary := Some json)
-      ~on_spawn:(fun pid -> cfg.log (Printf.sprintf "job %s: worker pid %d" id pid))
+      ~on_spawn:(fun pid ->
+        locked sh (fun () -> sh.worker_pid <- Some pid);
+        cfg.log (Printf.sprintf "job %s: worker pid %d" id pid))
+      ~on_dump:(fun path -> cfg.log (Printf.sprintf "job %s: flight record at %s" id path))
       ~log:cfg.log ~argv ()
   in
+  locked sh (fun () -> sh.worker_pid <- None);
   (match !obs_summary with
   | Some summary_json when cfg.stitch_workers ->
     let r = Stitch.merge ~dir ~summary_json () in
@@ -269,6 +279,7 @@ let run_job cfg spool sh (job : Spool.job) =
       ~max_ms:cfg.backoff_max_ms ~jitter_seed:(Hashtbl.hash id) ~giveup
       ~on_retry:(fun ~attempt e ->
         Obs.Metrics.inc m_retries;
+        Flight.record Flight.k_retry ~a:(attempt land 0xFF) ~b:0 ~c:0 ~d:0;
         locked sh (fun () -> sh.retried <- sh.retried + 1);
         cfg.log
           (Printf.sprintf "job %s: attempt %d failed (%s); retrying" id attempt
@@ -896,9 +907,28 @@ let handle_watch st conn ~job:id =
     match Spool.state_of st.spool id with
     | None -> reply_error st conn (validation_error "unknown job %S" id)
     | Some (Spool.Done json) -> send st conn (Wire.Result { job = id; ok = true; json })
-    | Some (Spool.Dead json) -> send st conn (Wire.Result { job = id; ok = false; json })
-    | Some (Spool.Quarantined json) ->
-      send st conn (Wire.Result { job = id; ok = false; json })
+    (* A watch asks for a future; a dead-lettered or quarantined job
+       has none.  Answer with a structured error naming the state (not
+       a bare stored-result frame, and never silence) so the client can
+       tell "it will never progress" from "it failed". *)
+    | Some (Spool.Dead _) ->
+      send st conn
+        (Wire.Rerror
+           { code = "dead-lettered";
+             message =
+               Printf.sprintf
+                 "job %s is dead-lettered and will not progress; resume it to retry (its \
+                  stored result is available via resume or revive)"
+                 id })
+    | Some (Spool.Quarantined _) ->
+      send st conn
+        (Wire.Rerror
+           { code = "quarantined";
+             message =
+               Printf.sprintf
+                 "job %s is quarantined (it repeatedly killed its worker) and will not \
+                  progress; revive it with force to retry anyway"
+                 id })
     | Some (Spool.Pending _) ->
       let state = Option.value (job_state_string st id) ~default:"pending" in
       send st conn
@@ -921,7 +951,49 @@ let handle_stats st conn ~prom =
   in
   send st conn (Wire.Rstats { prom; body })
 
-let handle_request st conn = function
+(* The on-demand forensic snapshot: dump the daemon's own rings into
+   the spool root, and SIGQUIT the running worker (if any) so it dumps
+   [flight-aN.bgrf] into its job directory too. *)
+let handle_dump st conn =
+  let path = Filename.concat st.cfg.spool_root Flight.default_filename in
+  let ok = Flight.dump_file ~trigger:2 ~reason:"opcode" path in
+  if not ok then st.cfg.log (Printf.sprintf "dump: cannot write %s" path);
+  let worker = locked st.sh (fun () -> st.sh.worker_pid) in
+  (match worker with
+  | None -> ()
+  | Some pid ->
+    st.cfg.log (Printf.sprintf "dump: requesting a flight dump from worker %d" pid);
+    (try Unix.kill pid Sys.sigquit with Unix.Unix_error _ -> ()));
+  send st conn
+    (Wire.Info
+       { json =
+           Qjson.to_string
+             (Qjson.Obj
+                [ ("dumped", Qjson.Bool ok);
+                  ("path", Qjson.Str path);
+                  ( "worker_signaled",
+                    match worker with
+                    | Some pid -> Qjson.int pid
+                    | None -> Qjson.Bool false ) ]) })
+
+(* The flight record's [k_serve_op] vocabulary is the wire's opcode
+   byte, duplicated here as literals because [Wire] keeps its codec
+   internal. *)
+let request_opcode = function
+  | Wire.Route _ -> 0x01
+  | Wire.Resume _ -> 0x02
+  | Wire.Analyze _ -> 0x03
+  | Wire.Status _ -> 0x04
+  | Wire.Shutdown -> 0x05
+  | Wire.Cancel _ -> 0x06
+  | Wire.Revive _ -> 0x07
+  | Wire.Watch _ -> 0x08
+  | Wire.Stats _ -> 0x09
+  | Wire.Dump -> 0x0A
+
+let handle_request st conn req =
+  Flight.record Flight.k_serve_op ~a:(request_opcode req) ~b:0 ~c:0 ~d:0;
+  match req with
   | Wire.Route { wait; progress; timing_driven; deadline_ms; name; design } ->
     handle_route st conn ~wait ~progress ~timing_driven ~deadline_ms ~name ~design
   | Wire.Resume { wait; progress; job } -> handle_resume st conn ~wait ~progress ~job
@@ -931,6 +1003,7 @@ let handle_request st conn = function
   | Wire.Status { job } -> handle_status st conn job
   | Wire.Watch { job } -> handle_watch st conn ~job
   | Wire.Stats { prom } -> handle_stats st conn ~prom
+  | Wire.Dump -> handle_dump st conn
   | Wire.Shutdown ->
     start_drain st "shutdown request";
     send st conn (Wire.Info { json = "{\"draining\":true}" })
@@ -1126,6 +1199,7 @@ let run cfg =
       retried = 0;
       killed = 0;
       cancel = None;
+      worker_pid = None;
       progress = None;
       progress_events = [];
       progress_pending = 0;
@@ -1181,7 +1255,12 @@ let run cfg =
       (Sys.Signal_handle
          (fun _ ->
            Atomic.set sig_metrics true;
-           wake sh))
+           wake sh));
+    (* SIGQUIT: dump the flight recorder and keep serving — the
+       operator's kill -QUIT is the [dump] opcode without a socket. *)
+    Flight.install_sigquit_dump
+      ~path:(fun () -> Filename.concat cfg.spool_root Flight.default_filename)
+      ()
   end;
   let exec_domain = Domain.spawn (executor cfg spool sh) in
   cfg.log

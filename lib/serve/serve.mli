@@ -132,3 +132,10 @@ val run : config -> stats
     the calling domain (spawn a [Domain] around it for an in-process
     server).  Structured [Io_error] when the socket cannot be bound.
     The socket file is unlinked on return. *)
+
+(**/**)
+
+val progress_json : string -> int -> Worker.progress -> string
+(** Exposed for tests: the watch stream's progress-frame payload.
+    Non-finite margins render as [null] ({!Qjson.num}), so a nan
+    worst margin survives the wire as "no number yet". *)

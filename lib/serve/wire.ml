@@ -19,6 +19,7 @@ type request =
   | Revive of { wait : bool; force : bool; job : string }
   | Watch of { job : string }
   | Stats of { prom : bool }
+  | Dump
 
 type reply =
   | Accepted of { job : string }
@@ -77,6 +78,7 @@ let op_cancel = 0x06
 let op_revive = 0x07
 let op_watch = 0x08
 let op_stats = 0x09
+let op_dump = 0x0A
 
 let op_accepted = 0x81
 let op_result = 0x82
@@ -131,7 +133,8 @@ let encode_request r =
     lpstr b job
   | Stats { prom } ->
     Buffer.add_char b (Char.chr op_stats);
-    Buffer.add_char b (Char.chr (if prom then flag_prom else 0)));
+    Buffer.add_char b (Char.chr (if prom then flag_prom else 0))
+  | Dump -> Buffer.add_char b (Char.chr op_dump));
   frame (Buffer.contents b)
 
 let encode_reply r =
@@ -241,6 +244,7 @@ let decode_request ?file s =
         let flags = Char.code s.[1] in
         finish ?file ~what:"stats" s 2 (Stats { prom = flags land flag_prom <> 0 })
       end
+      else if op = op_dump then finish ?file ~what:"dump" s 1 Dump
       else parse_error ?file "unknown request opcode 0x%02x" op
     with
     | r -> r

@@ -56,6 +56,11 @@ type request =
       (** Snapshot the live metrics registry: Prometheus text when
           [prom], the registry JSON otherwise.  Served by the event
           loop without draining the daemon. *)
+  | Dump
+      (** Dump the daemon's flight recorder to a [BGRF1] file in the
+          spool root (and SIGQUIT the running worker, if any, so it
+          dumps too); answered with an [Info] frame naming the file.
+          The on-demand forensic snapshot — see docs/observability.md. *)
 
 type reply =
   | Accepted of { job : string }

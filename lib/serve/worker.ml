@@ -14,6 +14,7 @@ type event =
   | Done of { json : string }
   | Fail of { code : string; message : string }
   | Obs_summary of { json : string }
+  | Dump of { path : string }
 
 (* --- framing (the BGRS1 discipline, worker-pipe opcodes) --------------- *)
 
@@ -21,6 +22,7 @@ let op_heartbeat = 0xC1
 let op_done = 0xC2
 let op_fail = 0xC3
 let op_obs_summary = 0xC4
+let op_dump = 0xC5
 
 let u32 b v =
   Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
@@ -57,7 +59,10 @@ let encode_event ev =
     lpstr b message
   | Obs_summary { json } ->
     Buffer.add_char b (Char.chr op_obs_summary);
-    lpstr b json);
+    lpstr b json
+  | Dump { path } ->
+    Buffer.add_char b (Char.chr op_dump);
+    lpstr b path);
   let payload = Buffer.contents b in
   let f = Buffer.create (String.length payload + 8) in
   u32 f (String.length payload);
@@ -123,6 +128,10 @@ let decode_event s =
       else if op = op_obs_summary then begin
         let json, pos = get_lpstr s 1 in
         finish pos (Obs_summary { json })
+      end
+      else if op = op_dump then begin
+        let path, pos = get_lpstr s 1 in
+        finish pos (Dump { path })
       end
       else parse_error "unknown worker event opcode 0x%02x" op
     with
@@ -287,6 +296,16 @@ let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ?trace_id ?pare
     if gate "serve.worker.kill" then Unix.kill (Unix.getpid ()) Sys.sigkill;
     let hang = gate "serve.worker.hang" in
     let attempt_no = max 1 job.Spool.j_attempts in
+    (* The supervisor's dump request is SIGQUIT: dump the flight
+       recorder next to the job's other per-attempt artifacts and tell
+       the daemon where it landed.  Installed before the hang gate so
+       even the injected pathology is dumpable — the handler interrupts
+       [Unix.sleep] at a safepoint, writes, and lets the loop resume
+       (the SIGKILL follows from the supervisor). *)
+    let flight_path () = Filename.concat dir (Flight.attempt_filename ~attempt:attempt_no) in
+    Flight.install_sigquit_dump ~path:flight_path
+      ~after:(fun p -> send (Dump { path = p }))
+      ();
     if obs then begin
       Obs.enable ();
       Obs.Trace.set_pid (Unix.getpid ());
@@ -367,10 +386,20 @@ let main ?(domains = 0) ?default_deadline_ms ?(mem_limit_mb = 0) ?trace_id ?pare
       exit 0
     | Error e ->
       finish_obs ();
+      (* The black box survives the crash: the flight record is on disk
+         before the failure frame goes out. *)
+      let p = flight_path () in
+      if Flight.dump_file ~reason:("error:" ^ Bgr_error.code_name e.Bgr_error.code) p then
+        send (Dump { path = p });
       send
         (Fail { code = Bgr_error.code_name e.Bgr_error.code; message = Bgr_error.to_string e });
       exit (Bgr_error.exit_code e.Bgr_error.code)
     | exception Out_of_memory ->
+      (* Dumping allocates a buffer; after [Out_of_memory] the heap may
+         have room again (the failed allocation was usually the huge
+         one).  Best-effort — the prebuilt OOM frame must go out even
+         when it doesn't. *)
+      (try ignore (Flight.dump_file ~reason:"oom" (flight_path ())) with _ -> ());
       (try
          output_string stdout oom_frame;
          flush stdout
@@ -433,10 +462,18 @@ let watchdog_verdict ~now_s ~started_s ~last_beat_s ~heartbeat_timeout_ms
           hard_deadline_ms )
   else V_ok
 
+(* Flight-event reason codes for [k_worker_kill] (the [a] field). *)
+let kill_reason_flight_code = function
+  | Hang -> 1
+  | Hard_deadline -> 2
+  | Canceled -> 3
+  | Signaled _ -> 4
+  | Oom -> 5
+
 let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
-    ?(poll_ms = 50.) ?(canceled = fun () -> false)
+    ?(poll_ms = 50.) ?(dump_grace_ms = 500.) ?(canceled = fun () -> false)
     ?(on_progress = fun (_ : progress) -> ()) ?(on_spawn = fun (_ : int) -> ())
-    ?(on_obs = fun (_ : string) -> ()) ~log ~argv () =
+    ?(on_obs = fun (_ : string) -> ()) ?(on_dump = fun (_ : string) -> ()) ~log ~argv () =
   match Fault.check ~phase:"serve" "serve.worker.spawn" with
   | exception Bgr_error.Error e -> Error (Spawn_error e.Bgr_error.message)
   | () -> (
@@ -457,6 +494,7 @@ let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
     | Error msg -> Error (Spawn_error msg)
     | Ok (pid, r) ->
       on_spawn pid;
+      Flight.record Flight.k_worker_spawn ~a:0 ~b:0 ~c:pid ~d:0;
       let started = Obs.now_s () in
       let last_beat = ref started in
       let rbuf = ref "" in
@@ -464,15 +502,50 @@ let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
       let result = ref None in
       let killed = ref None in
       let eof = ref false in
+      let dumped = ref None in
+      (* [kill] drains the pipe during the dump grace, which needs the
+         frame parser — which itself calls [kill] on a protocol error
+         (a no-op then, [killed] is already set).  Tie the knot with a
+         forward reference. *)
+      let consume = ref (fun () -> ()) in
       let kill why =
         if !killed = None then begin
           killed := Some why;
           (match why with
           | `Reason (reason, detail) ->
+            Flight.record Flight.k_worker_kill
+              ~a:(kill_reason_flight_code reason)
+              ~b:(match reason with Signaled s -> os_signal_number s | _ -> 0)
+              ~c:pid ~d:0;
             log
               (Printf.sprintf "worker %d killed (%s): %s" pid (kill_reason_string reason)
                  detail)
-          | `Protocol msg -> log (Printf.sprintf "worker %d killed (protocol): %s" pid msg));
+          | `Protocol msg ->
+            Flight.record Flight.k_worker_kill ~a:0 ~b:0 ~c:pid ~d:0;
+            log (Printf.sprintf "worker %d killed (protocol): %s" pid msg));
+          (* Black-box protocol: SIGQUIT is the dump request.  Give the
+             worker a short grace to write its flight record and report
+             the path, then SIGKILL.  A protocol violation skips the
+             grace — that pipe can no longer be trusted. *)
+          (match why with
+          | `Protocol _ -> ()
+          | `Reason _ ->
+            (try Unix.kill pid Sys.sigquit with Unix.Unix_error _ -> ());
+            let deadline = Unix.gettimeofday () +. (dump_grace_ms /. 1000.) in
+            let waiting = ref (dump_grace_ms > 0.) in
+            while !waiting && !dumped = None && Unix.gettimeofday () < deadline do
+              match Unix.select [ r ] [] [] 0.02 with
+              | [], _, _ -> ()
+              | _ :: _, _, _ -> (
+                let buf = Bytes.create 65536 in
+                match Unix.read r buf 0 (Bytes.length buf) with
+                | 0 -> waiting := false
+                | n ->
+                  rbuf := !rbuf ^ Bytes.sub_string buf 0 n;
+                  !consume ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done);
           try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
         end
       in
@@ -512,10 +585,15 @@ let supervise ?(heartbeat_timeout_ms = 10_000.) ?(hard_deadline_ms = infinity)
                       p_worst_margin_ps = worst_margin_ps }
                 | Done { json } -> result := Some (Ok json)
                 | Fail { code; message } -> result := Some (Error (code, message))
-                | Obs_summary { json } -> on_obs json))
+                | Obs_summary { json } -> on_obs json
+                | Dump { path } ->
+                  dumped := Some path;
+                  log (Printf.sprintf "worker %d dumped its flight record to %s" pid path);
+                  on_dump path))
           done
         end
       in
+      consume := consume_frames;
       while (not !eof) && !result = None && !killed = None do
         (match Unix.select [ r ] [] [] (poll_ms /. 1000.) with
         | [], _, _ -> ()

@@ -40,6 +40,10 @@ type event =
           count, artifact file names — see docs/FORMATS.md), sent just
           before the terminal frame when the worker runs with [~obs];
           the daemon stitches the attempt's spans and metrics from it *)
+  | Dump of { path : string }
+      (** the worker wrote its flight-recorder dump ([BGRF1]) to
+          [path] — in response to the supervisor's SIGQUIT dump
+          request, or spontaneously just before a [Fail] frame *)
 
 val encode_event : event -> string
 (** The complete frame (length, payload, CRC). *)
@@ -93,7 +97,9 @@ val obs_summary_file : attempt:int -> string
 (** Per-attempt observability artifact names inside the job's spool
     directory ([trace-aN.json], [trace-aN.jsonl], [metrics-aN.bgrm],
     [obs-aN.json]), keyed by the attempt ordinal so retries never
-    clobber an earlier attempt's trace. *)
+    clobber an earlier attempt's trace.  The flight-recorder dump
+    rides the same convention: {!Flight.attempt_filename}
+    ([flight-aN.bgrf]). *)
 
 val main :
   ?domains:int ->
@@ -168,10 +174,12 @@ val supervise :
   ?heartbeat_timeout_ms:float ->
   ?hard_deadline_ms:float ->
   ?poll_ms:float ->
+  ?dump_grace_ms:float ->
   ?canceled:(unit -> bool) ->
   ?on_progress:(progress -> unit) ->
   ?on_spawn:(int -> unit) ->
   ?on_obs:(string -> unit) ->
+  ?on_dump:(string -> unit) ->
   log:(string -> unit) ->
   argv:string array ->
   unit ->
@@ -183,7 +191,12 @@ val supervise :
     the wall ceiling; [canceled] is polled every [poll_ms] (default
     50).  [on_spawn] receives the child pid (the cancel path and the
     chaos tests need it); [on_progress] each heartbeat; [on_obs] the
-    [Obs_summary] json when the worker sends one.  Trips
-    ["serve.worker.spawn"] before forking, surfacing as
-    [Spawn_error].  Never raises on child misbehavior: every outcome
-    is classified into the {!failure} taxonomy. *)
+    [Obs_summary] json when the worker sends one; [on_dump] the path
+    from a [Dump] frame.  A watchdog kill first sends SIGQUIT — the
+    dump request — and drains the pipe for up to [dump_grace_ms]
+    (default 500; 0 disables) waiting for the worker's [Dump] frame
+    before the SIGKILL, so the flight record survives the execution.
+    Protocol-violation kills skip the grace: that pipe can no longer
+    be trusted.  Trips ["serve.worker.spawn"] before forking,
+    surfacing as [Spawn_error].  Never raises on child misbehavior:
+    every outcome is classified into the {!failure} taxonomy. *)

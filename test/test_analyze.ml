@@ -360,6 +360,124 @@ let test_bit_identity () =
         plain recorded)
     [ ("valid_mini.bgr", 1); ("valid_mini.bgr", 4); ("valid_gen.bgr", 1); ("valid_gen.bgr", 4) ]
 
+(* ---- crash forensics ------------------------------------------------ *)
+
+let pm_counter = ref 0
+
+let pm_dir () =
+  incr pm_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bgrpm%d-%d" (Unix.getpid ()) !pm_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+(* Synthesize a flight dump by actually recording and dumping — the
+   same code path a dying process takes. *)
+let bake_flight dir ?(name = Flight.default_filename) ~reason events =
+  Flight.reset_for_tests ();
+  Flight.set_clock_for_tests (Some (fun () -> 1.0));
+  List.iter (fun (k, a, b, c, d) -> Flight.record k ~a ~b ~c ~d) events;
+  let ok = Flight.dump_file ~reason (Filename.concat dir name) in
+  Flight.set_clock_for_tests None;
+  Flight.reset_for_tests ();
+  check_bool "fixture dump written" true ok
+
+let analyze_ok dir =
+  match Postmortem.analyze ~dir with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "analyze: %s" (Bgr_error.to_string e)
+
+let test_postmortem_inputs () =
+  (match Postmortem.analyze ~dir:"/nonexistent/bgr-postmortem" with
+  | Error e -> check_bool "missing dir is Validate" true (e.Bgr_error.code = Bgr_error.Validate)
+  | Ok _ -> Alcotest.fail "a missing directory must be an error");
+  let dir = pm_dir () in
+  let r = analyze_ok dir in
+  check_string "empty dir is inconclusive" "inconclusive" r.Postmortem.p_verdict;
+  check_bool "absences are findings" true (r.Postmortem.p_findings <> []);
+  check_bool "timeline renders a placeholder" true
+    (let svg = Postmortem.timeline_svg r in
+     String.length svg > 0 && String.sub svg 0 4 = "<svg")
+
+let test_postmortem_crash_verdict () =
+  let dir = pm_dir () in
+  bake_flight dir ~reason:"error:fault"
+    [ (Flight.k_phase, Flight.phase_code "improve_delay", 0, 0, 30);
+      (Flight.k_deletion, Flight.phase_code "improve_delay",
+       Flight.criterion_code "delay", 7, 41);
+      (Flight.k_error, 6, 0, 0, 0) ];
+  let r = analyze_ok dir in
+  check_string "crash names the last commit" "crash-after-commit-42" r.Postmortem.p_verdict;
+  check_string "phase recovered from the flight record" "improve_delay"
+    r.Postmortem.p_last_phase;
+  check_int "deletions from the packed wide argument" 42 r.Postmortem.p_deletions
+
+let test_postmortem_hang_prefers_latest_attempt () =
+  let dir = pm_dir () in
+  write_file (Filename.concat dir "JOB")
+    "bgr-job 1\nid forensic\ntiming_driven true\ndeadline_ms 0\nattempts 2\nkills 1\n\
+     last_kill hang\nkill_history hang\n";
+  (* an older daemon-side dump AND the killed attempt's dump: the
+     attempt dump must win *)
+  bake_flight dir ~reason:"stale" [ (Flight.k_phase, 0, 0, 0, 0) ];
+  bake_flight dir ~name:"flight-a1.bgrf" ~reason:"sigquit"
+    [ (Flight.k_phase, Flight.phase_code "improve_area", 0, 0, 100) ];
+  let r = analyze_ok dir in
+  check_string "verdict blames the hang" "hang-in-improve_area" r.Postmortem.p_verdict;
+  check_string "the attempt dump is correlated" "flight-a1.bgrf" r.Postmortem.p_flight_file;
+  (match r.Postmortem.p_job with
+  | Some j ->
+    check_int "kills parsed" 1 j.Postmortem.j_kills;
+    check_string "history parsed" "hang" (String.concat "," j.Postmortem.j_kill_history)
+  | None -> Alcotest.fail "JOB manifest not parsed");
+  (* the bundle is machine-checkable *)
+  (match Qjson.parse (Qjson.to_string (Postmortem.to_json r)) with
+  | Ok j ->
+    check_bool "json carries the verdict" true
+      (Option.bind (Qjson.member "verdict" j) Qjson.to_str = Some "hang-in-improve_area")
+  | Error m -> Alcotest.failf "postmortem.json: %s" m);
+  let svg = Postmortem.timeline_svg ~window_s:5.0 r in
+  check_bool "timeline is an svg" true (String.sub svg 0 4 = "<svg");
+  check_bool "timeline names the verdict" true
+    (let sub = "hang-in-improve_area" in
+     let sl = String.length sub and tl = String.length svg in
+     let rec scan i = i + sl <= tl && (String.sub svg i sl = sub || scan (i + 1)) in
+     scan 0)
+
+let test_postmortem_deadline_and_torn_journal () =
+  (* a k_stop deadline event outranks a torn journal *)
+  let dir = pm_dir () in
+  bake_flight dir ~reason:"stop:deadline during recover_violations"
+    [ (Flight.k_stop, Flight.phase_code "recover_violations", 1, 0, 0) ];
+  check_string "deadline stop classified" "deadline-stop-in-recover_violations"
+    (analyze_ok dir).Postmortem.p_verdict;
+  (* a torn journal alone is its own verdict *)
+  let dir = pm_dir () in
+  let jpath = Filename.concat dir "journal.bgrj" in
+  let w = Journal.create ~path:jpath in
+  Journal.append w
+    { Journal.r_phase = "improve_delay"; r_area_mode = false; r_net = 1; r_edge = 2;
+      r_deletions_before = 8; r_hash_before = 99 };
+  Journal.close w;
+  let whole = read_file jpath in
+  write_file jpath (String.sub whole 0 (String.length whole - 3));
+  let r = analyze_ok dir in
+  check_string "torn journal classified" "torn-journal" r.Postmortem.p_verdict;
+  check_bool "salvage noted in findings" true (r.Postmortem.p_findings <> [])
+
+let test_postmortem_clean_run () =
+  let dir = pm_dir () in
+  let w = Qlog.create ~path:(Filename.concat dir Qlog.default_filename) in
+  ignore (Qlog.append w (sample ~deletions:64 ()));
+  ignore (Qlog.append w (sample ~kind:Router.Q_phase ~phase:"metrology" ~deletions:576 ()));
+  Qlog.close w;
+  let r = analyze_ok dir in
+  check_string "metrology tail reads as clean" "clean" r.Postmortem.p_verdict;
+  check_int "deletions from the quality tail" 576 r.Postmortem.p_deletions
+
 let () =
   Alcotest.run "analyze"
     [ ( "qlog",
@@ -370,6 +488,15 @@ let () =
         [ Alcotest.test_case "summarize phases and criteria" `Quick test_summarize;
           Alcotest.test_case "quality.json round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "diff verdicts" `Quick test_diff_verdicts ] );
+      ( "postmortem",
+        [ Alcotest.test_case "inputs: missing and empty dirs" `Quick test_postmortem_inputs;
+          Alcotest.test_case "crash names the last commit" `Quick
+            test_postmortem_crash_verdict;
+          Alcotest.test_case "hang verdict prefers the attempt dump" `Quick
+            test_postmortem_hang_prefers_latest_attempt;
+          Alcotest.test_case "deadline stop and torn journal" `Quick
+            test_postmortem_deadline_and_torn_journal;
+          Alcotest.test_case "clean run stays clean" `Quick test_postmortem_clean_run ] );
       ( "end-to-end",
         [ Alcotest.test_case "recorded route matches signoff" `Slow test_recorded_route ] );
       ( "determinism",

@@ -56,6 +56,27 @@ let test_unknown_site_rejected () =
   check_bool "known_site sees builtins" true (Fault.known_site "serve.job");
   check_bool "known_site rejects typos" false (Fault.known_site "serve.jobs")
 
+(* declare_site is documented idempotent: registering the same site
+   twice (or shadowing a builtin) must not corrupt the registry, flip
+   known_site, or change how plans naming it parse and fire. *)
+let test_declare_site_idempotent () =
+  Fault.declare_site "site.twice";
+  Fault.declare_site "site.twice";
+  check_bool "still known after re-registration" true (Fault.known_site "site.twice");
+  ignore (plan "site.twice:n=1");
+  Fault.declare_site "persist.append";
+  Fault.declare_site "persist.append";
+  check_bool "re-declared builtin stays known" true (Fault.known_site "persist.append");
+  ignore (plan "persist.append:n=2");
+  (* the duplicate-clause rejection is about plans, not the registry —
+     re-declaration must not relax it *)
+  (match Fault.parse_plan "site.twice:n=1, site.twice:always" with
+  | Ok _ -> Alcotest.fail "duplicate clauses must stay rejected"
+  | Error _ -> ());
+  Fault.with_plan (plan "site.twice:n=1") (fun () ->
+      check_bool "fires once" true (Fault.trip "site.twice");
+      check_bool "then stays quiet" false (Fault.trip "site.twice"))
+
 let test_trip_counts () =
   Fault.with_plan (plan "site.a:n=2") (fun () ->
       check_bool "hit 1 does not fire" false (Fault.trip "site.a");
@@ -154,6 +175,7 @@ let test_routing_survives_worker_death () =
 let suite =
   [ Alcotest.test_case "parse_plan grammar" `Quick test_parse_plan;
     Alcotest.test_case "unknown sites rejected" `Quick test_unknown_site_rejected;
+    Alcotest.test_case "declare_site double registration" `Quick test_declare_site_idempotent;
     Alcotest.test_case "n=K counting" `Quick test_trip_counts;
     Alcotest.test_case "always + check" `Quick test_always_and_check;
     Alcotest.test_case "worker death recovers" `Quick test_worker_death_recovers;

@@ -418,6 +418,198 @@ let test_histogram_no_observations () =
   Obs.disable ();
   Obs.reset ()
 
+(* ---- the flight recorder ------------------------------------------- *)
+
+let ft_ref = ref 0.0
+
+let with_flight_clock f =
+  Flight.reset_for_tests ();
+  Flight.set_clock_for_tests (Some (fun () -> !ft_ref));
+  ft_ref := 0.0;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_clock_for_tests None;
+      Flight.set_enabled true;
+      Flight.reset_for_tests ())
+    f
+
+let flight_events d =
+  List.concat_map (fun rg -> rg.Flight.rg_events) d.Flight.f_rings
+
+let test_flight_roundtrip () =
+  with_flight_clock (fun () ->
+      ft_ref := 0.25;
+      Flight.record Flight.k_phase ~a:(Flight.phase_code "initial_route") ~b:0 ~c:0 ~d:0;
+      ft_ref := 0.5;
+      Flight.record Flight.k_deletion
+        ~a:(Flight.phase_code "improve_delay")
+        ~b:(Flight.criterion_code "delay")
+        ~c:42
+        ~d:((7 lsl 32) lor 10);
+      ft_ref := 1.0;
+      Flight.record Flight.k_heartbeat ~a:2 ~b:3 ~c:11 ~d:(Flight.margin_encode (-12.5));
+      let s = Flight.dump_string ~reason:"unit" in
+      check_string "magic leads the image" Flight.magic (String.sub s 0 6);
+      match Flight.read_string s with
+      | Error e -> Alcotest.failf "read_string: %s" (Bgr_error.to_string e)
+      | Ok d -> (
+        check_string "reason round-trips" "unit" d.Flight.f_reason;
+        check_int "pid stamped" (Unix.getpid ()) d.Flight.f_pid;
+        check_bool "not torn" false d.Flight.f_torn;
+        check_bool "no warnings" true (d.Flight.f_warnings = []);
+        match flight_events d with
+        | [ p; del; hb ] ->
+          check_int "phase kind" Flight.k_phase p.Flight.e_kind;
+          check_int "phase code" (Flight.phase_code "initial_route") p.Flight.e_a;
+          check_int "timestamp is µs under the test clock" 250_000 p.Flight.e_t_us;
+          check_int "deletion kind" Flight.k_deletion del.Flight.e_kind;
+          check_string "criterion name survives" "delay"
+            (Flight.criterion_name del.Flight.e_b);
+          check_int "net id" 42 del.Flight.e_c;
+          check_int "edge packs the wide argument" 7 (del.Flight.e_d lsr 32);
+          check_int "deletions-before packs too" 10 (del.Flight.e_d land 0xFFFFFFFF);
+          check_bool "heartbeat margin decodes" true
+            (Flight.margin_decode hb.Flight.e_d = -12.5)
+        | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)))
+
+let test_flight_ring_wrap () =
+  with_flight_clock (fun () ->
+      let n = 5000 in
+      for i = 0 to n - 1 do
+        Flight.record Flight.k_deletion ~a:0 ~b:0 ~c:i ~d:0
+      done;
+      check_int "recorded counts every event" n (Flight.recorded ());
+      match Flight.read_string (Flight.dump_string ~reason:"wrap") with
+      | Error e -> Alcotest.failf "read_string: %s" (Bgr_error.to_string e)
+      | Ok d ->
+        let ring =
+          match d.Flight.f_rings with [ r ] -> r | _ -> Alcotest.fail "expected one ring"
+        in
+        check_int "total survives the wrap" n ring.Flight.rg_total;
+        check_int "retained = ring capacity" 4096 (List.length ring.Flight.rg_events);
+        (match ring.Flight.rg_events with
+        | oldest :: _ ->
+          check_int "oldest retained event is n - capacity" (n - 4096) oldest.Flight.e_c
+        | [] -> Alcotest.fail "no events retained");
+        (match List.rev ring.Flight.rg_events with
+        | newest :: _ -> check_int "newest event retained" (n - 1) newest.Flight.e_c
+        | [] -> ()))
+
+let test_flight_torn_and_corrupt () =
+  with_flight_clock (fun () ->
+      Flight.record Flight.k_phase ~a:0 ~b:0 ~c:0 ~d:0;
+      let s = Flight.dump_string ~reason:"salvage" in
+      (* a torn final frame (the dumping process died mid-write) is
+         salvaged: the ring frame is dropped with a warning *)
+      (match Flight.read_string (String.sub s 0 (String.length s - 3)) with
+      | Error e -> Alcotest.failf "torn tail must salvage: %s" (Bgr_error.to_string e)
+      | Ok d ->
+        check_bool "torn flag set" true d.Flight.f_torn;
+        check_bool "salvage leaves a warning" true (d.Flight.f_warnings <> []);
+        check_string "header frame still read" "salvage" d.Flight.f_reason);
+      (* damage before the final frame is a structured Parse error *)
+      let corrupt = Bytes.of_string s in
+      Bytes.set corrupt 12 (Char.chr (Char.code (Bytes.get corrupt 12) lxor 0xFF));
+      match Flight.read_string (Bytes.to_string corrupt) with
+      | Ok _ -> Alcotest.fail "mid-file corruption must not parse"
+      | Error e -> check_bool "code is Parse" true (e.Bgr_error.code = Bgr_error.Parse))
+
+let test_flight_margin_codec () =
+  check_bool "nan survives the round trip as nan" true
+    (Float.is_nan (Flight.margin_decode (Flight.margin_encode nan)));
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "%g round-trips within a milli-ps" v)
+        true
+        (Float.abs (Flight.margin_decode (Flight.margin_encode v) -. v) <= 0.001))
+    [ 0.0; -12.5; 110.6; -99999.0; 123456.789 ];
+  check_bool "saturation stays finite and ordered" true
+    (Flight.margin_decode (Flight.margin_encode 1e30)
+    > Flight.margin_decode (Flight.margin_encode (-1e30)))
+
+let test_flight_disabled () =
+  with_flight_clock (fun () ->
+      Flight.record Flight.k_phase ~a:0 ~b:0 ~c:0 ~d:0;
+      let before = Flight.recorded () in
+      Flight.set_enabled false;
+      Flight.record Flight.k_phase ~a:1 ~b:0 ~c:0 ~d:0;
+      check_int "disabled record is a no-op" before (Flight.recorded ());
+      Flight.set_enabled true;
+      Flight.record Flight.k_phase ~a:2 ~b:0 ~c:0 ~d:0;
+      check_int "re-enabled records again" (before + 1) (Flight.recorded ()))
+
+let test_flight_dump_file () =
+  with_flight_clock (fun () ->
+      Flight.record Flight.k_pool_round ~a:0 ~b:1 ~c:9 ~d:3;
+      let path = Filename.temp_file "bgr_obs_flight" ".bgrf" in
+      check_bool "dump_file succeeds" true (Flight.dump_file ~trigger:2 ~reason:"test" path);
+      let d =
+        match Flight.read ~path with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "read: %s" (Bgr_error.to_string e)
+      in
+      Sys.remove path;
+      check_bool "no temp residue" false (Sys.file_exists (path ^ ".tmp"));
+      let dump_ev =
+        List.find_opt (fun e -> e.Flight.e_kind = Flight.k_dump) (flight_events d)
+      in
+      match dump_ev with
+      | Some e -> check_int "the dump records its own trigger" 2 e.Flight.e_a
+      | None -> Alcotest.fail "dump_file must record a k_dump event")
+
+(* Satellite: the recorder must keep working while the tracer's sink
+   is degrading — a crashing sink and a crashing process often arrive
+   together, and the flight record is the artifact of last resort. *)
+let test_sink_fault_with_flight_active () =
+  Obs.set_clock_for_tests None;
+  Obs.enable ();
+  Obs.reset ();
+  Flight.reset_for_tests ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Flight.reset_for_tests ())
+  @@ fun () ->
+  match Fault.parse_plan "obs.sink:n=1" with
+  | Error m -> Alcotest.failf "fault plan: %s" m
+  | Ok plan ->
+    Fault.with_plan plan (fun () ->
+        let path = Filename.temp_file "bgr_obs_flightsink" ".json" in
+        Obs.Trace.to_chrome_file path;
+        Flight.record Flight.k_phase ~a:0 ~b:0 ~c:0 ~d:0;
+        Obs.Trace.span "tripwire" (fun () -> ());
+        (* the sink just died; the recorder must not have noticed *)
+        Flight.record Flight.k_phase ~a:1 ~b:0 ~c:0 ~d:0;
+        Obs.Trace.close_sinks ();
+        Sys.remove path;
+        check_bool "sink degradation warned" true (Obs.warnings () <> []);
+        match Flight.read_string (Flight.dump_string ~reason:"degraded-sink") with
+        | Error e -> Alcotest.failf "flight dump: %s" (Bgr_error.to_string e)
+        | Ok d ->
+          check_int "both events recorded across the sink failure" 2
+            (List.length (flight_events d)))
+
+(* Satellite: the --metrics scrape target is rewritten atomically and
+   durably (temp + fsync + rename) — a scraper or a post-crash boot
+   must never observe a half-written exposition. *)
+let test_metrics_atomic_rewrite () =
+  let path = Filename.temp_file "bgr_obs_atomic" ".prom" in
+  Obs.write_file_atomic path "first exposition\n";
+  check_string "content lands" "first exposition\n" (read_file path);
+  Obs.write_file_atomic path "second exposition, longer than the first\n";
+  check_string "rewrite replaces wholesale" "second exposition, longer than the first\n"
+    (read_file path);
+  check_bool "no temp-file residue" false (Sys.file_exists (path ^ ".tmp"));
+  (* failure leaves the previous content untouched *)
+  (match Obs.write_file_atomic (Filename.concat path "not-a-dir") "x" with
+  | () -> Alcotest.fail "writing under a file must fail"
+  | exception Sys_error _ -> ());
+  check_string "failed write leaves the target intact"
+    "second exposition, longer than the first\n" (read_file path);
+  Sys.remove path
+
 (* ---- the deprecation shim ------------------------------------------ *)
 
 let mini_input () = (Suite.mini ()).Suite.input
@@ -512,8 +704,20 @@ let () =
           Alcotest.test_case "histogram with zero observations" `Quick
             test_histogram_no_observations;
           QCheck_alcotest.to_alcotest prop_histogram_counts ] );
+      ( "flight",
+        [ Alcotest.test_case "record/dump/read round trip" `Quick test_flight_roundtrip;
+          Alcotest.test_case "ring wrap keeps the newest events" `Quick test_flight_ring_wrap;
+          Alcotest.test_case "torn tail salvages, corruption rejects" `Quick
+            test_flight_torn_and_corrupt;
+          Alcotest.test_case "margin codec (nan round trip)" `Quick test_flight_margin_codec;
+          Alcotest.test_case "disabled recorder is a no-op" `Quick test_flight_disabled;
+          Alcotest.test_case "dump_file records its trigger" `Quick test_flight_dump_file ] );
       ( "resilience",
         [ Alcotest.test_case "sink fault degrades to warning" `Quick test_sink_fault_degrades;
+          Alcotest.test_case "sink fault with the recorder active" `Quick
+            test_sink_fault_with_flight_active;
+          Alcotest.test_case "metrics rewrite is atomic + durable" `Quick
+            test_metrics_atomic_rewrite;
           Alcotest.test_case "double sink install warns" `Quick test_double_sink_install_warns;
           Alcotest.test_case "options.trace deprecation shim" `Quick test_trace_shim ] );
       ( "determinism",

@@ -1159,6 +1159,89 @@ let test_worker_external_kill () =
   checki "one kill" 1 stats.Serve.s_killed;
   checki "completed" 1 stats.Serve.s_completed
 
+(* A watchdog kill is preceded by a SIGQUIT dump request: the hung
+   worker must leave its flight record in the job directory and the
+   whole bundle must classify under bgr_analyze's postmortem. *)
+let test_worker_flight_dump_on_kill () =
+  let root = fresh_dir () in
+  with_worker_fault_plan "serve.worker.hang:n=1" @@ fun () ->
+  let lines = ref [] in
+  let log_mutex = Mutex.create () in
+  let log line =
+    Mutex.lock log_mutex;
+    lines := line :: !lines;
+    Mutex.unlock log_mutex
+  in
+  let srv =
+    start_server ~isolation:(workers_isolation ()) ~heartbeat_timeout_ms:1000.0 ~log root
+  in
+  let c = client srv in
+  (match rq c (submit_mini ~name:"forensic" ~wait:true ()) with
+  | Wire.Accepted _ -> (
+    match Serve_client.next_reply ~timeout_s:120.0 c with
+    | Ok (Wire.Result { ok; json; _ }) ->
+      checkb "retried to success after the kill" true ok;
+      checki "kill + dump left the hash alone" (Lazy.force mini_hash) (hash_of_json json)
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "not accepted");
+  let dir = Filename.concat srv.cfg.Serve.spool_root "jobs/forensic" in
+  let flight = Filename.concat dir "flight-a1.bgrf" in
+  checkb "the killed attempt dumped its flight record" true (Sys.file_exists flight);
+  (match Flight.read ~path:flight with
+  | Ok d ->
+    check Alcotest.string "dump reason is the supervisor's SIGQUIT" "sigquit"
+      d.Flight.f_reason;
+    checkb "the dump names the worker pid, not the daemon's" true
+      (d.Flight.f_pid <> Unix.getpid ())
+  | Error e -> Alcotest.failf "flight dump unreadable: %s" (Bgr_error.to_string e));
+  Mutex.lock log_mutex;
+  let saw_dump = List.exists (fun l -> contains l "dumped its flight record") !lines in
+  Mutex.unlock log_mutex;
+  checkb "supervisor observed the worker's dump frame" true saw_dump;
+  (* the postmortem pipeline classifies the bundle *)
+  (match Postmortem.analyze ~dir with
+  | Error e -> Alcotest.failf "postmortem: %s" (Bgr_error.to_string e)
+  | Ok r ->
+    checkb
+      (Printf.sprintf "verdict %S blames the hang" r.Postmortem.p_verdict)
+      true
+      (String.length r.Postmortem.p_verdict >= 8
+      && String.sub r.Postmortem.p_verdict 0 8 = "hang-in-");
+    checkb "headline notes the recovery" true
+      (contains r.Postmortem.p_headline "recovered");
+    checkb "the flight dump is the correlated artifact" true
+      (r.Postmortem.p_flight_file = "flight-a1.bgrf");
+    (* postmortem.json must be valid Qjson *)
+    match Qjson.parse (Qjson.to_string (Postmortem.to_json r)) with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "postmortem.json does not parse: %s" m);
+  Serve_client.close c;
+  let stats = stop_server srv in
+  checki "one kill" 1 stats.Serve.s_killed;
+  checki "completed" 1 stats.Serve.s_completed
+
+(* The dump opcode: an on-demand flight snapshot of the live daemon,
+   no distress required. *)
+let test_dump_opcode () =
+  let root = fresh_dir () in
+  let srv = start_server root in
+  let c = client srv in
+  (match rq c Wire.Dump with
+  | Wire.Info { json } ->
+    checkb "daemon reports the dump" true (json_field json "dumped" = Some (Qjson.Bool true));
+    checkb "no worker to signal" true
+      (json_field json "worker_signaled" = Some (Qjson.Bool false));
+    let path =
+      Option.value (Option.bind (json_field json "path") Qjson.to_str) ~default:""
+    in
+    checkb "reply names the dump path" true (path <> "");
+    (match Flight.read ~path with
+    | Ok d -> check Alcotest.string "reason" "opcode" d.Flight.f_reason
+    | Error e -> Alcotest.failf "dump unreadable: %s" (Bgr_error.to_string e))
+  | _ -> Alcotest.fail "dump refused");
+  Serve_client.close c;
+  ignore (stop_server srv)
+
 let test_worker_quarantine () =
   let root = fresh_dir () in
   let stats =
@@ -1436,6 +1519,68 @@ let test_watch_streams_progress () =
   Serve_client.close c;
   ignore (stop_server srv)
 
+(* A watch of a job that will never progress must say so in a
+   structured reply, not hold the connection open in silence. *)
+let test_watch_edge_cases () =
+  let root = fresh_dir () in
+  (* pre-bake a dead-lettered and a quarantined job in the spool *)
+  let sp = Spool.open_root (Filename.concat root "spool") in
+  let bake id =
+    Spool.accept sp
+      { Spool.j_id = id; j_timing_driven = true; j_deadline_ms = None; j_attempts = 1;
+        j_kills = 0; j_last_kill = ""; j_kill_history = [] }
+      ~design_text:(Lazy.force mini_text)
+  in
+  bake "gone";
+  Spool.retire sp "gone" ~json:"{\"code\":\"fault\",\"message\":\"injected\"}";
+  bake "poison";
+  Spool.quarantine sp "poison" ~json:"{\"code\":\"quarantined\",\"message\":\"kill loop\"}";
+  let srv = start_server root in
+  let c = client srv in
+  (match rq c (Wire.Watch { job = "gone" }) with
+  | Wire.Rerror { code; message } ->
+    check Alcotest.string "dead-lettered watch code" "dead-lettered" code;
+    checkb "message names the job" true (contains message "gone");
+    checkb "message says how to proceed" true (contains message "resume")
+  | _ -> Alcotest.fail "watch of a dead-lettered job must be a structured error");
+  (match rq c (Wire.Watch { job = "poison" }) with
+  | Wire.Rerror { code; message } ->
+    check Alcotest.string "quarantined watch code" "quarantined" code;
+    checkb "message says revive with force" true (contains message "force")
+  | _ -> Alcotest.fail "watch of a quarantined job must be a structured error");
+  (match rq c (Wire.Watch { job = "never-heard-of" }) with
+  | Wire.Rerror { code; _ } -> check Alcotest.string "unknown watch code" "validate" code
+  | _ -> Alcotest.fail "watch of an unknown job must be a structured error");
+  Serve_client.close c;
+  ignore (stop_server srv)
+
+(* nan is a legal worst margin (no timing state yet); it must survive
+   the progress-frame JSON as null, not poison the stream. *)
+let test_watch_nan_margin_roundtrip () =
+  let json = Serve.progress_json "j" 3
+      { Worker.p_phase = "initial_route"; p_pass = 0; p_deletions = 0;
+        p_worst_margin_ps = Float.nan }
+  in
+  (match Qjson.parse json with
+  | Error m -> Alcotest.failf "progress frame does not parse: %s" m
+  | Ok j ->
+    checkb "nan margin renders as null" true (Qjson.member "worst_margin_ps" j = Some Qjson.Null);
+    (match Option.bind (Qjson.member "worst_margin_ps" j) Qjson.to_float with
+    | Some v -> checkb "null reads back as nan" true (Float.is_nan v)
+    | None -> Alcotest.fail "margin member must read as a float");
+    check Alcotest.string "phase intact" "initial_route"
+      (Option.value (Option.bind (Qjson.member "phase" j) Qjson.to_str) ~default:""));
+  (* and a finite margin stays a number *)
+  let json = Serve.progress_json "j" 4
+      { Worker.p_phase = "improve_delay"; p_pass = 2; p_deletions = 41;
+        p_worst_margin_ps = -12.5 }
+  in
+  match Qjson.parse json with
+  | Error m -> Alcotest.failf "finite frame does not parse: %s" m
+  | Ok j ->
+    checkb "finite margin is numeric" true
+      (Option.bind (Qjson.member "worst_margin_ps" j) Qjson.to_float = Some (-12.5))
+
 let test_submit_progress_flag () =
   let root = fresh_dir () in
   (* in-process at 4 domains: frames come from quality samples, and the
@@ -1705,11 +1850,18 @@ let () =
           Alcotest.test_case "hang watchdog + resume" `Slow test_worker_hang_watchdog;
           Alcotest.test_case "external kill -9 + resume" `Slow test_worker_external_kill;
           Alcotest.test_case "crash loop quarantine" `Slow test_worker_quarantine;
+          Alcotest.test_case "watchdog kill dumps the flight record" `Slow
+            test_worker_flight_dump_on_kill;
           Alcotest.test_case "cancel a running worker" `Slow test_cancel_running_worker;
           Alcotest.test_case "cancel a queued job" `Slow test_cancel_queued_job ] );
       ( "observability",
         [ Alcotest.test_case "watch streams worker progress" `Slow
             test_watch_streams_progress;
+          Alcotest.test_case "watch of dead/quarantined jobs errors" `Slow
+            test_watch_edge_cases;
+          Alcotest.test_case "nan margin through a progress frame" `Quick
+            test_watch_nan_margin_roundtrip;
+          Alcotest.test_case "dump opcode snapshots the daemon" `Slow test_dump_opcode;
           Alcotest.test_case "submit --progress piggybacks on wait" `Slow
             test_submit_progress_flag;
           Alcotest.test_case "stats opcode" `Slow test_stats_opcode;
